@@ -1,0 +1,193 @@
+// Benchmarks: one testing.B benchmark per table/figure of the paper (each
+// regenerates the artifact through its internal/experiments driver at test
+// scale; run cmd/speakql-bench -scale default for the full-size numbers),
+// plus micro-benchmarks of the pipeline stages.
+package speakql_test
+
+import (
+	"sync"
+	"testing"
+
+	"speakql"
+	"speakql/internal/asr"
+	"speakql/internal/dataset"
+	"speakql/internal/experiments"
+	"speakql/internal/literal"
+	"speakql/internal/metrics"
+	"speakql/internal/phonetic"
+	"speakql/internal/speech"
+)
+
+var (
+	benchEnvOnce sync.Once
+	benchEnv     *experiments.Env
+)
+
+func env(b *testing.B) *experiments.Env {
+	benchEnvOnce.Do(func() {
+		benchEnv = experiments.NewEnv(experiments.ScaleTest)
+	})
+	return benchEnv
+}
+
+// --- one benchmark per paper artifact ---
+
+func BenchmarkTable2(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		experiments.RunTable2(e)
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		experiments.RunFigure6(e)
+	}
+}
+
+func BenchmarkFigure7UserStudy(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		experiments.RunFigure7(e)
+	}
+}
+
+func BenchmarkFigure8ComponentDrillDown(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		experiments.RunFigure8(e)
+	}
+}
+
+func BenchmarkFigure11MetricCDFs(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		experiments.RunFigure11(e)
+	}
+}
+
+func BenchmarkTable4ASREngines(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		experiments.RunTable4(e)
+	}
+}
+
+func BenchmarkFigure14StructureLatency(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		experiments.RunFigure14(e)
+	}
+}
+
+func BenchmarkFigure15Ablation(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		experiments.RunFigure15(e)
+	}
+}
+
+func BenchmarkFigure16ValueTypes(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		experiments.RunFigure16(e)
+	}
+}
+
+func BenchmarkFigure17PhoneticDistance(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		experiments.RunFigure17(e)
+	}
+}
+
+func BenchmarkFigure18Nested(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		experiments.RunFigure18(e)
+	}
+}
+
+func BenchmarkTable5NLIComparison(b *testing.B) {
+	e := env(b)
+	for i := 0; i < b.N; i++ {
+		experiments.RunTable5(e)
+	}
+}
+
+// --- pipeline micro-benchmarks ---
+
+func BenchmarkCorrectEndToEnd(b *testing.B) {
+	e := env(b)
+	transcript := "select sales from employers wear first name equals Jon"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Engine.Correct(transcript)
+	}
+}
+
+func BenchmarkStructureSearch(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Structure.Determine("select salary from employees where gender equals M and salary greater than 70000")
+	}
+}
+
+func BenchmarkLiteralDetermination(b *testing.B) {
+	e := env(b)
+	cat := e.Engine.Catalog()
+	trans := []string{"SELECT", "first", "name", "FROM", "employers", "WHERE", "salary", ">", "70000"}
+	structToks := []string{"SELECT", "x1", "FROM", "x2", "WHERE", "x3", ">", "x4"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		literal.Determine(trans, structToks, cat, 5)
+	}
+}
+
+func BenchmarkASRTranscription(b *testing.B) {
+	eng := asr.NewEngine(asr.ACSProfile(), 1)
+	spoken := speech.VerbalizeQuery(
+		"SELECT FromDate , Salary FROM Employees NATURAL JOIN Salaries WHERE FirstName = 'Tomokazu'")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Transcribe(spoken)
+	}
+}
+
+func BenchmarkVerbalizeQuery(b *testing.B) {
+	const q = "SELECT SUM ( salary ) FROM Salaries WHERE FromDate = '1993-01-20' LIMIT 45310"
+	for i := 0; i < b.N; i++ {
+		speech.VerbalizeQuery(q)
+	}
+}
+
+func BenchmarkMetaphone(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		phonetic.Encode("DepartmentEmployee")
+	}
+}
+
+func BenchmarkWeightedEditDistance(b *testing.B) {
+	a := speakql.Tokenize("SELECT x FROM x WHERE x = x AND x < x ORDER BY x")
+	c := speakql.Tokenize("SELECT x , x FROM x NATURAL JOIN x WHERE x = x LIMIT x")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		metrics.WeightedTokenEditDistance(a, c)
+	}
+}
+
+func BenchmarkEngineConstructionTestScale(b *testing.B) {
+	db := dataset.NewEmployeesDB(dataset.EmployeesConfig{Employees: 50, Departments: 4, Seed: 1})
+	cat := speakql.CatalogOf(db)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := speakql.NewEngine(speakql.Config{
+			Grammar: speakql.TestGrammar(),
+			Catalog: cat,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

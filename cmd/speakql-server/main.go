@@ -1,0 +1,110 @@
+// Command speakql-server serves the HTTP JSON backend for SpeakQL's
+// interactive display (the analog of the paper's CloudLab backend); the
+// API itself lives in internal/httpapi:
+//
+//	POST /api/correct   {"transcript": "...", "topk": 3}
+//	POST /api/session   {}                                → {"id": "..."}
+//	POST /api/dictate   {"id": "...", "transcript": "...", "clause": true}
+//	POST /api/edit      {"id": "...", "op": "replace", "pos": 2, "token": "Salary"}
+//	POST /api/execute   {"sql": "SELECT ..."}
+//	GET  /api/schema
+//
+// Usage: speakql-server [-addr :8080] [-db employees|yelp] [-scale test|default|paper]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"speakql"
+	"speakql/internal/core"
+	"speakql/internal/dataset"
+	"speakql/internal/grammar"
+	"speakql/internal/httpapi"
+	"speakql/internal/sqlengine"
+	"speakql/internal/structure"
+	"speakql/internal/trieindex"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	dbFlag := flag.String("db", "employees", "demo database: employees or yelp")
+	scale := flag.String("scale", "test", "structure corpus scale: test, default, or paper")
+	idxCache := flag.String("index-cache", "",
+		"path to a persisted structure index: loaded if present, built and written otherwise")
+	flag.Parse()
+
+	var db *sqlengine.Database
+	switch *dbFlag {
+	case "employees":
+		db = dataset.NewEmployeesDB(dataset.DefaultEmployeesConfig())
+	case "yelp":
+		db = dataset.NewYelpDB(dataset.DefaultYelpConfig())
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -db %q\n", *dbFlag)
+		os.Exit(2)
+	}
+	var gcfg speakql.GrammarConfig
+	switch *scale {
+	case "test":
+		gcfg = speakql.TestGrammar()
+	case "default":
+		gcfg = speakql.DefaultGrammar()
+	case "paper":
+		gcfg = speakql.PaperGrammar()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -scale %q\n", *scale)
+		os.Exit(2)
+	}
+	var eng *core.Engine
+	if *idxCache != "" {
+		ix, err := loadOrBuildIndex(*idxCache, gcfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		comp := structure.NewFromIndex(ix, trieindex.Options{}, gcfg)
+		eng = core.NewEngineWithComponent(comp, speakql.CatalogOf(db), 5)
+	} else {
+		log.Printf("building structure index (%s scale)…", *scale)
+		var err error
+		eng, err = speakql.NewEngine(speakql.Config{Grammar: gcfg, Catalog: speakql.CatalogOf(db)})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	srv := httpapi.New(eng, db)
+	log.Printf("listening on %s (db=%s)", *addr, db.Name)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}
+
+// loadOrBuildIndex reads a persisted structure index, or builds it from the
+// grammar config and writes it for next time.
+func loadOrBuildIndex(path string, gcfg grammar.GenConfig) (*trieindex.Index, error) {
+	if f, err := os.Open(path); err == nil {
+		defer f.Close()
+		log.Printf("loading structure index from %s…", path)
+		return trieindex.ReadIndex(f, false)
+	}
+	log.Printf("building structure index (cache miss)…")
+	ix := trieindex.NewIndex(gcfg.MaxTokens, false)
+	err := grammar.Generate(gcfg, func(toks []string) bool {
+		ix.Insert(toks)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("create index cache: %w", err)
+	}
+	defer f.Close()
+	if err := ix.Save(f); err != nil {
+		return nil, fmt.Errorf("write index cache: %w", err)
+	}
+	log.Printf("wrote index cache to %s (%d structures)", path, ix.Total())
+	return ix, nil
+}

@@ -1,0 +1,45 @@
+package speakql_test
+
+import (
+	"fmt"
+	"log"
+
+	"speakql"
+)
+
+// The paper's Figure 2 running example: an erroneous transcription of a
+// dictated query is repaired into executable SQL.
+func Example() {
+	catalog := speakql.NewCatalog(
+		[]string{"Employees", "Salaries"},
+		[]string{"FirstName", "LastName", "Salary"},
+		[]string{"John", "Jon"})
+	engine, err := speakql.NewEngine(speakql.Config{
+		Grammar: speakql.TestGrammar(),
+		Catalog: catalog,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := engine.Correct("select sales from employers wear first name equals Jon")
+	fmt.Println(out.Best().SQL)
+	// Output: SELECT Salary FROM Employees WHERE FirstName = 'Jon'
+}
+
+// Top-k candidates populate the interactive display's alternatives menu.
+func ExampleEngine_CorrectTopK() {
+	engine, err := speakql.NewEngine(speakql.Config{
+		Grammar: speakql.TestGrammar(),
+		Catalog: speakql.NewCatalog([]string{"Salaries"}, []string{"Salary"}, nil),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := engine.CorrectTopK("select salary from salaries", 2)
+	for _, c := range out.Candidates {
+		fmt.Println(c.SQL)
+	}
+	// Output:
+	// SELECT Salary FROM Salaries
+	// SELECT * FROM Salaries
+}

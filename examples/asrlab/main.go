@@ -1,0 +1,62 @@
+// ASR lab: a tour of the simulated speech channel — the error taxonomy of
+// the paper's Table 1, the n-best alternatives, the trained (ACS) versus
+// hint-based (GCS) engine profiles, and the effect of custom language-model
+// training on schema identifiers.
+//
+//	go run ./examples/asrlab
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"speakql/internal/asr"
+	"speakql/internal/speech"
+)
+
+func main() {
+	fmt.Println("== Table 1's error taxonomy, reproduced by the simulator ==")
+	acs := asr.NewEngine(asr.ACSProfile(), 2024)
+
+	cases := []struct {
+		label string
+		sql   string
+	}{
+		{"homophones (sum → some, where → wear)", "SELECT SUM ( Salary ) FROM Salaries WHERE Salary > 100"},
+		{"out-of-vocabulary literal (CUSTID_1729A)", "SELECT * FROM Orders WHERE CustomerId = 'CUSTID_1729A'"},
+		{"number re-segmentation (45412)", "SELECT * FROM Salaries WHERE Salary = 45412"},
+		{"date mangling (1991-05-07)", "SELECT * FROM Salaries WHERE FromDate = '1991-05-07'"},
+	}
+	for _, c := range cases {
+		spoken := speech.VerbalizeQuery(c.sql)
+		fmt.Printf("\n%s\n  dictated: %s\n", c.label, c.sql)
+		fmt.Printf("  spoken  : %s\n", strings.Join(spoken, " "))
+		for alt, out := range acs.TranscribeN(spoken, 3) {
+			fmt.Printf("  heard %d : %s\n", alt+1, out)
+		}
+	}
+
+	fmt.Println("\n== Engine profiles: GCS symbol hints vs ACS words ==")
+	gcs := asr.NewEngine(asr.GCSProfile(), 2024)
+	q := "SELECT AVG ( Salary ) FROM Salaries WHERE Salary < 90000"
+	spoken := speech.VerbalizeQuery(q)
+	fmt.Printf("  GCS: %s\n", gcs.Transcribe(spoken))
+	fmt.Printf("  ACS: %s\n", acs.Transcribe(spoken))
+
+	fmt.Println("\n== Custom language-model training (Azure Custom Speech style) ==")
+	id := "SELECT FromDate FROM Salaries WHERE FirstName = 'Tomokazu'"
+	spoken = speech.VerbalizeQuery(id)
+	fmt.Printf("  untrained: %s\n", acs.Transcribe(spoken))
+	trained := asr.NewEngine(asr.ACSProfile(), 2024)
+	trained.TrainQueries([]string{id})
+	fmt.Printf("  trained  : %s\n", trained.Transcribe(spoken))
+	fmt.Println("  (training adds schema identifiers to the vocabulary and lets the")
+	fmt.Println("   language model join split identifiers back into single tokens —")
+	fmt.Println("   the mechanism behind the paper's Employees/Yelp accuracy gap)")
+
+	fmt.Println("\n== Eight voices, one query ==")
+	for _, v := range speech.Voices {
+		fmt.Printf("  %-9s %s\n", v.Name+":", strings.Join(
+			v.VerbalizeQuery("SELECT * FROM Employees WHERE DepartmentNumber = 'd002'"), " "))
+	}
+}

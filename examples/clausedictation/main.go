@@ -1,0 +1,53 @@
+// Clause-level dictation and SQL-keyboard correction: the multimodal
+// interface loop of Section 5. A user dictates a whole query, re-dictates
+// just the WHERE clause when the transcription went wrong, and finishes
+// with a single touch edit — the session tracks the units-of-effort metric
+// the user study reports.
+//
+//	go run ./examples/clausedictation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"speakql"
+	"speakql/internal/core"
+	"speakql/internal/session"
+)
+
+func main() {
+	catalog := speakql.NewCatalog(
+		[]string{"Employees", "Salaries", "Titles"},
+		[]string{"FirstName", "LastName", "Salary", "Title", "HireDate"},
+		[]string{"Engineer", "Staff", "Manager"},
+	)
+	engine, err := core.NewEngine(core.Config{
+		Grammar: speakql.TestGrammar(),
+		Catalog: catalog,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess := session.New(engine)
+
+	// 1. Full dictation ("Record" button). The ASR mangled the WHERE
+	//    clause: "title equals engineer" arrived as "title equals in here".
+	sess.DictateFull("select first name from employees natural join titles where title equals in here")
+	fmt.Println("after full dictation :", sess.SQL())
+
+	// 2. Clause-level re-dictation (per-clause record button): only the
+	//    WHERE clause is spoken again.
+	sess.DictateClause("where title equals engineer")
+	fmt.Println("after clause redictation:", sess.SQL())
+
+	// 3. SQL-keyboard touch edit: append a LIMIT with two taps from the
+	//    keyword list.
+	n := len(sess.Tokens())
+	sess.InsertToken(n, "LIMIT")
+	sess.InsertToken(n+1, "10")
+	fmt.Println("after keyboard edits :", sess.SQL())
+
+	fmt.Printf("effort: %d touches + %d dictations = %d units\n",
+		sess.Touches(), sess.Dictations(), sess.Effort())
+}

@@ -1,0 +1,77 @@
+// Employees scenario: the full speech-to-result loop the paper's analysts
+// motivate — dictate analysis queries over the Employees schema, push them
+// through the simulated speech synthesizer and ASR channel, correct the
+// transcription with SpeakQL, execute the result, and score the correction
+// against the ground truth.
+//
+//	go run ./examples/employees
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"speakql"
+	"speakql/internal/asr"
+	"speakql/internal/dataset"
+	"speakql/internal/metrics"
+	"speakql/internal/speech"
+	"speakql/internal/sqlengine"
+)
+
+func main() {
+	db := dataset.NewEmployeesDB(dataset.DefaultEmployeesConfig())
+	engine, err := speakql.NewEngine(speakql.Config{
+		Grammar: speakql.TestGrammar(),
+		Catalog: speakql.CatalogOf(db),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A custom-trained recognizer, as the paper trains Azure Custom Speech
+	// on the spoken-SQL corpus.
+	recognizer := asr.NewEngine(asr.ACSProfile(), 7)
+	recognizer.TrainQueries([]string{
+		"SELECT Salary FROM Salaries WHERE FromDate = '1993-01-20'",
+	})
+
+	queries := []string{
+		"SELECT AVG ( Salary ) FROM Salaries",
+		"SELECT LastName FROM Employees NATURAL JOIN Salaries WHERE Salary > 70000",
+		"SELECT Gender , COUNT ( * ) FROM Employees GROUP BY Gender",
+		"SELECT FirstName FROM Employees WHERE HireDate > '1995-01-01' ORDER BY HireDate",
+	}
+	for _, sql := range queries {
+		spoken := speech.VerbalizeQuery(sql)
+		transcript := recognizer.Transcribe(spoken)
+		out := engine.Correct(transcript)
+		best := out.Best()
+
+		rates := metrics.Compare(speakql.Tokenize(sql), best.Tokens)
+		fmt.Println("dictated  :", sql)
+		fmt.Println("spoken as :", strings.Join(spoken, " "))
+		fmt.Println("ASR heard :", transcript)
+		fmt.Println("corrected :", best.SQL)
+		fmt.Printf("accuracy  : WRR %.2f, literal recall %.2f\n", rates.WRR, rates.LRR)
+
+		res, err := sqlengine.Run(db, best.SQL)
+		if err != nil {
+			fmt.Println("exec      : error:", err)
+		} else {
+			fmt.Printf("exec      : %d rows, cols %v\n", len(res.Rows), res.Cols)
+			for i, row := range res.Rows {
+				if i == 3 {
+					fmt.Printf("            … %d more rows\n", len(res.Rows)-3)
+					break
+				}
+				cells := make([]string, len(row))
+				for j, v := range row {
+					cells[j] = v.String()
+				}
+				fmt.Println("           ", strings.Join(cells, " | "))
+			}
+		}
+		fmt.Println()
+	}
+}

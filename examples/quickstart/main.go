@@ -1,0 +1,60 @@
+// Quickstart: correct one erroneous ASR transcription of a dictated SQL
+// query against a small schema — the paper's Figure 2 running example.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"speakql"
+)
+
+func main() {
+	// The catalog is the phonetic representation of the queried database:
+	// table names, attribute names, and string attribute values.
+	catalog := speakql.NewCatalog(
+		[]string{"Employees", "Salaries"},
+		[]string{"FirstName", "LastName", "Salary", "Gender"},
+		[]string{"John", "Jon", "Mary"},
+	)
+
+	// Building the engine generates and trie-indexes the SQL structure
+	// corpus (the offline step). TestGrammar builds in milliseconds;
+	// DefaultGrammar matches the experiment harness.
+	engine, err := speakql.NewEngine(speakql.Config{
+		Grammar: speakql.TestGrammar(),
+		Catalog: catalog,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// What the user said:   SELECT Salary FROM Employees WHERE FirstName = 'Jon'
+	// What the ASR heard:
+	transcript := "select sales from employers wear first name equals Jon"
+
+	out := engine.Correct(transcript)
+	best := out.Best()
+	fmt.Println("transcript:", transcript)
+	fmt.Println("structure :", join(best.Structure))
+	fmt.Println("corrected :", best.SQL)
+
+	// Each placeholder carries ranked alternatives for the interactive
+	// display's correction menu.
+	for _, b := range best.Bindings {
+		fmt.Printf("  %s (%s): %v\n", b.Placeholder, b.Category, b.TopK)
+	}
+}
+
+func join(toks []string) string {
+	s := ""
+	for i, t := range toks {
+		if i > 0 {
+			s += " "
+		}
+		s += t
+	}
+	return s
+}

@@ -1,0 +1,3 @@
+module speakql
+
+go 1.22

@@ -1,0 +1,597 @@
+// Package asr simulates an automatic speech recognition engine as a seeded
+// noisy text→text channel over the verbalized word stream, standing in for
+// Azure Custom Speech / Google Cloud Speech (which the paper calls over the
+// network). The simulator reproduces the paper's Table 1 error taxonomy
+// class by class:
+//
+//   - homophone substitutions in both directions (sum → some, wear → where);
+//   - out-of-vocabulary corruption: OOV words are replaced by their nearest
+//     in-vocabulary phonetic neighbour (custid → custody) or split;
+//   - inverse text normalization of numbers with re-segmentation errors
+//     ("forty five thousand three hundred ten" → "45000 310");
+//   - date mangling ("may seventh nineteen ninety one" → "may 07 90 91");
+//   - ordinary word drops and insertions.
+//
+// Engines are deterministic: the same input words, engine seed, and
+// alternative index always produce the same transcript. Training an engine
+// on a query corpus (Azure Custom Speech style) extends its vocabulary and
+// lowers its error rate on trained words, which is how the paper's
+// Employees-train / Employees-test / Yelp generalization gradient arises.
+package asr
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"speakql/internal/metrics"
+	"speakql/internal/phonetic"
+	"speakql/internal/speech"
+	"speakql/internal/sqltoken"
+)
+
+// Profile holds the per-class error rates of one simulated engine.
+type Profile struct {
+	Name string
+
+	KeywordErr        float64 // P(error) for a spoken SQL keyword word
+	SplCharErr        float64 // P(error) for a special-character phrase word
+	LiteralErr        float64 // P(error) for an in-vocabulary literal word
+	TrainedLiteralErr float64 // P(error) for a literal word seen in training
+
+	DropProb   float64 // P(word silently dropped), on error
+	InsertProb float64 // P(stray filler word inserted after a word)
+
+	NumberResegmentProb float64 // P(number run split at a scale boundary)
+	NumberKeepWordsProb float64 // P(number left as words instead of ITN)
+	NumberGarbleProb    float64 // P(one digit misheard in a numeral)
+	DigitsJoinProb      float64 // P(digit-spelled run joined into one numeral)
+	DateMangleProb      float64 // P(date emitted in the mangled Table 1 form)
+	DateDropPartProb    float64 // P(a date component omitted entirely)
+
+	SymbolHints bool // GCS-style: splchar phrases emitted as symbols
+
+	HomophoneBias float64 // on error, P(use a homophone when one exists)
+}
+
+// ACSProfile models Azure Custom Speech with the search-and-dictation
+// acoustic model: strong on keywords, special characters left as words,
+// trainable language model. Rates are calibrated so raw-engine accuracy
+// lands near Table 4's ACS row.
+func ACSProfile() Profile {
+	return Profile{
+		Name:                "ACS",
+		KeywordErr:          0.05,
+		SplCharErr:          0.02,
+		LiteralErr:          0.20,
+		TrainedLiteralErr:   0.10,
+		DropProb:            0.30,
+		InsertProb:          0.008,
+		NumberResegmentProb: 0.33,
+		NumberKeepWordsProb: 0.05,
+		NumberGarbleProb:    0.45,
+		DigitsJoinProb:      0.45,
+		DateMangleProb:      0.30,
+		DateDropPartProb:    0.12,
+		SymbolHints:         false,
+		HomophoneBias:       0.75,
+	}
+}
+
+// GCSProfile models Google Cloud Speech with keyword/splchar hints: special
+// characters often arrive as symbols and keyword precision differs, but
+// literals suffer more (Table 4's GCS row).
+func GCSProfile() Profile {
+	return Profile{
+		Name:                "GCS",
+		KeywordErr:          0.10,
+		SplCharErr:          0.02,
+		LiteralErr:          0.20,
+		TrainedLiteralErr:   0.20, // no custom training
+		DropProb:            0.30,
+		InsertProb:          0.01,
+		NumberResegmentProb: 0.40,
+		NumberKeepWordsProb: 0.05,
+		NumberGarbleProb:    0.50,
+		DigitsJoinProb:      0.35,
+		DateMangleProb:      0.38,
+		DateDropPartProb:    0.15,
+		SymbolHints:         true,
+		HomophoneBias:       0.70,
+	}
+}
+
+// Engine is one simulated ASR engine instance.
+type Engine struct {
+	profile Profile
+	seed    int64
+	vocab   map[string]bool
+	trained map[string]bool
+	phIndex map[string][]string // metaphone key → sorted in-vocab words
+}
+
+// NewEngine creates an engine with the given profile and determinism seed.
+func NewEngine(p Profile, seed int64) *Engine {
+	e := &Engine{
+		profile: p,
+		seed:    seed,
+		vocab:   newVocabSet(),
+		trained: make(map[string]bool),
+	}
+	e.rebuildPhoneticIndex()
+	return e
+}
+
+// Profile returns the engine's profile.
+func (e *Engine) Profile() Profile { return e.profile }
+
+// InVocabulary reports whether the engine can transcribe word verbatim.
+func (e *Engine) InVocabulary(word string) bool {
+	return e.vocab[strings.ToLower(word)]
+}
+
+// TrainWords adds words to the engine's custom language model: they become
+// in-vocabulary and get the (lower) trained error rate. This mirrors
+// training Azure's Custom Speech Service on the spoken-SQL corpus
+// (Section 6.1, step 5).
+func (e *Engine) TrainWords(words []string) {
+	for _, w := range words {
+		lw := strings.ToLower(w)
+		if lw == "" {
+			continue
+		}
+		e.vocab[lw] = true
+		e.trained[lw] = true
+	}
+	e.rebuildPhoneticIndex()
+}
+
+// TrainQueries verbalizes SQL queries and trains on the resulting words,
+// and additionally on the raw literal tokens themselves ("FromDate",
+// "d002"): a custom language model learns whole schema identifiers, which
+// is what lets the trained engine emit them as single tokens even though a
+// speaker utters them as several words.
+func (e *Engine) TrainQueries(queries []string) {
+	var words []string
+	for _, q := range queries {
+		words = append(words, speech.VerbalizeQuery(q)...)
+		for _, tok := range sqltoken.TokenizeSQL(q) {
+			if sqltoken.Classify(tok) == sqltoken.Literal {
+				words = append(words, strings.ToLower(tok))
+			}
+		}
+	}
+	e.TrainWords(words)
+}
+
+// joinTrained reports the exclusive end index j > i such that the
+// concatenation of spoken[i:j] is a trained vocabulary word (longest match,
+// up to 3 words), or i when none is.
+func (e *Engine) joinTrained(spoken []string, i int) int {
+	var sb strings.Builder
+	sb.WriteString(strings.ToLower(spoken[i]))
+	best := i
+	for j := i + 1; j < len(spoken) && j-i < 3; j++ {
+		sb.WriteString(strings.ToLower(spoken[j]))
+		if e.trained[sb.String()] {
+			best = j + 1
+		}
+	}
+	return best
+}
+
+func (e *Engine) rebuildPhoneticIndex() {
+	idx := make(map[string][]string)
+	for w := range e.vocab {
+		key := phonetic.Encode(w)
+		idx[key] = append(idx[key], w)
+	}
+	for _, ws := range idx {
+		sort.Strings(ws)
+	}
+	e.phIndex = idx
+}
+
+// Transcribe returns the engine's top transcription of the spoken words.
+func (e *Engine) Transcribe(spoken []string) string {
+	return e.transcribeOne(spoken, 0)
+}
+
+// TranscribeN returns the n-best transcription alternatives, most likely
+// first. Alternatives differ in their noise realization, the way real
+// engines' n-best lists differ in uncertain regions.
+func (e *Engine) TranscribeN(spoken []string, n int) []string {
+	outs := make([]string, n)
+	for i := 0; i < n; i++ {
+		outs[i] = e.transcribeOne(spoken, i)
+	}
+	return outs
+}
+
+func (e *Engine) rngFor(spoken []string, alt int) *rand.Rand {
+	h := fnv.New64a()
+	for _, w := range spoken {
+		h.Write([]byte(w))
+		h.Write([]byte{0})
+	}
+	return rand.New(rand.NewSource(e.seed ^ int64(h.Sum64()) ^ int64(alt)*0x9E3779B9))
+}
+
+func (e *Engine) transcribeOne(spoken []string, alt int) string {
+	rng := e.rngFor(spoken, alt)
+	var out []string
+	i := 0
+	for i < len(spoken) {
+		// Spoken date?
+		if d, used, ok := detectSpokenDate(spoken[i:]); ok {
+			out = append(out, e.emitDate(rng, d)...)
+			i += used
+			continue
+		}
+		// Digit-spelled run ("one seven two nine")?
+		if run := digitRunLen(spoken[i:]); run >= 2 {
+			out = append(out, e.emitDigits(rng, spoken[i:i+run])...)
+			i += run
+			continue
+		}
+		// Scale-number run ("forty five thousand three hundred ten")?
+		if run := numberRunLen(spoken[i:]); run >= 1 {
+			out = append(out, e.emitNumber(rng, spoken[i:i+run])...)
+			i += run
+			continue
+		}
+		// Custom language model: a trained multi-word identifier is
+		// recognized as the single token it was trained as ("from date" →
+		// "fromdate"), the mechanism behind Azure Custom Speech detecting
+		// its schema literals far better than unseen schemas' (Section 6.3).
+		if j := e.joinTrained(spoken, i); j > i+1 && rng.Float64() < 0.65 {
+			var sb strings.Builder
+			for _, w := range spoken[i:j] {
+				sb.WriteString(strings.ToLower(w))
+			}
+			out = append(out, sb.String())
+			i = j
+			continue
+		}
+		// Symbol hints consume whole splchar phrases.
+		if e.profile.SymbolHints {
+			if sym, used := symbolPhrase(spoken[i:]); used > 0 && rng.Float64() > e.profile.SplCharErr {
+				out = append(out, sym)
+				i += used
+				continue
+			}
+		}
+		out = append(out, e.emitWord(rng, spoken[i])...)
+		i++
+		if rng.Float64() < e.profile.InsertProb {
+			out = append(out, fillers[rng.Intn(len(fillers))])
+		}
+	}
+	return strings.Join(out, " ")
+}
+
+var fillers = []string{"the", "a", "uh", "and"}
+
+// wordClass distinguishes per-class error rates.
+var keywordWords = map[string]bool{
+	"select": true, "from": true, "where": true, "order": true, "group": true,
+	"by": true, "natural": true, "join": true, "and": true, "or": true,
+	"not": true, "limit": true, "between": true, "in": true, "sum": true,
+	"count": true, "max": true, "avg": true, "min": true,
+}
+
+var splCharPhraseWords = map[string]bool{
+	"star": true, "equals": true, "less": true, "greater": true, "than": true,
+	"open": true, "close": true, "parenthesis": true, "comma": true, "dot": true,
+}
+
+func (e *Engine) errRate(word string) float64 {
+	switch {
+	case keywordWords[word]:
+		return e.profile.KeywordErr
+	case splCharPhraseWords[word]:
+		return e.profile.SplCharErr
+	case e.trained[word]:
+		return e.profile.TrainedLiteralErr
+	default:
+		return e.profile.LiteralErr
+	}
+}
+
+// emitWord transcribes one ordinary word with the per-class noise model.
+func (e *Engine) emitWord(rng *rand.Rand, word string) []string {
+	lw := strings.ToLower(word)
+	if !e.vocab[lw] {
+		return e.corruptOOV(rng, lw)
+	}
+	if rng.Float64() >= e.errRate(lw) {
+		return []string{lw}
+	}
+	// Error: homophone, drop, or phonetic neighbour.
+	if hs := homophones[lw]; len(hs) > 0 && rng.Float64() < e.profile.HomophoneBias {
+		return []string{hs[rng.Intn(len(hs))]}
+	}
+	if rng.Float64() < e.profile.DropProb {
+		return nil
+	}
+	return []string{e.phoneticNeighbor(rng, lw)}
+}
+
+// corruptOOV handles the unbounded-vocabulary problem from the engine's
+// side: an out-of-vocabulary word can never be transcribed verbatim. It is
+// replaced by its nearest in-vocabulary phonetic neighbour, split into two
+// corrupted halves, or dropped.
+func (e *Engine) corruptOOV(rng *rand.Rand, lw string) []string {
+	switch {
+	case len(lw) > 7 && rng.Float64() < 0.35:
+		// Split into halves, each resolved independently (Table 1's token
+		// splitting: one SQL token becomes a series of ASR tokens).
+		mid := len(lw) / 2
+		out := e.corruptInVocabOrNeighbor(rng, lw[:mid])
+		return append(out, e.corruptInVocabOrNeighbor(rng, lw[mid:])...)
+	case rng.Float64() < 0.12:
+		return nil // dropped entirely
+	default:
+		return []string{e.phoneticNeighbor(rng, lw)}
+	}
+}
+
+func (e *Engine) corruptInVocabOrNeighbor(rng *rand.Rand, frag string) []string {
+	if e.vocab[frag] {
+		return []string{frag}
+	}
+	return []string{e.phoneticNeighbor(rng, frag)}
+}
+
+// phoneticNeighbor returns an in-vocabulary word that sounds like lw:
+// first an exact metaphone-key match, then the closest key by character
+// edit distance on the encodings. Deterministic given the rng state.
+func (e *Engine) phoneticNeighbor(rng *rand.Rand, lw string) string {
+	key := phonetic.Encode(lw)
+	if ws := e.phIndex[key]; len(ws) > 0 {
+		// Prefer a different word when one exists (the engine "heard"
+		// something, just not this token).
+		cands := make([]string, 0, len(ws))
+		for _, w := range ws {
+			if w != lw {
+				cands = append(cands, w)
+			}
+		}
+		if len(cands) == 0 {
+			cands = ws
+		}
+		return cands[rng.Intn(len(cands))]
+	}
+	// Nearest key scan. The vocabulary is small (~10^3), so a linear scan
+	// is fine and keeps the choice exact.
+	bestDist := 1 << 30
+	var best []string
+	for k, ws := range e.phIndex {
+		d := metrics.CharEditDistance(key, k)
+		if d < bestDist {
+			bestDist = d
+			best = append(best[:0], ws...)
+		} else if d == bestDist {
+			best = append(best, ws...)
+		}
+	}
+	if len(best) == 0 {
+		return lw
+	}
+	sort.Strings(best)
+	return best[rng.Intn(len(best))]
+}
+
+// emitNumber applies inverse text normalization to a spoken number run,
+// with the paper's re-segmentation error: a pause-like split at a scale
+// boundary yields two numerals ("45000 310").
+func (e *Engine) emitNumber(rng *rand.Rand, run []string) []string {
+	if rng.Float64() < e.profile.NumberKeepWordsProb {
+		out := make([]string, len(run))
+		copy(out, run)
+		return out
+	}
+	if split := scaleSplitPoint(run); split > 0 && rng.Float64() < e.profile.NumberResegmentProb {
+		a, okA := speech.WordsToNumber(run[:split])
+		b, okB := speech.WordsToNumber(run[split:])
+		if okA && okB {
+			if rng.Float64() < 0.2 { // the pause swallows the second fragment
+				return []string{e.garbleNumeral(rng, strconv.FormatInt(a, 10))}
+			}
+			return []string{e.garbleNumeral(rng, strconv.FormatInt(a, 10)),
+				e.garbleNumeral(rng, strconv.FormatInt(b, 10))}
+		}
+	}
+	if n, ok := speech.WordsToNumber(run); ok {
+		return []string{e.garbleNumeral(rng, strconv.FormatInt(n, 10))}
+	}
+	out := make([]string, len(run))
+	copy(out, run)
+	return out
+}
+
+// garbleNumeral mishears one digit with NumberGarbleProb — real engines
+// confuse fifteen/fifty, seven/eleven, and similar pairs, so the recovered
+// numeral is close but wrong.
+func (e *Engine) garbleNumeral(rng *rand.Rand, numeral string) string {
+	if len(numeral) == 0 || rng.Float64() >= e.profile.NumberGarbleProb {
+		return numeral
+	}
+	b := []byte(numeral)
+	i := rng.Intn(len(b))
+	if b[i] < '0' || b[i] > '9' {
+		return numeral
+	}
+	d := byte('0' + rng.Intn(10))
+	for d == b[i] {
+		d = byte('0' + rng.Intn(10))
+	}
+	b[i] = d
+	return string(b)
+}
+
+// emitDigits transcribes a digit-spelled run: joined into one numeral
+// ("1729") or as separate digit numerals ("1 7 2 9"), per Table 1's
+// CUSTID_1729A example.
+func (e *Engine) emitDigits(rng *rand.Rand, run []string) []string {
+	var digits strings.Builder
+	for _, w := range run {
+		n, _ := speech.WordsToNumber([]string{w})
+		digits.WriteByte(byte('0' + n))
+	}
+	if rng.Float64() < e.profile.DigitsJoinProb {
+		return []string{digits.String()}
+	}
+	out := make([]string, 0, digits.Len())
+	for i := 0; i < digits.Len(); i++ {
+		out = append(out, digits.String()[i:i+1])
+	}
+	return out
+}
+
+// emitDate transcribes a recognized spoken date: usually the normalized
+// "month d yyyy" form, sometimes the mangled two-fragment year of Table 1,
+// sometimes with a component dropped.
+func (e *Engine) emitDate(rng *rand.Rand, d speech.Date) []string {
+	month := speech.MonthName(d.Month)
+	day := strconv.Itoa(d.Day)
+	year := strconv.Itoa(d.Year)
+	switch {
+	case rng.Float64() < e.profile.DateDropPartProb:
+		// A component is lost.
+		switch rng.Intn(3) {
+		case 0:
+			return []string{day, year}
+		case 1:
+			return []string{month, year}
+		default:
+			return []string{month, day}
+		}
+	case rng.Float64() < e.profile.DateMangleProb:
+		// Table 1's "may 07 90 91": the spoken year pair becomes two
+		// two-digit fragments.
+		lo := d.Year % 100
+		return []string{month, fmt.Sprintf("%02d", d.Day),
+			strconv.Itoa(lo - 1 + 2*rng.Intn(2)), strconv.Itoa(lo)}
+	default:
+		return []string{month, day, year}
+	}
+}
+
+// --- stream segmentation helpers ---
+
+var numberWordSet = func() map[string]bool {
+	m := map[string]bool{"hundred": true, "thousand": true, "million": true, "billion": true}
+	for _, w := range []string{"zero", "one", "two", "three", "four", "five",
+		"six", "seven", "eight", "nine", "ten", "eleven", "twelve", "thirteen",
+		"fourteen", "fifteen", "sixteen", "seventeen", "eighteen", "nineteen",
+		"twenty", "thirty", "forty", "fifty", "sixty", "seventy", "eighty",
+		"ninety"} {
+		m[w] = true
+	}
+	return m
+}()
+
+var digitWordSet = map[string]bool{"zero": true, "oh": true, "one": true,
+	"two": true, "three": true, "four": true, "five": true, "six": true,
+	"seven": true, "eight": true, "nine": true}
+
+// digitRunLen returns the length of the digit-spelled run at the head of
+// toks, but only when it cannot be a scale number ("one seven two nine" is a
+// digit run; "forty five" is not; a lone "seven" is ambiguous and treated as
+// a scale number).
+func digitRunLen(toks []string) int {
+	n := 0
+	for _, t := range toks {
+		if !digitWordSet[strings.ToLower(t)] {
+			break
+		}
+		n++
+	}
+	if n >= 2 {
+		return n
+	}
+	return 0
+}
+
+// numberRunLen returns the maximal spoken-number run at the head of toks.
+func numberRunLen(toks []string) int {
+	n := 0
+	for _, t := range toks {
+		if !numberWordSet[strings.ToLower(t)] {
+			break
+		}
+		n++
+	}
+	// Trim a trailing "and"-less dangling scale pattern is unnecessary:
+	// WordsToNumber validates the run later.
+	return n
+}
+
+// scaleSplitPoint finds a "thousand"/"million" boundary inside a number run
+// suitable for the re-segmentation error; returns 0 when none.
+func scaleSplitPoint(run []string) int {
+	for i, w := range run {
+		if (w == "thousand" || w == "million") && i+1 < len(run) {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// detectSpokenDate recognizes a spoken date prefix: month name, day, year.
+// Returns the parsed date and the number of tokens consumed.
+func detectSpokenDate(toks []string) (speech.Date, int, bool) {
+	if len(toks) < 3 || speech.MonthNumber(toks[0]) == 0 {
+		return speech.Date{}, 0, false
+	}
+	// Try the longest plausible window first (month + 2-word day + 4-word
+	// year = 7), shrinking until a parse succeeds.
+	max := 7
+	if len(toks) < max {
+		max = len(toks)
+	}
+	for w := max; w >= 3; w-- {
+		if d, ok := speech.ParseSpokenDate(toks[:w]); ok {
+			return d, w, true
+		}
+	}
+	return speech.Date{}, 0, false
+}
+
+// symbolPhrase matches a splchar phrase at the head of toks and returns the
+// symbol and consumed length (GCS hint mode).
+func symbolPhrase(toks []string) (string, int) {
+	phrases := []struct {
+		words []string
+		sym   string
+	}{
+		{[]string{"less", "than"}, "<"},
+		{[]string{"greater", "than"}, ">"},
+		{[]string{"open", "parenthesis"}, "("},
+		{[]string{"close", "parenthesis"}, ")"},
+		{[]string{"equals"}, "="},
+		{[]string{"comma"}, ","},
+		{[]string{"star"}, "*"},
+		{[]string{"dot"}, "."},
+	}
+	for _, p := range phrases {
+		if len(toks) < len(p.words) {
+			continue
+		}
+		ok := true
+		for i, w := range p.words {
+			if !strings.EqualFold(toks[i], w) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return p.sym, len(p.words)
+		}
+	}
+	return "", 0
+}

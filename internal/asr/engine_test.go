@@ -1,0 +1,333 @@
+package asr
+
+import (
+	"strings"
+	"testing"
+
+	"speakql/internal/speech"
+)
+
+func TestDeterminism(t *testing.T) {
+	e1 := NewEngine(ACSProfile(), 42)
+	e2 := NewEngine(ACSProfile(), 42)
+	spoken := speech.VerbalizeQuery("SELECT Salary FROM Employees WHERE Name = 'John'")
+	if e1.Transcribe(spoken) != e2.Transcribe(spoken) {
+		t.Fatal("same seed, same input, different transcripts")
+	}
+	e3 := NewEngine(ACSProfile(), 43)
+	same := 0
+	for i := 0; i < 20; i++ {
+		q := speech.VerbalizeQuery("SELECT Salary FROM Employees WHERE EmployeeNumber = '" +
+			strings.Repeat("x", i+1) + "'")
+		if e1.Transcribe(q) == e3.Transcribe(q) {
+			same++
+		}
+	}
+	if same == 20 {
+		t.Error("different seeds produced identical transcripts on all inputs")
+	}
+}
+
+func TestNBestAlternativesDiffer(t *testing.T) {
+	e := NewEngine(ACSProfile(), 7)
+	spoken := speech.VerbalizeQuery(
+		"SELECT FromDate , Salary FROM Employees NATURAL JOIN Salaries WHERE FirstName = 'Tomokazu'")
+	alts := e.TranscribeN(spoken, 5)
+	if len(alts) != 5 {
+		t.Fatalf("got %d alternatives", len(alts))
+	}
+	distinct := map[string]bool{}
+	for _, a := range alts {
+		distinct[a] = true
+	}
+	if len(distinct) < 2 {
+		t.Error("n-best alternatives are all identical")
+	}
+	// Determinism of the whole list.
+	again := e.TranscribeN(spoken, 5)
+	for i := range alts {
+		if alts[i] != again[i] {
+			t.Fatal("n-best list not deterministic")
+		}
+	}
+}
+
+func TestKeywordsMostlySurvive(t *testing.T) {
+	e := NewEngine(ACSProfile(), 1)
+	good, total := 0, 0
+	queries := []string{
+		"SELECT Salary FROM Salaries",
+		"SELECT * FROM Employees WHERE Gender = 'M'",
+		"SELECT COUNT ( * ) FROM Titles GROUP BY Title",
+		"SELECT LastName FROM Employees ORDER BY HireDate LIMIT 10",
+	}
+	for trial := 0; trial < 50; trial++ {
+		for _, q := range queries {
+			spoken := speech.VerbalizeQuery(q)
+			// vary the rng by changing alt index
+			out := strings.Fields(e.transcribeOne(spoken, trial))
+			outSet := map[string]bool{}
+			for _, w := range out {
+				outSet[strings.ToLower(w)] = true
+			}
+			for _, w := range spoken {
+				if keywordWords[w] {
+					total++
+					if outSet[w] {
+						good++
+					}
+				}
+			}
+		}
+	}
+	rate := float64(good) / float64(total)
+	if rate < 0.85 || rate > 0.99 {
+		t.Errorf("keyword survival rate = %.3f, want high but imperfect (0.85–0.99)", rate)
+	}
+}
+
+func TestOOVNeverVerbatim(t *testing.T) {
+	e := NewEngine(ACSProfile(), 3)
+	for _, oov := range []string{"custid", "zzyzx", "qqfoo", "tomokazu"} {
+		if e.InVocabulary(oov) {
+			t.Fatalf("%q unexpectedly in vocabulary", oov)
+		}
+		for alt := 0; alt < 10; alt++ {
+			out := strings.Fields(e.transcribeOne([]string{oov}, alt))
+			for _, w := range out {
+				if w == oov {
+					t.Errorf("OOV word %q transcribed verbatim", oov)
+				}
+			}
+		}
+	}
+}
+
+func TestOOVPhoneticNeighbor(t *testing.T) {
+	e := NewEngine(ACSProfile(), 3)
+	// "custid" should frequently come back as "custody" (same leading
+	// sounds), reproducing Table 1's CUSTID → custody.
+	hits := 0
+	for alt := 0; alt < 30; alt++ {
+		out := e.transcribeOne([]string{"custid"}, alt)
+		if strings.Contains(out, "custody") {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Error("custid never became custody; phonetic neighbour search is off")
+	}
+}
+
+func TestTrainingBringsWordInVocabulary(t *testing.T) {
+	e := NewEngine(ACSProfile(), 5)
+	if e.InVocabulary("tomokazu") {
+		t.Fatal("precondition: tomokazu should be OOV")
+	}
+	e.TrainWords([]string{"Tomokazu"})
+	if !e.InVocabulary("tomokazu") {
+		t.Fatal("training did not extend vocabulary")
+	}
+	// After training the word mostly survives.
+	survived := 0
+	for alt := 0; alt < 50; alt++ {
+		if strings.Contains(e.transcribeOne([]string{"tomokazu"}, alt), "tomokazu") {
+			survived++
+		}
+	}
+	if survived < 35 {
+		t.Errorf("trained word survived only %d/50 times", survived)
+	}
+}
+
+func TestTrainQueries(t *testing.T) {
+	e := NewEngine(ACSProfile(), 5)
+	e.TrainQueries([]string{"SELECT Wage FROM Payroll WHERE Kubrick = 'Zelenka'"})
+	for _, w := range []string{"wage", "payroll", "kubrick", "zelenka"} {
+		if !e.InVocabulary(w) {
+			t.Errorf("TrainQueries missed %q", w)
+		}
+	}
+}
+
+func TestNumberITN(t *testing.T) {
+	e := NewEngine(ACSProfile(), 9)
+	spoken := speech.NumberToWords(45310)
+	sawJoined, sawSplit := false, false
+	for alt := 0; alt < 60; alt++ {
+		out := e.transcribeOne(spoken, alt)
+		switch out {
+		case "45310":
+			sawJoined = true
+		case "45000 310":
+			sawSplit = true
+		}
+	}
+	if !sawJoined {
+		t.Error("number never transcribed as a single numeral")
+	}
+	if !sawSplit {
+		t.Error("number never re-segmented (Table 1's 45412 → 45000 412 class)")
+	}
+}
+
+func TestDigitRun(t *testing.T) {
+	e := NewEngine(ACSProfile(), 9)
+	spoken := []string{"one", "seven", "two", "nine"}
+	sawJoined, sawSeparate := false, false
+	for alt := 0; alt < 60; alt++ {
+		out := e.transcribeOne(spoken, alt)
+		if out == "1729" {
+			sawJoined = true
+		}
+		if out == "1 7 2 9" {
+			sawSeparate = true
+		}
+	}
+	if !sawJoined || !sawSeparate {
+		t.Errorf("digit run forms missing: joined=%v separate=%v", sawJoined, sawSeparate)
+	}
+}
+
+func TestDateTranscription(t *testing.T) {
+	e := NewEngine(ACSProfile(), 13)
+	spoken := speech.VerbalizeDate(speech.Date{Year: 1991, Month: 5, Day: 7})
+	sawNormal, sawMangled, sawDropped := false, false, false
+	for alt := 0; alt < 120; alt++ {
+		out := e.transcribeOne(spoken, alt)
+		f := strings.Fields(out)
+		switch {
+		case out == "may 7 1991":
+			sawNormal = true
+		case len(f) == 4 && f[0] == "may" && f[1] == "07":
+			sawMangled = true // "may 07 90 91" class
+		case len(f) == 2:
+			sawDropped = true
+		}
+	}
+	if !sawNormal {
+		t.Error("date never transcribed normally")
+	}
+	if !sawMangled {
+		t.Error("date never mangled (Table 1 class)")
+	}
+	if !sawDropped {
+		t.Error("date component never dropped")
+	}
+}
+
+func TestHomophoneErrors(t *testing.T) {
+	e := NewEngine(ACSProfile(), 21)
+	sawWear := false
+	spoken := speech.VerbalizeQuery("SELECT Salary FROM Employees WHERE Name = 'John'")
+	for alt := 0; alt < 200; alt++ {
+		out := e.transcribeOne(spoken, alt)
+		if strings.Contains(" "+out+" ", " wear ") {
+			sawWear = true
+			break
+		}
+	}
+	if !sawWear {
+		t.Error(`"where" never became "wear" in 200 trials`)
+	}
+}
+
+func TestGCSSymbolHints(t *testing.T) {
+	e := NewEngine(GCSProfile(), 2)
+	spoken := speech.VerbalizeQuery("SELECT AVG ( Salary ) FROM Salaries WHERE Salary > 100")
+	sawSymbol := false
+	for alt := 0; alt < 20; alt++ {
+		out := e.transcribeOne(spoken, alt)
+		if strings.Contains(out, "(") || strings.Contains(out, ">") {
+			sawSymbol = true
+			break
+		}
+	}
+	if !sawSymbol {
+		t.Error("GCS hint mode never emitted a symbol")
+	}
+	// ACS never emits raw symbols.
+	a := NewEngine(ACSProfile(), 2)
+	for alt := 0; alt < 20; alt++ {
+		out := a.transcribeOne(spoken, alt)
+		if strings.ContainsAny(out, "()<>=*") {
+			t.Errorf("ACS emitted a symbol: %q", out)
+		}
+	}
+}
+
+func TestDetectSpokenDate(t *testing.T) {
+	d, used, ok := detectSpokenDate(strings.Fields("january twentieth nineteen ninety three from"))
+	if !ok || d != (speech.Date{Year: 1993, Month: 1, Day: 20}) || used != 5 {
+		t.Fatalf("got %v used=%d ok=%v", d, used, ok)
+	}
+	if _, _, ok := detectSpokenDate(strings.Fields("select star from")); ok {
+		t.Fatal("false date detection")
+	}
+	// "may" alone (e.g. a name) must not be a date.
+	if _, _, ok := detectSpokenDate(strings.Fields("may be fine")); ok {
+		t.Fatal("month word without day/year misdetected")
+	}
+}
+
+func TestRunLengthHelpers(t *testing.T) {
+	if n := digitRunLen(strings.Fields("one seven two nine a")); n != 4 {
+		t.Errorf("digitRunLen = %d, want 4", n)
+	}
+	if n := digitRunLen(strings.Fields("seven hundred")); n != 0 {
+		t.Errorf("digitRunLen(seven hundred) = %d, want 0", n)
+	}
+	if n := numberRunLen(strings.Fields("forty five thousand three hundred ten from")); n != 6 {
+		t.Errorf("numberRunLen = %d, want 6", n)
+	}
+	if p := scaleSplitPoint(strings.Fields("forty five thousand three hundred ten")); p != 3 {
+		t.Errorf("scaleSplitPoint = %d, want 3", p)
+	}
+	if p := scaleSplitPoint(strings.Fields("forty five")); p != 0 {
+		t.Errorf("scaleSplitPoint = %d, want 0", p)
+	}
+}
+
+func TestTrainedIdentifierJoining(t *testing.T) {
+	// The custom language model recognizes trained multi-word identifiers
+	// as single tokens: "from date" → "fromdate" (the mechanism behind the
+	// Employees/Yelp generalization gap of Table 2).
+	trained := NewEngine(ACSProfile(), 31)
+	trained.TrainQueries([]string{"SELECT FromDate FROM Salaries"})
+	if !trained.InVocabulary("fromdate") {
+		t.Fatal("raw literal token not trained")
+	}
+	joined := 0
+	spoken := []string{"select", "from", "date", "from", "salaries"}
+	for alt := 0; alt < 40; alt++ {
+		if strings.Contains(trained.transcribeOne(spoken, alt), "fromdate") {
+			joined++
+		}
+	}
+	if joined < 10 {
+		t.Errorf("trained identifier joined only %d/40 times", joined)
+	}
+	// An untrained engine never joins.
+	raw := NewEngine(ACSProfile(), 31)
+	for alt := 0; alt < 40; alt++ {
+		if strings.Contains(raw.transcribeOne(spoken, alt), "fromdate") {
+			t.Fatal("untrained engine joined an identifier")
+		}
+	}
+}
+
+func TestNumberGarble(t *testing.T) {
+	e := NewEngine(ACSProfile(), 17)
+	spoken := speech.NumberToWords(45310)
+	garbled := 0
+	for alt := 0; alt < 100; alt++ {
+		out := e.transcribeOne(spoken, alt)
+		if out != "45310" && !strings.Contains(out, " ") &&
+			len(out) == 5 && out[0] != 'f' {
+			garbled++
+		}
+	}
+	if garbled == 0 {
+		t.Error("numbers never garbled (NumberGarbleProb ineffective)")
+	}
+}

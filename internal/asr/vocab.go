@@ -1,0 +1,173 @@
+package asr
+
+import "strings"
+
+// baseVocabulary is the engine's built-in language-model lexicon: common
+// English words (including every word that appears in the Employees and
+// Yelp schema identifiers once split, month names, number words, letters,
+// and the spoken forms of SQL keywords and special characters). Words
+// outside this set are out-of-vocabulary to an untrained engine and can
+// never be transcribed verbatim — the unbounded-vocabulary problem of
+// Section 1. Training (Azure Custom Speech style) extends the lexicon.
+var baseVocabulary = []string{
+	// Spoken SQL keywords.
+	"select", "from", "where", "order", "group", "by", "natural", "join",
+	"and", "or", "not", "limit", "between", "in", "sum", "count", "max",
+	"avg", "min",
+	// Spoken special characters.
+	"star", "equals", "less", "greater", "than", "open", "close",
+	"parenthesis", "comma", "dot", "point", "asterisk", "period",
+	// Number words.
+	"zero", "one", "two", "three", "four", "five", "six", "seven", "eight",
+	"nine", "ten", "eleven", "twelve", "thirteen", "fourteen", "fifteen",
+	"sixteen", "seventeen", "eighteen", "nineteen", "twenty", "thirty",
+	"forty", "fifty", "sixty", "seventy", "eighty", "ninety", "hundred",
+	"thousand", "million", "billion", "minus", "negative", "oh",
+	// Ordinals.
+	"first", "second", "third", "fourth", "fifth", "sixth", "seventh",
+	"eighth", "ninth", "tenth", "eleventh", "twelfth", "thirteenth",
+	"fourteenth", "fifteenth", "sixteenth", "seventeenth", "eighteenth",
+	"nineteenth", "twentieth", "thirtieth",
+	// Months.
+	"january", "february", "march", "april", "may", "june", "july",
+	"august", "september", "october", "november", "december",
+	// Letters (spelled-out identifier fragments).
+	"a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k", "l", "m",
+	"n", "o", "p", "q", "r", "s", "t", "u", "v", "w", "x", "y", "z",
+	// Common English words, including all words occurring in the
+	// Employees/Yelp schema identifiers and typical attribute values.
+	"the", "of", "to", "for", "with", "on", "at", "is", "are", "was",
+	"be", "this", "that", "have", "has", "had", "do", "does", "did",
+	"will", "would", "can", "could", "should", "all", "each", "every",
+	"some", "any", "no", "yes", "more", "most", "other", "into", "over",
+	"under", "after", "before", "up", "down", "out", "off", "as", "so",
+	"if", "then", "than", "when", "while", "because", "about", "against",
+	"employee", "employees", "employer", "employers", "salary", "salaries",
+	"sales", "sale", "department", "departments", "manager", "managers",
+	"title", "titles", "name", "names", "number", "numbers", "date",
+	"dates", "gender", "birth", "hire", "hired", "wage", "wages",
+	"business", "businesses", "review", "reviews", "user", "users",
+	"rating", "ratings", "city", "state", "address", "category",
+	"categories", "checkin", "tip", "tips", "stars", "vote", "votes",
+	"cool", "funny", "useful", "text", "friend", "friends", "fan", "fans",
+	"average", "total", "price", "prices", "customer", "customers",
+	"custody", "distance", "record", "records", "table", "tables", "column",
+	"columns", "row", "rows", "value", "values", "data", "database",
+	"last", "middle", "full", "short", "long", "high", "low", "new", "old",
+	"big", "small", "good", "bad", "best", "worst", "top", "bottom",
+	"left", "right", "male", "female", "engineer", "engineers", "staff", "senior", "junior",
+	"assistant", "technique", "leader", "leaders", "marketing", "finance",
+	"production", "development", "research", "quality", "service",
+	"services", "support", "human", "resources", "customer", "relations",
+	"john", "jon", "james", "mary", "robert", "michael", "linda", "david",
+	"william", "richard", "susan", "joseph", "thomas", "charles", "karen",
+	"lisa", "nancy", "betty", "helen", "sandra", "donna", "carol", "ruth",
+	"sharon", "michelle", "laura", "sarah", "kimberly", "deborah", "jessica",
+	"anna", "karsten", "goh", "narain", "perla", "peter", "paul", "mark",
+	"george", "kenneth", "steven", "edward", "brian", "ronald", "anthony",
+	"kevin", "jason", "matthew", "gary", "timothy", "jose", "larry",
+	"jeffrey", "frank", "scott", "eric", "stephen", "andrew", "raymond",
+	"gregory", "joshua", "jerry", "dennis", "walter", "patrick",
+	"smith", "johnson", "williams", "jones", "brown", "davis", "miller",
+	"wilson", "moore", "taylor", "anderson", "jackson", "white", "harris",
+	"martin", "thompson", "garcia", "martinez", "robinson", "clark",
+	"lewis", "lee", "walker", "hall", "allen", "young", "king", "wright",
+	"scott", "green", "baker", "adams", "nelson", "hill", "campbell",
+	"mitchell", "roberts", "carter", "phillips", "evans", "turner",
+	"parker", "collins", "edwards", "stewart", "sanchez", "morris",
+	"rogers", "reed", "cook", "morgan", "bell", "murphy", "bailey",
+	"rivera", "cooper", "richardson", "cox", "howard", "ward", "torres",
+	"peterson", "gray", "ramirez", "watson", "brooks", "kelly", "sanders",
+	"price", "bennett", "wood", "barnes", "ross", "henderson", "coleman",
+	"jenkins", "perry", "powell", "long", "patterson", "hughes", "flores",
+	"washington", "butler", "simmons", "foster", "gonzales", "bryant",
+	"alexander", "russell", "griffin", "diaz", "hayes",
+	"pizza", "coffee", "sushi", "burger", "taco", "grill", "cafe", "bar",
+	"restaurant", "bakery", "deli", "kitchen", "house", "garden", "corner",
+	"golden", "royal", "happy", "lucky", "fresh", "spicy", "sweet",
+	"phoenix", "vegas", "toronto", "cleveland", "pittsburgh", "charlotte",
+	"madison", "champaign", "arizona", "nevada", "ontario", "ohio",
+	"pennsylvania", "carolina", "wisconsin", "illinois", "las",
+	"scottsdale", "tempe",
+	// Open-domain words of the WikiSQL-style tables and their NL questions.
+	"driver", "drivers", "team", "teams", "points", "position", "positions",
+	"movie", "movies", "director", "directors", "release", "released",
+	"year", "years", "gross", "population", "area", "size", "player",
+	"players", "club", "clubs", "goal", "goals", "nationality", "entries",
+	"entry", "how", "what", "which", "show", "list", "find", "get", "fetch",
+	"together", "sorted", "only", "appears", "among", "whose", "their",
+	"france", "japan", "brazil", "canada", "india", "kenya", "norway",
+	"united", "rovers", "athletic", "wanderers", "silent", "broken",
+	"hidden", "crimson", "lost", "final", "empire", "mirror", "river",
+	"promise", "horizon", "signal", "richard", "childress", "racing",
+	"hendrick", "motorsports", "joe", "gibbs", "penske", "roush", "fenway",
+	"stewart", "haas", "since", "yelping", "compliment", "useful",
+	"sunset", "downtown", "noodle", "diner",
+}
+
+// homophones maps a spoken word to plausible mis-transcriptions. The table
+// drives the homophony error classes of Table 1 in both directions
+// (keyword → literal like sum → some, literal → keyword like wear → where).
+var homophones = map[string][]string{
+	"sum":       {"some"},
+	"some":      {"sum"},
+	"where":     {"wear", "ware"},
+	"wear":      {"where"},
+	"for":       {"four", "4"},
+	"four":      {"for"},
+	"to":        {"two", "too"},
+	"two":       {"to", "too"},
+	"by":        {"buy", "bye"},
+	"buy":       {"by"},
+	"in":        {"inn"},
+	"inn":       {"in"},
+	"one":       {"won"},
+	"won":       {"one"},
+	"eight":     {"ate"},
+	"ate":       {"eight"},
+	"a":         {"eight", "hey"},
+	"max":       {"macs", "marks"},
+	"min":       {"men", "mean"},
+	"avg":       {"average"},
+	"john":      {"jon"},
+	"jon":       {"john"},
+	"sales":     {"sails"},
+	"sails":     {"sales"},
+	"right":     {"write"},
+	"write":     {"right"},
+	"night":     {"knight"},
+	"knight":    {"night"},
+	"son":       {"sun"},
+	"sun":       {"son"},
+	"their":     {"there"},
+	"there":     {"their"},
+	"higher":    {"hire"},
+	"hire":      {"higher"},
+	"role":      {"roll"},
+	"roll":      {"role"},
+	"week":      {"weak"},
+	"weak":      {"week"},
+	"male":      {"mail"},
+	"mail":      {"male"},
+	"great":     {"grate"},
+	"seen":      {"scene"},
+	"be":        {"bee", "b"},
+	"see":       {"sea", "c"},
+	"you":       {"u"},
+	"are":       {"r"},
+	"dot":       {"dought"},
+	"star":      {"stars"},
+	"count":     {"counts", "kount"},
+	"salaries":  {"celeries"},
+	"employees": {"employers"},
+	"employers": {"employees"},
+	"titles":    {"title's", "tittles"},
+}
+
+func newVocabSet() map[string]bool {
+	m := make(map[string]bool, len(baseVocabulary))
+	for _, w := range baseVocabulary {
+		m[strings.ToLower(w)] = true
+	}
+	return m
+}

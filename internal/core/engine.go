@@ -1,0 +1,162 @@
+// Package core wires SpeakQL's components into the end-to-end pipeline of
+// Figure 2: ASR transcript → structure determination (grammar-indexed trie
+// search) → literal determination (phonetic voting against the database
+// catalog) → ranked, syntactically-correct SQL candidates ready for the
+// interactive display.
+package core
+
+import (
+	"time"
+
+	"speakql/internal/grammar"
+	"speakql/internal/literal"
+	"speakql/internal/sqltoken"
+	"speakql/internal/structure"
+	"speakql/internal/trieindex"
+)
+
+// Config configures an Engine.
+type Config struct {
+	// Grammar bounds the structure corpus (Section 3.2). Zero value means
+	// grammar.DefaultScale().
+	Grammar grammar.GenConfig
+	// Search selects trie-search optimizations (BDB is always on unless
+	// disabled; DAP and INV are the Appendix D.3 approximations).
+	Search trieindex.Options
+	// Catalog is the phonetic representation of the queried database.
+	Catalog *literal.Catalog
+	// TopKLiterals is the per-placeholder candidate count for the
+	// interactive display (default 5).
+	TopKLiterals int
+}
+
+// Engine is the SpeakQL correction engine. Construction generates and
+// indexes the structure corpus (the offline step); Correct is cheap and
+// safe for concurrent use.
+type Engine struct {
+	structure *structure.Component
+	catalog   *literal.Catalog
+	kLiterals int
+}
+
+// NewEngine builds the engine, generating the structure index for
+// cfg.Grammar.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.Grammar.MaxTokens == 0 {
+		cfg.Grammar = grammar.DefaultScale()
+	}
+	if cfg.TopKLiterals <= 0 {
+		cfg.TopKLiterals = 5
+	}
+	if cfg.Catalog == nil {
+		cfg.Catalog = literal.NewCatalog(nil, nil, nil)
+	}
+	sc, err := structure.New(structure.Config{Grammar: cfg.Grammar, Search: cfg.Search})
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{structure: sc, catalog: cfg.Catalog, kLiterals: cfg.TopKLiterals}, nil
+}
+
+// NewEngineWithComponent builds an engine around an existing structure
+// component (sharing one index across engines, e.g. in ablations).
+func NewEngineWithComponent(sc *structure.Component, cat *literal.Catalog, kLiterals int) *Engine {
+	if kLiterals <= 0 {
+		kLiterals = 5
+	}
+	if cat == nil {
+		cat = literal.NewCatalog(nil, nil, nil)
+	}
+	return &Engine{structure: sc, catalog: cat, kLiterals: kLiterals}
+}
+
+// Catalog returns the engine's literal catalog.
+func (e *Engine) Catalog() *literal.Catalog { return e.catalog }
+
+// StructureComponent exposes the structure determiner (component-level
+// evaluation).
+func (e *Engine) StructureComponent() *structure.Component { return e.structure }
+
+// Candidate is one corrected query hypothesis.
+type Candidate struct {
+	// SQL is the rendered query string, values quoted.
+	SQL string
+	// Tokens is the filled token sequence (unquoted), the form the
+	// accuracy metrics compare.
+	Tokens []string
+	// Structure is the skeleton with numbered placeholders.
+	Structure []string
+	// Bindings carries the per-placeholder ranked literals for the
+	// interactive display's alternatives menu.
+	Bindings []literal.Binding
+	// StructureDistance is the weighted edit distance of the matched
+	// structure.
+	StructureDistance float64
+}
+
+// Output is the engine's response for one transcript.
+type Output struct {
+	// Candidates are ranked hypotheses, best first. Candidates[0] is what
+	// the interactive display shows.
+	Candidates []Candidate
+	// Transcript is the processed transcript (after spoken-form
+	// substitution).
+	Transcript []string
+	// StructureLatency and LiteralLatency time the two stages.
+	StructureLatency time.Duration
+	LiteralLatency   time.Duration
+}
+
+// Best returns the top candidate (zero value if none).
+func (o Output) Best() Candidate {
+	if len(o.Candidates) == 0 {
+		return Candidate{}
+	}
+	return o.Candidates[0]
+}
+
+// Correct runs the full pipeline on a raw ASR transcript, returning the
+// single best candidate in Output.Candidates[0].
+func (e *Engine) Correct(transcript string) Output {
+	return e.CorrectTopK(transcript, 1)
+}
+
+// CorrectTopK runs the pipeline keeping k structure hypotheses, each filled
+// with literals ("best of top k", Table 2's Top 5 columns).
+func (e *Engine) CorrectTopK(transcript string, k int) Output {
+	if k < 1 {
+		k = 1
+	}
+	t0 := time.Now()
+	structs := e.structure.DetermineTopK(transcript, k)
+	t1 := time.Now()
+	out := Output{StructureLatency: t1.Sub(t0)}
+	for _, sr := range structs {
+		out.Transcript = sr.Transcript
+		bindings := literal.Determine(sr.Transcript, sr.Structure, e.catalog, e.kLiterals)
+		out.Candidates = append(out.Candidates, Candidate{
+			SQL:               literal.RenderSQL(sr.Structure, bindings),
+			Tokens:            literal.Fill(sr.Structure, bindings),
+			Structure:         sr.Structure,
+			Bindings:          bindings,
+			StructureDistance: sr.Distance,
+		})
+	}
+	out.LiteralLatency = time.Since(t1)
+	return out
+}
+
+// CorrectAlternatives runs the pipeline over several ASR transcription
+// alternatives (the engine's n-best list) and returns one Output per
+// alternative, in order. Used for the "best of top 5" evaluation.
+func (e *Engine) CorrectAlternatives(transcripts []string) []Output {
+	outs := make([]Output, len(transcripts))
+	for i, tr := range transcripts {
+		outs[i] = e.Correct(tr)
+	}
+	return outs
+}
+
+// TokensOf is a convenience that tokenizes a written SQL query the way the
+// accuracy metrics expect.
+func TokensOf(sql string) []string { return sqltoken.TokenizeSQL(sql) }

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+
+	"speakql/internal/sqltoken"
+)
+
+// FuzzCorrect: any transcript whatsoever must yield a candidate with a
+// grammatical skeleton and fully-numbered placeholders — never a panic.
+// This is the robustness contract the interactive interface depends on.
+func FuzzCorrect(f *testing.F) {
+	seeds := []string{
+		"select sales from employers wear name equals Jon",
+		"select star from employees",
+		"",
+		"blah blah blah blah blah blah blah blah blah blah",
+		"select select from from where where",
+		"open parenthesis close parenthesis comma dot equals",
+		"where salary between forty five thousand and may seventh nineteen ninety one",
+		"select a from b where c in open parenthesis select d from e close parenthesis",
+		"... !!! ??? \x00 \xff",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	e := fuzzEngine()
+	f.Fuzz(func(t *testing.T, transcript string) {
+		if len(transcript) > 400 {
+			return // interactive dictations are short; bound fuzz cost
+		}
+		out := e.Correct(transcript)
+		best := out.Best()
+		if len(best.Structure) == 0 {
+			t.Fatalf("no structure for %q", transcript)
+		}
+		n := 0
+		for _, tok := range best.Structure {
+			if sqltoken.Classify(tok) == sqltoken.Literal {
+				n++
+				if tok != sqltoken.Placeholder(n) {
+					t.Fatalf("placeholder %q out of order for %q: %v",
+						tok, transcript, best.Structure)
+				}
+			}
+		}
+		if len(best.Bindings) != n {
+			t.Fatalf("bindings %d != placeholders %d for %q",
+				len(best.Bindings), n, transcript)
+		}
+	})
+}
+
+var fuzzEng *Engine
+
+func fuzzEngine() *Engine {
+	if fuzzEng == nil {
+		fuzzEng = mustTestEngine()
+	}
+	return fuzzEng
+}
+
+func mustTestEngine() *Engine {
+	e, err := NewEngine(testEngineConfig())
+	if err != nil {
+		panic(err)
+	}
+	return e
+}

@@ -1,0 +1,291 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"speakql/internal/grammar"
+	"speakql/internal/sqlengine"
+	"speakql/internal/sqltoken"
+)
+
+func TestEmployeesDB(t *testing.T) {
+	db := NewEmployeesDB(EmployeesConfig{Employees: 100, Departments: 5, Seed: 1})
+	names := db.TableNames()
+	want := []string{"Employees", "Departments", "DepartmentEmployee",
+		"DepartmentManager", "Titles", "Salaries"}
+	if len(names) != len(want) {
+		t.Fatalf("tables = %v", names)
+	}
+	emp, _ := db.Table("Employees")
+	if len(emp.Rows) != 100 {
+		t.Fatalf("employees rows = %d", len(emp.Rows))
+	}
+	sal, _ := db.Table("Salaries")
+	if len(sal.Rows) < 100 {
+		t.Fatalf("salaries rows = %d", len(sal.Rows))
+	}
+	// Deterministic regeneration.
+	db2 := NewEmployeesDB(EmployeesConfig{Employees: 100, Departments: 5, Seed: 1})
+	emp2, _ := db2.Table("Employees")
+	for i := range emp.Rows {
+		for j := range emp.Rows[i] {
+			if emp.Rows[i][j].String() != emp2.Rows[i][j].String() {
+				t.Fatal("employees generation not deterministic")
+			}
+		}
+	}
+	// Queries execute.
+	res, err := sqlengine.Run(db, "SELECT AVG ( Salary ) FROM Salaries")
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatalf("avg salary: %v %v", res, err)
+	}
+	res, err = sqlengine.Run(db,
+		"SELECT LastName FROM Employees NATURAL JOIN Salaries WHERE Salary > 70000 LIMIT 5")
+	if err != nil || len(res.Rows) == 0 {
+		t.Fatalf("join query: %v %v", res, err)
+	}
+}
+
+func TestYelpDB(t *testing.T) {
+	db := NewYelpDB(YelpConfig{Businesses: 50, Users: 50, Reviews: 200, Seed: 2})
+	if len(db.TableNames()) != 5 {
+		t.Fatalf("tables = %v", db.TableNames())
+	}
+	res, err := sqlengine.Run(db,
+		"SELECT BusinessName FROM Business WHERE Stars > 4 LIMIT 3")
+	if err != nil {
+		t.Fatalf("business query: %v", err)
+	}
+	_ = res
+	res, err = sqlengine.Run(db,
+		"SELECT City , COUNT ( * ) FROM Business GROUP BY City")
+	if err != nil || len(res.Rows) == 0 {
+		t.Fatalf("group query: %v %v", res, err)
+	}
+}
+
+func TestGenerateQueries(t *testing.T) {
+	db := NewEmployeesDB(EmployeesConfig{Employees: 50, Departments: 4, Seed: 1})
+	qs := GenerateQueries(db, GenConfig{Grammar: grammar.TestScale(), N: 100, Seed: 7})
+	if len(qs) != 100 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	for _, q := range qs {
+		// Structure is the masked form of the query tokens.
+		masked := sqltoken.MaskGeneric(q.Tokens)
+		if strings.Join(masked, " ") != strings.Join(q.Structure, " ") {
+			t.Fatalf("structure mismatch:\n  sql: %s\n  masked: %v\n  struct: %v",
+				q.SQL, masked, q.Structure)
+		}
+		if len(q.Spoken) == 0 {
+			t.Fatalf("no spoken form for %s", q.SQL)
+		}
+		// Every query must parse.
+		if _, err := sqlengine.Parse(q.SQL); err != nil {
+			t.Fatalf("generated query does not parse: %s: %v", q.SQL, err)
+		}
+	}
+	// Determinism.
+	qs2 := GenerateQueries(db, GenConfig{Grammar: grammar.TestScale(), N: 100, Seed: 7})
+	for i := range qs {
+		if qs[i].SQL != qs2[i].SQL {
+			t.Fatal("query generation not deterministic")
+		}
+	}
+	// Different seeds differ.
+	qs3 := GenerateQueries(db, GenConfig{Grammar: grammar.TestScale(), N: 100, Seed: 8})
+	same := 0
+	for i := range qs {
+		if qs[i].SQL == qs3[i].SQL {
+			same++
+		}
+	}
+	if same == len(qs) {
+		t.Fatal("different seeds gave identical corpora")
+	}
+}
+
+func TestGeneratedQueriesMostlyExecute(t *testing.T) {
+	// Generated queries bind real schema literals, so the vast majority
+	// must execute without error (cross products over unrelated tables are
+	// legitimately refused, and a random table pair may share no column).
+	db := NewEmployeesDB(EmployeesConfig{Employees: 50, Departments: 4, Seed: 1})
+	qs := GenerateQueries(db, GenConfig{Grammar: grammar.TestScale(), N: 200, Seed: 3})
+	fail := 0
+	for _, q := range qs {
+		if _, err := sqlengine.Run(db, q.SQL); err != nil {
+			fail++
+		}
+	}
+	if fail > len(qs)/4 {
+		t.Errorf("%d/%d generated queries failed to execute", fail, len(qs))
+	}
+}
+
+func TestUserStudyQueries(t *testing.T) {
+	qs := UserStudyQueries()
+	if len(qs) != 12 {
+		t.Fatalf("got %d study queries", len(qs))
+	}
+	simple, complex := 0, 0
+	for _, q := range qs {
+		if q.Complex {
+			complex++
+		} else {
+			simple++
+		}
+		if _, err := sqlengine.Parse(q.SQL); err != nil {
+			t.Errorf("Q%d does not parse: %v", q.ID, err)
+		}
+		if q.NL == "" {
+			t.Errorf("Q%d missing NL", q.ID)
+		}
+	}
+	if simple != 6 || complex != 6 {
+		t.Errorf("split = %d simple / %d complex", simple, complex)
+	}
+	// The paper defines simple as < 20 tokens.
+	for _, q := range qs {
+		n := len(sqltoken.TokenizeSQL(q.SQL))
+		if !q.Complex && n >= 20 {
+			t.Errorf("Q%d marked simple but has %d tokens", q.ID, n)
+		}
+		if q.Complex && n < 20 {
+			t.Errorf("Q%d marked complex but has %d tokens", q.ID, n)
+		}
+	}
+}
+
+func TestUserStudyQueriesExecuteOnEmployees(t *testing.T) {
+	db := NewEmployeesDB(EmployeesConfig{Employees: 200, Departments: 6, Seed: 1})
+	for _, q := range UserStudyQueries() {
+		if _, err := sqlengine.Run(db, q.SQL); err != nil {
+			t.Errorf("Q%d failed on Employees DB: %v", q.ID, err)
+		}
+	}
+}
+
+func TestWikiSQLCorpus(t *testing.T) {
+	c := NewWikiSQLCorpus(100, 5)
+	if len(c.Items) != 100 {
+		t.Fatalf("items = %d", len(c.Items))
+	}
+	for _, it := range c.Items {
+		if _, err := sqlengine.Run(c.DB, it.SQL); err != nil {
+			t.Fatalf("wiki query %q failed: %v", it.SQL, err)
+		}
+		if !strings.HasSuffix(it.NL, "?") {
+			t.Errorf("NL not a question: %q", it.NL)
+		}
+		if it.Nested {
+			t.Errorf("WikiSQL-style item marked nested: %q", it.SQL)
+		}
+	}
+	// The corpus includes the hard punctuated team values somewhere.
+	found := false
+	for _, it := range c.Items {
+		if strings.Contains(it.SQL, "#21/#07") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Log("no #21/#07 value in this draw (acceptable, value-dependent)")
+	}
+}
+
+func TestSpiderCorpus(t *testing.T) {
+	emp := NewEmployeesDB(EmployeesConfig{Employees: 50, Departments: 4, Seed: 1})
+	yelp := NewYelpDB(YelpConfig{Businesses: 40, Users: 40, Reviews: 150, Seed: 2})
+	c := NewSpiderCorpus(emp, yelp, 100, 9)
+	if len(c.Items) != 100 {
+		t.Fatalf("items = %d", len(c.Items))
+	}
+	nested := 0
+	for _, it := range c.Items {
+		db := c.DatabaseFor(it)
+		if _, err := sqlengine.Run(db, it.SQL); err != nil {
+			t.Fatalf("spider query %q failed: %v", it.SQL, err)
+		}
+		if it.Nested {
+			nested++
+		}
+	}
+	if nested == 0 {
+		t.Error("no nested items generated")
+	}
+}
+
+func TestQueryCorpusRoundTrip(t *testing.T) {
+	db := NewEmployeesDB(EmployeesConfig{Employees: 30, Departments: 3, Seed: 1})
+	qs := GenerateQueries(db, GenConfig{Grammar: grammar.TestScale(), N: 25, Seed: 4})
+	var buf bytes.Buffer
+	if err := WriteQueries(&buf, qs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadQueries(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(qs) {
+		t.Fatalf("round trip lost items: %d vs %d", len(back), len(qs))
+	}
+	for i := range qs {
+		if back[i].SQL != qs[i].SQL ||
+			strings.Join(back[i].Spoken, " ") != strings.Join(qs[i].Spoken, " ") {
+			t.Fatalf("item %d mutated in round trip", i)
+		}
+	}
+}
+
+func TestReadQueriesErrors(t *testing.T) {
+	if _, err := ReadQueries(strings.NewReader("{not json}\n")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	if _, err := ReadQueries(strings.NewReader(`{"SQL":"","Spoken":[]}` + "\n")); err == nil {
+		t.Error("empty item accepted")
+	}
+	qs, err := ReadQueries(strings.NewReader("\n\n"))
+	if err != nil || len(qs) != 0 {
+		t.Errorf("blank lines: %v %v", qs, err)
+	}
+}
+
+func TestHospitalDB(t *testing.T) {
+	db := NewHospitalDB(HospitalConfig{Patients: 60, Admissions: 120, Seed: 3})
+	if len(db.TableNames()) != 5 {
+		t.Fatalf("tables = %v", db.TableNames())
+	}
+	for _, q := range []string{
+		"SELECT COUNT ( * ) FROM Admissions WHERE WardName = 'Cardiology'",
+		"SELECT LastName FROM Patients NATURAL JOIN Admissions WHERE WardName = 'Emergency'",
+		"SELECT DiagnosisName , COUNT ( * ) FROM Diagnoses GROUP BY DiagnosisName",
+		"SELECT AVG ( HeartRate ) FROM Vitals",
+	} {
+		if _, err := sqlengine.Run(db, q); err != nil {
+			t.Errorf("hospital query %q: %v", q, err)
+		}
+	}
+	// Deterministic.
+	db2 := NewHospitalDB(HospitalConfig{Patients: 60, Admissions: 120, Seed: 3})
+	a, _ := db.Table("Patients")
+	b, _ := db2.Table("Patients")
+	for i := range a.Rows {
+		if a.Rows[i][1].String() != b.Rows[i][1].String() {
+			t.Fatal("hospital generation not deterministic")
+		}
+	}
+	// The query-generation procedure applies to this schema too
+	// (Section 6.1: "applies to any arbitrary schema").
+	qs := GenerateQueries(db, GenConfig{Grammar: grammar.TestScale(), N: 30, Seed: 5})
+	if len(qs) != 30 {
+		t.Fatalf("generated %d hospital queries", len(qs))
+	}
+	for _, q := range qs {
+		if _, err := sqlengine.Parse(q.SQL); err != nil {
+			t.Fatalf("hospital query does not parse: %s", q.SQL)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"speakql/internal/sqlengine"
+)
+
+// The paper's interview study motivates SpeakQL with read-mostly data
+// consumers such as nurse informaticists querying on the move. The hospital
+// schema gives that user story a concrete database: patients, admissions,
+// diagnoses, medications, and vitals, with identifier-style codes (room
+// "W3-12", ICD-like "J45.1") that exercise the unbounded-vocabulary path.
+
+var diagnosisNames = []string{
+	"Asthma", "Pneumonia", "Hypertension", "Diabetes", "Fracture",
+	"Migraine", "Appendicitis", "Bronchitis", "Anemia", "Influenza",
+}
+
+var diagnosisCodes = []string{
+	"J45.1", "J18.9", "I10", "E11.9", "S52.5",
+	"G43.0", "K35.8", "J40", "D64.9", "J11.1",
+}
+
+var medicationNames = []string{
+	"Amoxicillin", "Ibuprofen", "Metformin", "Lisinopril", "Albuterol",
+	"Paracetamol", "Omeprazole", "Atorvastatin", "Salbutamol", "Insulin",
+}
+
+var wardNames = []string{
+	"Cardiology", "Pediatrics", "Oncology", "Emergency", "Surgery",
+	"Maternity", "Neurology",
+}
+
+// HospitalConfig sizes the hospital database.
+type HospitalConfig struct {
+	Patients   int
+	Admissions int
+	Seed       int64
+}
+
+// DefaultHospitalConfig mirrors the other schemas' scale.
+func DefaultHospitalConfig() HospitalConfig {
+	return HospitalConfig{Patients: 400, Admissions: 900, Seed: 3}
+}
+
+// NewHospitalDB generates the hospital-shaped database.
+func NewHospitalDB(cfg HospitalConfig) *sqlengine.Database {
+	if cfg.Patients <= 0 {
+		cfg = DefaultHospitalConfig()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	db := sqlengine.NewDatabase("hospital")
+
+	patients := db.CreateTable("Patients",
+		sqlengine.Column{Name: "PatientNumber", Type: sqlengine.IntCol},
+		sqlengine.Column{Name: "FirstName", Type: sqlengine.StringCol},
+		sqlengine.Column{Name: "LastName", Type: sqlengine.StringCol},
+		sqlengine.Column{Name: "BirthDate", Type: sqlengine.DateCol},
+		sqlengine.Column{Name: "BloodType", Type: sqlengine.StringCol},
+	)
+	admissions := db.CreateTable("Admissions",
+		sqlengine.Column{Name: "AdmissionNumber", Type: sqlengine.IntCol},
+		sqlengine.Column{Name: "PatientNumber", Type: sqlengine.IntCol},
+		sqlengine.Column{Name: "WardName", Type: sqlengine.StringCol},
+		sqlengine.Column{Name: "RoomCode", Type: sqlengine.StringCol},
+		sqlengine.Column{Name: "AdmitDate", Type: sqlengine.DateCol},
+		sqlengine.Column{Name: "DischargeDate", Type: sqlengine.DateCol},
+	)
+	diagnoses := db.CreateTable("Diagnoses",
+		sqlengine.Column{Name: "AdmissionNumber", Type: sqlengine.IntCol},
+		sqlengine.Column{Name: "DiagnosisCode", Type: sqlengine.StringCol},
+		sqlengine.Column{Name: "DiagnosisName", Type: sqlengine.StringCol},
+	)
+	medications := db.CreateTable("Medications",
+		sqlengine.Column{Name: "AdmissionNumber", Type: sqlengine.IntCol},
+		sqlengine.Column{Name: "MedicationName", Type: sqlengine.StringCol},
+		sqlengine.Column{Name: "DoseMilligrams", Type: sqlengine.IntCol},
+	)
+	vitals := db.CreateTable("Vitals",
+		sqlengine.Column{Name: "AdmissionNumber", Type: sqlengine.IntCol},
+		sqlengine.Column{Name: "HeartRate", Type: sqlengine.IntCol},
+		sqlengine.Column{Name: "Temperature", Type: sqlengine.FloatCol},
+		sqlengine.Column{Name: "MeasuredDate", Type: sqlengine.DateCol},
+	)
+
+	bloodTypes := []string{"A+", "A-", "B+", "B-", "AB+", "AB-", "O+", "O-"}
+	for i := 0; i < cfg.Patients; i++ {
+		mustInsert(patients,
+			sqlengine.Int(int64(70001+i)),
+			sqlengine.Str(firstNames[rng.Intn(len(firstNames))]),
+			sqlengine.Str(lastNames[rng.Intn(len(lastNames))]),
+			sqlengine.DateVal(randDate(rng, 1935, 2015)),
+			sqlengine.Str(bloodTypes[rng.Intn(len(bloodTypes))]))
+	}
+	for i := 0; i < cfg.Admissions; i++ {
+		adm := int64(500001 + i)
+		pat := int64(70001 + rng.Intn(cfg.Patients))
+		admit := randDate(rng, 2015, 2019)
+		mustInsert(admissions,
+			sqlengine.Int(adm),
+			sqlengine.Int(pat),
+			sqlengine.Str(wardNames[rng.Intn(len(wardNames))]),
+			sqlengine.Str(fmt.Sprintf("W%d-%02d", 1+rng.Intn(6), 1+rng.Intn(40))),
+			sqlengine.DateVal(admit),
+			sqlengine.DateVal(randDate(rng, 2019, 2020)))
+		d := rng.Intn(len(diagnosisNames))
+		mustInsert(diagnoses,
+			sqlengine.Int(adm),
+			sqlengine.Str(diagnosisCodes[d]),
+			sqlengine.Str(diagnosisNames[d]))
+		if rng.Intn(3) > 0 {
+			mustInsert(medications,
+				sqlengine.Int(adm),
+				sqlengine.Str(medicationNames[rng.Intn(len(medicationNames))]),
+				sqlengine.Int(int64(50*(1+rng.Intn(20)))))
+		}
+		mustInsert(vitals,
+			sqlengine.Int(adm),
+			sqlengine.Int(int64(55+rng.Intn(70))),
+			sqlengine.Float(35.5+rng.Float64()*4),
+			sqlengine.DateVal(admit))
+	}
+	return db
+}

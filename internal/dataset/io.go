@@ -1,0 +1,49 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteQueries streams a query corpus as JSON lines (the public-dataset
+// format cmd/speakql-datagen emits, mirroring the paper's released spoken-
+// SQL dataset).
+func WriteQueries(w io.Writer, qs []SpokenQuery) error {
+	enc := json.NewEncoder(w)
+	for i, q := range qs {
+		if err := enc.Encode(q); err != nil {
+			return fmt.Errorf("dataset: write item %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ReadQueries loads a JSON-lines corpus written by WriteQueries. Items are
+// validated minimally: SQL and a non-empty spoken form must be present.
+func ReadQueries(r io.Reader) ([]SpokenQuery, error) {
+	var out []SpokenQuery
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var q SpokenQuery
+		if err := json.Unmarshal(raw, &q); err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		if q.SQL == "" || len(q.Spoken) == 0 {
+			return nil, fmt.Errorf("dataset: line %d: missing SQL or spoken form", line)
+		}
+		out = append(out, q)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	return out, nil
+}

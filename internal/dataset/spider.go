@@ -1,0 +1,214 @@
+package dataset
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"speakql/internal/sqlengine"
+)
+
+// SpiderCorpus is a Spider-style benchmark: cross-domain queries with
+// joins, GROUP BY, ORDER BY/LIMIT, and one-level nesting, over the
+// Employees and Yelp schemas, annotated with template NL. The Spider task
+// does not require generating condition values, which the exact-match
+// scorer (internal/nli) honours.
+type SpiderCorpus struct {
+	Employees *sqlengine.Database
+	Yelp      *sqlengine.Database
+	Items     []NLQuery
+}
+
+// NewSpiderCorpus generates n Spider-style NL/SQL pairs over the two
+// databases; roughly a fifth of the items use one-level nesting.
+func NewSpiderCorpus(empDB, yelpDB *sqlengine.Database, n int, seed int64) SpiderCorpus {
+	rng := rand.New(rand.NewSource(seed))
+	c := SpiderCorpus{Employees: empDB, Yelp: yelpDB}
+	for len(c.Items) < n {
+		db := empDB
+		if rng.Intn(2) == 0 {
+			db = yelpDB
+		}
+		var item NLQuery
+		var ok bool
+		switch rng.Intn(5) {
+		case 0:
+			item, ok = spiderJoin(rng, db)
+		case 1:
+			item, ok = spiderGroup(rng, db)
+		case 2:
+			item, ok = spiderOrder(rng, db)
+		case 3:
+			item, ok = spiderNested(rng, db)
+		default:
+			item, ok = spiderSimple(rng, db)
+		}
+		if ok {
+			c.Items = append(c.Items, item)
+		}
+	}
+	return c
+}
+
+// DatabaseFor returns the database an item's primary table belongs to.
+func (c SpiderCorpus) DatabaseFor(item NLQuery) *sqlengine.Database {
+	if _, ok := c.Employees.Table(item.Table); ok {
+		return c.Employees
+	}
+	return c.Yelp
+}
+
+func pickTable(rng *rand.Rand, db *sqlengine.Database) *sqlengine.Table {
+	ts := db.Tables()
+	return ts[rng.Intn(len(ts))]
+}
+
+func pickCol(rng *rand.Rand, t *sqlengine.Table, want func(sqlengine.Column) bool) (sqlengine.Column, bool) {
+	perm := rng.Perm(len(t.Cols))
+	for _, i := range perm {
+		if want == nil || want(t.Cols[i]) {
+			return t.Cols[i], true
+		}
+	}
+	return sqlengine.Column{}, false
+}
+
+func numericCol(c sqlengine.Column) bool {
+	return c.Type == sqlengine.IntCol || c.Type == sqlengine.FloatCol
+}
+
+func stringCol(c sqlengine.Column) bool { return c.Type == sqlengine.StringCol }
+
+func colValue(rng *rand.Rand, t *sqlengine.Table, c sqlengine.Column) (sqlengine.Value, bool) {
+	if len(t.Rows) == 0 {
+		return sqlengine.Null(), false
+	}
+	i := t.ColIndex(c.Name)
+	return t.Rows[rng.Intn(len(t.Rows))][i], true
+}
+
+// sharedColumn finds a column name two tables share (the natural-join key).
+func sharedColumn(a, b *sqlengine.Table) (string, bool) {
+	for _, ca := range a.Cols {
+		for _, cb := range b.Cols {
+			if strings.EqualFold(ca.Name, cb.Name) {
+				return ca.Name, true
+			}
+		}
+	}
+	return "", false
+}
+
+func spiderSimple(rng *rand.Rand, db *sqlengine.Database) (NLQuery, bool) {
+	t := pickTable(rng, db)
+	sel, _ := pickCol(rng, t, nil)
+	cond, ok := pickCol(rng, t, stringCol)
+	if !ok {
+		return NLQuery{}, false
+	}
+	v, ok := colValue(rng, t, cond)
+	if !ok {
+		return NLQuery{}, false
+	}
+	sql := "SELECT " + sel.Name + " FROM " + t.Name + " WHERE " + cond.Name + " = " + renderVal(v)
+	nl := "Show the " + splitWords(sel.Name) + " of " + splitWords(t.Name) +
+		" whose " + splitWords(cond.Name) + " is " + v.String() + "."
+	return NLQuery{NL: nl, SQL: sql, Table: t.Name}, true
+}
+
+func spiderJoin(rng *rand.Rand, db *sqlengine.Database) (NLQuery, bool) {
+	ts := db.Tables()
+	a := ts[rng.Intn(len(ts))]
+	b := ts[rng.Intn(len(ts))]
+	if a == b {
+		return NLQuery{}, false
+	}
+	if _, ok := sharedColumn(a, b); !ok {
+		return NLQuery{}, false
+	}
+	sel, _ := pickCol(rng, a, nil)
+	cond, ok := pickCol(rng, b, numericCol)
+	if !ok {
+		return NLQuery{}, false
+	}
+	v, ok := colValue(rng, b, cond)
+	if !ok {
+		return NLQuery{}, false
+	}
+	sql := "SELECT " + sel.Name + " FROM " + a.Name + " NATURAL JOIN " + b.Name +
+		" WHERE " + cond.Name + " > " + renderVal(v)
+	nl := "Find the " + splitWords(sel.Name) + " of " + splitWords(a.Name) +
+		" together with their " + splitWords(b.Name) + " where the " +
+		splitWords(cond.Name) + " is more than " + v.String() + "."
+	return NLQuery{NL: nl, SQL: sql, Table: a.Name}, true
+}
+
+func spiderGroup(rng *rand.Rand, db *sqlengine.Database) (NLQuery, bool) {
+	t := pickTable(rng, db)
+	g, ok := pickCol(rng, t, stringCol)
+	if !ok {
+		return NLQuery{}, false
+	}
+	m, ok := pickCol(rng, t, numericCol)
+	if !ok {
+		return NLQuery{}, false
+	}
+	aggs := []string{"AVG", "MAX", "MIN", "COUNT", "SUM"}
+	agg := aggs[rng.Intn(len(aggs))]
+	sql := "SELECT " + g.Name + " , " + agg + " ( " + m.Name + " ) FROM " + t.Name +
+		" GROUP BY " + g.Name
+	var aggWord string
+	if agg == "COUNT" {
+		aggWord = "number of"
+	} else {
+		aggWord = aggNL[agg]
+	}
+	nl := "For each " + splitWords(g.Name) + ", what is the " + aggWord + " " +
+		splitWords(m.Name) + " in " + splitWords(t.Name) + "?"
+	return NLQuery{NL: nl, SQL: sql, Table: t.Name}, true
+}
+
+func spiderOrder(rng *rand.Rand, db *sqlengine.Database) (NLQuery, bool) {
+	t := pickTable(rng, db)
+	sel, _ := pickCol(rng, t, nil)
+	ord, ok := pickCol(rng, t, numericCol)
+	if !ok {
+		return NLQuery{}, false
+	}
+	k := 1 + rng.Intn(10)
+	sql := "SELECT " + sel.Name + " FROM " + t.Name + " ORDER BY " + ord.Name +
+		" LIMIT " + strconv.Itoa(k)
+	nl := "List the " + splitWords(sel.Name) + " of " + splitWords(t.Name) +
+		" sorted by " + splitWords(ord.Name) + ", showing only " +
+		strconv.Itoa(k) + " rows."
+	return NLQuery{NL: nl, SQL: sql, Table: t.Name}, true
+}
+
+func spiderNested(rng *rand.Rand, db *sqlengine.Database) (NLQuery, bool) {
+	ts := db.Tables()
+	a := ts[rng.Intn(len(ts))]
+	b := ts[rng.Intn(len(ts))]
+	if a == b {
+		return NLQuery{}, false
+	}
+	key, ok := sharedColumn(a, b)
+	if !ok {
+		return NLQuery{}, false
+	}
+	sel, _ := pickCol(rng, a, nil)
+	cond, ok := pickCol(rng, b, numericCol)
+	if !ok {
+		return NLQuery{}, false
+	}
+	v, ok := colValue(rng, b, cond)
+	if !ok {
+		return NLQuery{}, false
+	}
+	sql := "SELECT " + sel.Name + " FROM " + a.Name + " WHERE " + key +
+		" IN ( SELECT " + key + " FROM " + b.Name + " WHERE " + cond.Name +
+		" > " + renderVal(v) + " )"
+	nl := "Find the " + splitWords(sel.Name) + " of " + splitWords(a.Name) +
+		" whose " + splitWords(key) + " appears among the " + splitWords(b.Name) +
+		" with " + splitWords(cond.Name) + " above " + v.String() + "."
+	return NLQuery{NL: nl, SQL: sql, Table: a.Name, Nested: true}, true
+}

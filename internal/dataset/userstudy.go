@@ -1,0 +1,41 @@
+package dataset
+
+// StudyQuery is one user-study task: the natural-language description shown
+// to the participant and the ground-truth SQL (Table 6, verbatim).
+type StudyQuery struct {
+	ID      int
+	NL      string
+	SQL     string
+	Complex bool // queries 7–12; "simple" means fewer than 20 tokens
+}
+
+// UserStudyQueries returns the exact 12-query set of Table 6 used in the
+// paper's user study (queries 1–6 simple, 7–12 complex).
+func UserStudyQueries() []StudyQuery {
+	return []StudyQuery{
+		{1, "What is the average salary of all employees?",
+			"SELECT AVG ( salary ) FROM Salaries", false},
+		{2, "Get the lastname of employees with salary more than 70000",
+			"SELECT Lastname FROM Employees NATURAL JOIN Salaries WHERE Salary > 70000", false},
+		{3, "Get the starting dates of the employees who are working in department number d002",
+			"SELECT FromDate FROM DepartmentEmployee WHERE DepartmentNumber = 'd002'", false},
+		{4, "Get the starting dates of the department managers with the first name Karsten, sorted by hiring date",
+			"SELECT FromDate FROM Employees NATURAL JOIN DepartmentManager WHERE FirstName = 'Karsten' ORDER BY HireDate", false},
+		{5, "What is the total salary of all the employees who joined on January 20th 1993?",
+			"SELECT SUM ( salary ) FROM Salaries WHERE FromDate = '1993-01-20'", false},
+		{6, "What is the ending date and number of salaries for each ending date of the employees?",
+			"SELECT ToDate , COUNT ( salary ) FROM Salaries GROUP BY ToDate", false},
+		{7, "Fetch the ending date, highest salary, least salary and number of salaries for each ending date of the employees whose joining date is March 20th 1990",
+			"SELECT ToDate , MAX ( salary ) , COUNT ( salary ) , MIN ( salary ) FROM Salaries WHERE FromDate = '1990-03-20' GROUP BY ToDate", true},
+		{8, "Fetch the joining date, ending date and salary of the employees with first name either Tomokazu or Goh or Narain or Perla or Shimshon",
+			"SELECT FromDate , salary , ToDate FROM Employees NATURAL JOIN Salaries WHERE FirstName IN ( 'Tomokazu' , 'Goh' , 'Narain' , 'Perla' , 'Shimshon' )", true},
+		{9, "What is the first name and average salary for each first name of the department managers?",
+			"SELECT FirstName , AVG ( salary ) FROM Employees , Salaries , DepartmentManager WHERE Employees . EmployeeNumber = Salaries . EmployeeNumber AND Employees . EmployeeNumber = DepartmentManager . EmployeeNumber GROUP BY Employees . FirstName", true},
+		{10, "Fetch all fields of the employees whose ending date is October 9th 2001 or whose hiring date is May 10th 1996 or whose title is Engineer. Get only the first 10 records",
+			"SELECT * FROM Employees NATURAL JOIN Titles WHERE ToDate = '2001-10-09' OR HireDate = '1996-05-10' OR title = 'Engineer' LIMIT 10", true},
+		{11, "What is the gender, average salary, highest salary for each gender type of the employees?",
+			"SELECT Gender , AVG ( salary ) , MAX ( salary ) FROM Employees NATURAL JOIN Salaries GROUP BY Employees . Gender", true},
+		{12, "Fetch the gender, birth date and salary of the department managers, sorted by the first name",
+			"SELECT Gender , BirthDate , salary FROM Employees , Salaries , DepartmentManager WHERE Employees . EmployeeNumber = Salaries . EmployeeNumber AND Employees . EmployeeNumber = DepartmentManager . EmployeeNumber ORDER BY Employees . FirstName", true},
+	}
+}

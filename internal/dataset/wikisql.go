@@ -1,0 +1,238 @@
+package dataset
+
+import (
+	"math/rand"
+	"strings"
+
+	"speakql/internal/sqlengine"
+)
+
+// NLQuery is one natural-language/SQL pair, the unit of the WikiSQL-style
+// and Spider-style corpora used by the NLI comparison (Table 5).
+type NLQuery struct {
+	NL     string
+	SQL    string
+	Table  string // primary table
+	Nested bool   // Spider-style one-level nesting (Appendix F.8 / Figure 18)
+}
+
+// WikiSQLCorpus is a WikiSQL-style benchmark: single-table queries with at
+// most one aggregate and conjunctive equality/inequality conditions, over a
+// handful of open-domain tables, with template NL annotations mirroring
+// WikiSQL's crowd phrasing.
+type WikiSQLCorpus struct {
+	DB    *sqlengine.Database
+	Items []NLQuery
+}
+
+// newWikiDB builds the open-domain single tables the corpus draws from,
+// including the long punctuated values ("#21/#07 SS-Green Light Racing")
+// that the paper identifies as WikiSQL's ASR pain point.
+func newWikiDB(rng *rand.Rand) *sqlengine.Database {
+	db := sqlengine.NewDatabase("wiki")
+
+	racing := db.CreateTable("Racing",
+		sqlengine.Column{Name: "Driver", Type: sqlengine.StringCol},
+		sqlengine.Column{Name: "Team", Type: sqlengine.StringCol},
+		sqlengine.Column{Name: "Points", Type: sqlengine.IntCol},
+		sqlengine.Column{Name: "Position", Type: sqlengine.IntCol},
+	)
+	teams := []string{
+		"#21/#07 SS-Green Light Racing", "Richard Childress Racing",
+		"Hendrick Motorsports", "Joe Gibbs Racing", "Team Penske",
+		"Roush Fenway Racing", "Stewart-Haas Racing",
+	}
+	for i := 0; i < 60; i++ {
+		mustInsert(racing,
+			sqlengine.Str(firstNames[rng.Intn(len(firstNames))]+" "+lastNames[rng.Intn(len(lastNames))]),
+			sqlengine.Str(teams[rng.Intn(len(teams))]),
+			sqlengine.Int(int64(rng.Intn(400))),
+			sqlengine.Int(int64(1+rng.Intn(40))))
+	}
+
+	movies := db.CreateTable("Movies",
+		sqlengine.Column{Name: "MovieTitle", Type: sqlengine.StringCol},
+		sqlengine.Column{Name: "Director", Type: sqlengine.StringCol},
+		sqlengine.Column{Name: "ReleaseYear", Type: sqlengine.IntCol},
+		sqlengine.Column{Name: "Gross", Type: sqlengine.IntCol},
+	)
+	adjs := []string{"Silent", "Golden", "Broken", "Hidden", "Crimson", "Lost", "Final"}
+	nouns := []string{"Empire", "Garden", "Mirror", "River", "Promise", "Horizon", "Signal"}
+	for i := 0; i < 60; i++ {
+		mustInsert(movies,
+			sqlengine.Str("The "+adjs[rng.Intn(len(adjs))]+" "+nouns[rng.Intn(len(nouns))]),
+			sqlengine.Str(firstNames[rng.Intn(len(firstNames))]+" "+lastNames[rng.Intn(len(lastNames))]),
+			sqlengine.Int(int64(1970+rng.Intn(50))),
+			sqlengine.Int(int64(rng.Intn(500)*1000000)))
+	}
+
+	cities := db.CreateTable("Cities",
+		sqlengine.Column{Name: "CityName", Type: sqlengine.StringCol},
+		sqlengine.Column{Name: "Country", Type: sqlengine.StringCol},
+		sqlengine.Column{Name: "Population", Type: sqlengine.IntCol},
+		sqlengine.Column{Name: "AreaSize", Type: sqlengine.IntCol},
+	)
+	countries := []string{"France", "Japan", "Brazil", "Canada", "India", "Kenya", "Norway"}
+	for i, c := range yelpCities {
+		mustInsert(cities,
+			sqlengine.Str(c),
+			sqlengine.Str(countries[i%len(countries)]),
+			sqlengine.Int(int64(100000+rng.Intn(5000000))),
+			sqlengine.Int(int64(50+rng.Intn(1000))))
+	}
+
+	players := db.CreateTable("Players",
+		sqlengine.Column{Name: "PlayerName", Type: sqlengine.StringCol},
+		sqlengine.Column{Name: "Club", Type: sqlengine.StringCol},
+		sqlengine.Column{Name: "Goals", Type: sqlengine.IntCol},
+		sqlengine.Column{Name: "Nationality", Type: sqlengine.StringCol},
+	)
+	clubs := []string{"United", "City", "Rovers", "Athletic", "Wanderers"}
+	for i := 0; i < 60; i++ {
+		mustInsert(players,
+			sqlengine.Str(firstNames[rng.Intn(len(firstNames))]+" "+lastNames[rng.Intn(len(lastNames))]),
+			sqlengine.Str(yelpCities[rng.Intn(len(yelpCities))]+" "+clubs[rng.Intn(len(clubs))]),
+			sqlengine.Int(int64(rng.Intn(60))),
+			sqlengine.Str(countries[rng.Intn(len(countries))]))
+	}
+	return db
+}
+
+var aggNL = map[string]string{
+	"AVG": "average", "SUM": "total", "MAX": "maximum", "MIN": "minimum",
+}
+
+// NewWikiSQLCorpus generates n WikiSQL-style NL/SQL pairs with their
+// backing database.
+func NewWikiSQLCorpus(n int, seed int64) WikiSQLCorpus {
+	rng := rand.New(rand.NewSource(seed))
+	db := newWikiDB(rng)
+	tables := db.Tables()
+	var items []NLQuery
+	for len(items) < n {
+		t := tables[rng.Intn(len(tables))]
+		item, ok := wikiItem(rng, t)
+		if ok {
+			items = append(items, item)
+		}
+	}
+	return WikiSQLCorpus{DB: db, Items: items}
+}
+
+// wikiItem draws one WikiSQL-shaped query over table t: an optional single
+// aggregate, one or two conjunctive conditions.
+func wikiItem(rng *rand.Rand, t *sqlengine.Table) (NLQuery, bool) {
+	if len(t.Rows) == 0 {
+		return NLQuery{}, false
+	}
+	selCol := t.Cols[rng.Intn(len(t.Cols))]
+	agg := ""
+	if rng.Intn(3) == 0 {
+		if selCol.Type == sqlengine.IntCol || selCol.Type == sqlengine.FloatCol {
+			aggs := []string{"AVG", "SUM", "MAX", "MIN", "COUNT"}
+			agg = aggs[rng.Intn(len(aggs))]
+		} else if rng.Intn(2) == 0 {
+			agg = "COUNT"
+		}
+	}
+	nConds := 1
+	if rng.Intn(3) == 0 {
+		nConds = 2
+	}
+	type cond struct {
+		col sqlengine.Column
+		op  string
+		val sqlengine.Value
+	}
+	var conds []cond
+	for len(conds) < nConds {
+		c := t.Cols[rng.Intn(len(t.Cols))]
+		if strings.EqualFold(c.Name, selCol.Name) && nConds == 1 && len(t.Cols) > 1 {
+			continue
+		}
+		row := t.Rows[rng.Intn(len(t.Rows))]
+		v := row[t.ColIndex(c.Name)]
+		op := "="
+		if c.Type == sqlengine.IntCol && rng.Intn(2) == 0 {
+			if rng.Intn(2) == 0 {
+				op = ">"
+			} else {
+				op = "<"
+			}
+		}
+		conds = append(conds, cond{c, op, v})
+	}
+
+	// SQL.
+	var sqlB strings.Builder
+	sqlB.WriteString("SELECT ")
+	switch {
+	case agg != "":
+		sqlB.WriteString(agg + " ( " + selCol.Name + " )")
+	default:
+		sqlB.WriteString(selCol.Name)
+	}
+	sqlB.WriteString(" FROM " + t.Name + " WHERE ")
+	for i, c := range conds {
+		if i > 0 {
+			sqlB.WriteString(" AND ")
+		}
+		sqlB.WriteString(c.col.Name + " " + c.op + " " + renderVal(c.val))
+	}
+
+	// NL annotation.
+	var nlB strings.Builder
+	switch {
+	case agg == "COUNT":
+		nlB.WriteString("How many " + splitWords(selCol.Name) + " entries are there")
+	case agg != "":
+		nlB.WriteString("What is the " + aggNL[agg] + " " + splitWords(selCol.Name))
+	default:
+		nlB.WriteString("What is the " + splitWords(selCol.Name))
+	}
+	for i, c := range conds {
+		if i == 0 {
+			nlB.WriteString(" when the ")
+		} else {
+			nlB.WriteString(" and the ")
+		}
+		nlB.WriteString(splitWords(c.col.Name) + " " + opNL(c.op) + " " + c.val.String())
+	}
+	nlB.WriteString("?")
+	return NLQuery{NL: nlB.String(), SQL: sqlB.String(), Table: t.Name}, true
+}
+
+func renderVal(v sqlengine.Value) string {
+	switch v.Kind {
+	case sqlengine.KindInt, sqlengine.KindFloat:
+		return v.String()
+	default:
+		return "'" + v.S + "'"
+	}
+}
+
+func opNL(op string) string {
+	switch op {
+	case ">":
+		return "is more than"
+	case "<":
+		return "is less than"
+	default:
+		return "is"
+	}
+}
+
+// splitWords lower-cases a CamelCase identifier into words for NL use.
+func splitWords(id string) string {
+	var out []string
+	var cur strings.Builder
+	for i, r := range id {
+		if i > 0 && r >= 'A' && r <= 'Z' {
+			out = append(out, strings.ToLower(cur.String()))
+			cur.Reset()
+		}
+		cur.WriteRune(r)
+	}
+	out = append(out, strings.ToLower(cur.String()))
+	return strings.Join(out, " ")
+}

@@ -1,0 +1,134 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"speakql/internal/sqlengine"
+)
+
+var businessAdjectives = []string{
+	"Golden", "Royal", "Happy", "Lucky", "Fresh", "Spicy", "Sweet",
+	"Corner", "Garden", "Sunset", "Downtown", "Old", "Blue", "Red",
+}
+
+var businessNouns = []string{
+	"Pizza", "Coffee", "Sushi", "Burger", "Taco", "Grill", "Cafe",
+	"Bar", "Bakery", "Deli", "Kitchen", "House", "Diner", "Noodle",
+}
+
+var yelpCities = []string{
+	"Phoenix", "Las Vegas", "Toronto", "Cleveland", "Pittsburgh",
+	"Charlotte", "Madison", "Champaign", "Scottsdale", "Tempe",
+}
+
+var yelpStates = []string{"AZ", "NV", "ON", "OH", "PA", "NC", "WI", "IL"}
+
+var yelpCategories = []string{
+	"Restaurants", "Nightlife", "Shopping", "Food", "Bars",
+	"Coffee and Tea", "Breakfast", "Mexican", "Italian", "Chinese",
+}
+
+// YelpConfig sizes the Yelp database.
+type YelpConfig struct {
+	Businesses int
+	Users      int
+	Reviews    int
+	Seed       int64
+}
+
+// DefaultYelpConfig mirrors DefaultEmployeesConfig's scale.
+func DefaultYelpConfig() YelpConfig {
+	return YelpConfig{Businesses: 400, Users: 400, Reviews: 1500, Seed: 2}
+}
+
+// NewYelpDB generates the Yelp-shaped database: Business, User, Review,
+// Checkin, and Tip tables with the Yelp dataset's attribute vocabulary.
+func NewYelpDB(cfg YelpConfig) *sqlengine.Database {
+	if cfg.Businesses <= 0 {
+		cfg = DefaultYelpConfig()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	db := sqlengine.NewDatabase("yelp")
+
+	business := db.CreateTable("Business",
+		sqlengine.Column{Name: "BusinessId", Type: sqlengine.IntCol},
+		sqlengine.Column{Name: "BusinessName", Type: sqlengine.StringCol},
+		sqlengine.Column{Name: "City", Type: sqlengine.StringCol},
+		sqlengine.Column{Name: "State", Type: sqlengine.StringCol},
+		sqlengine.Column{Name: "Stars", Type: sqlengine.FloatCol},
+		sqlengine.Column{Name: "ReviewCount", Type: sqlengine.IntCol},
+		sqlengine.Column{Name: "Category", Type: sqlengine.StringCol},
+	)
+	users := db.CreateTable("YelpUser",
+		sqlengine.Column{Name: "UserId", Type: sqlengine.IntCol},
+		sqlengine.Column{Name: "UserName", Type: sqlengine.StringCol},
+		sqlengine.Column{Name: "FanCount", Type: sqlengine.IntCol},
+		sqlengine.Column{Name: "YelpingSince", Type: sqlengine.DateCol},
+	)
+	review := db.CreateTable("Review",
+		sqlengine.Column{Name: "ReviewId", Type: sqlengine.IntCol},
+		sqlengine.Column{Name: "BusinessId", Type: sqlengine.IntCol},
+		sqlengine.Column{Name: "UserId", Type: sqlengine.IntCol},
+		sqlengine.Column{Name: "ReviewStars", Type: sqlengine.IntCol},
+		sqlengine.Column{Name: "ReviewDate", Type: sqlengine.DateCol},
+		sqlengine.Column{Name: "UsefulVotes", Type: sqlengine.IntCol},
+	)
+	checkin := db.CreateTable("Checkin",
+		sqlengine.Column{Name: "BusinessId", Type: sqlengine.IntCol},
+		sqlengine.Column{Name: "CheckinDate", Type: sqlengine.DateCol},
+		sqlengine.Column{Name: "CheckinCount", Type: sqlengine.IntCol},
+	)
+	tip := db.CreateTable("Tip",
+		sqlengine.Column{Name: "BusinessId", Type: sqlengine.IntCol},
+		sqlengine.Column{Name: "UserId", Type: sqlengine.IntCol},
+		sqlengine.Column{Name: "TipDate", Type: sqlengine.DateCol},
+		sqlengine.Column{Name: "ComplimentCount", Type: sqlengine.IntCol},
+	)
+
+	for i := 0; i < cfg.Businesses; i++ {
+		name := businessAdjectives[rng.Intn(len(businessAdjectives))] + " " +
+			businessNouns[rng.Intn(len(businessNouns))]
+		if rng.Intn(4) == 0 {
+			name = fmt.Sprintf("%s %d", name, 1+rng.Intn(99))
+		}
+		mustInsert(business,
+			sqlengine.Int(int64(100+i)),
+			sqlengine.Str(name),
+			sqlengine.Str(yelpCities[rng.Intn(len(yelpCities))]),
+			sqlengine.Str(yelpStates[rng.Intn(len(yelpStates))]),
+			sqlengine.Float(float64(rng.Intn(9)+2)/2.0),
+			sqlengine.Int(int64(rng.Intn(2000))),
+			sqlengine.Str(yelpCategories[rng.Intn(len(yelpCategories))]))
+		mustInsert(checkin,
+			sqlengine.Int(int64(100+i)),
+			sqlengine.DateVal(randDate(rng, 2010, 2018)),
+			sqlengine.Int(int64(rng.Intn(500))))
+	}
+	for i := 0; i < cfg.Users; i++ {
+		mustInsert(users,
+			sqlengine.Int(int64(5000+i)),
+			sqlengine.Str(firstNames[rng.Intn(len(firstNames))]),
+			sqlengine.Int(int64(rng.Intn(300))),
+			sqlengine.DateVal(randDate(rng, 2006, 2017)))
+	}
+	for i := 0; i < cfg.Reviews; i++ {
+		bid := int64(100 + rng.Intn(cfg.Businesses))
+		uid := int64(5000 + rng.Intn(cfg.Users))
+		mustInsert(review,
+			sqlengine.Int(int64(90000+i)),
+			sqlengine.Int(bid),
+			sqlengine.Int(uid),
+			sqlengine.Int(int64(1+rng.Intn(5))),
+			sqlengine.DateVal(randDate(rng, 2010, 2018)),
+			sqlengine.Int(int64(rng.Intn(100))))
+		if rng.Intn(3) == 0 {
+			mustInsert(tip,
+				sqlengine.Int(bid),
+				sqlengine.Int(uid),
+				sqlengine.DateVal(randDate(rng, 2010, 2018)),
+				sqlengine.Int(int64(rng.Intn(20))))
+		}
+	}
+	return db
+}

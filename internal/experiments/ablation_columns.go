@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"speakql/internal/core"
+	"speakql/internal/grammar"
+	"speakql/internal/literal"
+	"speakql/internal/metrics"
+)
+
+// ColumnAwareResult is an ablation beyond the paper's own set: literal
+// determination with value voting scoped to the bound attribute's column
+// domain versus the paper's global per-category value set. The paper's
+// future work names literals as the accuracy bottleneck; this measures how
+// much the schema's column structure buys.
+type ColumnAwareResult struct {
+	GlobalLRR float64 // paper's design: one value set for all placeholders
+	ColumnLRR float64 // extension: per-column domains
+	GlobalVal float64 // value-only recall, global
+	ColumnVal float64 // value-only recall, column-aware
+	N         int
+}
+
+// ID implements Result.
+func (ColumnAwareResult) ID() string { return "ablation-columns" }
+
+// RunColumnAware evaluates the Employees test set under both catalogs,
+// holding everything else fixed.
+func RunColumnAware(env *Env) ColumnAwareResult {
+	colCat := literal.NewCatalog(env.EmpDB.TableNames(), env.EmpDB.AttributeNames(),
+		env.EmpDB.StringValues(0)).
+		WithColumnValues(env.EmpDB.StringValuesByColumn(0))
+	colEngine := core.NewEngineWithComponent(env.Structure, colCat, 5)
+
+	globalEvs := env.TestEvals()
+	columnEvs := EvalQueries(colEngine, env.ACS, env.Corpus.EmployeesTest, 1)
+
+	var res ColumnAwareResult
+	res.N = len(globalEvs)
+	var gl, cl []metrics.Rates
+	var gv, cv []float64
+	for i := range globalEvs {
+		gl = append(gl, globalEvs[i].Top1Rates)
+		cl = append(cl, columnEvs[i].Top1Rates)
+		truth := truthByCategory(globalEvs[i].Query)[grammar.CatValue]
+		if r, ok := multisetRecall(truth, predByCategory(globalEvs[i])[grammar.CatValue]); ok {
+			gv = append(gv, r)
+		}
+		if r, ok := multisetRecall(truth, predByCategory(columnEvs[i])[grammar.CatValue]); ok {
+			cv = append(cv, r)
+		}
+	}
+	res.GlobalLRR = metrics.Mean(gl).LRR
+	res.ColumnLRR = metrics.Mean(cl).LRR
+	res.GlobalVal = meanOf(gv)
+	res.ColumnVal = meanOf(cv)
+	return res
+}
+
+// Render implements Result.
+func (r ColumnAwareResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Ablation (beyond paper) — column-aware value voting (Employees test)\n")
+	b.WriteString(fmt.Sprintf("  literal recall  : global %.3f → column-aware %.3f (Δ %+.3f)\n",
+		r.GlobalLRR, r.ColumnLRR, r.ColumnLRR-r.GlobalLRR))
+	b.WriteString(fmt.Sprintf("  value recall    : global %.3f → column-aware %.3f (Δ %+.3f)\n",
+		r.GlobalVal, r.ColumnVal, r.ColumnVal-r.GlobalVal))
+	b.WriteString(fmt.Sprintf("  n=%d; scoping value candidates to the bound attribute's column\n", r.N))
+	b.WriteString("  shrinks set B of the voting algorithm, the lever the paper's future work points at.\n")
+	return b.String()
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"speakql/internal/dataset"
+	"speakql/internal/grammar"
+	"speakql/internal/metrics"
+	"speakql/internal/speech"
+	"speakql/internal/sqltoken"
+)
+
+// Figure18Result reproduces Appendix F.8's Figure 18: SpeakQL on one-level
+// nested queries (Spider-style), evaluating the structure determination TED
+// and per-type literal recall.
+type Figure18Result struct {
+	N           int
+	StructTED   metrics.CDF
+	TableRecall float64
+	AttrRecall  float64
+	ValueRecall float64
+	ExactStruct float64
+}
+
+// ID implements Result.
+func (Figure18Result) ID() string { return "figure18" }
+
+// RunFigure18 draws nested Spider-style queries over the Employees and Yelp
+// schemas and runs them through the pipeline.
+func RunFigure18(env *Env) Figure18Result {
+	n := 100
+	if env.Scale == ScaleTest {
+		n = 20
+	}
+	corpus := dataset.NewSpiderCorpus(env.EmpDB, env.YelpDB, n*5, 2024)
+	var res Figure18Result
+	var teds []float64
+	var tR, aR, vR []float64
+	for _, it := range corpus.Items {
+		if !it.Nested || res.N >= n {
+			continue
+		}
+		res.N++
+		engine := env.Engine
+		if corpus.DatabaseFor(it) == env.YelpDB {
+			engine = env.YelpEngine
+		}
+		q := dataset.SpokenQuery{
+			SQL:       it.SQL,
+			Tokens:    sqltoken.TokenizeSQL(it.SQL),
+			Structure: sqltoken.MaskGeneric(sqltoken.TokenizeSQL(it.SQL)),
+			Spoken:    speech.VerbalizeQuery(it.SQL),
+		}
+		evs := EvalQueries(engine, env.ACS, []dataset.SpokenQuery{q}, 1)
+		e := evs[0]
+		teds = append(teds, float64(e.StructTED))
+		if e.StructTED == 0 {
+			res.ExactStruct++
+		}
+		truth := truthByCategory(q)
+		pred := predByCategory(e)
+		if r, ok := multisetRecall(truth[grammar.CatTable], pred[grammar.CatTable]); ok {
+			tR = append(tR, r)
+		}
+		if r, ok := multisetRecall(truth[grammar.CatAttr], pred[grammar.CatAttr]); ok {
+			aR = append(aR, r)
+		}
+		if r, ok := multisetRecall(truth[grammar.CatValue], pred[grammar.CatValue]); ok {
+			vR = append(vR, r)
+		}
+	}
+	res.StructTED = metrics.NewCDF(teds)
+	if res.N > 0 {
+		res.ExactStruct /= float64(res.N)
+	}
+	res.TableRecall = meanOf(tR)
+	res.AttrRecall = meanOf(aR)
+	res.ValueRecall = meanOf(vR)
+	return res
+}
+
+// Render implements Result.
+func (r Figure18Result) Render() string {
+	var b strings.Builder
+	b.WriteString(fmt.Sprintf("Figure 18 — one-level nested queries (n=%d, Spider-style)\n", r.N))
+	b.WriteString("  structure TED: " + cdfLine(r.StructTED, []float64{0, 2, 4, 10}) + "\n")
+	b.WriteString(fmt.Sprintf("  exact structure fraction: %.2f\n", r.ExactStruct))
+	b.WriteString(fmt.Sprintf("  literal recall — tables %.2f, attributes %.2f, values %.2f\n",
+		r.TableRecall, r.AttrRecall, r.ValueRecall))
+	return b.String()
+}

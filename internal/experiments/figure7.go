@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"speakql/internal/dataset"
+	"speakql/internal/uisim"
+)
+
+// Figure7Result reproduces the user study artifacts: Figure 7A (speedup in
+// time to completion), 7B (reduction in units of effort), 7C (median time
+// and effort per query), Figure 12 (time-share speaking vs SQL keyboard),
+// and the Section 6.4 hypothesis tests.
+type Figure7Result struct {
+	Summaries []uisim.QuerySummary
+
+	MeanSpeedupSimple  float64 // paper: 2.4×
+	MeanSpeedupComplex float64 // paper: 2.9×
+	MeanSpeedupAll     float64 // paper: 2.7×
+	MaxSpeedup         float64 // paper: up to 6.7×
+
+	MeanEffortRedSimple  float64 // paper: 12×
+	MeanEffortRedComplex float64 // paper: 7.5×
+	MeanEffortRedAll     float64 // paper: ~10×
+
+	TimeSignP, TimeWilcoxonP     float64
+	EffortSignP, EffortWilcoxonP float64
+
+	// PilotSpeedup is the Appendix F.2 preliminary-study reproduction: the
+	// unvetted, drag-and-drop interface condition (paper: ≈1.2×).
+	PilotSpeedup float64
+}
+
+// ID implements Result.
+func (Figure7Result) ID() string { return "figure7" }
+
+// RunFigure7 simulates the 15-participant, 12-query within-subjects study
+// with the live pipeline in the loop.
+func RunFigure7(env *Env) Figure7Result {
+	study := uisim.Study{
+		Engine:  env.Engine,
+		ASR:     env.ACS,
+		Queries: dataset.UserStudyQueries(),
+		Seed:    4242,
+	}
+	trials := study.Run(uisim.NewParticipants(15, 99))
+	sums := uisim.Summarize(trials)
+
+	res := Figure7Result{Summaries: sums}
+	simple := func(s uisim.QuerySummary) bool { return !s.Complex }
+	complexQ := func(s uisim.QuerySummary) bool { return s.Complex }
+	res.MeanSpeedupSimple = uisim.MeanSpeedup(sums, simple)
+	res.MeanSpeedupComplex = uisim.MeanSpeedup(sums, complexQ)
+	res.MeanSpeedupAll = uisim.MeanSpeedup(sums, nil)
+	for _, s := range sums {
+		if s.Speedup > res.MaxSpeedup {
+			res.MaxSpeedup = s.Speedup
+		}
+	}
+	res.MeanEffortRedSimple = uisim.MeanEffortReduction(sums, simple)
+	res.MeanEffortRedComplex = uisim.MeanEffortReduction(sums, complexQ)
+	res.MeanEffortRedAll = uisim.MeanEffortReduction(sums, nil)
+
+	timeDeltas := uisim.PairedDeltas(trials, func(t uisim.Trial) float64 { return t.Seconds })
+	effortDeltas := uisim.PairedDeltas(trials, func(t uisim.Trial) float64 { return float64(t.Effort) })
+	res.TimeSignP = uisim.SignTest(timeDeltas)
+	_, res.TimeWilcoxonP = uisim.WilcoxonSignedRank(timeDeltas)
+	res.EffortSignP = uisim.SignTest(effortDeltas)
+	_, res.EffortWilcoxonP = uisim.WilcoxonSignedRank(effortDeltas)
+
+	pilot := uisim.PilotStudy{
+		Engine:  env.Engine,
+		ASR:     env.ACS,
+		Queries: dataset.UserStudyQueries(),
+		Seed:    4242,
+	}
+	res.PilotSpeedup = uisim.MeanSpeedup(
+		uisim.Summarize(pilot.Run(uisim.NewParticipants(15, 99))), nil)
+	return res
+}
+
+// Render implements Result.
+func (r Figure7Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 7 — simulated user study (15 participants × 12 queries, within-subjects)\n")
+	var rows [][]string
+	for _, s := range r.Summaries {
+		kind := "simple"
+		if s.Complex {
+			kind = "complex"
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("q%d", s.QueryID), kind,
+			f1(s.MedianSpeakQLSec), f1(s.MedianTypingSec), f2(s.Speedup),
+			f1(s.MedianSpeakQLEffort), f1(s.MedianTypingEffort), f1(s.EffortReduction),
+			f2(s.PctSpeaking), f2(s.PctKeyboard),
+		})
+	}
+	b.WriteString(table([]string{
+		"Query", "Kind", "SpeakQL s", "Typing s", "Speedup",
+		"SpeakQL eff", "Typing eff", "Eff. red.",
+		"%speak", "%keyboard"}, rows))
+	b.WriteString(fmt.Sprintf(
+		"  mean speedup: simple %.1fx (paper 2.4), complex %.1fx (paper 2.9), all %.1fx (paper 2.7), max %.1fx (paper 6.7)\n",
+		r.MeanSpeedupSimple, r.MeanSpeedupComplex, r.MeanSpeedupAll, r.MaxSpeedup))
+	b.WriteString(fmt.Sprintf(
+		"  mean effort reduction: simple %.1fx (paper 12), complex %.1fx (paper 7.5), all %.1fx (paper ~10)\n",
+		r.MeanEffortRedSimple, r.MeanEffortRedComplex, r.MeanEffortRedAll))
+	b.WriteString(fmt.Sprintf(
+		"  hypothesis tests (typing − SpeakQL): time sign-test p=%.2g, Wilcoxon p=%.2g; effort sign-test p=%.2g, Wilcoxon p=%.2g\n",
+		r.TimeSignP, r.TimeWilcoxonP, r.EffortSignP, r.EffortWilcoxonP))
+	b.WriteString("  Figure 12 shape: %speak falls and %keyboard rises from simple to complex queries.\n")
+	b.WriteString(fmt.Sprintf(
+		"  pilot-study reproduction (App. F.2: unvetted users, drag-and-drop repair): %.2fx speedup (paper ~1.2x)\n",
+		r.PilotSpeedup))
+	return b.String()
+}

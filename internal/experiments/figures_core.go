@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"speakql/internal/metrics"
+)
+
+// Figure6Result reproduces Figure 6: (A) the CDF of token edit distance for
+// ASR-only versus SpeakQL output, and (B) the CDF of SpeakQL's end-to-end
+// runtime, both on the Employees test set.
+type Figure6Result struct {
+	ASRTED     metrics.CDF
+	SpeakQLTED metrics.CDF
+	RuntimeSec metrics.CDF
+	TEDUnder6  float64 // paper: "almost 90% of queries have TED < 6"
+	RTUnder2s  float64 // paper: "runtime well within 2s for ~90%"
+}
+
+// ID implements Result.
+func (Figure6Result) ID() string { return "figure6" }
+
+// RunFigure6 evaluates the Employees test set.
+func RunFigure6(env *Env) Figure6Result {
+	evs := env.TestEvals()
+	r := Figure6Result{
+		ASRTED:     tedCDF(evs, func(e QueryEval) float64 { return float64(e.ASRTED) }),
+		SpeakQLTED: tedCDF(evs, func(e QueryEval) float64 { return float64(e.TED) }),
+		RuntimeSec: tedCDF(evs, func(e QueryEval) float64 { return e.TotalLatency.Seconds() }),
+	}
+	r.TEDUnder6 = r.SpeakQLTED.At(5.999)
+	r.RTUnder2s = r.RuntimeSec.At(2.0)
+	return r
+}
+
+// Render implements Result.
+func (r Figure6Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 6 — (A) token edit distance CDF, (B) runtime CDF (Employees test)\n")
+	probes := []float64{0, 2, 4, 6, 10, 20}
+	b.WriteString("  TED ASR-only: " + cdfLine(r.ASRTED, probes) + "\n")
+	b.WriteString("  TED SpeakQL : " + cdfLine(r.SpeakQLTED, probes) + "\n")
+	b.WriteString("  Runtime (s) : " + cdfLine(r.RuntimeSec, []float64{0.1, 0.5, 1, 2, 5}) + "\n")
+	b.WriteString(fmt.Sprintf("  TED<6 fraction: %.2f   runtime<2s fraction: %.2f\n",
+		r.TEDUnder6, r.RTUnder2s))
+	return b.String()
+}
+
+// Figure11Result reproduces Figure 11: the CDFs of all eight accuracy
+// metrics (plus word error views) for ASR-only versus SpeakQL, top-1,
+// Employees test set.
+type Figure11Result struct {
+	Names   []string
+	ASR     []metrics.CDF
+	SpeakQL []metrics.CDF
+}
+
+// ID implements Result.
+func (Figure11Result) ID() string { return "figure11" }
+
+// RunFigure11 evaluates the Employees test set. The last panel is the
+// paper's Word Error Rate (lower is better, unlike the precision/recall
+// panels).
+func RunFigure11(env *Env) Figure11Result {
+	evs := env.TestEvals()
+	names := []string{"KPR", "SPR", "LPR", "WPR", "KRR", "SRR", "LRR", "WRR"}
+	get := func(m metrics.Rates, i int) float64 {
+		return []float64{m.KPR, m.SPR, m.LPR, m.WPR, m.KRR, m.SRR, m.LRR, m.WRR}[i]
+	}
+	r := Figure11Result{Names: names}
+	for i := range names {
+		var av, sv []float64
+		for _, e := range evs {
+			av = append(av, get(e.ASRRates, i))
+			sv = append(sv, get(e.Top1Rates, i))
+		}
+		r.ASR = append(r.ASR, metrics.NewCDF(av))
+		r.SpeakQL = append(r.SpeakQL, metrics.NewCDF(sv))
+	}
+	r.Names = append(r.Names, "WER")
+	var aw, sw []float64
+	for _, e := range evs {
+		ref := lowerToks(e.Query.Tokens)
+		aw = append(aw, metrics.WordErrorRate(ref, lowerToks(e.ASRTokens)))
+		sw = append(sw, metrics.WordErrorRate(ref, lowerToks(e.Top1Tokens)))
+	}
+	r.ASR = append(r.ASR, metrics.NewCDF(aw))
+	r.SpeakQL = append(r.SpeakQL, metrics.NewCDF(sw))
+	return r
+}
+
+// Render implements Result.
+func (r Figure11Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 11 — accuracy metric CDFs, ASR-only vs SpeakQL (Employees test, top-1)\n")
+	probes := []float64{0.5, 0.8, 0.9, 0.999}
+	for i, n := range r.Names {
+		b.WriteString(fmt.Sprintf("  %s ASR    : %s\n", n, cdfLine(r.ASR[i], probes)))
+		b.WriteString(fmt.Sprintf("  %s SpeakQL: %s\n", n, cdfLine(r.SpeakQL[i], probes)))
+	}
+	b.WriteString("  (read: fraction of queries with metric ≤ x; lower curves are better systems)\n")
+	return b.String()
+}
+
+// Figure14Result reproduces Appendix F.4's Figure 14: the CDF of the
+// structure-determination component's latency. The paper reports <1.5 s for
+// 99% of queries on their hardware; the shape, not the absolute value, is
+// the reproduction target.
+type Figure14Result struct {
+	LatencySec  metrics.CDF
+	P99         float64
+	MeanLatency time.Duration
+}
+
+// ID implements Result.
+func (Figure14Result) ID() string { return "figure14" }
+
+// RunFigure14 times structure determination alone on the Employees test set.
+func RunFigure14(env *Env) Figure14Result {
+	var secs []float64
+	var total time.Duration
+	for _, q := range env.Corpus.EmployeesTest {
+		transcript := env.ACS.Transcribe(q.Spoken)
+		t0 := time.Now()
+		env.Structure.Determine(transcript)
+		d := time.Since(t0)
+		secs = append(secs, d.Seconds())
+		total += d
+	}
+	cdf := metrics.NewCDF(secs)
+	return Figure14Result{
+		LatencySec:  cdf,
+		P99:         cdf.Quantile(0.99),
+		MeanLatency: total / time.Duration(len(secs)),
+	}
+}
+
+// Render implements Result.
+func (r Figure14Result) Render() string {
+	return "Figure 14 — structure determination latency CDF (Employees test)\n" +
+		"  latency (s): " + cdfLine(r.LatencySec, []float64{0.01, 0.05, 0.1, 0.5, 1.5}) + "\n" +
+		fmt.Sprintf("  mean %.0f ms, p99 %.0f ms\n",
+			1000*r.MeanLatency.Seconds(), 1000*r.P99)
+}

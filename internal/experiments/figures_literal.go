@@ -1,0 +1,315 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"speakql/internal/dataset"
+	"speakql/internal/grammar"
+	"speakql/internal/metrics"
+	"speakql/internal/phonetic"
+	"speakql/internal/speech"
+	"speakql/internal/sqltoken"
+)
+
+// Figure8Result reproduces Figure 8 (and Figure 16A): component-level drill
+// down — (A) the CDF of structure determination's token edit distance
+// against the ground-truth structure, and (B) the CDF of literal recall by
+// literal type.
+type Figure8Result struct {
+	StructTED       metrics.CDF
+	StructExactFrac float64 // paper: correct structure for ~86% of queries
+	TableRecall     metrics.CDF
+	AttrRecall      metrics.CDF
+	ValueRecall     metrics.CDF
+	MeanTableRecall float64 // paper: 0.90
+	MeanAttrRecall  float64 // paper: 0.83
+	MeanValueRecall float64 // paper: 0.68
+}
+
+// ID implements Result.
+func (Figure8Result) ID() string { return "figure8" }
+
+// truthByCategory groups a query's ground-truth literals by category.
+func truthByCategory(q dataset.SpokenQuery) map[grammar.Category][]string {
+	cats := grammar.AssignCategories(q.Structure)
+	lits := sqltoken.MaskLiterals(q.Tokens).Literals
+	out := map[grammar.Category][]string{}
+	for i, c := range cats {
+		if i < len(lits) {
+			out[c] = append(out[c], lits[i])
+		}
+	}
+	return out
+}
+
+// predByCategory groups an eval's bound literals by category.
+func predByCategory(e QueryEval) map[grammar.Category][]string {
+	out := map[grammar.Category][]string{}
+	for _, b := range e.Bindings {
+		out[b.Category] = append(out[b.Category], b.Best())
+	}
+	return out
+}
+
+// multisetRecall computes |truth ∩ pred| / |truth| case-insensitively.
+func multisetRecall(truth, pred []string) (float64, bool) {
+	if len(truth) == 0 {
+		return 0, false
+	}
+	counts := map[string]int{}
+	for _, p := range pred {
+		counts[strings.ToLower(p)]++
+	}
+	hit := 0
+	for _, t := range truth {
+		k := strings.ToLower(t)
+		if counts[k] > 0 {
+			counts[k]--
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(truth)), true
+}
+
+// RunFigure8 evaluates the Employees test set.
+func RunFigure8(env *Env) Figure8Result {
+	evs := env.TestEvals()
+	var structTED, tRec, aRec, vRec []float64
+	exact := 0
+	for _, e := range evs {
+		structTED = append(structTED, float64(e.StructTED))
+		if e.StructTED == 0 {
+			exact++
+		}
+		truth := truthByCategory(e.Query)
+		pred := predByCategory(e)
+		if r, ok := multisetRecall(truth[grammar.CatTable], pred[grammar.CatTable]); ok {
+			tRec = append(tRec, r)
+		}
+		if r, ok := multisetRecall(truth[grammar.CatAttr], pred[grammar.CatAttr]); ok {
+			aRec = append(aRec, r)
+		}
+		// Attribute values include LIMIT counts per the metric's V class.
+		truthV := append(append([]string{}, truth[grammar.CatValue]...), truth[grammar.CatLimit]...)
+		predV := append(append([]string{}, pred[grammar.CatValue]...), pred[grammar.CatLimit]...)
+		if r, ok := multisetRecall(truthV, predV); ok {
+			vRec = append(vRec, r)
+		}
+	}
+	res := Figure8Result{
+		StructTED:       metrics.NewCDF(structTED),
+		StructExactFrac: float64(exact) / float64(len(evs)),
+		TableRecall:     metrics.NewCDF(tRec),
+		AttrRecall:      metrics.NewCDF(aRec),
+		ValueRecall:     metrics.NewCDF(vRec),
+		MeanTableRecall: meanOf(tRec),
+		MeanAttrRecall:  meanOf(aRec),
+		MeanValueRecall: meanOf(vRec),
+	}
+	return res
+}
+
+func meanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Render implements Result.
+func (r Figure8Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 8 — component drill-down (Employees test)\n")
+	b.WriteString("  (A) structure TED: " + cdfLine(r.StructTED, []float64{0, 2, 4, 10}) + "\n")
+	b.WriteString(fmt.Sprintf("      exact structure fraction: %.2f (paper ~0.86)\n", r.StructExactFrac))
+	b.WriteString(fmt.Sprintf("  (B) mean literal recall — tables %.2f (paper 0.90), attributes %.2f (paper 0.83), values %.2f (paper 0.68)\n",
+		r.MeanTableRecall, r.MeanAttrRecall, r.MeanValueRecall))
+	probes := []float64{0, 0.5, 0.9, 1}
+	b.WriteString("      table recall CDF: " + cdfLine(r.TableRecall, probes) + "\n")
+	b.WriteString("      attr  recall CDF: " + cdfLine(r.AttrRecall, probes) + "\n")
+	b.WriteString("      value recall CDF: " + cdfLine(r.ValueRecall, probes) + "\n")
+	return b.String()
+}
+
+// Figure16Result reproduces Figure 16B: the CDF of edit distance for the
+// three attribute-value types — phonetic distance for strings,
+// character-level for dates and numbers.
+type Figure16Result struct {
+	Dates   metrics.CDF
+	Strings metrics.CDF
+	Numbers metrics.CDF
+
+	ExactDates   float64 // paper: ~0.35 of dates perfect
+	ExactStrings float64 // paper: ~0.50 of strings at phonetic distance 0
+	ExactNumbers float64 // paper: ~0.23 of numbers exact
+
+	NDates, NStrings, NNumbers int // sample sizes
+}
+
+// ID implements Result.
+func (Figure16Result) ID() string { return "figure16" }
+
+// RunFigure16 pairs predicted and ground-truth attribute values positionally
+// and measures per-type distances on the Employees test set.
+func RunFigure16(env *Env) Figure16Result {
+	evs := env.TestEvals()
+	var dDist, sDist, nDist []float64
+	for _, e := range evs {
+		truth := truthByCategory(e.Query)[grammar.CatValue]
+		pred := predByCategory(e)[grammar.CatValue]
+		for i, tv := range truth {
+			pv := ""
+			if i < len(pred) {
+				pv = pred[i]
+			}
+			switch valueType(tv) {
+			case "date":
+				dDist = append(dDist, float64(metrics.CharEditDistance(tv, pv)))
+			case "number":
+				nDist = append(nDist, float64(metrics.CharEditDistance(tv, pv)))
+			default:
+				sDist = append(sDist, float64(metrics.CharEditDistance(
+					phonetic.Encode(tv), phonetic.Encode(pv))))
+			}
+		}
+	}
+	frac0 := func(xs []float64) float64 {
+		if len(xs) == 0 {
+			return 0
+		}
+		n := 0
+		for _, x := range xs {
+			if x == 0 {
+				n++
+			}
+		}
+		return float64(n) / float64(len(xs))
+	}
+	return Figure16Result{
+		Dates:        metrics.NewCDF(dDist),
+		Strings:      metrics.NewCDF(sDist),
+		Numbers:      metrics.NewCDF(nDist),
+		ExactDates:   frac0(dDist),
+		ExactStrings: frac0(sDist),
+		ExactNumbers: frac0(nDist),
+		NDates:       len(dDist),
+		NStrings:     len(sDist),
+		NNumbers:     len(nDist),
+	}
+}
+
+func valueType(v string) string {
+	if _, ok := speech.ParseDateLiteral(v); ok {
+		return "date"
+	}
+	numeric := len(v) > 0
+	for i := 0; i < len(v); i++ {
+		if (v[i] < '0' || v[i] > '9') && v[i] != '.' {
+			numeric = false
+			break
+		}
+	}
+	if numeric {
+		return "number"
+	}
+	return "string"
+}
+
+// Render implements Result.
+func (r Figure16Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 16B — attribute-value edit distance by type (Employees test)\n")
+	probes := []float64{0, 2, 5, 10}
+	b.WriteString("  dates   (char): " + cdfLine(r.Dates, probes) + "\n")
+	b.WriteString("  strings (phon): " + cdfLine(r.Strings, probes) + "\n")
+	b.WriteString("  numbers (char): " + cdfLine(r.Numbers, probes) + "\n")
+	b.WriteString(fmt.Sprintf("  exact fractions — dates %.2f/n=%d (paper 0.35), strings %.2f/n=%d (paper ~0.50), numbers %.2f/n=%d (paper 0.23)\n",
+		r.ExactDates, r.NDates, r.ExactStrings, r.NStrings, r.ExactNumbers, r.NNumbers))
+	return b.String()
+}
+
+// Figure17Result reproduces Appendix F.7: how close the correct literal is
+// to the transcribed text under character-level versus phonetic-level edit
+// distance. Phonetic representation should find the literal within a
+// smaller distance.
+type Figure17Result struct {
+	CharDist     metrics.CDF
+	PhoneticDist metrics.CDF
+	CharZero     float64 // fraction of literals findable at distance 0
+	PhoneticZero float64
+	CharMax      float64
+	PhoneticMax  float64
+}
+
+// ID implements Result.
+func (Figure17Result) ID() string { return "figure17" }
+
+// RunFigure17 measures, for every ground-truth table/attribute/string-value
+// literal, the minimum distance from any transcript window (up to 4 tokens)
+// to the literal, raw versus phonetic.
+func RunFigure17(env *Env) Figure17Result {
+	evs := env.TestEvals()
+	var cd, pd []float64
+	for _, e := range evs {
+		truth := truthByCategory(e.Query)
+		var lits []string
+		lits = append(lits, truth[grammar.CatTable]...)
+		lits = append(lits, truth[grammar.CatAttr]...)
+		for _, v := range truth[grammar.CatValue] {
+			if valueType(v) == "string" {
+				lits = append(lits, v)
+			}
+		}
+		toks := e.ASRTokens
+		for _, lit := range lits {
+			bestC, bestP := 1<<30, 1<<30
+			encLit := phonetic.Encode(lit)
+			lowLit := strings.ToLower(lit)
+			for i := 0; i < len(toks); i++ {
+				var raw strings.Builder
+				for j := i; j < len(toks) && j-i < 4; j++ {
+					raw.WriteString(strings.ToLower(toks[j]))
+					if d := metrics.CharEditDistance(raw.String(), lowLit); d < bestC {
+						bestC = d
+					}
+					if d := metrics.CharEditDistance(phonetic.Encode(raw.String()), encLit); d < bestP {
+						bestP = d
+					}
+				}
+			}
+			if bestC < 1<<30 {
+				cd = append(cd, float64(bestC))
+				pd = append(pd, float64(bestP))
+			}
+		}
+	}
+	cc, pc := metrics.NewCDF(cd), metrics.NewCDF(pd)
+	res := Figure17Result{CharDist: cc, PhoneticDist: pc,
+		CharZero: cc.At(0), PhoneticZero: pc.At(0)}
+	if n := len(cc.Values); n > 0 {
+		res.CharMax = cc.Values[n-1]
+	}
+	if n := len(pc.Values); n > 0 {
+		res.PhoneticMax = pc.Values[n-1]
+	}
+	return res
+}
+
+// Render implements Result.
+func (r Figure17Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 17 — character vs phonetic edit distance to the correct literal (Employees test)\n")
+	probes := []float64{0, 2, 5, 11, 17}
+	b.WriteString("  char-level    : " + cdfLine(r.CharDist, probes) + "\n")
+	b.WriteString("  phonetic-level: " + cdfLine(r.PhoneticDist, probes) + "\n")
+	b.WriteString(fmt.Sprintf("  distance-0 fraction — char %.2f, phonetic %.2f (phonetic should be higher; paper ~0.70 vs ~0.80)\n",
+		r.CharZero, r.PhoneticZero))
+	b.WriteString(fmt.Sprintf("  max distance — char %.0f (paper 17), phonetic %.0f (paper 11)\n",
+		r.CharMax, r.PhoneticMax))
+	return b.String()
+}

@@ -1,0 +1,61 @@
+package experiments
+
+// All runs every experiment driver in paper order and returns the results.
+func All(env *Env) []Result {
+	return []Result{
+		RunTable2(env),
+		RunFigure6(env),
+		RunFigure7(env),
+		RunFigure8(env),
+		RunFigure11(env),
+		RunTable4(env),
+		RunFigure14(env),
+		RunFigure15(env),
+		RunFigure16(env),
+		RunFigure17(env),
+		RunFigure18(env),
+		RunTable5(env),
+		RunColumnAware(env),
+	}
+}
+
+// ByID runs a single experiment by its artifact id; ok=false for unknown
+// ids.
+func ByID(env *Env, id string) (Result, bool) {
+	switch id {
+	case "table2":
+		return RunTable2(env), true
+	case "figure6":
+		return RunFigure6(env), true
+	case "figure7", "figure12":
+		return RunFigure7(env), true
+	case "figure8":
+		return RunFigure8(env), true
+	case "figure11":
+		return RunFigure11(env), true
+	case "table4", "figure13":
+		return RunTable4(env), true
+	case "figure14":
+		return RunFigure14(env), true
+	case "figure15":
+		return RunFigure15(env), true
+	case "figure16":
+		return RunFigure16(env), true
+	case "figure17":
+		return RunFigure17(env), true
+	case "figure18":
+		return RunFigure18(env), true
+	case "table5":
+		return RunTable5(env), true
+	case "ablation-columns":
+		return RunColumnAware(env), true
+	}
+	return nil, false
+}
+
+// IDs lists the runnable experiment ids.
+func IDs() []string {
+	return []string{"table2", "figure6", "figure7", "figure8", "figure11",
+		"table4", "figure14", "figure15", "figure16", "figure17",
+		"figure18", "table5", "ablation-columns"}
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"speakql/internal/metrics"
+)
+
+// Result is one experiment's output: an identifier matching the paper's
+// artifact, and a textual rendering whose rows mirror the paper's.
+type Result interface {
+	ID() string
+	Render() string
+}
+
+// table formats rows of columns with aligned padding.
+func table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// cdfLine renders a CDF at the probe points the paper's plots make
+// readable.
+func cdfLine(c metrics.CDF, probes []float64) string {
+	parts := make([]string, len(probes))
+	for i, x := range probes {
+		parts[i] = fmt.Sprintf("≤%g: %.2f", x, c.At(x))
+	}
+	return strings.Join(parts, "  ")
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"speakql/internal/metrics"
+)
+
+// Table2Result reproduces Table 2: the eight end-to-end mean accuracy
+// metrics for SpeakQL-corrected queries, top-1 and best-of-top-5, on
+// Employees train/test and Yelp test, plus the ASR-only baseline used to
+// report the lift (the paper's "substantial average lift of 21% in WRR").
+type Table2Result struct {
+	Splits []Table2Split
+}
+
+// Table2Split is one dataset column group.
+type Table2Split struct {
+	Name      string
+	ASR       metrics.Rates // raw ASR baseline
+	Top1      metrics.Rates
+	Top5      metrics.Rates
+	WRRLift   float64 // Top1 WRR − ASR WRR
+	NumOfEval int
+}
+
+// ID implements Result.
+func (Table2Result) ID() string { return "table2" }
+
+// RunTable2 evaluates the full corpus through the trained ACS engine.
+func RunTable2(env *Env) Table2Result {
+	var res Table2Result
+	add := func(name string, evs []QueryEval) {
+		var asrR, t1, t5 []metrics.Rates
+		for _, e := range evs {
+			asrR = append(asrR, e.ASRRates)
+			t1 = append(t1, e.Top1Rates)
+			t5 = append(t5, e.Top5Rates)
+		}
+		sp := Table2Split{
+			Name:      name,
+			ASR:       metrics.Mean(asrR),
+			Top1:      metrics.Mean(t1),
+			Top5:      metrics.Mean(t5),
+			NumOfEval: len(evs),
+		}
+		sp.WRRLift = sp.Top1.WRR - sp.ASR.WRR
+		res.Splits = append(res.Splits, sp)
+	}
+	add("Employees-Train", EvalQueries(env.Engine, env.ACS, env.Corpus.EmployeesTrain, 5))
+	add("Employees-Test", EvalQueries(env.Engine, env.ACS, env.Corpus.EmployeesTest, 5))
+	add("Yelp-Test", EvalQueries(env.YelpEngine, env.ACS, env.Corpus.YelpTest, 5))
+	return res
+}
+
+// Render implements Result.
+func (r Table2Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 2 — end-to-end mean accuracy (SpeakQL-corrected)\n")
+	header := []string{"Metric"}
+	for _, s := range r.Splits {
+		header = append(header, s.Name+"/Top1", s.Name+"/Top5")
+	}
+	metricsOf := func(m metrics.Rates) []float64 {
+		return []float64{m.KPR, m.SPR, m.LPR, m.WPR, m.KRR, m.SRR, m.LRR, m.WRR}
+	}
+	names := []string{"KPR", "SPR", "LPR", "WPR", "KRR", "SRR", "LRR", "WRR"}
+	var rows [][]string
+	for mi, name := range names {
+		row := []string{name}
+		for _, s := range r.Splits {
+			row = append(row, f2(metricsOf(s.Top1)[mi]), f2(metricsOf(s.Top5)[mi]))
+		}
+		rows = append(rows, row)
+	}
+	b.WriteString(table(header, rows))
+	b.WriteString("\nASR-only baseline (raw engine output):\n")
+	var rows2 [][]string
+	for mi, name := range names {
+		row := []string{name}
+		for _, s := range r.Splits {
+			row = append(row, f2(metricsOf(s.ASR)[mi]), "")
+		}
+		rows2 = append(rows2, row)
+	}
+	b.WriteString(table(header, rows2))
+	for _, s := range r.Splits {
+		b.WriteString(fmt.Sprintf("WRR lift on %s: %+.1f%% (n=%d)\n",
+			s.Name, 100*s.WRRLift, s.NumOfEval))
+	}
+	return b.String()
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"strings"
+
+	"speakql/internal/asr"
+	"speakql/internal/metrics"
+	"speakql/internal/sqltoken"
+)
+
+// Table4Result reproduces Table 4 and Figure 13: raw ASR engine comparison
+// (Google Cloud Speech with hints vs Azure Custom Speech trained on the
+// Employees corpus) on the Employees test queries — per-class precision and
+// recall plus the word-level CDFs.
+type Table4Result struct {
+	GCS metrics.Rates
+	ACS metrics.Rates
+
+	GCSWPR, ACSWPR metrics.CDF
+	GCSWRR, ACSWRR metrics.CDF
+}
+
+// ID implements Result.
+func (Table4Result) ID() string { return "table4" }
+
+// RunTable4 transcribes the Employees test set with both engines and scores
+// the raw outputs (after spoken-form substitution, which both pipelines
+// apply before metrics).
+func RunTable4(env *Env) Table4Result {
+	score := func(e *asr.Engine) ([]metrics.Rates, []float64, []float64) {
+		var rs []metrics.Rates
+		var wpr, wrr []float64
+		for _, q := range env.Corpus.EmployeesTest {
+			out := e.Transcribe(q.Spoken)
+			toks := sqltoken.SubstituteSpokenForms(sqltoken.TokenizeTranscript(out))
+			r := metrics.Compare(q.Tokens, toks)
+			rs = append(rs, r)
+			wpr = append(wpr, r.WPR)
+			wrr = append(wrr, r.WRR)
+		}
+		return rs, wpr, wrr
+	}
+	gr, gwpr, gwrr := score(env.GCS)
+	ar, awpr, awrr := score(env.ACS)
+	return Table4Result{
+		GCS:    metrics.Mean(gr),
+		ACS:    metrics.Mean(ar),
+		GCSWPR: metrics.NewCDF(gwpr),
+		ACSWPR: metrics.NewCDF(awpr),
+		GCSWRR: metrics.NewCDF(gwrr),
+		ACSWRR: metrics.NewCDF(awrr),
+	}
+}
+
+// Render implements Result.
+func (r Table4Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 4 / Figure 13 — raw ASR engines on Employees test\n")
+	rows := [][]string{
+		{"GCS", f2(r.GCS.KPR), f2(r.GCS.SPR), f2(r.GCS.LPR), f2(r.GCS.KRR), f2(r.GCS.SRR), f2(r.GCS.LRR), f2(r.GCS.WPR), f2(r.GCS.WRR)},
+		{"ACS", f2(r.ACS.KPR), f2(r.ACS.SPR), f2(r.ACS.LPR), f2(r.ACS.KRR), f2(r.ACS.SRR), f2(r.ACS.LRR), f2(r.ACS.WPR), f2(r.ACS.WRR)},
+	}
+	b.WriteString(table([]string{"Engine", "KPR", "SPR", "LPR", "KRR", "SRR", "LRR", "WPR", "WRR"}, rows))
+	b.WriteString("  (paper: ACS beats GCS on literals and word rates; GCS's hints give strong SplChars)\n")
+	return b.String()
+}

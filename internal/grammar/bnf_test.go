@@ -1,0 +1,138 @@
+package grammar
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"speakql/internal/sqltoken"
+)
+
+// Every structure the generator emits must derive from the declarative
+// grammar — the Earley recognizer is the membership oracle validating the
+// compositional generator.
+func TestGeneratorSoundAgainstBNF(t *testing.T) {
+	n := 0
+	err := Generate(TestScale(), func(toks []string) bool {
+		n++
+		if n%37 != 0 { // sample to keep the test fast
+			return true
+		}
+		if !Derives(toks) {
+			t.Fatalf("generated structure does not derive: %v", toks)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("nothing generated")
+	}
+}
+
+func TestRandomStructuresDerive(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 300; i++ {
+		s := RandomStructure(rng, TestScale())
+		if !Derives(s) {
+			t.Fatalf("random structure does not derive: %v", s)
+		}
+	}
+}
+
+func TestDerivesExamples(t *testing.T) {
+	good := []string{
+		"SELECT x FROM x",
+		"SELECT * FROM x",
+		"SELECT x , x FROM x , x WHERE x = x AND x < x",
+		"SELECT AVG ( x ) FROM x WHERE x BETWEEN x AND x",
+		"SELECT COUNT ( * ) FROM x NATURAL JOIN x GROUP BY x",
+		"SELECT x , COUNT ( * ) FROM x GROUP BY x",
+		"SELECT x FROM x WHERE x . x = x . x ORDER BY x . x",
+		"SELECT x FROM x WHERE x IN ( x , x , x ) ",
+		"SELECT x FROM x WHERE x = x LIMIT x",
+		"SELECT x FROM x LIMIT x",
+		"select x from x where x = x", // case-insensitive keywords
+	}
+	for _, g := range good {
+		if !Derives(strings.Fields(g)) {
+			t.Errorf("Derives(%q) = false, want true", g)
+		}
+	}
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM x",
+		"SELECT x",
+		"SELECT x FROM",
+		"FROM x SELECT x",
+		"SELECT x FROM x WHERE",
+		"SELECT x FROM x WHERE x",
+		"SELECT x FROM x WHERE x =",
+		"SELECT x FROM x WHERE x = x AND",
+		"SELECT x FROM x x x = x", // the running example's masked transcript
+		"SELECT x FROM x WHERE x BETWEEN x",
+		"SELECT x x FROM x",
+		"SELECT AVG ( x FROM x",
+	}
+	for _, b := range bad {
+		if Derives(strings.Fields(b)) {
+			t.Errorf("Derives(%q) = true, want false", b)
+		}
+	}
+}
+
+// The masked forms of the paper's Table 6 ground-truth queries (which our
+// grammar extensions exist to cover) must derive — except Q7 and Q12, whose
+// four-item select lists and triple predicates exceed every generation
+// bound but still derive from the unbounded grammar, which is exactly the
+// point of having the recognizer.
+func TestTable6MaskedDerive(t *testing.T) {
+	queries := []string{
+		"SELECT AVG ( salary ) FROM Salaries",
+		"SELECT Lastname FROM Employees NATURAL JOIN Salaries WHERE Salary > 70000",
+		"SELECT FromDate FROM DepartmentEmployee WHERE DepartmentNumber = 'd002'",
+		"SELECT FromDate FROM Employees NATURAL JOIN DepartmentManager WHERE FirstName = 'Karsten' ORDER BY HireDate",
+		"SELECT SUM ( salary ) FROM Salaries WHERE FromDate = '1993-01-20'",
+		"SELECT ToDate , COUNT ( salary ) FROM Salaries GROUP BY ToDate",
+		"SELECT ToDate , MAX ( salary ) , COUNT ( salary ) , MIN ( salary ) FROM Salaries WHERE FromDate = '1990-03-20' GROUP BY ToDate",
+		"SELECT FromDate , salary , ToDate FROM Employees NATURAL JOIN Salaries WHERE FirstName IN ( 'Tomokazu' , 'Goh' , 'Narain' , 'Perla' , 'Shimshon' )",
+		"SELECT FirstName , AVG ( salary ) FROM Employees , Salaries , DepartmentManager WHERE Employees . EmployeeNumber = Salaries . EmployeeNumber AND Employees . EmployeeNumber = DepartmentManager . EmployeeNumber GROUP BY Employees . FirstName",
+		"SELECT * FROM Employees NATURAL JOIN Titles WHERE ToDate = '2001-10-09' OR HireDate = '1996-05-10' OR title = 'Engineer' LIMIT 10",
+		"SELECT Gender , AVG ( salary ) , MAX ( salary ) FROM Employees NATURAL JOIN Salaries GROUP BY Employees . Gender",
+		"SELECT Gender , BirthDate , salary FROM Employees , Salaries , DepartmentManager WHERE Employees . EmployeeNumber = Salaries . EmployeeNumber AND Employees . EmployeeNumber = DepartmentManager . EmployeeNumber ORDER BY Employees . FirstName",
+	}
+	for i, q := range queries {
+		masked := sqltoken.MaskGeneric(sqltoken.TokenizeSQL(q))
+		if !Derives(masked) {
+			t.Errorf("Table 6 Q%d masked form does not derive: %v", i+1, masked)
+		}
+	}
+}
+
+// Bounded-generation completeness: at test scale, everything that derives
+// AND respects the bounds is generated. Spot-checked by verifying a few
+// known in-bounds derivable strings appear in the corpus.
+func TestGenerateCoversDerivableInBounds(t *testing.T) {
+	corpus := map[string]bool{}
+	if err := Generate(TestScale(), func(toks []string) bool {
+		corpus[strings.Join(toks, " ")] = true
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	inBounds := []string{
+		"SELECT x , x FROM x , x WHERE x = x",
+		"SELECT MIN ( x ) FROM x NATURAL JOIN x ORDER BY x . x",
+		"SELECT COUNT ( * ) , COUNT ( * ) FROM x",
+	}
+	for _, s := range inBounds {
+		if !Derives(strings.Fields(s)) {
+			t.Fatalf("test string %q does not derive; fix the test", s)
+		}
+		if !corpus[s] {
+			t.Errorf("derivable in-bounds structure missing from corpus: %q", s)
+		}
+	}
+}

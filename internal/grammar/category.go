@@ -1,0 +1,166 @@
+package grammar
+
+import (
+	"strings"
+
+	"speakql/internal/sqltoken"
+)
+
+// Category types a literal placeholder (Section 4.1): each variable in a
+// structure is a table name (T), an attribute name (A), or an attribute
+// value (V). LIMIT counts get their own kind because they are always
+// numeric, which literal determination exploits.
+type Category int
+
+const (
+	// CatTable marks a table-name placeholder.
+	CatTable Category = iota
+	// CatAttr marks an attribute-name placeholder.
+	CatAttr
+	// CatValue marks an attribute-value placeholder.
+	CatValue
+	// CatLimit marks the numeric count after LIMIT.
+	CatLimit
+)
+
+// String returns the single-letter code used in the paper (T/A/V), with "N"
+// for LIMIT counts.
+func (c Category) String() string {
+	switch c {
+	case CatTable:
+		return "T"
+	case CatAttr:
+		return "A"
+	case CatValue:
+		return "V"
+	default:
+		return "N"
+	}
+}
+
+func isLitToken(t string) bool {
+	return sqltoken.Classify(t) == sqltoken.Literal
+}
+
+// AssignCategories walks a structure (a token sequence whose literals are
+// placeholder variables) and returns the category of each literal in order
+// of appearance. It mirrors the paper's rule set: FROM-clause literals are
+// tables; SELECT/GROUP BY/ORDER BY targets are attributes; comparison
+// left-hand sides are attributes and right-hand sides values; qualified
+// references x.x type as table.attribute; BETWEEN/IN bind one attribute and
+// value lists; LIMIT binds a count.
+func AssignCategories(structure []string) []Category {
+	var cats []Category
+	section := "" // "", SELECT, FROM, WHERE
+	i := 0
+	n := len(structure)
+
+	// operand consumes a bare or qualified reference starting at i and
+	// appends its categories; bareCat is the category of an unqualified
+	// reference in this position.
+	operand := func(bareCat Category) {
+		if i < n && isLitToken(structure[i]) {
+			if i+2 < n && structure[i+1] == "." && isLitToken(structure[i+2]) {
+				cats = append(cats, CatTable, CatAttr)
+				i += 3
+				return
+			}
+			cats = append(cats, bareCat)
+			i++
+		}
+	}
+
+	for i < n {
+		t := strings.ToUpper(structure[i])
+		switch t {
+		case "SELECT":
+			section = "SELECT"
+			i++
+		case "FROM":
+			section = "FROM"
+			i++
+		case "WHERE":
+			section = "WHERE"
+			i++
+		case "GROUP", "ORDER":
+			i++ // BY follows
+			if i < n && strings.ToUpper(structure[i]) == "BY" {
+				i++
+			}
+			operand(CatAttr)
+		case "LIMIT":
+			i++
+			if i < n && isLitToken(structure[i]) {
+				cats = append(cats, CatLimit)
+				i++
+			}
+		case "BETWEEN":
+			// attribute BETWEEN value AND value — the attribute was already
+			// consumed as the predicate's left side; here come the bounds.
+			i++
+			if i < n && isLitToken(structure[i]) {
+				cats = append(cats, CatValue)
+				i++
+			}
+			if i < n && strings.ToUpper(structure[i]) == "AND" {
+				i++
+			}
+			if i < n && isLitToken(structure[i]) {
+				cats = append(cats, CatValue)
+				i++
+			}
+		case "IN":
+			i++
+			if i < n && structure[i] == "(" {
+				i++
+			}
+			// One-level nesting (Appendix F.8): IN ( SELECT … ) types the
+			// subquery's placeholders by its own clauses, not as values.
+			if i < n && strings.ToUpper(structure[i]) == "SELECT" {
+				continue
+			}
+			for i < n && structure[i] != ")" {
+				if isLitToken(structure[i]) {
+					cats = append(cats, CatValue)
+				}
+				i++
+			}
+		default:
+			if !isLitToken(t) && t != "" {
+				i++ // keyword, splchar, aggregate op, connective, paren, …
+				continue
+			}
+			switch section {
+			case "FROM":
+				cats = append(cats, CatTable)
+				i++
+			case "WHERE":
+				// Left side of a predicate (possibly qualified)…
+				operand(CatAttr)
+				// …then operator and right side, unless the operator is
+				// BETWEEN/NOT BETWEEN/IN, handled by the outer loop.
+				if i < n {
+					switch structure[i] {
+					case "=", "<", ">":
+						i++
+						operand(CatValue)
+					}
+				}
+			default: // SELECT list (covers aggregate arguments too)
+				operand(CatAttr)
+			}
+		}
+	}
+	return cats
+}
+
+// CountLiterals returns the number of literal tokens in a structure.
+func CountLiterals(structure []string) int {
+	n := 0
+	for _, t := range structure {
+		if isLitToken(t) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,17 @@
+package grammar
+
+import "testing"
+
+func TestPaperScaleCount(t *testing.T) {
+	if testing.Short() {
+		t.Skip("PaperScale count is slow; skipped in -short mode")
+	}
+	n, err := Count(PaperScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 500000 {
+		t.Errorf("PaperScale count = %d, want order of 10^6 (paper: ≈1.6M)", n)
+	}
+	t.Logf("PaperScale=%d structures", n)
+}

@@ -1,0 +1,289 @@
+package grammar
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"speakql/internal/sqltoken"
+)
+
+func collect(t *testing.T, cfg GenConfig) [][]string {
+	t.Helper()
+	var out [][]string
+	err := Generate(cfg, func(toks []string) bool {
+		out = append(out, append([]string(nil), toks...))
+		return true
+	})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return out
+}
+
+func TestGenerateBasics(t *testing.T) {
+	structs := collect(t, TestScale())
+	if len(structs) == 0 {
+		t.Fatal("no structures generated")
+	}
+	seen := make(map[string]bool, len(structs))
+	for _, s := range structs {
+		key := strings.Join(s, " ")
+		if seen[key] {
+			t.Fatalf("duplicate structure generated: %s", key)
+		}
+		seen[key] = true
+	}
+	// The minimal query must be present.
+	if !seen["SELECT x FROM x"] {
+		t.Error("missing minimal structure SELECT x FROM x")
+	}
+	if !seen["SELECT * FROM x"] {
+		t.Error("missing SELECT * FROM x")
+	}
+	if !seen["SELECT x FROM x WHERE x = x"] {
+		t.Error("missing SELECT x FROM x WHERE x = x")
+	}
+	if !seen["SELECT AVG ( x ) FROM x"] {
+		t.Error("missing aggregate structure")
+	}
+	if !seen["SELECT COUNT ( * ) FROM x"] {
+		t.Error("missing COUNT(*) structure")
+	}
+	if !seen["SELECT x FROM x NATURAL JOIN x WHERE x = x"] {
+		t.Error("missing natural join structure")
+	}
+	if !seen["SELECT x FROM x WHERE x BETWEEN x AND x"] {
+		t.Error("missing BETWEEN structure")
+	}
+	if !seen["SELECT x FROM x WHERE x IN ( x , x )"] {
+		t.Error("missing IN structure")
+	}
+	if !seen["SELECT x FROM x WHERE x = x ORDER BY x"] {
+		t.Error("missing ORDER BY tail")
+	}
+	if !seen["SELECT x FROM x GROUP BY x"] {
+		t.Error("missing bare GROUP BY structure (Table 6 Q6 shape)")
+	}
+	if !seen["SELECT x FROM x LIMIT x"] {
+		t.Error("missing bare LIMIT structure")
+	}
+}
+
+func TestGenerateRespectsMaxTokens(t *testing.T) {
+	cfg := TestScale()
+	for _, s := range collect(t, cfg) {
+		if len(s) > cfg.MaxTokens {
+			t.Fatalf("structure exceeds MaxTokens: %v", s)
+		}
+	}
+}
+
+func TestGenerateLengthOrdered(t *testing.T) {
+	prev := 0
+	err := Generate(TestScale(), func(toks []string) bool {
+		if len(toks) < prev {
+			t.Fatalf("length order violated: %d after %d", len(toks), prev)
+		}
+		prev = len(toks)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateOnlyGrammarTokens(t *testing.T) {
+	for _, s := range collect(t, TestScale()) {
+		for _, tok := range s {
+			if tok == Lit {
+				continue
+			}
+			if c := sqltoken.Classify(tok); c == sqltoken.Literal {
+				t.Fatalf("non-grammar token %q in structure %v", tok, s)
+			}
+		}
+	}
+}
+
+func TestGenerateMaxStructuresCap(t *testing.T) {
+	cfg := TestScale()
+	cfg.MaxStructures = 100
+	if n, _ := Count(cfg); n != 100 {
+		t.Fatalf("cap: got %d structures, want 100", n)
+	}
+}
+
+func TestGenerateEmitStop(t *testing.T) {
+	n := 0
+	err := Generate(TestScale(), func([]string) bool {
+		n++
+		return n < 10
+	})
+	if err != nil || n != 10 {
+		t.Fatalf("early stop: n=%d err=%v", n, err)
+	}
+}
+
+func TestGenerateInvalidConfig(t *testing.T) {
+	if err := Generate(GenConfig{}, func([]string) bool { return true }); err == nil {
+		t.Fatal("expected error for zero config")
+	}
+}
+
+func TestScaleCounts(t *testing.T) {
+	nTest, err := Count(TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nTest < 1000 || nTest > 100000 {
+		t.Errorf("TestScale count = %d, want a few thousand", nTest)
+	}
+	if testing.Short() {
+		t.Skip("skipping DefaultScale count in -short mode")
+	}
+	nDef, err := Count(DefaultScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nDef < 50000 {
+		t.Errorf("DefaultScale count = %d, want ≥ 50k", nDef)
+	}
+	t.Logf("TestScale=%d DefaultScale=%d structures", nTest, nDef)
+}
+
+func TestRandomStructureWithinConfig(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cfg := TestScale()
+	for i := 0; i < 2000; i++ {
+		s := RandomStructure(rng, cfg)
+		if len(s) > cfg.MaxTokens {
+			t.Fatalf("random structure too long: %v", s)
+		}
+		if s[0] != "SELECT" {
+			t.Fatalf("random structure must start with SELECT: %v", s)
+		}
+		foundFrom := false
+		for _, tok := range s {
+			if tok == "FROM" {
+				foundFrom = true
+			}
+		}
+		if !foundFrom {
+			t.Fatalf("random structure missing FROM: %v", s)
+		}
+	}
+}
+
+// Every random structure must be inside the enumerated corpus for the same
+// config — the dataset generator and the index must agree on coverage.
+func TestRandomStructureCoveredByGenerate(t *testing.T) {
+	cfg := TestScale()
+	corpus := make(map[string]bool)
+	err := Generate(cfg, func(toks []string) bool {
+		corpus[strings.Join(toks, " ")] = true
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		s := RandomStructure(rng, cfg)
+		if !corpus[strings.Join(s, " ")] {
+			t.Fatalf("random structure not in enumerated corpus: %v", s)
+		}
+	}
+}
+
+func TestRandomStructureDeterministic(t *testing.T) {
+	a := RandomStructure(rand.New(rand.NewSource(5)), TestScale())
+	b := RandomStructure(rand.New(rand.NewSource(5)), TestScale())
+	if strings.Join(a, " ") != strings.Join(b, " ") {
+		t.Fatalf("same seed produced different structures: %v vs %v", a, b)
+	}
+}
+
+func TestAssignCategories(t *testing.T) {
+	cases := []struct {
+		structure string
+		want      string // category letters in placeholder order
+	}{
+		{"SELECT x FROM x", "AT"},
+		{"SELECT * FROM x", "T"},
+		{"SELECT x FROM x WHERE x = x", "ATAV"},
+		{"SELECT x , x FROM x , x", "AATT"},
+		{"SELECT AVG ( x ) FROM x", "AT"},
+		{"SELECT COUNT ( * ) FROM x WHERE x < x", "TAV"},
+		{"SELECT x FROM x NATURAL JOIN x WHERE x = x AND x > x", "ATTAVAV"},
+		{"SELECT x FROM x WHERE x . x = x . x", "ATTATA"},
+		{"SELECT x FROM x WHERE x = x . x", "ATATA"},
+		{"SELECT x FROM x WHERE x BETWEEN x AND x", "ATAVV"},
+		{"SELECT x FROM x WHERE x NOT BETWEEN x AND x", "ATAVV"},
+		{"SELECT x FROM x WHERE x IN ( x , x , x )", "ATAVVV"},
+		{"SELECT x FROM x WHERE x = x ORDER BY x", "ATAVA"},
+		{"SELECT x FROM x WHERE x = x GROUP BY x . x", "ATAVTA"},
+		{"SELECT x FROM x WHERE x = x LIMIT x", "ATAVN"},
+		{"SELECT x FROM x GROUP BY x", "ATA"},
+		{"SELECT x FROM x LIMIT x", "ATN"},
+		{"SELECT x FROM x WHERE x = x OR x = x LIMIT x", "ATAVAVN"},
+	}
+	for _, c := range cases {
+		cats := AssignCategories(strings.Fields(c.structure))
+		var got strings.Builder
+		for _, cat := range cats {
+			got.WriteString(cat.String())
+		}
+		if got.String() != c.want {
+			t.Errorf("AssignCategories(%q) = %s, want %s", c.structure, got.String(), c.want)
+		}
+	}
+}
+
+// Property: for every generated structure, the number of assigned categories
+// equals the number of literal tokens.
+func TestAssignCategoriesCoversAllLiterals(t *testing.T) {
+	for _, s := range collect(t, TestScale()) {
+		cats := AssignCategories(s)
+		if len(cats) != CountLiterals(s) {
+			t.Fatalf("structure %v: %d categories for %d literals",
+				s, len(cats), CountLiterals(s))
+		}
+	}
+}
+
+// Category assignment must also work on numbered placeholders, which is how
+// the structure-determination output arrives (x1, x2, …).
+func TestAssignCategoriesNumberedPlaceholders(t *testing.T) {
+	cats := AssignCategories(strings.Fields("SELECT x1 FROM x2 WHERE x3 = x4"))
+	want := []Category{CatAttr, CatTable, CatAttr, CatValue}
+	if len(cats) != len(want) {
+		t.Fatalf("got %v", cats)
+	}
+	for i := range want {
+		if cats[i] != want[i] {
+			t.Fatalf("cats[%d] = %v, want %v", i, cats[i], want[i])
+		}
+	}
+}
+
+// The paper's running example: the structure of Figure 4.
+func TestFigure4Categories(t *testing.T) {
+	cats := AssignCategories(strings.Fields("SELECT x1 FROM x2"))
+	if cats[0] != CatAttr || cats[1] != CatTable {
+		t.Fatalf("Figure 4: got %v %v, want A T", cats[0], cats[1])
+	}
+}
+
+func TestAssignCategoriesNestedSubquery(t *testing.T) {
+	cats := AssignCategories(strings.Fields(
+		"SELECT x1 FROM x2 WHERE x3 IN ( SELECT x4 FROM x5 WHERE x6 > x7 )"))
+	var got strings.Builder
+	for _, c := range cats {
+		got.WriteString(c.String())
+	}
+	// Outer: attr, table, attr; inner: attr, table, attr, value.
+	if got.String() != "ATAATAV" {
+		t.Errorf("nested categories = %s, want ATAATAV", got.String())
+	}
+}

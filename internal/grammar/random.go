@@ -1,0 +1,138 @@
+package grammar
+
+import "math/rand"
+
+// RandomStructure derives one random structure from the grammar under cfg's
+// limits (step 2 of the dataset-generation procedure, Section 6.1). The
+// derivation draws uniformly over clause shapes rather than over the full
+// enumerated set, matching a recursive random walk of the production rules.
+// Repetition counts are geometric-ish: each extra item/predicate is added
+// with probability extendP while under the limit, so short structures
+// dominate as they do in real query workloads.
+func RandomStructure(rng *rand.Rand, cfg GenConfig) []string {
+	const extendP = 0.45
+	var toks []string
+
+	// SELECT clause.
+	toks = append(toks, "SELECT")
+	if rng.Intn(8) == 0 { // SELECT *
+		toks = append(toks, "*")
+	} else {
+		items := 1
+		for items < cfg.MaxSelectItems && rng.Float64() < extendP {
+			items++
+		}
+		for i := 0; i < items; i++ {
+			if i > 0 {
+				toks = append(toks, ",")
+			}
+			toks = append(toks, randomSelectItem(rng, i == 0)...)
+		}
+	}
+
+	// FROM clause.
+	toks = append(toks, "FROM", Lit)
+	if rng.Intn(2) == 0 { // join chain
+		n := 1
+		for n < cfg.MaxJoinTables && rng.Float64() < extendP {
+			n++
+			toks = append(toks, "NATURAL", "JOIN", Lit)
+		}
+	} else { // comma list
+		n := 1
+		for n < cfg.MaxTables && rng.Float64() < extendP {
+			n++
+			toks = append(toks, ",", Lit)
+		}
+	}
+
+	// Optional WHERE / tail.
+	switch rng.Intn(10) {
+	case 0: // no WHERE, no tail
+	case 1: // bare tail
+		toks = append(toks, randomTail(rng)...)
+	default:
+		toks = append(toks, "WHERE")
+		if rng.Intn(6) == 0 {
+			toks = append(toks, randomSpecialWhere(rng, cfg)...)
+		} else {
+			preds := 1
+			for preds < cfg.MaxPredicates && rng.Float64() < extendP {
+				preds++
+			}
+			for i := 0; i < preds; i++ {
+				if i > 0 {
+					toks = append(toks, connectives[rng.Intn(len(connectives))])
+				}
+				toks = append(toks, randomExp(rng)...)
+			}
+			if rng.Intn(3) == 0 {
+				toks = append(toks, randomTail(rng)...)
+			}
+		}
+	}
+	if len(toks) > cfg.MaxTokens {
+		// Regenerate rather than truncate: truncation would leave an
+		// ungrammatical structure. Bounded recursion: expected depth is tiny
+		// because random structures rarely approach MaxTokens.
+		return RandomStructure(rng, cfg)
+	}
+	return toks
+}
+
+func randomSelectItem(rng *rand.Rand, first bool) []string {
+	if rng.Intn(2) == 0 {
+		return []string{Lit}
+	}
+	if first && rng.Intn(6) == 0 {
+		return []string{"COUNT", "(", "*", ")"}
+	}
+	op := aggOps[rng.Intn(len(aggOps))]
+	return []string{op, "(", Lit, ")"}
+}
+
+func randomOperand(rng *rand.Rand) []string {
+	if rng.Intn(4) == 0 {
+		return []string{Lit, ".", Lit}
+	}
+	return []string{Lit}
+}
+
+func randomExp(rng *rand.Rand) []string {
+	var toks []string
+	toks = append(toks, randomOperand(rng)...)
+	toks = append(toks, cmpOps[rng.Intn(len(cmpOps))])
+	toks = append(toks, randomOperand(rng)...)
+	return toks
+}
+
+func randomTail(rng *rand.Rand) []string {
+	switch rng.Intn(5) {
+	case 0:
+		return []string{"LIMIT", Lit}
+	case 1:
+		return append([]string{"GROUP", "BY"}, randomOperand(rng)...)
+	case 2:
+		return append([]string{"ORDER", "BY"}, randomOperand(rng)...)
+	case 3:
+		return append([]string{"GROUP", "BY"}, randomOperand(rng)...)
+	default:
+		return append([]string{"ORDER", "BY"}, randomOperand(rng)...)
+	}
+}
+
+func randomSpecialWhere(rng *rand.Rand, cfg GenConfig) []string {
+	switch rng.Intn(3) {
+	case 0:
+		return []string{Lit, "BETWEEN", Lit, "AND", Lit}
+	case 1:
+		return []string{Lit, "NOT", "BETWEEN", Lit, "AND", Lit}
+	default:
+		n := 1 + rng.Intn(cfg.MaxInList)
+		toks := []string{Lit, "IN", "(", Lit}
+		for i := 1; i < n; i++ {
+			toks = append(toks, ",", Lit)
+		}
+		return append(toks, ")")
+	}
+}

@@ -1,0 +1,225 @@
+// Package httpapi implements the HTTP JSON backend for SpeakQL's
+// interactive display (the analog of the paper's CloudLab backend):
+// transcript correction, clause-level re-dictation, SQL-keyboard edits with
+// effort accounting, query execution against the demo database, and the
+// schema lists the SQL Keyboard renders. cmd/speakql-server wires it to a
+// listener.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"speakql/internal/core"
+	"speakql/internal/session"
+	"speakql/internal/sqlengine"
+)
+
+type Server struct {
+	engine *core.Engine
+	db     *sqlengine.Database
+
+	mu       sync.Mutex
+	sessions map[string]*session.Session
+	nextID   int
+}
+
+// New creates a Server over the given engine and database.
+func New(engine *core.Engine, db *sqlengine.Database) *Server {
+	return &Server{engine: engine, db: db, sessions: map[string]*session.Session{}}
+}
+
+// Handler returns the API's http.Handler.
+func (s *Server) Handler() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/correct", s.handleCorrect)
+	mux.HandleFunc("POST /api/session", s.handleNewSession)
+	mux.HandleFunc("POST /api/dictate", s.handleDictate)
+	mux.HandleFunc("POST /api/edit", s.handleEdit)
+	mux.HandleFunc("POST /api/execute", s.handleExecute)
+	mux.HandleFunc("GET /api/schema", s.handleSchema)
+	mux.HandleFunc("GET /api/keyboard", s.handleKeyboard)
+	mux.HandleFunc("GET /{$}", s.handleIndex)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func decode[T any](r *http.Request, v *T) error {
+	defer r.Body.Close()
+	return json.NewDecoder(r.Body).Decode(v)
+}
+
+type correctReq struct {
+	Transcript string `json:"transcript"`
+	TopK       int    `json:"topk"`
+}
+
+type candidateJSON struct {
+	SQL       string   `json:"sql"`
+	Structure []string `json:"structure"`
+	Distance  float64  `json:"distance"`
+}
+
+func (s *Server) handleCorrect(w http.ResponseWriter, r *http.Request) {
+	var req correctReq
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.TopK < 1 {
+		req.TopK = 1
+	}
+	out := s.engine.CorrectTopK(req.Transcript, req.TopK)
+	var cands []candidateJSON
+	for _, c := range out.Candidates {
+		cands = append(cands, candidateJSON{SQL: c.SQL, Structure: c.Structure, Distance: c.StructureDistance})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"transcript":   out.Transcript,
+		"candidates":   cands,
+		"structure_ms": out.StructureLatency.Milliseconds(),
+	})
+}
+
+func (s *Server) handleNewSession(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	s.nextID++
+	id := "s" + strconv.Itoa(s.nextID)
+	s.sessions[id] = session.New(s.engine)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]string{"id": id})
+}
+
+func (s *Server) session(id string) (*session.Session, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	return sess, ok
+}
+
+type dictateReq struct {
+	ID         string `json:"id"`
+	Transcript string `json:"transcript"`
+	Clause     bool   `json:"clause"`
+}
+
+func (s *Server) handleDictate(w http.ResponseWriter, r *http.Request) {
+	var req dictateReq
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	sess, ok := s.session(req.ID)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown session %q", req.ID))
+		return
+	}
+	s.mu.Lock()
+	if req.Clause {
+		sess.DictateClause(req.Transcript)
+	} else {
+		sess.DictateFull(req.Transcript)
+	}
+	resp := sessionState(sess)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type editReq struct {
+	ID    string `json:"id"`
+	Op    string `json:"op"` // insert | delete | replace
+	Pos   int    `json:"pos"`
+	Token string `json:"token"`
+}
+
+func (s *Server) handleEdit(w http.ResponseWriter, r *http.Request) {
+	var req editReq
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	sess, ok := s.session(req.ID)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown session %q", req.ID))
+		return
+	}
+	s.mu.Lock()
+	switch req.Op {
+	case "insert":
+		sess.InsertToken(req.Pos, req.Token)
+	case "delete":
+		sess.DeleteToken(req.Pos)
+	case "replace":
+		sess.ReplaceToken(req.Pos, req.Token)
+	default:
+		s.mu.Unlock()
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown op %q", req.Op))
+		return
+	}
+	resp := sessionState(sess)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func sessionState(sess *session.Session) map[string]any {
+	return map[string]any{
+		"sql":        sess.SQL(),
+		"tokens":     sess.Tokens(),
+		"touches":    sess.Touches(),
+		"dictations": sess.Dictations(),
+		"effort":     sess.Effort(),
+	}
+}
+
+type executeReq struct {
+	SQL string `json:"sql"`
+}
+
+func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
+	var req executeReq
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := sqlengine.Run(s.db, req.SQL)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	rows := make([][]string, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.String()
+		}
+		rows = append(rows, cells)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"cols": res.Cols, "rows": rows})
+}
+
+func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
+	tables := map[string][]string{}
+	for _, t := range s.db.Tables() {
+		var cols []string
+		for _, c := range t.Cols {
+			cols = append(cols, c.Name+" "+c.Type.String())
+		}
+		tables[t.Name] = cols
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"database": s.db.Name,
+		"tables":   tables,
+	})
+}

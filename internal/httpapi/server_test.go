@@ -1,0 +1,255 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"speakql/internal/core"
+	"speakql/internal/dataset"
+	"speakql/internal/grammar"
+	"speakql/internal/literal"
+	"speakql/internal/sqlengine"
+)
+
+var (
+	testSrv *httptest.Server
+	testDB  *sqlengine.Database
+)
+
+func srv(t *testing.T) *httptest.Server {
+	t.Helper()
+	if testSrv == nil {
+		testDB = dataset.NewEmployeesDB(dataset.EmployeesConfig{Employees: 100, Departments: 5, Seed: 1})
+		cat := literal.NewCatalog(testDB.TableNames(), testDB.AttributeNames(), testDB.StringValues(0))
+		eng, err := core.NewEngine(core.Config{Grammar: grammar.TestScale(), Catalog: cat})
+		if err != nil {
+			t.Fatal(err)
+		}
+		testSrv = httptest.NewServer(New(eng, testDB).Handler())
+	}
+	return testSrv
+}
+
+func post(t *testing.T, url string, body any) (int, map[string]any) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+func TestCorrectEndpoint(t *testing.T) {
+	s := srv(t)
+	code, out := post(t, s.URL+"/api/correct", map[string]any{
+		"transcript": "select salary from employees where gender equals M",
+		"topk":       3,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("status = %d: %v", code, out)
+	}
+	cands := out["candidates"].([]any)
+	if len(cands) != 3 {
+		t.Fatalf("candidates = %d", len(cands))
+	}
+	first := cands[0].(map[string]any)
+	if !strings.HasPrefix(first["sql"].(string), "SELECT Salary FROM Employees WHERE") {
+		t.Errorf("sql = %v", first["sql"])
+	}
+}
+
+func TestCorrectBadJSON(t *testing.T) {
+	s := srv(t)
+	resp, err := http.Post(s.URL+"/api/correct", "application/json",
+		strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestSessionFlow(t *testing.T) {
+	s := srv(t)
+	_, out := post(t, s.URL+"/api/session", map[string]any{})
+	id := out["id"].(string)
+	if id == "" {
+		t.Fatal("no session id")
+	}
+
+	code, out := post(t, s.URL+"/api/dictate", map[string]any{
+		"id":         id,
+		"transcript": "select salary from employees where gender equals M",
+	})
+	if code != http.StatusOK {
+		t.Fatalf("dictate status = %d: %v", code, out)
+	}
+	if out["dictations"].(float64) != 1 {
+		t.Errorf("dictations = %v", out["dictations"])
+	}
+	sqlText := out["sql"].(string)
+	if !strings.Contains(sqlText, "FROM Employees") {
+		t.Errorf("sql = %q", sqlText)
+	}
+
+	// Clause-level re-dictation.
+	code, out = post(t, s.URL+"/api/dictate", map[string]any{
+		"id":         id,
+		"transcript": "select first name",
+		"clause":     true,
+	})
+	if code != http.StatusOK || !strings.Contains(out["sql"].(string), "FirstName") {
+		t.Fatalf("clause dictate: %v", out)
+	}
+
+	// Keyboard edit.
+	toks := out["tokens"].([]any)
+	code, out = post(t, s.URL+"/api/edit", map[string]any{
+		"id": id, "op": "insert", "pos": len(toks), "token": "LIMIT",
+	})
+	if code != http.StatusOK {
+		t.Fatalf("edit: %v", out)
+	}
+	if out["touches"].(float64) == 0 {
+		t.Error("edit cost no touches")
+	}
+	if out["effort"].(float64) != out["touches"].(float64)+out["dictations"].(float64) {
+		t.Error("effort mismatch")
+	}
+}
+
+func TestEditErrors(t *testing.T) {
+	s := srv(t)
+	code, _ := post(t, s.URL+"/api/edit", map[string]any{
+		"id": "nope", "op": "insert", "pos": 0, "token": "x"})
+	if code != http.StatusNotFound {
+		t.Errorf("unknown session status = %d", code)
+	}
+	_, out := post(t, s.URL+"/api/session", map[string]any{})
+	id := out["id"].(string)
+	code, _ = post(t, s.URL+"/api/edit", map[string]any{
+		"id": id, "op": "explode", "pos": 0, "token": "x"})
+	if code != http.StatusBadRequest {
+		t.Errorf("bad op status = %d", code)
+	}
+}
+
+func TestExecuteEndpoint(t *testing.T) {
+	s := srv(t)
+	code, out := post(t, s.URL+"/api/execute", map[string]any{
+		"sql": "SELECT COUNT ( * ) FROM Employees"})
+	if code != http.StatusOK {
+		t.Fatalf("execute: %v", out)
+	}
+	rows := out["rows"].([]any)
+	if len(rows) != 1 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0].([]any)[0].(string) != "100" {
+		t.Errorf("count = %v", rows[0])
+	}
+	code, out = post(t, s.URL+"/api/execute", map[string]any{"sql": "garbage"})
+	if code != http.StatusUnprocessableEntity {
+		t.Errorf("bad sql status = %d (%v)", code, out)
+	}
+}
+
+func TestSchemaEndpoint(t *testing.T) {
+	s := srv(t)
+	resp, err := http.Get(s.URL + "/api/schema")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	tables := out["tables"].(map[string]any)
+	if len(tables) != 6 {
+		t.Errorf("tables = %d", len(tables))
+	}
+	cols := tables["Salaries"].([]any)
+	found := false
+	for _, c := range cols {
+		if strings.HasPrefix(c.(string), "Salary ") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Salaries cols = %v", cols)
+	}
+}
+
+func TestMethodRouting(t *testing.T) {
+	s := srv(t)
+	resp, err := http.Get(s.URL + "/api/correct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed && resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET on POST route = %d", resp.StatusCode)
+	}
+}
+
+func TestKeyboardEndpoint(t *testing.T) {
+	s := srv(t)
+	resp, err := http.Get(s.URL + "/api/keyboard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string][]string
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out["keywords"]) == 0 || len(out["tables"]) != 6 {
+		t.Errorf("keyboard lists: %d keywords, %d tables",
+			len(out["keywords"]), len(out["tables"]))
+	}
+	found := false
+	for _, a := range out["attributes"] {
+		if a == "Salary" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("attributes list missing Salary")
+	}
+}
+
+func TestIndexPage(t *testing.T) {
+	s := srv(t)
+	resp, err := http.Get(s.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(body)
+	page := string(body[:n])
+	if resp.StatusCode != http.StatusOK || !strings.Contains(page, "SpeakQL") {
+		t.Errorf("index page status=%d", resp.StatusCode)
+	}
+	for _, needle := range []string{"/api/dictate", "/api/keyboard", "/api/execute"} {
+		if !strings.Contains(page, needle) {
+			t.Errorf("index page missing %s wiring", needle)
+		}
+	}
+}

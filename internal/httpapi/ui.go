@@ -1,0 +1,116 @@
+package httpapi
+
+import "net/http"
+
+// indexHTML is a minimal embodiment of the paper's Figure 5 interface: a
+// query display, a full-query "Record" box (type the spoken words — the
+// browser build has no microphone, matching the offline substrate), per-
+// clause re-dictation, the SQL Keyboard's keyword/table/attribute lists for
+// tap-to-insert editing, an effort counter, and an execute button.
+const indexHTML = `<!doctype html>
+<meta charset="utf-8">
+<title>SpeakQL</title>
+<style>
+  body { font-family: system-ui, sans-serif; margin: 2rem auto; max-width: 60rem; }
+  #display { font-family: ui-monospace, monospace; border: 1px solid #999; padding: .8rem;
+             min-height: 2.2rem; border-radius: .4rem; }
+  .tok { cursor: pointer; padding: .1rem .2rem; border-radius: .2rem; }
+  .tok:hover { background: #fdd; }
+  .kb button { margin: .15rem; }
+  input[type=text] { width: 34rem; }
+  #result { white-space: pre; font-family: ui-monospace, monospace; }
+  .muted { color: #666; font-size: .9rem; }
+</style>
+<h1>SpeakQL</h1>
+<p class="muted">Type what the speaker said ("select star from employees"); tap a token to delete it; tap keyboard buttons to append.</p>
+<div id="display"></div>
+<p class="muted">effort: <span id="effort">0</span> units (<span id="touches">0</span> touches + <span id="dictations">0</span> dictations)</p>
+<p>
+  <input type="text" id="speech" placeholder="spoken words…">
+  <button onclick="dictate(false)">Record (full)</button>
+  <button onclick="dictate(true)">Record (clause)</button>
+  <button onclick="execQ()">Execute</button>
+</p>
+<div class="kb" id="keyboard"></div>
+<h3>Result</h3>
+<div id="result"></div>
+<script>
+let sid = null, tokens = [];
+async function post(url, body) {
+  const r = await fetch(url, {method: "POST", body: JSON.stringify(body)});
+  return r.json();
+}
+async function init() {
+  sid = (await post("/api/session", {})).id;
+  const kb = await fetch("/api/keyboard").then(r => r.json());
+  const div = document.getElementById("keyboard");
+  for (const group of ["keywords", "tables", "attributes"]) {
+    const h = document.createElement("div");
+    h.innerHTML = "<b>" + group + ":</b> ";
+    for (const t of kb[group]) {
+      const b = document.createElement("button");
+      b.textContent = t;
+      b.onclick = () => edit({id: sid, op: "insert", pos: tokens.length, token: t});
+      h.appendChild(b);
+    }
+    div.appendChild(h);
+  }
+}
+function render(state) {
+  tokens = state.tokens || [];
+  const d = document.getElementById("display");
+  d.innerHTML = "";
+  tokens.forEach((t, i) => {
+    const s = document.createElement("span");
+    s.className = "tok";
+    s.textContent = t + " ";
+    s.title = "tap to delete";
+    s.onclick = () => edit({id: sid, op: "delete", pos: i});
+    d.appendChild(s);
+  });
+  document.getElementById("effort").textContent = state.effort;
+  document.getElementById("touches").textContent = state.touches;
+  document.getElementById("dictations").textContent = state.dictations;
+}
+async function dictate(clause) {
+  const t = document.getElementById("speech").value;
+  render(await post("/api/dictate", {id: sid, transcript: t, clause: clause}));
+}
+async function edit(req) { render(await post("/api/edit", req)); }
+async function execQ() {
+  const out = await post("/api/execute", {sql: tokens.join(" ")});
+  const el = document.getElementById("result");
+  if (out.error) { el.textContent = "error: " + out.error; return; }
+  const lines = [out.cols.join(" | ")];
+  for (const row of out.rows.slice(0, 20)) lines.push(row.join(" | "));
+  if (out.rows.length > 20) lines.push("… " + (out.rows.length - 20) + " more rows");
+  el.textContent = lines.join("\n");
+}
+init();
+</script>`
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(indexHTML))
+}
+
+// keyboardLists are what the SQL Keyboard (Figure 5B) renders: the full
+// keyword list plus the catalog's table and attribute names. Values are
+// typed with autocomplete and so are not listed.
+func (s *Server) handleKeyboard(w http.ResponseWriter, r *http.Request) {
+	cat := s.engine.Catalog()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"keywords":   keyboardKeywords,
+		"tables":     cat.Tables(),
+		"attributes": cat.Attributes(),
+	})
+}
+
+// keyboardKeywords mirrors the paper's keyboard: keywords and the spoken
+// special characters as tap targets.
+var keyboardKeywords = []string{
+	"SELECT", "FROM", "WHERE", "NATURAL", "JOIN", "AND", "OR", "NOT",
+	"GROUP", "ORDER", "BY", "LIMIT", "BETWEEN", "IN",
+	"AVG", "SUM", "COUNT", "MAX", "MIN",
+	"*", "=", "<", ">", "(", ")", ",", ".",
+}

@@ -1,0 +1,118 @@
+// Package literal implements the Literal Determination component of
+// Section 4 (Box 3): it fills the placeholder variables of a determined SQL
+// structure with actual literals. Table and attribute names come from a
+// phonetic (Metaphone) index of the queried database's catalog; attribute
+// values use phonetic voting for strings and dedicated reassembly for
+// numbers and dates, which ASR splits and mangles (Table 1). The voting
+// algorithm follows Appendix E: every enumerated transcript substring votes
+// for its phonetically-closest catalog literal, and the literal with the
+// most votes wins, ties resolved lexicographically.
+package literal
+
+import (
+	"sort"
+	"strings"
+
+	"speakql/internal/phonetic"
+)
+
+// entry is one catalog literal with its cached phonetic encoding.
+type entry struct {
+	Name     string
+	Phonetic string
+}
+
+// Catalog is the phonetic representation of a database's literals
+// (Figure 2's "Database Metadata"): table names, attribute names, and
+// string attribute values, each indexed by Metaphone encoding. Numbers and
+// dates are deliberately excluded (Section 4's design: "only strings,
+// excluding numbers or dates"); those are reassembled from the transcript.
+type Catalog struct {
+	tables []entry
+	attrs  []entry
+	values []entry
+	// byAttr holds per-attribute value entries (lowercased attribute name →
+	// its column's string values). Optional: when present, value voting for
+	// a predicate whose attribute is already bound is restricted to that
+	// column's domain — a documented extension beyond the paper's global
+	// per-category sets (its future work singles literals out as the
+	// accuracy bottleneck).
+	byAttr map[string][]entry
+}
+
+// NewCatalog builds the phonetic catalog. Duplicate names are collapsed.
+func NewCatalog(tables, attrs, values []string) *Catalog {
+	return &Catalog{
+		tables: buildEntries(tables),
+		attrs:  buildEntries(attrs),
+		values: buildEntries(values),
+	}
+}
+
+// WithColumnValues attaches per-attribute value domains, enabling
+// column-aware value voting. Keys are attribute names; the global value set
+// remains the fallback for unbound or unknown attributes. Returns the
+// catalog for chaining.
+func (c *Catalog) WithColumnValues(byAttr map[string][]string) *Catalog {
+	c.byAttr = make(map[string][]entry, len(byAttr))
+	for attr, vals := range byAttr {
+		c.byAttr[strings.ToLower(attr)] = buildEntries(vals)
+	}
+	return c
+}
+
+// columnValues returns the value entries for one attribute, ok=false when
+// no per-column domain is attached.
+func (c *Catalog) columnValues(attr string) ([]entry, bool) {
+	if c.byAttr == nil {
+		return nil, false
+	}
+	es, ok := c.byAttr[strings.ToLower(attr)]
+	return es, ok && len(es) > 0
+}
+
+func buildEntries(names []string) []entry {
+	seen := make(map[string]bool, len(names))
+	out := make([]entry, 0, len(names))
+	for _, n := range names {
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		out = append(out, entry{Name: n, Phonetic: phonetic.Encode(n)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Tables returns the table names in the catalog.
+func (c *Catalog) Tables() []string { return names(c.tables) }
+
+// Attributes returns the attribute names in the catalog.
+func (c *Catalog) Attributes() []string { return names(c.attrs) }
+
+// Values returns the indexed string attribute values.
+func (c *Catalog) Values() []string { return names(c.values) }
+
+func names(es []entry) []string {
+	out := make([]string, len(es))
+	for i, e := range es {
+		out[i] = e.Name
+	}
+	return out
+}
+
+// HasTable reports whether name matches a table exactly (case-insensitive).
+func (c *Catalog) HasTable(name string) bool { return hasExact(c.tables, name) }
+
+// HasAttribute reports whether name matches an attribute exactly.
+func (c *Catalog) HasAttribute(name string) bool { return hasExact(c.attrs, name) }
+
+func hasExact(es []entry, name string) bool {
+	for _, e := range es {
+		if strings.EqualFold(e.Name, name) {
+			return true
+		}
+	}
+	return false
+}

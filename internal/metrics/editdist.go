@@ -1,0 +1,124 @@
+// Package metrics implements the accuracy and distance measures of
+// Section 6.2: per-class token precision/recall rates (KPR, SPR, LPR, WPR,
+// KRR, SRR, LRR, WRR), the Token Edit Distance (TED, insertions and
+// deletions only), character- and phonetic-level edit distances, and the CDF
+// and summary-statistic helpers the experiment drivers use to regenerate the
+// paper's figures.
+package metrics
+
+import "speakql/internal/sqltoken"
+
+// TokenEditDistance is the TED of Section 6.2: the minimum number of token
+// insertions and deletions transforming hypothesis into reference. It is the
+// unweighted longest-common-subsequence distance, and serves as a surrogate
+// for the number of touches a user needs to repair a query.
+func TokenEditDistance(ref, hyp []string) int {
+	lcs := lcsLen(ref, hyp)
+	return (len(ref) - lcs) + (len(hyp) - lcs)
+}
+
+func lcsLen(a, b []string) int {
+	if len(b) == 0 || len(a) == 0 {
+		return 0
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			if a[i-1] == b[j-1] {
+				cur[j] = prev[j-1] + 1
+			} else if prev[j] >= cur[j-1] {
+				cur[j] = prev[j]
+			} else {
+				cur[j] = cur[j-1]
+			}
+		}
+		prev, cur = cur, prev
+		for j := range cur {
+			cur[j] = 0
+		}
+	}
+	return prev[len(b)]
+}
+
+// WeightedTokenEditDistance is the SQL-specific weighted edit distance of
+// Section 3.4: insert/delete only, with per-token weights W_K=1.2 (Keyword),
+// W_S=1.1 (SplChar), W_L=1.0 (Literal). It is the metric the structure
+// search engine minimizes.
+func WeightedTokenEditDistance(a, b []string) float64 {
+	n, m := len(a), len(b)
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	for j := 1; j <= m; j++ {
+		prev[j] = prev[j-1] + sqltoken.Weight(b[j-1])
+	}
+	for i := 1; i <= n; i++ {
+		cur[0] = prev[0] + sqltoken.Weight(a[i-1])
+		for j := 1; j <= m; j++ {
+			if a[i-1] == b[j-1] {
+				cur[j] = prev[j-1]
+			} else {
+				del := prev[j] + sqltoken.Weight(a[i-1])
+				ins := cur[j-1] + sqltoken.Weight(b[j-1])
+				if del < ins {
+					cur[j] = del
+				} else {
+					cur[j] = ins
+				}
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}
+
+// WordErrorRate is the ASR community's WER adapted to query tokens: the
+// token edit distance normalized by the reference length (Figure 11's
+// "Word Error Rate" panel). Zero means a perfect transcription; values can
+// exceed 1 when the hypothesis is much longer than the reference.
+func WordErrorRate(ref, hyp []string) float64 {
+	if len(ref) == 0 {
+		if len(hyp) == 0 {
+			return 0
+		}
+		return 1
+	}
+	return float64(TokenEditDistance(ref, hyp)) / float64(len(ref))
+}
+
+// CharEditDistance is the Levenshtein distance (insert, delete, substitute)
+// between two strings, used for string- and phonetic-level literal
+// comparison (Section 4.3, Appendix F.7).
+func CharEditDistance(a, b string) int {
+	m, n := len(a), len(b)
+	if m == 0 {
+		return n
+	}
+	if n == 0 {
+		return m
+	}
+	prev := make([]int, n+1)
+	cur := make([]int, n+1)
+	for j := 0; j <= n; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= m; i++ {
+		cur[0] = i
+		for j := 1; j <= n; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			d := prev[j] + 1
+			if v := cur[j-1] + 1; v < d {
+				d = v
+			}
+			if v := prev[j-1] + cost; v < d {
+				d = v
+			}
+			cur[j] = d
+		}
+		prev, cur = cur, prev
+	}
+	return prev[n]
+}

@@ -1,0 +1,298 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"speakql/internal/sqltoken"
+)
+
+// Rates holds the eight accuracy metrics of Section 6.2 for one
+// reference/hypothesis query pair (or their means across a set). Precision
+// is |A∩B|/|B| and recall |A∩B|/|A| over token multisets, where A is the
+// reference query and B the hypothesis, computed overall (W*) and per token
+// class (K*, S*, L*).
+type Rates struct {
+	KPR, SPR, LPR, WPR float64 // precision: keyword, splchar, literal, word
+	KRR, SRR, LRR, WRR float64 // recall
+}
+
+// Compare tokenizes nothing: it takes already-tokenized reference and
+// hypothesis queries and computes all eight rates. Keyword comparison is
+// case-insensitive (keywords are canonicalized); literal comparison is
+// case-insensitive too, since "the predicted query is correct" if the right
+// identifier is produced regardless of display case.
+func Compare(ref, hyp []string) Rates {
+	refN := normTokens(ref)
+	hypN := normTokens(hyp)
+	var r Rates
+	r.KPR, r.KRR = classPR(refN, hypN, sqltoken.Keyword)
+	r.SPR, r.SRR = classPR(refN, hypN, sqltoken.SplChar)
+	r.LPR, r.LRR = classPR(refN, hypN, sqltoken.Literal)
+	r.WPR, r.WRR = allPR(refN, hypN)
+	return r
+}
+
+func normTokens(toks []string) []string {
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		out[i] = strings.ToLower(t)
+	}
+	return out
+}
+
+func multiset(toks []string, class sqltoken.Class, filter bool) map[string]int {
+	m := make(map[string]int)
+	for _, t := range toks {
+		if filter && sqltoken.Classify(t) != class {
+			continue
+		}
+		m[t]++
+	}
+	return m
+}
+
+func intersectSize(a, b map[string]int) int {
+	n := 0
+	for k, ca := range a {
+		if cb, ok := b[k]; ok {
+			if cb < ca {
+				n += cb
+			} else {
+				n += ca
+			}
+		}
+	}
+	return n
+}
+
+func size(m map[string]int) int {
+	n := 0
+	for _, c := range m {
+		n += c
+	}
+	return n
+}
+
+// classPR returns (precision, recall) restricted to one token class.
+// When a side has no tokens of the class, the corresponding rate is 1 if the
+// other side also has none (nothing to get wrong), else 0 for recall when
+// reference tokens were all missed, mirroring how per-class means are
+// reported in Table 2.
+func classPR(ref, hyp []string, class sqltoken.Class) (prec, rec float64) {
+	a := multiset(ref, class, true)
+	b := multiset(hyp, class, true)
+	inter := intersectSize(a, b)
+	na, nb := size(a), size(b)
+	switch {
+	case nb == 0 && na == 0:
+		prec = 1
+	case nb == 0:
+		prec = 1 // hypothesis asserted nothing of this class: vacuously precise
+	default:
+		prec = float64(inter) / float64(nb)
+	}
+	switch {
+	case na == 0:
+		rec = 1
+	default:
+		rec = float64(inter) / float64(na)
+	}
+	return prec, rec
+}
+
+func allPR(ref, hyp []string) (prec, rec float64) {
+	a := multiset(ref, 0, false)
+	b := multiset(hyp, 0, false)
+	inter := intersectSize(a, b)
+	if size(b) == 0 {
+		prec = 0
+		if size(a) == 0 {
+			prec = 1
+		}
+	} else {
+		prec = float64(inter) / float64(size(b))
+	}
+	if size(a) == 0 {
+		rec = 1
+	} else {
+		rec = float64(inter) / float64(size(a))
+	}
+	return prec, rec
+}
+
+// Mean averages a slice of Rates element-wise.
+func Mean(rs []Rates) Rates {
+	var m Rates
+	if len(rs) == 0 {
+		return m
+	}
+	for _, r := range rs {
+		m.KPR += r.KPR
+		m.SPR += r.SPR
+		m.LPR += r.LPR
+		m.WPR += r.WPR
+		m.KRR += r.KRR
+		m.SRR += r.SRR
+		m.LRR += r.LRR
+		m.WRR += r.WRR
+	}
+	n := float64(len(rs))
+	m.KPR /= n
+	m.SPR /= n
+	m.LPR /= n
+	m.WPR /= n
+	m.KRR /= n
+	m.SRR /= n
+	m.LRR /= n
+	m.WRR /= n
+	return m
+}
+
+// Best returns, element-wise, the best (max) rates among candidates; it
+// implements the "best of top k" evaluation of Table 2, where each metric is
+// taken from the candidate that maximizes it.
+func Best(rs []Rates) Rates {
+	var m Rates
+	for i, r := range rs {
+		if i == 0 {
+			m = r
+			continue
+		}
+		m.KPR = maxf(m.KPR, r.KPR)
+		m.SPR = maxf(m.SPR, r.SPR)
+		m.LPR = maxf(m.LPR, r.LPR)
+		m.WPR = maxf(m.WPR, r.WPR)
+		m.KRR = maxf(m.KRR, r.KRR)
+		m.SRR = maxf(m.SRR, r.SRR)
+		m.LRR = maxf(m.LRR, r.LRR)
+		m.WRR = maxf(m.WRR, r.WRR)
+	}
+	return m
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// CDF summarizes an empirical cumulative distribution: Points[i] gives the
+// fraction of samples ≤ Values[i], over the sorted distinct values.
+type CDF struct {
+	Values []float64
+	Points []float64
+}
+
+// NewCDF builds the empirical CDF of samples.
+func NewCDF(samples []float64) CDF {
+	if len(samples) == 0 {
+		return CDF{}
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	var c CDF
+	n := float64(len(s))
+	for i := 0; i < len(s); i++ {
+		if i+1 < len(s) && s[i+1] == s[i] {
+			continue
+		}
+		c.Values = append(c.Values, s[i])
+		c.Points = append(c.Points, float64(i+1)/n)
+	}
+	return c
+}
+
+// At returns the CDF evaluated at x: the fraction of samples ≤ x.
+func (c CDF) At(x float64) float64 {
+	i := sort.SearchFloat64s(c.Values, x)
+	// SearchFloat64s returns the first index with Values[i] >= x.
+	if i < len(c.Values) && c.Values[i] == x {
+		return c.Points[i]
+	}
+	if i == 0 {
+		return 0
+	}
+	return c.Points[i-1]
+}
+
+// Quantile returns the smallest value v with CDF(v) ≥ q.
+func (c CDF) Quantile(q float64) float64 {
+	for i, p := range c.Points {
+		if p >= q {
+			return c.Values[i]
+		}
+	}
+	if len(c.Values) == 0 {
+		return 0
+	}
+	return c.Values[len(c.Values)-1]
+}
+
+// Summary holds basic descriptive statistics.
+type Summary struct {
+	N                 int
+	Mean, Median      float64
+	Min, Max          float64
+	P90, P95, P99     float64
+	StdDev            float64
+	FractionZero      float64 // fraction of exactly-zero samples (TED==0 ⇒ exact)
+	FractionUnder     float64 // fraction under the threshold passed to Summarize
+	UnderThresholdArg float64
+}
+
+// Summarize computes Summary for samples; under is the threshold for
+// FractionUnder (pass e.g. 2.0 to reproduce "runtime under 2 seconds for 90%
+// of queries" style statements).
+func Summarize(samples []float64, under float64) Summary {
+	var s Summary
+	s.N = len(samples)
+	s.UnderThresholdArg = under
+	if s.N == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
+	var sum, sumsq float64
+	nz, nu := 0, 0
+	for _, v := range samples {
+		sum += v
+		sumsq += v * v
+		if v == 0 {
+			nz++
+		}
+		if v < under {
+			nu++
+		}
+	}
+	n := float64(s.N)
+	s.Mean = sum / n
+	variance := sumsq/n - s.Mean*s.Mean
+	if variance > 0 {
+		s.StdDev = math.Sqrt(variance)
+	}
+	s.Median = quantileSorted(sorted, 0.5)
+	s.P90 = quantileSorted(sorted, 0.9)
+	s.P95 = quantileSorted(sorted, 0.95)
+	s.P99 = quantileSorted(sorted, 0.99)
+	s.FractionZero = float64(nz) / n
+	s.FractionUnder = float64(nu) / n
+	return s
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted)-1) + 0.5)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

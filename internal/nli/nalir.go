@@ -1,0 +1,80 @@
+package nli
+
+import (
+	"strings"
+
+	"speakql/internal/sqlengine"
+)
+
+// NaLIR is the rule-based baseline in the spirit of NaLIR evaluated
+// non-interactively: it maps a question to SQL only when a rigid pattern
+// fits — one select column found verbatim, at most one equality condition
+// anchored on "is", the only aggregate it knows is "average". Real NaLIR
+// leans on user interaction to resolve ambiguity; without it, most
+// questions fail, matching the low Table 5 scores.
+type NaLIR struct{}
+
+// Name implements System.
+func (NaLIR) Name() string { return "NaLIR" }
+
+// Translate implements System.
+func (NaLIR) Translate(nl, tableHint string, db *sqlengine.Database) (string, error) {
+	words := nlWords(nl)
+	table := tableHint
+	if table == "" {
+		table = bestTableMatch(words, db)
+	}
+	t, ok := db.Table(table)
+	if !ok {
+		return "", errNoParse
+	}
+
+	// NaLIR's parse tree mapping requires the head noun to be a column; we
+	// model that as: the first column whose full word sequence appears.
+	sel, ok := firstColumnMatch(words, t)
+	if !ok {
+		return "", errNoParse
+	}
+	agg := ""
+	if hasWord(words, "average") {
+		agg = "AVG"
+	}
+	// Rigid single condition: "<col words> is <one value word>".
+	cond := ""
+	for i, w := range words {
+		if w != "is" || i == 0 {
+			continue
+		}
+		col, ok := columnEndingAt(words, i-1, t.Cols)
+		if !ok || strings.EqualFold(col, sel) {
+			continue
+		}
+		if i+1 >= len(words) {
+			continue
+		}
+		v := words[i+1]
+		if isDigitsWord(v) {
+			cond = col + " = " + v
+		} else {
+			cond = col + " = '" + v + "'"
+		}
+		break
+	}
+
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if agg != "" {
+		b.WriteString(agg + " ( " + sel + " )")
+	} else {
+		b.WriteString(sel)
+	}
+	b.WriteString(" FROM " + t.Name)
+	if cond != "" {
+		b.WriteString(" WHERE " + cond)
+	}
+	// NaLIR has no sketch for grouping, ordering, joins, or nesting; when
+	// the question clearly needs one, its flat translation is wrong — and
+	// when it needs none, ambiguity still often picks wrong columns. Both
+	// failure modes emerge from the rigid rules above.
+	return b.String(), nil
+}

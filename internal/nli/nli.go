@@ -1,0 +1,145 @@
+// Package nli provides the natural-language-interface comparators of the
+// Table 5 evaluation and the accuracy scorers they are judged by.
+//
+// Two systems stand in for the paper's baselines, consuming the same NL
+// corpora and the same simulated ASR channel as SpeakQL so that the
+// comparison is mechanistic rather than asserted:
+//
+//   - NaLIR-sim: a brittle rule-based NL→SQL mapper in the spirit of NaLIR
+//     run non-interactively — single condition, "average" only, exact word
+//     matching. It fails when phrasing or transcription drifts.
+//   - SOTA-sim: a sketch-based semantic parser (SQLova/IRNet stand-in) that
+//     fills a query sketch (aggregate, select column, conjunctive
+//     conditions, group/order) by matching column-name words in the
+//     question. Strong on typed input; value and column words garbled by
+//     ASR break its slots, reproducing the typed→spoken collapse.
+//
+// Scorers: SpiderMatch implements Spider's exact-set component match (the
+// Spider task does not involve generating condition values, so values are
+// excluded); ExecutionMatch runs both queries and compares result sets.
+package nli
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"speakql/internal/sqlengine"
+)
+
+// System is an NL→SQL translator.
+type System interface {
+	Name() string
+	// Translate maps a natural-language question to SQL. tableHint names
+	// the question's table when the benchmark provides it (WikiSQL does;
+	// Spider does not — pass "").
+	Translate(nl, tableHint string, db *sqlengine.Database) (string, error)
+}
+
+// SpiderMatch implements Spider's exact-match accuracy: the predicted query
+// is correct only if every clause's component set matches the gold query's.
+// Condition values are not compared, matching the Spider task definition.
+func SpiderMatch(pred, gold string) bool {
+	ps, err1 := sqlengine.Parse(pred)
+	gs, err2 := sqlengine.Parse(gold)
+	if err1 != nil || err2 != nil {
+		return false
+	}
+	return clauseKey(ps) == clauseKey(gs)
+}
+
+// clauseKey canonicalizes a statement's clause components.
+func clauseKey(s *sqlengine.SelectStmt) string {
+	var parts []string
+
+	var sel []string
+	if s.Star {
+		sel = append(sel, "*")
+	}
+	for _, it := range s.Items {
+		sel = append(sel, strings.ToLower(it.String()))
+	}
+	sort.Strings(sel)
+	parts = append(parts, "SELECT:"+strings.Join(sel, ","))
+
+	from := make([]string, len(s.From))
+	for i, t := range s.From {
+		from[i] = strings.ToLower(t)
+	}
+	sort.Strings(from)
+	parts = append(parts, "FROM:"+strings.Join(from, ","))
+
+	var preds []string
+	collectPredKeys(s.Where, &preds)
+	sort.Strings(preds)
+	parts = append(parts, "WHERE:"+strings.Join(preds, ","))
+
+	if s.GroupBy != nil {
+		parts = append(parts, "GROUP:"+strings.ToLower(s.GroupBy.Column))
+	}
+	if s.OrderBy != nil {
+		parts = append(parts, "ORDER:"+strings.ToLower(s.OrderBy.Column))
+	}
+	if s.Limit >= 0 {
+		parts = append(parts, "LIMIT")
+	}
+	return strings.Join(parts, ";")
+}
+
+// collectPredKeys flattens WHERE into (column, operator[, nested-key])
+// components, excluding values.
+func collectPredKeys(n *sqlengine.BoolNode, out *[]string) {
+	if n == nil {
+		return
+	}
+	if n.Pred == nil {
+		collectPredKeys(n.Left, out)
+		collectPredKeys(n.Right, out)
+		return
+	}
+	p := n.Pred
+	col := func(o sqlengine.Operand) string {
+		if o.Col != nil {
+			return strings.ToLower(o.Col.Column)
+		}
+		if o.Sub != nil {
+			return "(" + clauseKey(o.Sub) + ")"
+		}
+		return "?"
+	}
+	key := col(p.Left)
+	switch {
+	case p.Sub != nil:
+		key += " in (" + clauseKey(p.Sub) + ")"
+	case len(p.Vals) > 0:
+		key += " in"
+	case p.Lo.Kind != sqlengine.KindNull || p.Hi.Kind != sqlengine.KindNull:
+		if p.Not {
+			key += " not"
+		}
+		key += " between"
+	default:
+		key += " " + p.Op
+		if p.Right.Col != nil || p.Right.Sub != nil {
+			key += " " + col(p.Right)
+		}
+	}
+	*out = append(*out, key)
+}
+
+// ExecutionMatch runs both queries on db and compares result sets. A
+// prediction that fails to parse or execute never matches.
+func ExecutionMatch(db *sqlengine.Database, pred, gold string) bool {
+	pr, err := sqlengine.Run(db, pred)
+	if err != nil {
+		return false
+	}
+	gr, err := sqlengine.Run(db, gold)
+	if err != nil {
+		return false
+	}
+	return sqlengine.EqualResults(pr, gr)
+}
+
+// errNoParse is returned when a system cannot produce any SQL.
+var errNoParse = fmt.Errorf("nli: could not translate question")

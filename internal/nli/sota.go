@@ -1,0 +1,348 @@
+package nli
+
+import (
+	"strings"
+
+	"speakql/internal/speech"
+	"speakql/internal/sqlengine"
+)
+
+// SOTA is the sketch-based semantic parser standing in for SQLova (WikiSQL)
+// and IRNet (Spider): it detects an aggregate, fills the select column by
+// matching column-name words in the question, extracts conjunctive
+// conditions from "…the <column> is [more|less than] <value>…" spans, and
+// recognizes the group/order/join sketch cues of the Spider-style corpus.
+// Nested questions ("appears among …") exceed its sketch, as they exceed
+// SQLova's — it answers with the un-nested outer query, which scores wrong.
+type SOTA struct{}
+
+// Name implements System.
+func (SOTA) Name() string { return "SOTA" }
+
+var sotaAggWords = map[string]string{
+	"average": "AVG", "total": "SUM", "maximum": "MAX", "minimum": "MIN",
+	"highest": "MAX", "least": "MIN",
+}
+
+// Translate implements System.
+func (SOTA) Translate(nl, tableHint string, db *sqlengine.Database) (string, error) {
+	words := nlWords(nl)
+	if len(words) == 0 {
+		return "", errNoParse
+	}
+	table := tableHint
+	if table == "" {
+		table = bestTableMatch(words, db)
+	}
+	t, ok := db.Table(table)
+	if !ok {
+		return "", errNoParse
+	}
+
+	agg := ""
+	for w, a := range sotaAggWords {
+		if hasWord(words, w) {
+			agg = a
+			break
+		}
+	}
+	if hasPhrase(words, "how", "many") || hasPhrase(words, "number", "of") {
+		agg = "COUNT"
+	}
+
+	// Spider-style sketches first: group, order.
+	if hasPhrase(words, "for", "each") {
+		return sotaGroup(words, t, agg)
+	}
+	if hasPhrase(words, "sorted", "by") {
+		return sotaOrder(words, t)
+	}
+
+	// Join sketch: "of A together with their B".
+	joinTable := ""
+	if i := phraseIndex(words, "together", "with", "their"); i >= 0 {
+		joinTable = bestTableMatch(words[i+3:], db)
+	}
+
+	selCol, ok := firstColumnMatch(words, t)
+	if !ok {
+		if agg == "COUNT" {
+			selCol = t.Cols[0].Name
+		} else {
+			return "", errNoParse
+		}
+	}
+
+	conds := extractConditions(words, t, db, joinTable)
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if agg != "" {
+		b.WriteString(agg + " ( " + selCol + " )")
+	} else {
+		b.WriteString(selCol)
+	}
+	b.WriteString(" FROM " + t.Name)
+	if joinTable != "" && !strings.EqualFold(joinTable, t.Name) {
+		b.WriteString(" NATURAL JOIN " + joinTable)
+	}
+	if len(conds) > 0 {
+		b.WriteString(" WHERE " + strings.Join(conds, " AND "))
+	}
+	if i := phraseIndex(words, "showing", "only"); i >= 0 {
+		if n, ok := numberAt(words, i+2); ok {
+			b.WriteString(" LIMIT " + n)
+		}
+	}
+	return b.String(), nil
+}
+
+func sotaGroup(words []string, t *sqlengine.Table, agg string) (string, error) {
+	// "for each G , what is the AGG M in T?"
+	i := phraseIndex(words, "for", "each")
+	g, ok := firstColumnMatch(words[i+2:], t)
+	if !ok {
+		return "", errNoParse
+	}
+	rest := words[i+2+len(splitColWords(g)):]
+	m, ok := firstColumnMatch(rest, t)
+	if !ok || agg == "" {
+		return "", errNoParse
+	}
+	return "SELECT " + g + " , " + agg + " ( " + m + " ) FROM " + t.Name +
+		" GROUP BY " + g, nil
+}
+
+func sotaOrder(words []string, t *sqlengine.Table) (string, error) {
+	// "list the S of T sorted by O, showing only K rows."
+	sel, ok := firstColumnMatch(words, t)
+	if !ok {
+		return "", errNoParse
+	}
+	i := phraseIndex(words, "sorted", "by")
+	ord, ok := firstColumnMatch(words[i+2:], t)
+	if !ok {
+		return "", errNoParse
+	}
+	sql := "SELECT " + sel + " FROM " + t.Name + " ORDER BY " + ord
+	if j := phraseIndex(words, "showing", "only"); j >= 0 {
+		if n, ok := numberAt(words, j+2); ok {
+			sql += " LIMIT " + n
+		}
+	}
+	return sql, nil
+}
+
+// extractConditions finds "the <col> is [more|less than] <value>" spans.
+// Columns may come from the joined table too.
+func extractConditions(words []string, t *sqlengine.Table, db *sqlengine.Database, joinTable string) []string {
+	var cols []sqlengine.Column
+	cols = append(cols, t.Cols...)
+	if jt, ok := db.Table(joinTable); ok {
+		cols = append(cols, jt.Cols...)
+	}
+	var conds []string
+	for i := 0; i < len(words); i++ {
+		// Anchor on "is"/"was" and look back for a column ending at i-1.
+		if words[i] != "is" && words[i] != "was" {
+			continue
+		}
+		col, ok := columnEndingAt(words, i-1, cols)
+		if !ok {
+			continue
+		}
+		op := "="
+		j := i + 1
+		if j+1 < len(words) && (words[j] == "more" || words[j] == "greater") && words[j+1] == "than" {
+			op = ">"
+			j += 2
+		} else if j+1 < len(words) && words[j] == "less" && words[j+1] == "than" {
+			op = "<"
+			j += 2
+		} else if j < len(words) && words[j] == "above" {
+			op = ">"
+			j++
+		}
+		val, end := valueSpan(words, j)
+		if val == "" {
+			continue
+		}
+		conds = append(conds, col+" "+op+" "+val)
+		i = end
+	}
+	return conds
+}
+
+// valueSpan collects value words until a clause boundary and renders a SQL
+// literal: a spoken or numeral number stays bare, anything else is quoted.
+func valueSpan(words []string, j int) (string, int) {
+	stop := map[string]bool{"and": true, "when": true, "where": true,
+		"sorted": true, "showing": true, "whose": true, "in": true}
+	var span []string
+	k := j
+	for k < len(words) && !stop[words[k]] {
+		span = append(span, words[k])
+		k++
+	}
+	// Trim a trailing "the" picked up from "and the …".
+	for len(span) > 0 && span[len(span)-1] == "the" {
+		span = span[:len(span)-1]
+	}
+	if len(span) == 0 {
+		return "", k
+	}
+	if n, ok := speech.WordsToNumber(span); ok {
+		return sqlengine.Int(n).String(), k
+	}
+	if len(span) == 1 && isDigitsWord(span[0]) {
+		return span[0], k
+	}
+	return "'" + strings.Join(span, " ") + "'", k
+}
+
+func isDigitsWord(w string) bool {
+	for i := 0; i < len(w); i++ {
+		if w[i] < '0' || w[i] > '9' {
+			return false
+		}
+	}
+	return len(w) > 0
+}
+
+// --- shared word/column matching helpers ---
+
+func nlWords(nl string) []string {
+	var out []string
+	for _, f := range strings.Fields(strings.ToLower(nl)) {
+		f = strings.Trim(f, ".,?!;:\"'")
+		if f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func hasWord(words []string, w string) bool {
+	for _, x := range words {
+		if x == w {
+			return true
+		}
+	}
+	return false
+}
+
+func hasPhrase(words []string, phrase ...string) bool {
+	return phraseIndex(words, phrase...) >= 0
+}
+
+func phraseIndex(words []string, phrase ...string) int {
+	for i := 0; i+len(phrase) <= len(words); i++ {
+		ok := true
+		for j, p := range phrase {
+			if words[i+j] != p {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return i
+		}
+	}
+	return -1
+}
+
+// splitColWords lower-cases a CamelCase column name into its words.
+func splitColWords(col string) []string {
+	var out []string
+	var cur strings.Builder
+	for i, r := range col {
+		if i > 0 && r >= 'A' && r <= 'Z' {
+			out = append(out, strings.ToLower(cur.String()))
+			cur.Reset()
+		}
+		cur.WriteRune(r)
+	}
+	out = append(out, strings.ToLower(cur.String()))
+	return out
+}
+
+// firstColumnMatch finds the earliest column whose word sequence appears
+// contiguously in words; longer matches win at the same position.
+func firstColumnMatch(words []string, t *sqlengine.Table) (string, bool) {
+	bestPos, bestLen := 1<<30, 0
+	best := ""
+	for _, c := range t.Cols {
+		cw := splitColWords(c.Name)
+		if i := phraseIndex(words, cw...); i >= 0 {
+			if i < bestPos || (i == bestPos && len(cw) > bestLen) {
+				bestPos, bestLen, best = i, len(cw), c.Name
+			}
+		}
+	}
+	return best, best != ""
+}
+
+// columnEndingAt matches a column whose words end exactly at position end.
+func columnEndingAt(words []string, end int, cols []sqlengine.Column) (string, bool) {
+	best := ""
+	bestLen := 0
+	for _, c := range cols {
+		cw := splitColWords(c.Name)
+		start := end - len(cw) + 1
+		if start < 0 {
+			continue
+		}
+		ok := true
+		for j, w := range cw {
+			if words[start+j] != w {
+				ok = false
+				break
+			}
+		}
+		if ok && len(cw) > bestLen {
+			best, bestLen = c.Name, len(cw)
+		}
+	}
+	return best, best != ""
+}
+
+// bestTableMatch scores tables by how many of their name words occur.
+func bestTableMatch(words []string, db *sqlengine.Database) string {
+	best := ""
+	bestScore := 0
+	for _, t := range db.Tables() {
+		tw := splitColWords(t.Name)
+		score := 0
+		for _, w := range tw {
+			if hasWord(words, w) || hasWord(words, strings.TrimSuffix(w, "s")) ||
+				hasWord(words, w+"s") {
+				score++
+			}
+		}
+		if score > bestScore {
+			best, bestScore = t.Name, score
+		}
+	}
+	return best
+}
+
+func numberAt(words []string, i int) (string, bool) {
+	if i >= len(words) {
+		return "", false
+	}
+	if isDigitsWord(words[i]) {
+		return words[i], true
+	}
+	// Spoken number run.
+	k := i
+	for k < len(words) {
+		if _, ok := speech.WordsToNumber(words[i : k+1]); !ok {
+			break
+		}
+		k++
+	}
+	if k > i {
+		n, _ := speech.WordsToNumber(words[i:k])
+		return sqlengine.Int(n).String(), true
+	}
+	return "", false
+}

@@ -1,0 +1,27 @@
+package phonetic_test
+
+import (
+	"fmt"
+
+	"speakql/internal/phonetic"
+)
+
+// The paper's Section 4 encodings.
+func ExampleEncode() {
+	fmt.Println(phonetic.Encode("Employees"))
+	fmt.Println(phonetic.Encode("Salaries"))
+	fmt.Println(phonetic.Encode("FirstName"))
+	// Output:
+	// EMPLYS
+	// SLRS
+	// FRSTNM
+}
+
+// Multi-word ASR fragments encode like the identifier they garble.
+func ExampleEncodeTokens() {
+	fmt.Println(phonetic.EncodeTokens([]string{"from", "date"}))
+	fmt.Println(phonetic.Encode("FromDate"))
+	// Output:
+	// FRMTT
+	// FRMTT
+}

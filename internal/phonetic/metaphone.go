@@ -1,0 +1,215 @@
+// Package phonetic implements the Metaphone phonetic algorithm (Philips,
+// 1990) used by SpeakQL's literal determination (Section 4). Metaphone
+// encodes an English word into a string over 16 consonant symbols
+// (0BFHJKLMNPRSXTWY, with "0" for the th sound and X for sh/ch) so that
+// words that sound alike encode alike: Employees → EMPLYS, Salaries → SLRS,
+// FirstName → FRSTNM. Unlike the classic 4-character variant, SpeakQL needs
+// the full-length encoding, so no truncation is applied.
+package phonetic
+
+import "strings"
+
+// Encode returns the Metaphone encoding of word. Non-ASCII-letter runes are
+// ignored except digits, which are passed through unchanged so that tokens
+// like "d002" or "1993" remain distinguishable — SpeakQL indexes schema
+// literals that freely mix letters and digits.
+func Encode(word string) string {
+	w := normalize(word)
+	if len(w) == 0 {
+		return ""
+	}
+	w = applyInitialExceptions(w)
+	var out strings.Builder
+	n := len(w)
+	for i := 0; i < n; i++ {
+		c := w[i]
+		// Skip duplicate adjacent letters, except C (as in "accident")
+		// and digits, which carry distinguishing information verbatim.
+		if i > 0 && c == w[i-1] && c != 'C' && !(c >= '0' && c <= '9') {
+			continue
+		}
+		switch {
+		case c >= '0' && c <= '9':
+			out.WriteByte(c)
+		case isVowel(c):
+			if i == 0 {
+				out.WriteByte(c)
+			}
+		case c == 'B':
+			// Silent in terminal -MB ("dumb", "thumb").
+			if !(i == n-1 && i > 0 && w[i-1] == 'M') {
+				out.WriteByte('B')
+			}
+		case c == 'C':
+			switch {
+			case hasAt(w, i, "CIA"):
+				out.WriteByte('X')
+			case hasAt(w, i, "CH"):
+				if i > 0 && hasAt(w, i-1, "SCH") {
+					out.WriteByte('K')
+				} else {
+					out.WriteByte('X')
+				}
+			case i+1 < n && (w[i+1] == 'I' || w[i+1] == 'E' || w[i+1] == 'Y'):
+				if !(i > 0 && w[i-1] == 'S') { // -SCI-, -SCE-, -SCY-: C silent
+					out.WriteByte('S')
+				}
+			default:
+				out.WriteByte('K')
+			}
+		case c == 'D':
+			if i+2 < n && w[i+1] == 'G' && (w[i+2] == 'E' || w[i+2] == 'Y' || w[i+2] == 'I') {
+				out.WriteByte('J') // "edge", "dodgy"
+			} else {
+				out.WriteByte('T')
+			}
+		case c == 'F':
+			out.WriteByte('F')
+		case c == 'G':
+			switch {
+			case hasAt(w, i, "GH"):
+				// Silent unless at end or before a vowel ("ghost" vs "night").
+				if i+2 >= n || isVowel(w[i+2]) {
+					out.WriteByte('K')
+				}
+			case hasAt(w, i, "GN"):
+				// Silent in -GN, -GNED ("gnome" handled by initial rule,
+				// "sign", "signed").
+			case i+1 < n && (w[i+1] == 'I' || w[i+1] == 'E' || w[i+1] == 'Y'):
+				if i > 0 && w[i-1] == 'D' {
+					// already emitted J for the DGE/DGI/DGY cluster
+				} else {
+					out.WriteByte('J')
+				}
+			default:
+				if !(i > 0 && w[i-1] == 'D' && i+1 < n && (w[i+1] == 'E' || w[i+1] == 'Y' || w[i+1] == 'I')) {
+					out.WriteByte('K')
+				}
+			}
+		case c == 'H':
+			// Silent after a vowel when no vowel follows, and silent inside
+			// the digraphs already consumed (CH, SH, PH, TH, GH, WH).
+			if i > 0 && strings.IndexByte("CSPTGW", w[i-1]) >= 0 {
+				break
+			}
+			if i > 0 && isVowel(w[i-1]) && (i+1 >= n || !isVowel(w[i+1])) {
+				break
+			}
+			out.WriteByte('H')
+		case c == 'J':
+			out.WriteByte('J')
+		case c == 'K':
+			if !(i > 0 && w[i-1] == 'C') { // silent after C ("tackle")
+				out.WriteByte('K')
+			}
+		case c == 'L':
+			out.WriteByte('L')
+		case c == 'M':
+			out.WriteByte('M')
+		case c == 'N':
+			out.WriteByte('N')
+		case c == 'P':
+			if i+1 < n && w[i+1] == 'H' {
+				out.WriteByte('F') // "phone"
+			} else {
+				out.WriteByte('P')
+			}
+		case c == 'Q':
+			out.WriteByte('K')
+		case c == 'R':
+			out.WriteByte('R')
+		case c == 'S':
+			switch {
+			case i+1 < n && w[i+1] == 'H':
+				out.WriteByte('X') // "ship"
+			case hasAt(w, i, "SIO") || hasAt(w, i, "SIA"):
+				out.WriteByte('X') // "vision" (approx.), "Asia"
+			default:
+				out.WriteByte('S')
+			}
+		case c == 'T':
+			switch {
+			case hasAt(w, i, "TIA") || hasAt(w, i, "TIO"):
+				out.WriteByte('X') // "nation"
+			case i+1 < n && w[i+1] == 'H':
+				out.WriteByte('0') // "thing" → theta
+			default:
+				out.WriteByte('T')
+			}
+		case c == 'V':
+			out.WriteByte('F')
+		case c == 'W':
+			if i+1 < n && isVowel(w[i+1]) {
+				out.WriteByte('W') // silent otherwise ("law")
+			}
+		case c == 'X':
+			out.WriteString("KS")
+		case c == 'Y':
+			if i+1 < n && isVowel(w[i+1]) {
+				out.WriteByte('Y') // silent otherwise ("salary")
+			}
+		case c == 'Z':
+			out.WriteByte('S')
+		}
+	}
+	return out.String()
+}
+
+// EncodeTokens encodes the concatenation of the tokens as one word. SpeakQL
+// compares multi-word ASR fragments against single schema identifiers
+// ("first name" vs FirstName); encoding the joined string — rather than
+// joining per-token encodings — keeps Metaphone's word-level rules (initial
+// vowels, duplicate letters) consistent with how the identifier itself is
+// encoded, so "department employee" and DepartmentEmployee agree exactly.
+func EncodeTokens(tokens []string) string {
+	return Encode(strings.Join(tokens, ""))
+}
+
+// normalize upper-cases and strips everything but ASCII letters and digits.
+// Identifier separators (_, -) act as word boundaries for the duplicate rule
+// but contribute no sound, so they are simply removed.
+func normalize(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z':
+			b.WriteByte(c - 'a' + 'A')
+		case c >= 'A' && c <= 'Z':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// applyInitialExceptions handles the word-initial silent-letter clusters.
+func applyInitialExceptions(w string) string {
+	switch {
+	case strings.HasPrefix(w, "AE"),
+		strings.HasPrefix(w, "GN"),
+		strings.HasPrefix(w, "KN"),
+		strings.HasPrefix(w, "PN"),
+		strings.HasPrefix(w, "WR"):
+		return w[1:]
+	case strings.HasPrefix(w, "WH"):
+		return "W" + w[2:]
+	case strings.HasPrefix(w, "X"):
+		return "S" + w[1:]
+	default:
+		return w
+	}
+}
+
+func isVowel(c byte) bool {
+	switch c {
+	case 'A', 'E', 'I', 'O', 'U':
+		return true
+	}
+	return false
+}
+
+func hasAt(w string, i int, pat string) bool {
+	return i+len(pat) <= len(w) && w[i:i+len(pat)] == pat
+}

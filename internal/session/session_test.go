@@ -1,0 +1,142 @@
+package session
+
+import (
+	"strings"
+	"testing"
+
+	"speakql/internal/core"
+	"speakql/internal/grammar"
+	"speakql/internal/literal"
+)
+
+var testEngine *core.Engine
+
+func engine(t testing.TB) *core.Engine {
+	t.Helper()
+	if testEngine == nil {
+		cat := literal.NewCatalog(
+			[]string{"Employees", "Salaries", "Titles"},
+			[]string{"FirstName", "LastName", "Salary", "Gender", "HireDate", "Title"},
+			[]string{"John", "Karsten", "Engineer", "M", "F"},
+		)
+		e, err := core.NewEngine(core.Config{Grammar: grammar.TestScale(), Catalog: cat})
+		if err != nil {
+			t.Fatal(err)
+		}
+		testEngine = e
+	}
+	return testEngine
+}
+
+func TestDictateFull(t *testing.T) {
+	s := New(engine(t))
+	s.DictateFull("select salary from employees where gender equals M")
+	sql := s.SQL()
+	if !strings.HasPrefix(sql, "SELECT Salary FROM Employees WHERE") {
+		t.Errorf("SQL = %q", sql)
+	}
+	// One dictation, charged the record-button touches only.
+	if s.Dictations() != 1 || s.Touches() != CostRecordButton {
+		t.Errorf("effort: dictations=%d touches=%d", s.Dictations(), s.Touches())
+	}
+}
+
+func TestDictateClauseReplacesClause(t *testing.T) {
+	s := New(engine(t))
+	s.DictateFull("select salary from employees where gender equals M")
+	before := s.Tokens()
+	// Re-dictate only the SELECT clause.
+	s.DictateClause("select first name")
+	after := s.Tokens()
+	if strings.Join(after, " ") == strings.Join(before, " ") {
+		t.Fatalf("clause dictation changed nothing: %v", after)
+	}
+	if got := s.SQL(); !strings.Contains(got, "FirstName") {
+		t.Errorf("SELECT clause not replaced: %q", got)
+	}
+	if !strings.Contains(s.SQL(), "WHERE") {
+		t.Errorf("WHERE clause lost: %q", s.SQL())
+	}
+	if s.Dictations() != 2 {
+		t.Errorf("dictations = %d", s.Dictations())
+	}
+}
+
+func TestDictateClauseOnEmptySession(t *testing.T) {
+	s := New(engine(t))
+	s.DictateClause("select salary from salaries")
+	if len(s.Tokens()) == 0 {
+		t.Fatal("clause dictation on empty session produced nothing")
+	}
+}
+
+func TestDictateClauseAppendsMissingClause(t *testing.T) {
+	s := New(engine(t))
+	s.DictateFull("select salary from employees")
+	s.DictateClause("where gender equals M")
+	if !strings.Contains(s.SQL(), "WHERE") {
+		t.Errorf("WHERE not appended: %q", s.SQL())
+	}
+}
+
+func TestKeyboardOps(t *testing.T) {
+	s := New(engine(t))
+	s.SetTokens([]string{"SELECT", "Salary", "FROM", "Employees"})
+	s.ReplaceToken(1, "Gender")
+	if s.Tokens()[1] != "Gender" {
+		t.Fatal("replace failed")
+	}
+	s.InsertToken(2, ",")
+	if s.Tokens()[2] != "," {
+		t.Fatal("insert failed")
+	}
+	s.DeleteToken(2)
+	if s.SQL() != "SELECT Gender FROM Employees" {
+		t.Fatalf("delete failed: %q", s.SQL())
+	}
+	if s.Touches() == 0 {
+		t.Fatal("keyboard ops cost no touches")
+	}
+	// Out-of-range ops are no-ops.
+	n := s.Touches()
+	s.DeleteToken(99)
+	s.ReplaceToken(-1, "x")
+	if s.Touches() != n {
+		t.Fatal("out-of-range op charged touches")
+	}
+	// Insert clamps.
+	s.InsertToken(99, "LIMIT")
+	if s.Tokens()[len(s.Tokens())-1] != "LIMIT" {
+		t.Fatal("insert did not clamp to end")
+	}
+}
+
+func TestTouchCosts(t *testing.T) {
+	if TouchCost("SELECT") != CostListToken {
+		t.Error("keyword cost")
+	}
+	if TouchCost("=") != CostListToken {
+		t.Error("splchar cost")
+	}
+	if TouchCost("1993-01-20") != CostDatePicker {
+		t.Error("date cost")
+	}
+	if TouchCost("70000") != CostValueAutocomplete {
+		t.Error("number cost")
+	}
+	if TouchCost("Salary") <= CostListToken-1 {
+		t.Error("schema token cost")
+	}
+}
+
+func TestEffortAccounting(t *testing.T) {
+	s := New(engine(t))
+	s.DictateFull("select salary from employees")
+	s.ReplaceToken(1, "Gender")
+	if s.Effort() != s.Touches()+s.Dictations() {
+		t.Fatal("Effort must equal touches + dictations")
+	}
+	if len(s.Events()) != 2 {
+		t.Fatalf("events = %v", s.Events())
+	}
+}

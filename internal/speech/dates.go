@@ -1,0 +1,205 @@
+package speech
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Date is a calendar date as it appears in SQL literals ('1993-01-20').
+type Date struct {
+	Year, Month, Day int
+}
+
+// String renders the SQL literal form YYYY-MM-DD.
+func (d Date) String() string {
+	return fmt.Sprintf("%04d-%02d-%02d", d.Year, d.Month, d.Day)
+}
+
+// ParseDateLiteral recognizes a written date literal (YYYY-MM-DD).
+func ParseDateLiteral(tok string) (Date, bool) {
+	if len(tok) != 10 || tok[4] != '-' || tok[7] != '-' {
+		return Date{}, false
+	}
+	y, err1 := strconv.Atoi(tok[:4])
+	m, err2 := strconv.Atoi(tok[5:7])
+	d, err3 := strconv.Atoi(tok[8:])
+	if err1 != nil || err2 != nil || err3 != nil {
+		return Date{}, false
+	}
+	if m < 1 || m > 12 || d < 1 || d > 31 {
+		return Date{}, false
+	}
+	return Date{y, m, d}, true
+}
+
+// VerbalizeDate renders a date the way Polly speaks it: month name, day
+// ordinal, then the year in spoken pairs ("1993-01-20" → "january twentieth
+// nineteen ninety three").
+func VerbalizeDate(d Date) []string {
+	var w []string
+	w = append(w, MonthName(d.Month))
+	w = append(w, strings.Fields(DayOrdinal(d.Day))...)
+	w = append(w, YearToWords(d.Year)...)
+	return w
+}
+
+// YearToWords speaks a year: 1993 → "nineteen ninety three", 2005 → "two
+// thousand five", 1905 → "nineteen oh five", 2000 → "two thousand".
+func YearToWords(y int) []string {
+	switch {
+	case y >= 2000 && y < 2010:
+		w := []string{"two", "thousand"}
+		if y%100 != 0 {
+			w = append(w, NumberToWords(int64(y%100))...)
+		}
+		return w
+	case y >= 1000 && y <= 9999 && (y/100)%10 != 0:
+		hi := NumberToWords(int64(y / 100))
+		lo := y % 100
+		switch {
+		case lo == 0:
+			return append(hi, "hundred")
+		case lo < 10:
+			return append(append(hi, "oh"), units[lo])
+		default:
+			return append(hi, NumberToWords(int64(lo))...)
+		}
+	default:
+		return NumberToWords(int64(y))
+	}
+}
+
+// wordsToYear parses the spoken-pair year forms produced by YearToWords.
+func wordsToYear(w []string) (int, bool) {
+	if len(w) == 0 {
+		return 0, false
+	}
+	// Plain scale form first ("two thousand five").
+	if n, ok := WordsToNumber(w); ok && n >= 1000 && n <= 9999 {
+		return int(n), true
+	}
+	// Pair form: split point after the first one-or-two words that form a
+	// value 10–99.
+	for split := 1; split <= 2 && split < len(w); split++ {
+		hi, ok1 := WordsToNumber(w[:split])
+		if !ok1 || hi < 10 || hi > 99 {
+			continue
+		}
+		rest := w[split:]
+		if len(rest) == 1 && rest[0] == "hundred" {
+			return int(hi) * 100, true
+		}
+		if rest[0] == "oh" {
+			if lo, ok := WordsToNumber(rest[1:]); ok && lo < 10 {
+				return int(hi)*100 + int(lo), true
+			}
+			continue
+		}
+		if lo, ok := WordsToNumber(rest); ok && lo >= 1 && lo <= 99 {
+			return int(hi)*100 + int(lo), true
+		}
+	}
+	return 0, false
+}
+
+// ParseSpokenDate recognizes a spoken date in the token window. It is
+// deliberately lenient, because ASR mangles dates (Table 1: "1991-05-07" →
+// "may 07 90 91"): the month may be a name, the day an ordinal, a number
+// word, or a numeral token, and the year spoken pairs or numeral fragments.
+// Returns the recovered date and true on success.
+func ParseSpokenDate(tokens []string) (Date, bool) {
+	if len(tokens) == 0 {
+		return Date{}, false
+	}
+	var d Date
+	i := 0
+	low := make([]string, len(tokens))
+	for j, t := range tokens {
+		low[j] = strings.ToLower(t)
+	}
+
+	// Month.
+	if m := MonthNumber(low[i]); m != 0 {
+		d.Month = m
+		i++
+	} else {
+		return Date{}, false
+	}
+
+	// Day: ordinal words ("twenty first"), number words, or numeral.
+	day, used := parseDay(low[i:])
+	if day == 0 {
+		return Date{}, false
+	}
+	d.Day = day
+	i += used
+
+	// Year: remaining tokens.
+	rest := low[i:]
+	if len(rest) == 0 {
+		return Date{}, false
+	}
+	if y, ok := wordsToYear(rest); ok {
+		d.Year = y
+		return d, d.Month >= 1 && d.Month <= 12 && d.Day >= 1 && d.Day <= 31
+	}
+	// Numeral fragments: "1993", or mangled pairs "19 93" / "90 91".
+	if y, ok := numeralYear(rest); ok {
+		d.Year = y
+		return d, true
+	}
+	return Date{}, false
+}
+
+func parseDay(toks []string) (day, used int) {
+	if len(toks) == 0 {
+		return 0, 0
+	}
+	// Two-word ordinal ("twenty first") or number ("twenty one").
+	if len(toks) >= 2 {
+		two := toks[0] + " " + toks[1]
+		if d, ok := ordinalDay[two]; ok {
+			return d, 2
+		}
+		if n, ok := WordsToNumber(toks[:2]); ok && n >= 21 && n <= 31 {
+			return int(n), 2
+		}
+	}
+	if d, ok := ordinalDay[toks[0]]; ok {
+		return d, 1
+	}
+	if n, ok := WordsToNumber(toks[:1]); ok && n >= 1 && n <= 31 {
+		return int(n), 1
+	}
+	if n, err := strconv.Atoi(toks[0]); err == nil && n >= 1 && n <= 31 {
+		return n, 1
+	}
+	return 0, 0
+}
+
+func numeralYear(toks []string) (int, bool) {
+	if len(toks) == 1 {
+		if n, err := strconv.Atoi(toks[0]); err == nil && n >= 1000 && n <= 9999 {
+			return n, true
+		}
+		return 0, false
+	}
+	if len(toks) == 2 {
+		a, err1 := strconv.Atoi(toks[0])
+		b, err2 := strconv.Atoi(toks[1])
+		if err1 != nil || err2 != nil {
+			return 0, false
+		}
+		// "19 93" → 1993; "90 91" (mangled "nineteen ninety one") → 1991.
+		if a >= 10 && a <= 99 && b >= 0 && b <= 99 {
+			if a >= 15 && a <= 20 { // plausible century prefix
+				return a*100 + b, true
+			}
+			// Heuristic recovery for the Table 1 mangle: interpret as
+			// 19xx with the last two digits from the final fragment.
+			return 1900 + b, true
+		}
+	}
+	return 0, false
+}

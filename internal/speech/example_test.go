@@ -1,0 +1,32 @@
+package speech_test
+
+import (
+	"fmt"
+	"strings"
+
+	"speakql/internal/speech"
+)
+
+func ExampleVerbalizeQuery() {
+	words := speech.VerbalizeQuery("SELECT AVG ( Salary ) FROM Salaries WHERE Salary > 70000")
+	fmt.Println(strings.Join(words, " "))
+	// Output: select avg open parenthesis salary close parenthesis from salaries where salary greater than seventy thousand
+}
+
+func ExampleNumberToWords() {
+	fmt.Println(strings.Join(speech.NumberToWords(45310), " "))
+	// Output: forty five thousand three hundred ten
+}
+
+func ExampleWordsToNumber() {
+	n, ok := speech.WordsToNumber(strings.Fields("forty five thousand three hundred ten"))
+	fmt.Println(n, ok)
+	// Output: 45310 true
+}
+
+func ExampleParseSpokenDate() {
+	// The Table 1 mangled date is still recoverable.
+	d, ok := speech.ParseSpokenDate(strings.Fields("may 07 90 91"))
+	fmt.Println(d, ok)
+	// Output: 1991-05-07 true
+}

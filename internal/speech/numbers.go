@@ -1,0 +1,229 @@
+// Package speech is the speech-synthesis substrate standing in for Amazon
+// Polly (Section 6.1, step 6): it renders a written SQL query as the word
+// sequence a speaker would utter — keywords as words, special characters as
+// phrases ("equals", "open parenthesis"), numbers as English number words,
+// dates as spoken dates ("january twentieth nineteen ninety three"), and
+// identifiers split into pronounceable chunks ("FromDate" → "from date",
+// "d002" → "d zero zero two"). It also provides the inverse parsers
+// (spoken-number and spoken-date recognition) that literal determination
+// uses to reassemble numeric and date attribute values that ASR splits
+// apart (Table 1's "45412 → 45000 412" and date-mangling error classes).
+package speech
+
+import "strings"
+
+var units = []string{"zero", "one", "two", "three", "four", "five", "six",
+	"seven", "eight", "nine", "ten", "eleven", "twelve", "thirteen",
+	"fourteen", "fifteen", "sixteen", "seventeen", "eighteen", "nineteen"}
+
+var tens = []string{"", "", "twenty", "thirty", "forty", "fifty", "sixty",
+	"seventy", "eighty", "ninety"}
+
+var unitValue = func() map[string]int64 {
+	m := make(map[string]int64)
+	for i, u := range units {
+		m[u] = int64(i)
+	}
+	return m
+}()
+
+var tensValue = func() map[string]int64 {
+	m := make(map[string]int64)
+	for i := 2; i < len(tens); i++ {
+		m[tens[i]] = int64(i * 10)
+	}
+	return m
+}()
+
+var scaleValue = map[string]int64{
+	"hundred":  100,
+	"thousand": 1000,
+	"million":  1000000,
+	"billion":  1000000000,
+}
+
+// NumberToWords renders n in spoken English ("45310" → "forty five thousand
+// three hundred ten"). Negative numbers get a leading "minus".
+func NumberToWords(n int64) []string {
+	if n == 0 {
+		return []string{"zero"}
+	}
+	var w []string
+	if n < 0 {
+		w = append(w, "minus")
+		n = -n
+	}
+	type scale struct {
+		value int64
+		name  string
+	}
+	for _, s := range []scale{{1000000000, "billion"}, {1000000, "million"}, {1000, "thousand"}} {
+		if n >= s.value {
+			w = append(w, NumberToWords(n/s.value)...)
+			w = append(w, s.name)
+			n %= s.value
+		}
+	}
+	if n >= 100 {
+		w = append(w, units[n/100], "hundred")
+		n %= 100
+	}
+	if n >= 20 {
+		w = append(w, tens[n/10])
+		n %= 10
+		if n > 0 {
+			w = append(w, units[n])
+		}
+	} else if n > 0 {
+		w = append(w, units[n])
+	}
+	return w
+}
+
+// DigitsToWords spells a digit string digit by digit ("1729" → "one seven
+// two nine"), the way people read identifier codes aloud.
+func DigitsToWords(digits string) []string {
+	var w []string
+	for i := 0; i < len(digits); i++ {
+		if d := digits[i]; d >= '0' && d <= '9' {
+			w = append(w, units[d-'0'])
+		}
+	}
+	return w
+}
+
+// WordsToNumber parses a spoken number. It accepts both scale form ("forty
+// five thousand three hundred ten") and digit-spelling form ("one seven two
+// nine" → 1729). The second return is false if the words are not a number.
+func WordsToNumber(words []string) (int64, bool) {
+	if len(words) == 0 {
+		return 0, false
+	}
+	lw := make([]string, 0, len(words))
+	neg := false
+	for i, w := range words {
+		w = strings.ToLower(w)
+		if w == "and" { // "three hundred and ten"
+			continue
+		}
+		if w == "oh" { // spoken zero in digit spellings ("d oh oh two")
+			w = "zero"
+		}
+		if (w == "minus" || w == "negative") && i == 0 {
+			neg = true
+			continue
+		}
+		lw = append(lw, w)
+	}
+	if len(lw) == 0 {
+		return 0, false
+	}
+
+	// Digit-spelling form: every word a unit < 10, more than one word, or a
+	// single unit word.
+	allDigits := true
+	for _, w := range lw {
+		if v, ok := unitValue[w]; !ok || v > 9 {
+			allDigits = false
+			break
+		}
+	}
+	if allDigits && len(lw) > 1 {
+		var n int64
+		for _, w := range lw {
+			n = n*10 + unitValue[w]
+		}
+		if neg {
+			n = -n
+		}
+		return n, true
+	}
+
+	var total, cur int64
+	seenAny := false
+	for _, w := range lw {
+		switch {
+		case unitValue[w] != 0 || w == "zero":
+			if _, ok := unitValue[w]; !ok {
+				return 0, false
+			}
+			cur += unitValue[w]
+			seenAny = true
+		case tensValue[w] != 0:
+			cur += tensValue[w]
+			seenAny = true
+		case w == "hundred":
+			if cur == 0 {
+				cur = 1
+			}
+			cur *= 100
+			seenAny = true
+		case scaleValue[w] != 0 && w != "hundred":
+			if cur == 0 {
+				cur = 1
+			}
+			total += cur * scaleValue[w]
+			cur = 0
+			seenAny = true
+		default:
+			return 0, false
+		}
+	}
+	if !seenAny {
+		return 0, false
+	}
+	n := total + cur
+	if neg {
+		n = -n
+	}
+	return n, true
+}
+
+// ordinals for days of the month, indexed 1–31.
+var ordinals = []string{"",
+	"first", "second", "third", "fourth", "fifth", "sixth", "seventh",
+	"eighth", "ninth", "tenth", "eleventh", "twelfth", "thirteenth",
+	"fourteenth", "fifteenth", "sixteenth", "seventeenth", "eighteenth",
+	"nineteenth", "twentieth", "twenty first", "twenty second",
+	"twenty third", "twenty fourth", "twenty fifth", "twenty sixth",
+	"twenty seventh", "twenty eighth", "twenty ninth", "thirtieth",
+	"thirty first"}
+
+var ordinalDay = func() map[string]int {
+	m := make(map[string]int)
+	for d := 1; d <= 31; d++ {
+		m[ordinals[d]] = d
+	}
+	return m
+}()
+
+var months = []string{"", "january", "february", "march", "april", "may",
+	"june", "july", "august", "september", "october", "november", "december"}
+
+var monthValue = func() map[string]int {
+	m := make(map[string]int)
+	for i := 1; i < len(months); i++ {
+		m[months[i]] = i
+	}
+	return m
+}()
+
+// MonthName returns the lowercase English month name for 1–12 ("" outside).
+func MonthName(m int) string {
+	if m < 1 || m > 12 {
+		return ""
+	}
+	return months[m]
+}
+
+// MonthNumber returns the month number for an English month name (0 if not
+// a month).
+func MonthNumber(name string) int { return monthValue[strings.ToLower(name)] }
+
+// DayOrdinal returns the spoken ordinal for a day of month ("" outside 1–31).
+func DayOrdinal(d int) string {
+	if d < 1 || d > 31 {
+		return ""
+	}
+	return ordinals[d]
+}

@@ -1,0 +1,263 @@
+package speech
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func join(w []string) string { return strings.Join(w, " ") }
+
+func TestNumberToWords(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want string
+	}{
+		{0, "zero"},
+		{5, "five"},
+		{13, "thirteen"},
+		{20, "twenty"},
+		{21, "twenty one"},
+		{100, "one hundred"},
+		{110, "one hundred ten"},
+		{310, "three hundred ten"},
+		{45310, "forty five thousand three hundred ten"},
+		{45412, "forty five thousand four hundred twelve"},
+		{70000, "seventy thousand"},
+		{45000, "forty five thousand"},
+		{412, "four hundred twelve"},
+		{1000000, "one million"},
+		{2500000, "two million five hundred thousand"},
+		{-7, "minus seven"},
+	}
+	for _, c := range cases {
+		if got := join(NumberToWords(c.n)); got != c.want {
+			t.Errorf("NumberToWords(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}
+
+func TestWordsToNumber(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		ok   bool
+	}{
+		{"zero", 0, true},
+		{"forty five thousand three hundred ten", 45310, true},
+		{"seventy thousand", 70000, true},
+		{"three hundred and ten", 310, true},
+		{"one seven two nine", 1729, true},
+		{"nineteen", 19, true},
+		{"two million", 2000000, true},
+		{"minus seven", -7, true},
+		{"hello world", 0, false},
+		{"", 0, false},
+		{"forty banana", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := WordsToNumber(strings.Fields(c.in))
+		if ok != c.ok || got != c.want {
+			t.Errorf("WordsToNumber(%q) = %d,%v want %d,%v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+// Round trip: every number survives verbalization and parsing.
+func TestNumberRoundTrip(t *testing.T) {
+	for _, n := range []int64{0, 1, 9, 10, 15, 19, 20, 45, 99, 100, 101, 110,
+		999, 1000, 1001, 45310, 70000, 99999, 123456, 1000000, 987654321} {
+		got, ok := WordsToNumber(NumberToWords(n))
+		if !ok || got != n {
+			t.Errorf("round trip %d → %v → %d,%v", n, NumberToWords(n), got, ok)
+		}
+	}
+	f := func(v uint32) bool {
+		n := int64(v % 10000000)
+		got, ok := WordsToNumber(NumberToWords(n))
+		return ok && got == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDigitsToWords(t *testing.T) {
+	if got := join(DigitsToWords("1729")); got != "one seven two nine" {
+		t.Errorf("got %q", got)
+	}
+	if got := join(DigitsToWords("002")); got != "zero zero two" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestParseDateLiteral(t *testing.T) {
+	d, ok := ParseDateLiteral("1993-01-20")
+	if !ok || d != (Date{1993, 1, 20}) {
+		t.Fatalf("got %v,%v", d, ok)
+	}
+	if d.String() != "1993-01-20" {
+		t.Errorf("String = %q", d.String())
+	}
+	for _, bad := range []string{"1993-13-20", "1993-00-20", "1993-01-32",
+		"19930120", "93-01-20", "1993/01/20", "hello", ""} {
+		if _, ok := ParseDateLiteral(bad); ok {
+			t.Errorf("ParseDateLiteral(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestVerbalizeDate(t *testing.T) {
+	cases := []struct {
+		d    Date
+		want string
+	}{
+		{Date{1993, 1, 20}, "january twentieth nineteen ninety three"},
+		{Date{1990, 3, 20}, "march twentieth nineteen ninety"},
+		{Date{2001, 10, 9}, "october ninth two thousand one"},
+		{Date{1996, 5, 10}, "may tenth nineteen ninety six"},
+		{Date{1905, 7, 1}, "july first nineteen oh five"},
+		{Date{1900, 12, 31}, "december thirty first nineteen hundred"},
+		{Date{1991, 5, 7}, "may seventh nineteen ninety one"},
+	}
+	for _, c := range cases {
+		if got := join(VerbalizeDate(c.d)); got != c.want {
+			t.Errorf("VerbalizeDate(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+func TestDateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		d := Date{1900 + rng.Intn(140), 1 + rng.Intn(12), 1 + rng.Intn(31)}
+		got, ok := ParseSpokenDate(VerbalizeDate(d))
+		if !ok || got != d {
+			t.Fatalf("round trip %v → %v → %v,%v", d, VerbalizeDate(d), got, ok)
+		}
+	}
+}
+
+func TestParseSpokenDateMangled(t *testing.T) {
+	// Table 1's mangled date: "1991-05-07" transcribed as "may 07 90 91".
+	d, ok := ParseSpokenDate(strings.Fields("may 07 90 91"))
+	if !ok {
+		t.Fatal("mangled date not recovered")
+	}
+	if d.Month != 5 || d.Day != 7 {
+		t.Fatalf("mangled date month/day: %v", d)
+	}
+	if d.Year != 1991 {
+		t.Fatalf("mangled year: %v (heuristic should give 1991)", d)
+	}
+	// Numeral day and year.
+	d, ok = ParseSpokenDate(strings.Fields("january 20 1993"))
+	if !ok || d != (Date{1993, 1, 20}) {
+		t.Fatalf("numeral date: %v,%v", d, ok)
+	}
+	if _, ok := ParseSpokenDate(strings.Fields("hello world")); ok {
+		t.Fatal("non-date parsed")
+	}
+	if _, ok := ParseSpokenDate(nil); ok {
+		t.Fatal("empty parsed")
+	}
+}
+
+func TestSplitIdentifier(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"FromDate", "From Date"},
+		{"fromdate", "fromdate"},
+		{"FirstName", "First Name"},
+		{"DepartmentEmployee", "Department Employee"},
+		{"d002", "d 002"},
+		{"CUSTID_1729A", "CUSTID 1729 A"},
+		{"table_123", "table 123"},
+		{"EmployeeNumber", "Employee Number"},
+		{"HTTPServer", "HTTP Server"},
+		{"ToDate", "To Date"},
+		{"", ""},
+	}
+	for _, c := range cases {
+		got := strings.Join(SplitIdentifier(c.in), " ")
+		if got != c.want {
+			t.Errorf("SplitIdentifier(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestVerbalizeToken(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"SELECT", "select"},
+		{"NATURAL", "natural"},
+		{"*", "star"},
+		{"=", "equals"},
+		{"<", "less than"},
+		{"(", "open parenthesis"},
+		{"FromDate", "from date"},
+		{"Salaries", "salaries"},
+		{"d002", "d zero zero two"},
+		{"CUSTID_1729A", "custid one seven two nine a"},
+		{"70000", "seventy thousand"},
+		{"1993-01-20", "january twentieth nineteen ninety three"},
+		{"3.5", "three point five"},
+		{"table_123", "table one two three"},
+	}
+	for _, c := range cases {
+		if got := join(VerbalizeToken(c.in)); got != c.want {
+			t.Errorf("VerbalizeToken(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestVerbalizeQuery(t *testing.T) {
+	got := join(VerbalizeQuery("SELECT AVG ( salary ) FROM Salaries"))
+	want := "select avg open parenthesis salary close parenthesis from salaries"
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+	got = join(VerbalizeQuery("SELECT FromDate FROM DepartmentEmployee WHERE DepartmentNumber = 'd002'"))
+	want = "select from date from department employee where department number equals d zero zero two"
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+	got = join(VerbalizeQuery("SELECT Lastname FROM Employees NATURAL JOIN Salaries WHERE Salary > 70000"))
+	want = "select lastname from employees natural join salaries where salary greater than seventy thousand"
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestYearToWords(t *testing.T) {
+	cases := []struct {
+		y    int
+		want string
+	}{
+		{1993, "nineteen ninety three"},
+		{2000, "two thousand"},
+		{2005, "two thousand five"},
+		{2019, "two thousand nineteen"},
+		{1900, "nineteen hundred"},
+		{1905, "nineteen oh five"},
+	}
+	for _, c := range cases {
+		if got := join(YearToWords(c.y)); got != c.want {
+			t.Errorf("YearToWords(%d) = %q, want %q", c.y, got, c.want)
+		}
+	}
+}
+
+func TestMonthHelpers(t *testing.T) {
+	if MonthName(5) != "may" || MonthName(0) != "" || MonthName(13) != "" {
+		t.Error("MonthName wrong")
+	}
+	if MonthNumber("May") != 5 || MonthNumber("smarch") != 0 {
+		t.Error("MonthNumber wrong")
+	}
+	if DayOrdinal(21) != "twenty first" || DayOrdinal(0) != "" || DayOrdinal(32) != "" {
+		t.Error("DayOrdinal wrong")
+	}
+}

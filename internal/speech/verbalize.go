@@ -1,0 +1,126 @@
+package speech
+
+import (
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// splCharWords is how a speaker reads each special character aloud.
+var splCharWords = map[string][]string{
+	"*": {"star"},
+	"=": {"equals"},
+	"<": {"less", "than"},
+	">": {"greater", "than"},
+	"(": {"open", "parenthesis"},
+	")": {"close", "parenthesis"},
+	",": {"comma"},
+	".": {"dot"},
+}
+
+// VerbalizeQuery renders a written SQL query as the spoken word sequence a
+// user dictating it would produce (all special characters dictated, per the
+// paper's SpeakQL input convention), in the default voice. Use a specific
+// Voice's VerbalizeQuery for speaker variation.
+func VerbalizeQuery(sql string) []string {
+	return DefaultVoice.VerbalizeQuery(sql)
+}
+
+// VerbalizeToken renders one SQL token as spoken words (default voice).
+func VerbalizeToken(tok string) []string {
+	return DefaultVoice.VerbalizeToken(tok)
+}
+
+// VerbalizeText renders a natural-language sentence as spoken words (for
+// the spoken-NLI condition of Table 5): punctuation is dropped, numbers are
+// spoken, everything else is lower-cased word by word.
+func VerbalizeText(s string) []string {
+	var words []string
+	for _, f := range strings.Fields(s) {
+		f = strings.Trim(f, ".,?!;:\"'()")
+		if f == "" {
+			continue
+		}
+		if n, err := strconv.ParseInt(f, 10, 64); err == nil {
+			words = append(words, NumberToWords(n)...)
+			continue
+		}
+		if d, ok := ParseDateLiteral(f); ok {
+			words = append(words, VerbalizeDate(d)...)
+			continue
+		}
+		words = append(words, strings.ToLower(f))
+	}
+	return words
+}
+
+// splitDecimal speaks "3.5" as "three point five".
+func splitDecimal(tok string) ([]string, bool) {
+	i := strings.IndexByte(tok, '.')
+	if i <= 0 || i == len(tok)-1 {
+		return nil, false
+	}
+	whole, err1 := strconv.ParseInt(tok[:i], 10, 64)
+	frac := tok[i+1:]
+	for _, r := range frac {
+		if r < '0' || r > '9' {
+			return nil, false
+		}
+	}
+	if err1 != nil {
+		return nil, false
+	}
+	w := NumberToWords(whole)
+	w = append(w, "point")
+	return append(w, DigitsToWords(frac)...), true
+}
+
+func isDigits(s string) bool {
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// SplitIdentifier splits an identifier at case transitions, separator
+// characters, and letter/digit boundaries: "FromDate" → [From Date],
+// "DEPT_no2" → [DEPT no 2], "CUSTID_1729A" → [CUSTID 1729 A].
+func SplitIdentifier(id string) []string {
+	var chunks []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			chunks = append(chunks, cur.String())
+			cur.Reset()
+		}
+	}
+	rs := []rune(id)
+	for i, r := range rs {
+		switch {
+		case r == '_' || r == '-' || r == ' ' || r == '/' || r == '#' || r == '\'':
+			flush()
+		case unicode.IsDigit(r):
+			if i > 0 && !unicode.IsDigit(rs[i-1]) {
+				flush()
+			}
+			cur.WriteRune(r)
+		case unicode.IsUpper(r):
+			// Boundary before an upper following lower ("FromDate"), or an
+			// upper followed by lower after an upper run ("HTTPServer").
+			if i > 0 && (unicode.IsLower(rs[i-1]) || unicode.IsDigit(rs[i-1]) ||
+				(i+1 < len(rs) && unicode.IsUpper(rs[i-1]) && unicode.IsLower(rs[i+1]))) {
+				flush()
+			}
+			cur.WriteRune(r)
+		default:
+			if i > 0 && unicode.IsDigit(rs[i-1]) {
+				flush()
+			}
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return chunks
+}

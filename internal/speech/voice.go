@@ -1,0 +1,141 @@
+package speech
+
+import (
+	"strconv"
+	"strings"
+
+	"speakql/internal/sqltoken"
+)
+
+// Voice captures one speaker's verbalization habits, standing in for Amazon
+// Polly's eight US-English voices (Section 6.1, step 6): different speakers
+// choose different phrasings for the same symbol ("equals" vs "equal to",
+// "star" vs "asterisk"), read zero as "zero" or "oh", and read dates in
+// month-ordinal or month-numeral style. The correction pipeline must be
+// robust to all of them.
+type Voice struct {
+	Name       string
+	Equals     []string
+	Star       []string
+	OpenParen  []string
+	CloseParen []string
+	Dot        []string
+	ZeroWord   string // "zero" or "oh" when spelling digits
+	OrdinalDay bool   // "january twentieth" vs "january 20"
+}
+
+// DefaultVoice is the voice VerbalizeQuery uses.
+var DefaultVoice = Voice{
+	Name:       "Joanna",
+	Equals:     []string{"equals"},
+	Star:       []string{"star"},
+	OpenParen:  []string{"open", "parenthesis"},
+	CloseParen: []string{"close", "parenthesis"},
+	Dot:        []string{"dot"},
+	ZeroWord:   "zero",
+	OrdinalDay: true,
+}
+
+// Voices are the eight built-in speakers.
+var Voices = []Voice{
+	DefaultVoice,
+	{Name: "Matthew", Equals: []string{"equals"}, Star: []string{"asterisk"},
+		OpenParen: []string{"open", "paren"}, CloseParen: []string{"close", "paren"},
+		Dot: []string{"dot"}, ZeroWord: "zero", OrdinalDay: true},
+	{Name: "Ivy", Equals: []string{"equal", "to"}, Star: []string{"star"},
+		OpenParen: []string{"open", "parenthesis"}, CloseParen: []string{"close", "parenthesis"},
+		Dot: []string{"period"}, ZeroWord: "oh", OrdinalDay: false},
+	{Name: "Justin", Equals: []string{"is", "equal", "to"}, Star: []string{"star"},
+		OpenParen: []string{"left", "parenthesis"}, CloseParen: []string{"right", "parenthesis"},
+		Dot: []string{"dot"}, ZeroWord: "zero", OrdinalDay: false},
+	{Name: "Kendra", Equals: []string{"equals"}, Star: []string{"star"},
+		OpenParen: []string{"open", "parenthesis"}, CloseParen: []string{"close", "parenthesis"},
+		Dot: []string{"dot"}, ZeroWord: "oh", OrdinalDay: true},
+	{Name: "Kimberly", Equals: []string{"equal", "to"}, Star: []string{"asterisk"},
+		OpenParen: []string{"open", "paren"}, CloseParen: []string{"close", "paren"},
+		Dot: []string{"dot"}, ZeroWord: "zero", OrdinalDay: true},
+	{Name: "Salli", Equals: []string{"equals"}, Star: []string{"star"},
+		OpenParen: []string{"open", "parenthesis"}, CloseParen: []string{"close", "parenthesis"},
+		Dot: []string{"point"}, ZeroWord: "zero", OrdinalDay: false},
+	{Name: "Joey", Equals: []string{"equals"}, Star: []string{"star"},
+		OpenParen: []string{"open", "parenthesis"}, CloseParen: []string{"close", "parenthesis"},
+		Dot: []string{"dot"}, ZeroWord: "zero", OrdinalDay: true},
+}
+
+// VoiceFor deterministically assigns a voice to the i-th utterance,
+// cycling through the eight speakers the way the paper's corpus does.
+func VoiceFor(i int) Voice { return Voices[((i%len(Voices))+len(Voices))%len(Voices)] }
+
+// VerbalizeQuery renders a written SQL query in this voice.
+func (v Voice) VerbalizeQuery(sql string) []string {
+	var words []string
+	for _, tok := range sqltoken.TokenizeSQL(sql) {
+		words = append(words, v.VerbalizeToken(tok)...)
+	}
+	return words
+}
+
+// VerbalizeToken renders one token in this voice.
+func (v Voice) VerbalizeToken(tok string) []string {
+	switch sqltoken.Classify(tok) {
+	case sqltoken.Keyword:
+		return []string{strings.ToLower(tok)}
+	case sqltoken.SplChar:
+		switch tok {
+		case "=":
+			return v.Equals
+		case "*":
+			return v.Star
+		case "(":
+			return v.OpenParen
+		case ")":
+			return v.CloseParen
+		case ".":
+			return v.Dot
+		default:
+			return splCharWords[tok]
+		}
+	}
+	if d, ok := ParseDateLiteral(tok); ok {
+		return v.verbalizeDate(d)
+	}
+	if n, err := strconv.ParseInt(tok, 10, 64); err == nil {
+		return NumberToWords(n)
+	}
+	if f, ok := splitDecimal(tok); ok {
+		return f
+	}
+	return v.verbalizeIdentifier(tok)
+}
+
+func (v Voice) verbalizeDate(d Date) []string {
+	var w []string
+	w = append(w, MonthName(d.Month))
+	if v.OrdinalDay {
+		w = append(w, strings.Fields(DayOrdinal(d.Day))...)
+	} else {
+		w = append(w, NumberToWords(int64(d.Day))...)
+	}
+	return append(w, YearToWords(d.Year)...)
+}
+
+func (v Voice) verbalizeIdentifier(id string) []string {
+	var words []string
+	for _, chunk := range SplitIdentifier(id) {
+		if chunk == "" {
+			continue
+		}
+		if isDigits(chunk) {
+			for i := 0; i < len(chunk); i++ {
+				if chunk[i] == '0' {
+					words = append(words, v.ZeroWord)
+				} else {
+					words = append(words, units[chunk[i]-'0'])
+				}
+			}
+		} else {
+			words = append(words, strings.ToLower(chunk))
+		}
+	}
+	return words
+}

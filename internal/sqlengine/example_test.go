@@ -1,0 +1,26 @@
+package sqlengine_test
+
+import (
+	"fmt"
+
+	"speakql/internal/sqlengine"
+)
+
+func ExampleRun() {
+	db := sqlengine.NewDatabase("demo")
+	t := db.CreateTable("Salaries",
+		sqlengine.Column{Name: "EmployeeNumber", Type: sqlengine.IntCol},
+		sqlengine.Column{Name: "Salary", Type: sqlengine.IntCol},
+	)
+	for i, s := range []int64{60000, 75000, 80000} {
+		if err := t.Insert(sqlengine.Int(int64(i+1)), sqlengine.Int(s)); err != nil {
+			panic(err)
+		}
+	}
+	res, err := sqlengine.Run(db, "SELECT AVG ( Salary ) FROM Salaries WHERE Salary > 60000")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Rows[0][0])
+	// Output: 77500
+}

@@ -1,0 +1,69 @@
+package sqlengine
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse hardens the lexer+parser: arbitrary input must either parse or
+// return an error — never panic — and anything that parses must render to a
+// string that parses again to the same rendering.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT a FROM t",
+		"SELECT * FROM t WHERE a = 'x' AND b < 3 OR c > 1993-01-20",
+		"SELECT AVG ( a ) , COUNT ( * ) FROM t NATURAL JOIN s GROUP BY g",
+		"SELECT a FROM t WHERE k IN ( SELECT k FROM s WHERE c > 1 ) ORDER BY a DESC LIMIT 5",
+		"SELECT a FROM t WHERE b BETWEEN 1 AND 2",
+		"SELECT a FROM t WHERE b NOT BETWEEN 'x' AND 'y'",
+		"'unterminated",
+		"SELECT SELECT SELECT",
+		"((((((((",
+		"SELECT a FROM t WHERE x = -5",
+		"SELECT a FROM t WHERE x = 3.5",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, sql string) {
+		stmt, err := Parse(sql)
+		if err != nil {
+			return
+		}
+		rendered := stmt.String()
+		again, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("rendering of parsed query does not reparse: %q → %q: %v",
+				sql, rendered, err)
+		}
+		if again.String() != rendered {
+			t.Fatalf("render not a fixed point: %q vs %q", rendered, again.String())
+		}
+	})
+}
+
+// FuzzExecute: any parsed statement must execute or error cleanly against a
+// populated database.
+func FuzzExecute(f *testing.F) {
+	db := testDB()
+	seeds := []string{
+		"SELECT FirstName FROM Employees WHERE Gender = 'M'",
+		"SELECT AVG ( Salary ) FROM Salaries GROUP BY ToDate",
+		"SELECT * FROM Employees NATURAL JOIN Titles ORDER BY FirstName LIMIT 2",
+		"SELECT Nope FROM Employees",
+		"SELECT FirstName FROM Employees WHERE EmployeeNumber IN ( SELECT EmployeeNumber FROM Salaries )",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, sql string) {
+		if strings.Count(sql, "(") > 8 {
+			return // avoid pathological nesting depth in fuzz exploration
+		}
+		stmt, err := Parse(sql)
+		if err != nil {
+			return
+		}
+		_, _ = Execute(db, stmt)
+	})
+}

@@ -1,0 +1,112 @@
+package sqlengine
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// lexKind tags lexer tokens.
+type lexKind int
+
+const (
+	lexIdent lexKind = iota
+	lexKeyword
+	lexNumber
+	lexString // single-quoted; quotes stripped
+	lexSymbol
+	lexEOF
+)
+
+type lexToken struct {
+	kind lexKind
+	text string
+	pos  int
+}
+
+var sqlKeywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "ORDER": true, "GROUP": true,
+	"BY": true, "NATURAL": true, "JOIN": true, "AND": true, "OR": true,
+	"NOT": true, "LIMIT": true, "BETWEEN": true, "IN": true, "SUM": true,
+	"COUNT": true, "MAX": true, "AVG": true, "MIN": true, "DESC": true,
+	"ASC": true,
+}
+
+// lex tokenizes a SQL string, preserving the quoted/unquoted distinction
+// that the shared sqltoken tokenizer (which serves the accuracy metrics)
+// deliberately drops.
+func lex(input string) ([]lexToken, error) {
+	var toks []lexToken
+	rs := []rune(input)
+	i := 0
+	for i < len(rs) {
+		r := rs[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case r == '\'':
+			j := i + 1
+			for j < len(rs) && rs[j] != '\'' {
+				j++
+			}
+			if j >= len(rs) {
+				return nil, fmt.Errorf("sqlengine: unterminated string at %d", i)
+			}
+			toks = append(toks, lexToken{lexString, string(rs[i+1 : j]), i})
+			i = j + 1
+		case strings.ContainsRune("*=<>(),.", r):
+			// Decimals starting with a digit are consumed by the number
+			// branch; a dot reaching here is the qualification symbol.
+			toks = append(toks, lexToken{lexSymbol, string(r), i})
+			i++
+		case unicode.IsDigit(r) || (r == '-' && i+1 < len(rs) && unicode.IsDigit(rs[i+1]) && startsNumber(toks)):
+			j := i + 1
+			dot := false
+			dash := 0
+			for j < len(rs) {
+				switch {
+				case unicode.IsDigit(rs[j]):
+					j++
+				case rs[j] == '.' && !dot && j+1 < len(rs) && unicode.IsDigit(rs[j+1]):
+					dot = true
+					j++
+				case rs[j] == '-' && dash < 2 && j+1 < len(rs) && unicode.IsDigit(rs[j+1]):
+					// Unquoted date literal 1993-01-20.
+					dash++
+					j++
+				default:
+					goto done
+				}
+			}
+		done:
+			toks = append(toks, lexToken{lexNumber, string(rs[i:j]), i})
+			i = j
+		case unicode.IsLetter(r) || r == '_':
+			j := i + 1
+			for j < len(rs) && (unicode.IsLetter(rs[j]) || unicode.IsDigit(rs[j]) || rs[j] == '_') {
+				j++
+			}
+			word := string(rs[i:j])
+			if sqlKeywords[strings.ToUpper(word)] {
+				toks = append(toks, lexToken{lexKeyword, strings.ToUpper(word), i})
+			} else {
+				toks = append(toks, lexToken{lexIdent, word, i})
+			}
+			i = j
+		default:
+			return nil, fmt.Errorf("sqlengine: unexpected character %q at %d", r, i)
+		}
+	}
+	toks = append(toks, lexToken{lexEOF, "", len(rs)})
+	return toks, nil
+}
+
+// startsNumber reports whether a '-' here can begin a negative number (it
+// follows an operator or comparison, not an identifier or number).
+func startsNumber(toks []lexToken) bool {
+	if len(toks) == 0 {
+		return false
+	}
+	last := toks[len(toks)-1]
+	return last.kind == lexSymbol || last.kind == lexKeyword
+}

@@ -1,0 +1,380 @@
+package sqlengine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"speakql/internal/speech"
+)
+
+// Parse parses one SELECT statement in the supported subset and returns its
+// AST. The grammar is the paper's Box 1 plus the extensions SpeakQL itself
+// uses (NATURAL JOIN chains, tails without WHERE, one-level nesting in IN
+// and comparisons, optional DESC).
+func Parse(sql string) (*SelectStmt, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != lexEOF {
+		return nil, fmt.Errorf("sqlengine: trailing input at %q", p.peek().text)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []lexToken
+	pos  int
+}
+
+func (p *parser) peek() lexToken { return p.toks[p.pos] }
+
+func (p *parser) next() lexToken {
+	t := p.toks[p.pos]
+	if t.kind != lexEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(kind lexKind, text string) bool {
+	t := p.peek()
+	if t.kind == kind && (text == "" || t.text == text) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind lexKind, text string) (lexToken, error) {
+	t := p.next()
+	if t.kind != kind || (text != "" && t.text != text) {
+		return t, fmt.Errorf("sqlengine: expected %q, got %q", text, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	stmt := &SelectStmt{Limit: -1}
+	if _, err := p.expect(lexKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	// Projection.
+	if p.accept(lexSymbol, "*") {
+		stmt.Star = true
+	} else {
+		for {
+			item, err := p.parseSelectItem()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Items = append(stmt.Items, item)
+			if !p.accept(lexSymbol, ",") {
+				break
+			}
+		}
+	}
+	// FROM.
+	if _, err := p.expect(lexKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	t, err := p.expect(lexIdent, "")
+	if err != nil {
+		return nil, fmt.Errorf("sqlengine: expected table name: %w", err)
+	}
+	stmt.From = append(stmt.From, t.text)
+	for {
+		switch {
+		case p.accept(lexKeyword, "NATURAL"):
+			if _, err := p.expect(lexKeyword, "JOIN"); err != nil {
+				return nil, err
+			}
+			tt, err := p.expect(lexIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			stmt.From = append(stmt.From, tt.text)
+			stmt.NaturalJoin = true
+		case p.accept(lexSymbol, ","):
+			tt, err := p.expect(lexIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			stmt.From = append(stmt.From, tt.text)
+		default:
+			goto clauses
+		}
+	}
+clauses:
+	// WHERE.
+	if p.accept(lexKeyword, "WHERE") {
+		w, err := p.parseBoolExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = w
+	}
+	// GROUP BY / ORDER BY / LIMIT tails, any subset in order.
+	for {
+		switch {
+		case p.accept(lexKeyword, "GROUP"):
+			if _, err := p.expect(lexKeyword, "BY"); err != nil {
+				return nil, err
+			}
+			c, err := p.parseColRef()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = &c
+		case p.accept(lexKeyword, "ORDER"):
+			if _, err := p.expect(lexKeyword, "BY"); err != nil {
+				return nil, err
+			}
+			c, err := p.parseColRef()
+			if err != nil {
+				return nil, err
+			}
+			stmt.OrderBy = &c
+			if p.accept(lexKeyword, "DESC") {
+				stmt.OrderDesc = true
+			} else {
+				p.accept(lexKeyword, "ASC")
+			}
+		case p.accept(lexKeyword, "LIMIT"):
+			n, err := p.expect(lexNumber, "")
+			if err != nil {
+				return nil, err
+			}
+			lim, err := strconv.Atoi(n.text)
+			if err != nil || lim < 0 {
+				return nil, fmt.Errorf("sqlengine: bad LIMIT %q", n.text)
+			}
+			stmt.Limit = lim
+		default:
+			return stmt, nil
+		}
+	}
+}
+
+var aggFuncs = map[string]bool{"AVG": true, "SUM": true, "MAX": true, "MIN": true, "COUNT": true}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	t := p.peek()
+	if t.kind == lexKeyword && aggFuncs[t.text] {
+		p.next()
+		if _, err := p.expect(lexSymbol, "("); err != nil {
+			return SelectItem{}, err
+		}
+		if t.text == "COUNT" && p.accept(lexSymbol, "*") {
+			if _, err := p.expect(lexSymbol, ")"); err != nil {
+				return SelectItem{}, err
+			}
+			return SelectItem{Agg: "COUNT", Star: true}, nil
+		}
+		c, err := p.parseColRef()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		if _, err := p.expect(lexSymbol, ")"); err != nil {
+			return SelectItem{}, err
+		}
+		return SelectItem{Agg: t.text, Col: c}, nil
+	}
+	c, err := p.parseColRef()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	return SelectItem{Col: c}, nil
+}
+
+func (p *parser) parseColRef() (ColRef, error) {
+	t, err := p.expect(lexIdent, "")
+	if err != nil {
+		return ColRef{}, fmt.Errorf("sqlengine: expected column: %w", err)
+	}
+	if p.accept(lexSymbol, ".") {
+		c, err := p.expect(lexIdent, "")
+		if err != nil {
+			return ColRef{}, err
+		}
+		return ColRef{Table: t.text, Column: c.text}, nil
+	}
+	return ColRef{Column: t.text}, nil
+}
+
+// parseBoolExpr parses OR-chains of AND-chains of predicates (standard
+// precedence; the subset has no parenthesized boolean groups).
+func (p *parser) parseBoolExpr() (*BoolNode, error) {
+	left, err := p.parseAndChain()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(lexKeyword, "OR") {
+		right, err := p.parseAndChain()
+		if err != nil {
+			return nil, err
+		}
+		left = &BoolNode{Op: "OR", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAndChain() (*BoolNode, error) {
+	pred, err := p.parsePredicate()
+	if err != nil {
+		return nil, err
+	}
+	left := &BoolNode{Pred: pred}
+	for {
+		// Lookahead: AND may belong to a BETWEEN, which parsePredicate
+		// already consumed, so any AND here chains predicates.
+		if !p.accept(lexKeyword, "AND") {
+			return left, nil
+		}
+		right, err := p.parsePredicate()
+		if err != nil {
+			return nil, err
+		}
+		left = &BoolNode{Op: "AND", Left: left, Right: &BoolNode{Pred: right}}
+	}
+}
+
+func (p *parser) parsePredicate() (*Predicate, error) {
+	left, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	switch {
+	case t.kind == lexSymbol && (t.text == "=" || t.text == "<" || t.text == ">"):
+		p.next()
+		right, err := p.parseOperand()
+		if err != nil {
+			return nil, err
+		}
+		return &Predicate{Kind: predCompare, Left: left, Op: t.text, Right: right}, nil
+	case t.kind == lexKeyword && (t.text == "BETWEEN" || t.text == "NOT"):
+		not := false
+		if t.text == "NOT" {
+			p.next()
+			not = true
+		}
+		if _, err := p.expect(lexKeyword, "BETWEEN"); err != nil {
+			return nil, err
+		}
+		lo, err := p.parseValue()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexKeyword, "AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseValue()
+		if err != nil {
+			return nil, err
+		}
+		return &Predicate{Kind: predBetween, Left: left, Lo: lo, Hi: hi, Not: not}, nil
+	case t.kind == lexKeyword && t.text == "IN":
+		p.next()
+		if _, err := p.expect(lexSymbol, "("); err != nil {
+			return nil, err
+		}
+		if p.peek().kind == lexKeyword && p.peek().text == "SELECT" {
+			sub, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(lexSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return &Predicate{Kind: predIn, Left: left, Sub: sub}, nil
+		}
+		var vals []Value
+		for {
+			v, err := p.parseValue()
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, v)
+			if !p.accept(lexSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(lexSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return &Predicate{Kind: predIn, Left: left, Vals: vals}, nil
+	default:
+		return nil, fmt.Errorf("sqlengine: expected comparison operator, got %q", t.text)
+	}
+}
+
+// parseOperand parses a column reference, literal value, or parenthesized
+// scalar subquery.
+func (p *parser) parseOperand() (Operand, error) {
+	t := p.peek()
+	switch {
+	case t.kind == lexSymbol && t.text == "(":
+		p.next()
+		sub, err := p.parseSelect()
+		if err != nil {
+			return Operand{}, err
+		}
+		if _, err := p.expect(lexSymbol, ")"); err != nil {
+			return Operand{}, err
+		}
+		return Operand{Sub: sub}, nil
+	case t.kind == lexIdent:
+		c, err := p.parseColRef()
+		if err != nil {
+			return Operand{}, err
+		}
+		return Operand{Col: &c}, nil
+	default:
+		v, err := p.parseValue()
+		if err != nil {
+			return Operand{}, err
+		}
+		return Operand{Val: &v}, nil
+	}
+}
+
+// parseValue parses a literal: number, date, or string. Unquoted
+// identifiers in value position are accepted as strings, because SpeakQL's
+// rendered queries and users' quick edits both produce them.
+func (p *parser) parseValue() (Value, error) {
+	t := p.next()
+	switch t.kind {
+	case lexNumber:
+		if _, ok := speech.ParseDateLiteral(t.text); ok {
+			return DateVal(t.text), nil
+		}
+		if strings.ContainsRune(t.text, '.') {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return Value{}, fmt.Errorf("sqlengine: bad number %q", t.text)
+			}
+			return Float(f), nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("sqlengine: bad number %q", t.text)
+		}
+		return Int(i), nil
+	case lexString:
+		if _, ok := speech.ParseDateLiteral(t.text); ok {
+			return DateVal(t.text), nil
+		}
+		return Str(t.text), nil
+	case lexIdent:
+		return Str(t.text), nil
+	default:
+		return Value{}, fmt.Errorf("sqlengine: expected value, got %q", t.text)
+	}
+}

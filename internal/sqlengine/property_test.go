@@ -1,0 +1,162 @@
+package sqlengine
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// Property: parsing then rendering then parsing is stable, and execution of
+// a parsed statement never panics, for a large randomized query population
+// drawn from the same shapes the dataset generator emits.
+func TestRandomQueriesNeverPanic(t *testing.T) {
+	db := testDB()
+	rng := rand.New(rand.NewSource(8))
+	tables := []string{"Employees", "Salaries", "Titles"}
+	attrs := []string{"EmployeeNumber", "FirstName", "LastName", "Gender",
+		"HireDate", "Salary", "FromDate", "ToDate", "Title", "Nonexistent"}
+	values := []string{"'John'", "'Engineer'", "60000", "'1993-01-20'", "0", "'zz'"}
+	ops := []string{"=", "<", ">"}
+	aggs := []string{"AVG", "SUM", "MAX", "MIN", "COUNT"}
+
+	pick := func(xs []string) string { return xs[rng.Intn(len(xs))] }
+	for trial := 0; trial < 500; trial++ {
+		var b strings.Builder
+		b.WriteString("SELECT ")
+		switch rng.Intn(3) {
+		case 0:
+			b.WriteString("*")
+		case 1:
+			b.WriteString(pick(attrs))
+		default:
+			b.WriteString(pick(aggs) + " ( " + pick(attrs) + " )")
+		}
+		b.WriteString(" FROM " + pick(tables))
+		if rng.Intn(2) == 0 {
+			b.WriteString(" NATURAL JOIN " + pick(tables))
+		}
+		if rng.Intn(2) == 0 {
+			b.WriteString(" WHERE " + pick(attrs) + " " + pick(ops) + " " + pick(values))
+			for rng.Intn(3) == 0 {
+				conn := " AND "
+				if rng.Intn(2) == 0 {
+					conn = " OR "
+				}
+				b.WriteString(conn + pick(attrs) + " " + pick(ops) + " " + pick(values))
+			}
+		}
+		switch rng.Intn(4) {
+		case 0:
+			b.WriteString(" GROUP BY " + pick(attrs))
+		case 1:
+			b.WriteString(" ORDER BY " + pick(attrs))
+		}
+		if rng.Intn(4) == 0 {
+			b.WriteString(" LIMIT 5")
+		}
+		sql := b.String()
+
+		stmt, err := Parse(sql)
+		if err != nil {
+			t.Fatalf("generated query does not parse: %q: %v", sql, err)
+		}
+		// Round-trip stability.
+		again, err := Parse(stmt.String())
+		if err != nil || again.String() != stmt.String() {
+			t.Fatalf("render round trip unstable for %q → %q (%v)", sql, stmt.String(), err)
+		}
+		// Execution: errors are fine (unknown columns etc.), panics are not.
+		_, _ = Execute(db, stmt)
+	}
+}
+
+func TestJoinCapRefusesExplosion(t *testing.T) {
+	db := NewDatabase("big")
+	a := db.CreateTable("A", Column{Name: "X", Type: IntCol})
+	b := db.CreateTable("B", Column{Name: "Y", Type: IntCol})
+	for i := 0; i < 2000; i++ {
+		if err := a.Insert(Int(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Insert(Int(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Run(db, "SELECT X FROM A , B"); err == nil {
+		t.Fatal("4M-row cross product was not refused")
+	}
+	// An equi-join over the same tables is fine.
+	if _, err := Run(db, "SELECT X FROM A , B WHERE A . X = B . Y"); err != nil {
+		t.Fatalf("equi join refused: %v", err)
+	}
+}
+
+func TestNaturalJoinNoSharedColumnsIsCross(t *testing.T) {
+	db := NewDatabase("d")
+	a := db.CreateTable("A", Column{Name: "X", Type: IntCol})
+	b := db.CreateTable("B", Column{Name: "Y", Type: IntCol})
+	_ = a.Insert(Int(1))
+	_ = a.Insert(Int(2))
+	_ = b.Insert(Int(3))
+	res, err := Run(db, "SELECT X FROM A NATURAL JOIN B")
+	if err != nil || len(res.Rows) != 2 {
+		t.Fatalf("no-shared-column natural join: %v %v", res, err)
+	}
+}
+
+func TestOrPrecedence(t *testing.T) {
+	// a OR b AND c parses as a OR (b AND c).
+	db := testDB()
+	res := mustRun(t, db,
+		"SELECT FirstName FROM Employees WHERE Gender = 'X' OR Gender = 'M' AND HireDate > '1900-01-01'")
+	if len(res.Rows) != 2 {
+		t.Fatalf("precedence rows = %v", rowStrings(res))
+	}
+}
+
+func TestLexer(t *testing.T) {
+	toks, err := lex("SELECT a,b FROM t WHERE x='hi there' AND y=3.5 AND d='1993-01-20'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []lexKind
+	var texts []string
+	for _, tk := range toks {
+		kinds = append(kinds, tk.kind)
+		texts = append(texts, tk.text)
+	}
+	joined := strings.Join(texts, "|")
+	if !strings.Contains(joined, "hi there") {
+		t.Errorf("string literal lost: %v", texts)
+	}
+	if !strings.Contains(joined, "3.5") {
+		t.Errorf("decimal lost: %v", texts)
+	}
+	if kinds[len(kinds)-1] != lexEOF {
+		t.Error("no EOF token")
+	}
+	if _, err := lex("SELECT 'unterminated"); err == nil {
+		t.Error("unterminated string accepted")
+	}
+	if _, err := lex("SELECT a @ b"); err == nil {
+		t.Error("bad character accepted")
+	}
+}
+
+func TestUnquotedDateLiteral(t *testing.T) {
+	db := testDB()
+	// SpeakQL renders dates unquoted sometimes; the lexer reads them as
+	// date-shaped numbers.
+	res := mustRun(t, db, "SELECT FirstName FROM Employees WHERE HireDate = 1993-01-20")
+	if len(res.Rows) != 1 {
+		t.Fatalf("unquoted date rows = %v", rowStrings(res))
+	}
+}
+
+func TestNegativeNumber(t *testing.T) {
+	db := testDB()
+	res := mustRun(t, db, "SELECT Salary FROM Salaries WHERE Salary > -1")
+	if len(res.Rows) != 4 {
+		t.Fatalf("negative literal rows = %v", rowStrings(res))
+	}
+}

@@ -1,0 +1,186 @@
+package sqlengine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Column is one table column.
+type Column struct {
+	Name string
+	Type ColType
+}
+
+// Table is an in-memory relation.
+type Table struct {
+	Name string
+	Cols []Column
+	Rows [][]Value
+}
+
+// ColIndex returns the index of the named column (case-insensitive), or −1.
+func (t *Table) ColIndex(name string) int {
+	for i, c := range t.Cols {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Insert appends one row, coercing values to the column types.
+func (t *Table) Insert(vals ...Value) error {
+	if len(vals) != len(t.Cols) {
+		return fmt.Errorf("sqlengine: table %s has %d columns, got %d values",
+			t.Name, len(t.Cols), len(vals))
+	}
+	row := make([]Value, len(vals))
+	for i, v := range vals {
+		row[i] = CoerceTo(v, t.Cols[i].Type)
+	}
+	t.Rows = append(t.Rows, row)
+	return nil
+}
+
+// Database is a named collection of tables.
+type Database struct {
+	Name   string
+	tables map[string]*Table
+	order  []string
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase(name string) *Database {
+	return &Database{Name: name, tables: make(map[string]*Table)}
+}
+
+// CreateTable adds a table; it panics on duplicates, which are programmer
+// errors in schema definitions.
+func (db *Database) CreateTable(name string, cols ...Column) *Table {
+	key := strings.ToLower(name)
+	if _, dup := db.tables[key]; dup {
+		panic(fmt.Sprintf("sqlengine: duplicate table %s", name))
+	}
+	t := &Table{Name: name, Cols: cols}
+	db.tables[key] = t
+	db.order = append(db.order, key)
+	return t
+}
+
+// Table looks up a table by name (case-insensitive).
+func (db *Database) Table(name string) (*Table, bool) {
+	t, ok := db.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// Tables returns the tables in creation order.
+func (db *Database) Tables() []*Table {
+	out := make([]*Table, 0, len(db.order))
+	for _, k := range db.order {
+		out = append(out, db.tables[k])
+	}
+	return out
+}
+
+// TableNames returns the table names in creation order.
+func (db *Database) TableNames() []string {
+	out := make([]string, 0, len(db.order))
+	for _, t := range db.Tables() {
+		out = append(out, t.Name)
+	}
+	return out
+}
+
+// AttributeNames returns all distinct column names across tables, sorted.
+func (db *Database) AttributeNames() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, t := range db.Tables() {
+		for _, c := range t.Cols {
+			if !seen[c.Name] {
+				seen[c.Name] = true
+				out = append(out, c.Name)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StringValues returns the distinct values of every string-typed column
+// (the literal catalog's value domain; numbers and dates are excluded per
+// Section 4). maxPerColumn bounds extraction per column (0 = all).
+func (db *Database) StringValues(maxPerColumn int) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, t := range db.Tables() {
+		for ci, c := range t.Cols {
+			if c.Type != StringCol {
+				continue
+			}
+			n := 0
+			for _, row := range t.Rows {
+				v := row[ci]
+				if v.Kind != KindString || v.S == "" || seen[v.S] {
+					continue
+				}
+				seen[v.S] = true
+				out = append(out, v.S)
+				n++
+				if maxPerColumn > 0 && n >= maxPerColumn {
+					break
+				}
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StringValuesByColumn returns, for every string-typed column, its distinct
+// values keyed by attribute name — the per-column domains behind
+// column-aware literal determination. maxPerColumn bounds extraction
+// (0 = all).
+func (db *Database) StringValuesByColumn(maxPerColumn int) map[string][]string {
+	out := map[string][]string{}
+	for _, t := range db.Tables() {
+		for ci, c := range t.Cols {
+			if c.Type != StringCol {
+				continue
+			}
+			seen := map[string]bool{}
+			vals := out[c.Name]
+			for _, v := range vals {
+				seen[v] = true
+			}
+			n := 0
+			for _, row := range t.Rows {
+				v := row[ci]
+				if v.Kind != KindString || v.S == "" || seen[v.S] {
+					continue
+				}
+				seen[v.S] = true
+				vals = append(vals, v.S)
+				n++
+				if maxPerColumn > 0 && n >= maxPerColumn {
+					break
+				}
+			}
+			sort.Strings(vals)
+			out[c.Name] = vals
+		}
+	}
+	return out
+}
+
+// ColumnType resolves the type of an attribute name across tables (first
+// table wins; schemas in this repo keep attribute types consistent).
+func (db *Database) ColumnType(attr string) (ColType, bool) {
+	for _, t := range db.Tables() {
+		if i := t.ColIndex(attr); i >= 0 {
+			return t.Cols[i].Type, true
+		}
+	}
+	return StringCol, false
+}

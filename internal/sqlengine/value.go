@@ -1,0 +1,207 @@
+// Package sqlengine is an in-memory relational engine for the paper's SQL
+// subset: Select-Project-Join-Aggregation with NATURAL JOIN and comma
+// joins, AND/OR/NOT predicates, BETWEEN, IN (with one level of nesting),
+// GROUP BY, ORDER BY, and LIMIT. SpeakQL needs it for three things: the
+// literal catalogs (table/attribute names and string attribute values) that
+// literal determination votes against, execution-accuracy scoring for the
+// NLI comparison (Table 5), and runnable examples. It is a substrate, not a
+// DBMS: single-threaded queries over immutable in-memory tables, no
+// transactions, no persistence.
+package sqlengine
+
+import (
+	"strconv"
+	"strings"
+
+	"speakql/internal/speech"
+)
+
+// Kind enumerates value types.
+type Kind int
+
+const (
+	// KindNull is the absence of a value.
+	KindNull Kind = iota
+	// KindInt is a 64-bit integer.
+	KindInt
+	// KindFloat is a 64-bit float.
+	KindFloat
+	// KindString is a character string.
+	KindString
+	// KindDate is a calendar date (kept in ISO YYYY-MM-DD form, which
+	// orders correctly as a string).
+	KindDate
+)
+
+// Value is one typed SQL value.
+type Value struct {
+	Kind Kind
+	I    int64
+	F    float64
+	S    string
+}
+
+// Null returns the SQL NULL value.
+func Null() Value { return Value{Kind: KindNull} }
+
+// Int wraps an integer.
+func Int(i int64) Value { return Value{Kind: KindInt, I: i} }
+
+// Float wraps a float.
+func Float(f float64) Value { return Value{Kind: KindFloat, F: f} }
+
+// Str wraps a string.
+func Str(s string) Value { return Value{Kind: KindString, S: s} }
+
+// DateVal wraps an ISO date string; it does not validate.
+func DateVal(iso string) Value { return Value{Kind: KindDate, S: iso} }
+
+// String renders the value for display and result comparison.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', 10, 64)
+	case KindString, KindDate:
+		return v.S
+	default:
+		return "NULL"
+	}
+}
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.Kind == KindNull }
+
+// numeric returns the value as a float and whether it is numeric.
+func (v Value) numeric() (float64, bool) {
+	switch v.Kind {
+	case KindInt:
+		return float64(v.I), true
+	case KindFloat:
+		return v.F, true
+	}
+	return 0, false
+}
+
+// Compare orders two values: −1, 0, +1. NULL compares less than everything
+// (and equal to NULL); mixed numeric kinds compare numerically; a string
+// that parses as a date compares with dates; otherwise values compare as
+// case-insensitive strings, which keeps the engine permissive about the
+// loosely-typed literals SpeakQL produces.
+func Compare(a, b Value) int {
+	if a.IsNull() || b.IsNull() {
+		switch {
+		case a.IsNull() && b.IsNull():
+			return 0
+		case a.IsNull():
+			return -1
+		default:
+			return 1
+		}
+	}
+	if af, ok := a.numeric(); ok {
+		if bf, ok := b.numeric(); ok {
+			switch {
+			case af < bf:
+				return -1
+			case af > bf:
+				return 1
+			default:
+				return 0
+			}
+		}
+		// Numeric vs string: try parsing the string.
+		if bf, err := strconv.ParseFloat(b.S, 64); err == nil {
+			return Compare(a, Float(bf))
+		}
+	}
+	if bf, ok := b.numeric(); ok {
+		if af, err := strconv.ParseFloat(a.S, 64); err == nil {
+			return Compare(Float(af), Float(bf))
+		}
+		_ = bf
+	}
+	as, bs := strings.ToLower(a.S), strings.ToLower(b.S)
+	switch {
+	case as < bs:
+		return -1
+	case as > bs:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Equal reports value equality under Compare semantics.
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// CoerceTo converts a loosely-typed literal to a column's type where
+// sensible: "70000" to an int column becomes Int(70000); a parseable date
+// string to a date column becomes a date. Unconvertible values are returned
+// unchanged — comparisons still work via Compare's leniency.
+func CoerceTo(v Value, t ColType) Value {
+	switch t {
+	case IntCol:
+		switch v.Kind {
+		case KindInt:
+			return v
+		case KindFloat:
+			return Int(int64(v.F))
+		case KindString:
+			if i, err := strconv.ParseInt(v.S, 10, 64); err == nil {
+				return Int(i)
+			}
+		}
+	case FloatCol:
+		switch v.Kind {
+		case KindFloat:
+			return v
+		case KindInt:
+			return Float(float64(v.I))
+		case KindString:
+			if f, err := strconv.ParseFloat(v.S, 64); err == nil {
+				return Float(f)
+			}
+		}
+	case DateCol:
+		if v.Kind == KindString {
+			if _, ok := speech.ParseDateLiteral(v.S); ok {
+				return DateVal(v.S)
+			}
+		}
+	case StringCol:
+		if v.Kind == KindInt || v.Kind == KindFloat {
+			return Str(v.String())
+		}
+	}
+	return v
+}
+
+// ColType enumerates column types.
+type ColType int
+
+const (
+	// IntCol holds integers.
+	IntCol ColType = iota
+	// FloatCol holds floats.
+	FloatCol
+	// StringCol holds strings.
+	StringCol
+	// DateCol holds ISO dates.
+	DateCol
+)
+
+// String names the column type.
+func (t ColType) String() string {
+	switch t {
+	case IntCol:
+		return "INT"
+	case FloatCol:
+		return "FLOAT"
+	case DateCol:
+		return "DATE"
+	default:
+		return "STRING"
+	}
+}

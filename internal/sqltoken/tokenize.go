@@ -1,0 +1,250 @@
+package sqltoken
+
+import (
+	"strings"
+	"unicode"
+)
+
+// TokenizeSQL splits a written SQL query into tokens. Special characters
+// always form their own token, even without surrounding whitespace
+// ("AVG(salary)" yields AVG ( salary )). Single-quoted strings become one
+// Literal token with the quotes stripped, so attribute values such as
+// '1993-01-20' or 'd002' survive as single tokens, matching the multiset
+// tokenization the paper uses for its accuracy metrics.
+func TokenizeSQL(s string) []string {
+	var toks []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, Canon(cur.String()))
+			cur.Reset()
+		}
+	}
+	rs := []rune(s)
+	for i := 0; i < len(rs); i++ {
+		r := rs[i]
+		switch {
+		case r == '\'':
+			flush()
+			j := i + 1
+			var lit strings.Builder
+			for j < len(rs) && rs[j] != '\'' {
+				lit.WriteRune(rs[j])
+				j++
+			}
+			toks = append(toks, lit.String())
+			i = j // skip past closing quote (or end)
+		case unicode.IsSpace(r):
+			flush()
+		case IsSplChar(string(r)) && !isInnerDot(rs, i) && !isNumericComma(rs, i):
+			flush()
+			toks = append(toks, string(r))
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return toks
+}
+
+// isInnerDot reports whether the '.' at position i sits between two digits,
+// i.e. is a decimal point inside an unquoted number rather than the
+// qualification dot of Table.Attribute.
+func isInnerDot(rs []rune, i int) bool {
+	if rs[i] != '.' {
+		return false
+	}
+	return i > 0 && i+1 < len(rs) && unicode.IsDigit(rs[i-1]) && unicode.IsDigit(rs[i+1])
+}
+
+// isNumericComma is like isInnerDot for ',' used as a thousands separator.
+// The paper's generated queries never contain these, but user-typed input
+// may; keeping "45,000" as one token matches user intent.
+func isNumericComma(rs []rune, i int) bool {
+	if rs[i] != ',' {
+		return false
+	}
+	return i > 0 && i+1 < len(rs) && unicode.IsDigit(rs[i-1]) && unicode.IsDigit(rs[i+1])
+}
+
+// TokenizeTranscript splits an ASR transcript into tokens. Transcripts are
+// plain word sequences (the ASR never emits quotes), so this splits on
+// whitespace, then separates any special characters the engine did manage to
+// emit (some engines return "=" directly when given symbol hints).
+func TokenizeTranscript(s string) []string {
+	var toks []string
+	for _, f := range strings.Fields(s) {
+		toks = append(toks, splitSplChars(f)...)
+	}
+	return toks
+}
+
+func splitSplChars(f string) []string {
+	var out []string
+	var cur strings.Builder
+	rs := []rune(f)
+	for i, r := range rs {
+		if IsSplChar(string(r)) && !isInnerDot(rs, i) && !isNumericComma(rs, i) {
+			if cur.Len() > 0 {
+				out = append(out, cur.String())
+				cur.Reset()
+			}
+			out = append(out, string(r))
+		} else {
+			cur.WriteRune(r)
+		}
+	}
+	if cur.Len() > 0 {
+		out = append(out, cur.String())
+	}
+	return out
+}
+
+// spokenForms maps spoken phrases to the SplChar or Keyword they verbalize.
+// Longer phrases are matched first. This is the SplChar-handling dictionary
+// of Section 3.1: ASR "often fails to correctly transcribe SplChars and
+// produces the output in words", e.g. "<" arrives as "less than".
+var spokenForms = []struct {
+	phrase []string
+	token  string
+}{
+	{[]string{"is", "less", "than", "or", "equal", "to"}, "<"},
+	{[]string{"is", "greater", "than", "or", "equal", "to"}, ">"},
+	{[]string{"less", "than", "or", "equal", "to"}, "<"},
+	{[]string{"greater", "than", "or", "equal", "to"}, ">"},
+	{[]string{"is", "less", "than"}, "<"},
+	{[]string{"is", "greater", "than"}, ">"},
+	{[]string{"less", "than"}, "<"},
+	{[]string{"greater", "than"}, ">"},
+	{[]string{"is", "equal", "to"}, "="},
+	{[]string{"equal", "to"}, "="},
+	{[]string{"equals"}, "="},
+	{[]string{"equal"}, "="},
+	{[]string{"open", "parenthesis"}, "("},
+	{[]string{"open", "paren"}, "("},
+	{[]string{"left", "parenthesis"}, "("},
+	{[]string{"close", "parenthesis"}, ")"},
+	{[]string{"close", "paren"}, ")"},
+	{[]string{"right", "parenthesis"}, ")"},
+	{[]string{"comma"}, ","},
+	{[]string{"star"}, "*"},
+	{[]string{"asterisk"}, "*"},
+	{[]string{"dot"}, "."},
+	{[]string{"period"}, "."},
+	{[]string{"times"}, "*"}, // common mis-hearing of "star" kept canonical
+	// Bare comparatives: ASR frequently drops the "than" ("salary greater
+	// 70000"); the bare word is still unambiguous in query position.
+	{[]string{"greater"}, ">"},
+	{[]string{"less"}, "<"},
+}
+
+func init() {
+	// "than" is routinely misheard as its homophone "then"; accept both in
+	// every comparative phrase. Generated here rather than hand-listed so
+	// the two stay in lockstep.
+	var extra []struct {
+		phrase []string
+		token  string
+	}
+	for _, sf := range spokenForms {
+		for i, w := range sf.phrase {
+			if w == "than" {
+				dup := append([]string{}, sf.phrase...)
+				dup[i] = "then"
+				extra = append(extra, struct {
+					phrase []string
+					token  string
+				}{dup, sf.token})
+			}
+		}
+	}
+	// Longer phrases must stay first; the duplicates preserve the original
+	// relative order, so appending before the bare comparatives is enough.
+	spokenForms = append(extra, spokenForms...)
+}
+
+// SubstituteSpokenForms rewrites spoken phrases for special characters (and
+// a few operator synonyms) into their symbol tokens, longest match first.
+// It also canonicalizes keyword casing. Input and output are token slices.
+func SubstituteSpokenForms(toks []string) []string {
+	out := make([]string, 0, len(toks))
+	for i := 0; i < len(toks); {
+		matched := false
+		for _, sf := range spokenForms {
+			if matchPhrase(toks, i, sf.phrase) {
+				out = append(out, sf.token)
+				i += len(sf.phrase)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			out = append(out, Canon(toks[i]))
+			i++
+		}
+	}
+	return out
+}
+
+func matchPhrase(toks []string, i int, phrase []string) bool {
+	if i+len(phrase) > len(toks) {
+		return false
+	}
+	for j, w := range phrase {
+		if !strings.EqualFold(toks[i+j], w) {
+			return false
+		}
+	}
+	return true
+}
+
+// MaskResult is the output of literal masking: the masked token sequence
+// (Keywords and SplChars retained, every other token replaced by x1, x2, …)
+// together with the literal tokens that were masked out, in order.
+type MaskResult struct {
+	Masked   []string // e.g. SELECT x1 FROM x2 x3 x4 = x5
+	Literals []string // the original tokens behind each placeholder
+}
+
+// MaskLiterals replaces every token not in KeywordDict or SplCharDict with a
+// numbered placeholder variable (Section 3.1). The i-th masked token maps to
+// Literals[i-1].
+func MaskLiterals(toks []string) MaskResult {
+	res := MaskResult{Masked: make([]string, 0, len(toks))}
+	n := 0
+	for _, t := range toks {
+		switch Classify(t) {
+		case Keyword:
+			res.Masked = append(res.Masked, strings.ToUpper(t))
+		case SplChar:
+			res.Masked = append(res.Masked, t)
+		default:
+			n++
+			res.Masked = append(res.Masked, Placeholder(n))
+			res.Literals = append(res.Literals, t)
+		}
+	}
+	return res
+}
+
+// MaskGeneric is MaskLiterals but with every literal replaced by the generic
+// symbol "x" that the structure generator uses (Box 1's L → 'x'), which is
+// the form compared against generated ground-truth structures.
+func MaskGeneric(toks []string) []string {
+	out := make([]string, 0, len(toks))
+	for _, t := range toks {
+		switch Classify(t) {
+		case Keyword:
+			out = append(out, strings.ToUpper(t))
+		case SplChar:
+			out = append(out, t)
+		default:
+			out = append(out, "x")
+		}
+	}
+	return out
+}
+
+// Join renders a token slice back into a display string with single spaces,
+// matching the paper's query formatting (spaces around every token).
+func Join(toks []string) string { return strings.Join(toks, " ") }

@@ -1,0 +1,130 @@
+package structure
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"speakql/internal/grammar"
+	"speakql/internal/sqltoken"
+)
+
+// Property: whatever garbage comes in, Determine returns a structure that
+// is (a) derivable from the grammar corpus, (b) has sequential numbered
+// placeholders, and (c) category assignment covers every placeholder —
+// i.e. downstream literal determination can always run.
+func TestDetermineAlwaysGrammatical(t *testing.T) {
+	c := comp(t)
+	corpus := map[string]bool{}
+	err := grammar.Generate(grammar.TestScale(), func(toks []string) bool {
+		corpus[strings.Join(toks, " ")] = true
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	words := []string{"select", "from", "where", "salary", "sales", "wear",
+		"equals", "star", "comma", "and", "or", "between", "group", "by",
+		"jon", "45310", "d002", "employees", "the", "banana", "open",
+		"parenthesis", "close", "in", "limit", "dot", "not"}
+	for trial := 0; trial < 150; trial++ {
+		n := 1 + rng.Intn(20)
+		parts := make([]string, n)
+		for i := range parts {
+			parts[i] = words[rng.Intn(len(words))]
+		}
+		transcript := strings.Join(parts, " ")
+		res := c.Determine(transcript)
+		if len(res.Structure) == 0 {
+			t.Fatalf("no structure for %q", transcript)
+		}
+		// (a) generic form must be in the corpus — except when the
+		// transcript contains a second SELECT, which triggers the nested-
+		// query splice (outer and inner are each grammatical, but the
+		// spliced whole is not a flat corpus member).
+		nested := false
+		for i, w := range parts {
+			if i > 0 && w == "select" {
+				nested = true
+			}
+		}
+		generic := sqltoken.MaskGeneric(res.Structure)
+		if !nested && !corpus[strings.Join(generic, " ")] {
+			t.Fatalf("ungrammatical structure %v for %q", res.Structure, transcript)
+		}
+		// (b) placeholders numbered sequentially.
+		k := 0
+		for _, tok := range res.Structure {
+			if sqltoken.Classify(tok) == sqltoken.Literal {
+				k++
+				if tok != sqltoken.Placeholder(k) {
+					t.Fatalf("placeholder %q out of order in %v", tok, res.Structure)
+				}
+			}
+		}
+		// (c) categories cover all placeholders.
+		cats := grammar.AssignCategories(res.Structure)
+		if len(cats) != k {
+			t.Fatalf("categories %d != placeholders %d for %v", len(cats), k, res.Structure)
+		}
+	}
+}
+
+// Property: an exact in-corpus structure always comes back with distance 0
+// and unchanged shape.
+func TestDetermineFixedPoint(t *testing.T) {
+	c := comp(t)
+	n := 0
+	err := grammar.Generate(grammar.TestScale(), func(toks []string) bool {
+		n++
+		if n%500 != 0 { // sample the corpus
+			return true
+		}
+		transcript := strings.Join(toks, " ")
+		res := c.Determine(transcript)
+		if res.Distance != 0 {
+			t.Fatalf("in-corpus structure %q came back at distance %v as %v",
+				transcript, res.Distance, res.Structure)
+		}
+		generic := sqltoken.MaskGeneric(res.Structure)
+		if strings.Join(generic, " ") != transcript {
+			t.Fatalf("fixed point violated: %q → %v", transcript, res.Structure)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no corpus")
+	}
+}
+
+func TestSpliceNestedFallback(t *testing.T) {
+	// When the outer structure has no parenthesized value slot, the inner
+	// structure is appended parenthesized.
+	out := spliceNested(
+		strings.Fields("SELECT x FROM x"),
+		strings.Fields("SELECT x FROM x"))
+	want := "SELECT x FROM x ( SELECT x FROM x )"
+	if strings.Join(out, " ") != want {
+		t.Errorf("fallback splice = %v", out)
+	}
+}
+
+func TestSplitNestedUnbalancedParens(t *testing.T) {
+	// Close paren never arrives (ASR dropped it): inner runs to the end.
+	outer, inner := splitNested(strings.Fields(
+		"SELECT a FROM t WHERE k IN ( SELECT k FROM s WHERE c = 1"))
+	if inner == nil {
+		t.Fatal("nested not detected")
+	}
+	if got := strings.Join(inner, " "); got != "SELECT k FROM s WHERE c = 1" {
+		t.Errorf("inner = %q", got)
+	}
+	if got := strings.Join(outer, " "); !strings.HasSuffix(got, "IN ( x") {
+		t.Errorf("outer = %q", got)
+	}
+}

@@ -1,0 +1,181 @@
+// Package structure implements the Structure Determination component of
+// Section 3 (Figure 3): given a raw ASR transcript, it substitutes spoken
+// forms of special characters, masks literals, searches the trie index of
+// pre-generated grammar structures for the closest match under the
+// SQL-specific weighted edit distance, and returns a syntactically correct
+// SQL skeleton with numbered placeholder variables (x1, x2, …). One-level
+// nested queries are handled with the splitting heuristic of Appendix F.8.
+package structure
+
+import (
+	"strings"
+
+	"speakql/internal/grammar"
+	"speakql/internal/sqltoken"
+	"speakql/internal/trieindex"
+)
+
+// Component is a ready-to-search structure determiner. Build it once (index
+// construction is the offline part of Section 3.2) and reuse it; Determine
+// is safe for concurrent use.
+type Component struct {
+	ix   *trieindex.Index
+	opts trieindex.Options
+	cfg  grammar.GenConfig
+}
+
+// Config bundles the generation scale and search options.
+type Config struct {
+	Grammar grammar.GenConfig
+	Search  trieindex.Options
+}
+
+// New generates the structure corpus for cfg.Grammar and indexes it.
+func New(cfg Config) (*Component, error) {
+	keepINV := cfg.Search.INV
+	ix := trieindex.NewIndex(cfg.Grammar.MaxTokens, keepINV)
+	err := grammar.Generate(cfg.Grammar, func(toks []string) bool {
+		ix.Insert(toks)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Component{ix: ix, opts: cfg.Search, cfg: cfg.Grammar}, nil
+}
+
+// NewFromIndex wraps an existing index (used by ablation experiments that
+// share one index across option settings).
+func NewFromIndex(ix *trieindex.Index, opts trieindex.Options, cfg grammar.GenConfig) *Component {
+	return &Component{ix: ix, opts: opts, cfg: cfg}
+}
+
+// Index exposes the underlying index (for stats and ablations).
+func (c *Component) Index() *trieindex.Index { return c.ix }
+
+// Result is one determined structure.
+type Result struct {
+	// Structure is the syntactically correct skeleton with numbered
+	// placeholders, e.g. SELECT x1 FROM x2 WHERE x3 = x4.
+	Structure []string
+	// Distance is the weighted edit distance between the masked transcript
+	// and the matched grammar structure.
+	Distance float64
+	// Transcript is the processed transcript (after spoken-form
+	// substitution), which literal determination consumes as TransOut.
+	Transcript []string
+	// Stats reports search work (ablation experiments).
+	Stats trieindex.Stats
+}
+
+// Determine returns the best structure for a raw ASR transcript.
+func (c *Component) Determine(transcript string) Result {
+	rs := c.DetermineTopK(transcript, 1)
+	if len(rs) == 0 {
+		return Result{}
+	}
+	return rs[0]
+}
+
+// DetermineTopK returns the k best structures, closest first.
+func (c *Component) DetermineTopK(transcript string, k int) []Result {
+	toks := sqltoken.SubstituteSpokenForms(sqltoken.TokenizeTranscript(transcript))
+	outer, inner := splitNested(toks)
+	masked := sqltoken.MaskGeneric(outer)
+	cands, stats := c.ix.SearchTopK(masked, k, c.opts)
+	results := make([]Result, 0, len(cands))
+	var innerStruct []string
+	if inner != nil {
+		innerRes, _ := c.ix.Search(sqltoken.MaskGeneric(inner), c.opts)
+		innerStruct = innerRes.Tokens
+	}
+	for _, cand := range cands {
+		st := cand.Tokens
+		if innerStruct != nil {
+			st = spliceNested(st, innerStruct)
+		}
+		results = append(results, Result{
+			Structure:  numberPlaceholders(st),
+			Distance:   cand.Distance,
+			Transcript: toks,
+			Stats:      stats,
+		})
+	}
+	return results
+}
+
+// splitNested implements the Appendix F.8 heuristic: if a second SELECT
+// occurs in the transcript, the span from it to its matching close paren
+// (or the end) is treated as a one-level nested query. The outer query gets
+// a single literal placeholder in its place. Returns (outer, nil) when no
+// nesting is detected.
+func splitNested(toks []string) (outer, inner []string) {
+	selIdx := -1
+	for i, t := range toks {
+		if strings.EqualFold(t, "SELECT") && i > 0 {
+			selIdx = i
+			break
+		}
+	}
+	if selIdx < 0 {
+		return toks, nil
+	}
+	end := len(toks)
+	depth := 0
+	for i := selIdx; i < len(toks); i++ {
+		switch toks[i] {
+		case "(":
+			depth++
+		case ")":
+			if depth == 0 {
+				end = i
+			} else {
+				depth--
+			}
+		}
+		if end != len(toks) {
+			break
+		}
+	}
+	outer = append(outer, toks[:selIdx]...)
+	outer = append(outer, grammar.Lit)
+	outer = append(outer, toks[end:]...)
+	inner = toks[selIdx:end]
+	return outer, inner
+}
+
+// spliceNested re-inserts the inner structure in place of the last
+// value-position placeholder inside parentheses of the outer structure —
+// the IN ( x ) shape — or appends it parenthesized if no such slot exists.
+func spliceNested(outer, inner []string) []string {
+	for i := len(outer) - 1; i >= 2; i-- {
+		if outer[i] == ")" && i >= 2 && outer[i-2] == "(" &&
+			sqltoken.Classify(outer[i-1]) == sqltoken.Literal {
+			out := make([]string, 0, len(outer)+len(inner))
+			out = append(out, outer[:i-1]...)
+			out = append(out, inner...)
+			out = append(out, outer[i:]...)
+			return out
+		}
+	}
+	out := append([]string{}, outer...)
+	out = append(out, "(")
+	out = append(out, inner...)
+	return append(out, ")")
+}
+
+// numberPlaceholders rewrites each generic literal symbol as x1, x2, … in
+// order of appearance, producing the placeholder naming of Figure 2.
+func numberPlaceholders(st []string) []string {
+	out := make([]string, len(st))
+	n := 0
+	for i, t := range st {
+		if sqltoken.Classify(t) == sqltoken.Literal {
+			n++
+			out[i] = sqltoken.Placeholder(n)
+		} else {
+			out[i] = t
+		}
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package trieindex
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// The structure corpus is generated offline (Section 3.2); a production
+// deployment builds the index once and serves it. Save/ReadIndex persist
+// the index in a compact binary format: the token dictionary, then each
+// structure as a delta-friendly token-id sequence. The trie is rebuilt on
+// load (insertion is cheap relative to I/O and keeps the format independent
+// of the in-memory node layout).
+
+const (
+	persistMagic   = "SPQLIX"
+	persistVersion = 1
+)
+
+// Save serializes the index. The INV corpus flag is not persisted —
+// the loader chooses whether to retain the flat corpus.
+func (ix *Index) Save(w io.Writer) (err error) {
+	bw := bufio.NewWriter(w)
+	defer func() {
+		if ferr := bw.Flush(); err == nil {
+			err = ferr
+		}
+	}()
+	if _, err = bw.WriteString(persistMagic); err != nil {
+		return err
+	}
+	if err = writeUvarint(bw, persistVersion); err != nil {
+		return err
+	}
+	if err = writeUvarint(bw, uint64(ix.maxLen)); err != nil {
+		return err
+	}
+	// Token dictionary.
+	if err = writeUvarint(bw, uint64(len(ix.in.strs))); err != nil {
+		return err
+	}
+	for _, s := range ix.in.strs {
+		if err = writeString(bw, s); err != nil {
+			return err
+		}
+	}
+	// Structures: walk every trie, emitting each leaf's path.
+	if err = writeUvarint(bw, uint64(ix.total)); err != nil {
+		return err
+	}
+	path := make([]tokenID, 0, ix.maxLen)
+	for _, tr := range ix.tries {
+		if tr == nil {
+			continue
+		}
+		if err = writeLeaves(bw, tr.root, &path); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeLeaves(w *bufio.Writer, n *node, path *[]tokenID) error {
+	for _, c := range n.children {
+		*path = append(*path, c.tok)
+		if c.leaf {
+			if err := writeUvarint(w, uint64(len(*path))); err != nil {
+				return err
+			}
+			for _, id := range *path {
+				if err := writeUvarint(w, uint64(id)); err != nil {
+					return err
+				}
+			}
+		}
+		if err := writeLeaves(w, c, path); err != nil {
+			return err
+		}
+		*path = (*path)[:len(*path)-1]
+	}
+	return nil
+}
+
+// ReadIndex loads an index persisted by Save. keepINV retains the flat
+// corpus for the inverted-index search path.
+func ReadIndex(r io.Reader, keepINV bool) (*Index, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(persistMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trieindex: read magic: %w", err)
+	}
+	if string(magic) != persistMagic {
+		return nil, fmt.Errorf("trieindex: not an index file")
+	}
+	version, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if version != persistVersion {
+		return nil, fmt.Errorf("trieindex: unsupported version %d", version)
+	}
+	maxLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	nTokens, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	dict := make([]string, nTokens)
+	for i := range dict {
+		if dict[i], err = readString(br); err != nil {
+			return nil, err
+		}
+	}
+	total, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	ix := NewIndex(int(maxLen), keepINV)
+	toks := make([]string, 0, maxLen)
+	for s := uint64(0); s < total; s++ {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trieindex: structure %d: %w", s, err)
+		}
+		toks = toks[:0]
+		for i := uint64(0); i < n; i++ {
+			id, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			if id >= nTokens {
+				return nil, fmt.Errorf("trieindex: token id %d out of range", id)
+			}
+			toks = append(toks, dict[id])
+		}
+		ix.Insert(toks)
+	}
+	return ix, nil
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+func writeString(w *bufio.Writer, s string) error {
+	if err := writeUvarint(w, uint64(len(s))); err != nil {
+		return err
+	}
+	_, err := w.WriteString(s)
+	return err
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("trieindex: token too long (%d)", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

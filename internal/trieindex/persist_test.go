@@ -1,0 +1,84 @@
+package trieindex
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"speakql/internal/grammar"
+)
+
+func TestPersistRoundTrip(t *testing.T) {
+	ix := buildIndex(t, grammar.TestScale(), false)
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("serialized %d structures in %d bytes (%.1f B/structure)",
+		ix.Total(), buf.Len(), float64(buf.Len())/float64(ix.Total()))
+
+	back, err := ReadIndex(&buf, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Total() != ix.Total() {
+		t.Fatalf("round trip lost structures: %d vs %d", back.Total(), ix.Total())
+	}
+	if back.NumTries() != ix.NumTries() {
+		t.Fatalf("tries differ: %d vs %d", back.NumTries(), ix.NumTries())
+	}
+	// Searches agree exactly.
+	queries := [][]string{
+		strings.Fields("SELECT x FROM x x x = x"),
+		strings.Fields("SELECT AVG ( x ) FROM x"),
+		strings.Fields("SELECT x FROM x WHERE x BETWEEN x AND x ORDER BY x"),
+	}
+	for _, q := range queries {
+		a, _ := ix.Search(q, Options{})
+		b, _ := back.Search(q, Options{})
+		if a.Distance != b.Distance ||
+			strings.Join(a.Tokens, " ") != strings.Join(b.Tokens, " ") {
+			t.Fatalf("search disagrees after round trip for %v:\n  %v (%.2f)\n  %v (%.2f)",
+				q, a.Tokens, a.Distance, b.Tokens, b.Distance)
+		}
+	}
+}
+
+func TestPersistKeepINV(t *testing.T) {
+	ix := buildIndex(t, grammar.TestScale(), true)
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadIndex(&buf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := strings.Fields("SELECT x FROM x WHERE x BETWEEN x AND x")
+	res, st := back.Search(q, Options{INV: true})
+	if !st.UsedINV {
+		t.Error("INV not usable on reloaded index")
+	}
+	if res.Distance != 0 {
+		t.Errorf("reloaded INV search distance = %v", res.Distance)
+	}
+}
+
+func TestReadIndexErrors(t *testing.T) {
+	if _, err := ReadIndex(strings.NewReader(""), false); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ReadIndex(strings.NewReader("NOTANINDEXFILE"), false); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncated payload.
+	ix := NewIndex(10, false)
+	ix.Insert(strings.Fields("SELECT x FROM x"))
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadIndex(bytes.NewReader(buf.Bytes()[:buf.Len()-3]), false); err == nil {
+		t.Error("truncated index accepted")
+	}
+}

@@ -1,0 +1,426 @@
+package trieindex
+
+import (
+	"math"
+	"sort"
+
+	"speakql/internal/sqltoken"
+)
+
+// Result is one structure returned by search, with its weighted edit
+// distance to the query.
+type Result struct {
+	Tokens   []string
+	Distance float64
+}
+
+// Stats reports work done by one search, used by the ablation experiments
+// (Figure 15) to show what each optimization saves.
+type Stats struct {
+	NodesVisited  int
+	TriesSearched int
+	TriesSkipped  int // skipped by BDB
+	InvScanned    int // structures scanned via the inverted index
+	UsedINV       bool
+}
+
+// Search returns the closest structure to maskOut (ties broken by
+// enumeration order). It is Box 2's algorithm with k=1.
+func (ix *Index) Search(maskOut []string, opts Options) (Result, Stats) {
+	rs, st := ix.SearchTopK(maskOut, 1, opts)
+	if len(rs) == 0 {
+		return Result{}, st
+	}
+	return rs[0], st
+}
+
+// SearchTopK returns the k closest structures in increasing distance order.
+// With opts zero-valued this is the exact algorithm (BDB on); DAP and INV
+// trade accuracy for latency per Appendix D.3.
+func (ix *Index) SearchTopK(maskOut []string, k int, opts Options) ([]Result, Stats) {
+	var st Stats
+	if k <= 0 || ix.total == 0 {
+		return nil, st
+	}
+	q, qw := ix.tokensOf(maskOut)
+	s := &searcher{
+		ix:   ix,
+		q:    q,
+		qw:   qw,
+		k:    k,
+		opts: opts,
+		st:   &st,
+	}
+	if opts.UniformWeights {
+		s.w = make([]float64, len(ix.weights))
+		for i := range s.w {
+			s.w[i] = 1
+		}
+		for i := range s.qw {
+			s.qw[i] = 1
+		}
+	} else {
+		s.w = ix.weights
+	}
+
+	if opts.INV {
+		if s.searchINV() {
+			st.UsedINV = true
+			return s.results(), st
+		}
+	}
+
+	m := len(q)
+	if m > ix.maxLen {
+		m = ix.maxLen // queries longer than any structure start at the top
+	}
+	// Bidirectional order of Box 2: lengths m, m−1, …, 1 then m+1, …, max.
+	// Trying the closest lengths first makes the BDB threshold tighten
+	// quickly.
+	for n := m; n >= 1; n-- {
+		s.searchLen(n)
+	}
+	for n := m + 1; n <= ix.maxLen; n++ {
+		s.searchLen(n)
+	}
+	return s.results(), st
+}
+
+// searcher carries the per-query search state.
+type searcher struct {
+	ix   *Index
+	q    []tokenID // MaskOut, interned
+	qw   []float64 // deletion weight of each MaskOut token
+	w    []float64 // insertion weight per interned id (uniform under ablation)
+	k    int
+	opts Options
+	st   *Stats
+
+	heap resultHeap // current best k, worst first
+	path []tokenID  // tokens on the current root→node path
+}
+
+// threshold is the pruning bound: the k-th best distance so far.
+func (s *searcher) threshold() float64 {
+	if len(s.heap) < s.k {
+		return math.Inf(1)
+	}
+	return s.heap[0].dist
+}
+
+// offer records a candidate leaf.
+func (s *searcher) offer(dist float64, toks []tokenID) {
+	if len(s.heap) == s.k {
+		if dist >= s.heap[0].dist {
+			return
+		}
+		s.heap.popWorst()
+	}
+	cp := make([]tokenID, len(toks))
+	copy(cp, toks)
+	s.heap.push(heapEntry{dist: dist, toks: cp})
+}
+
+func (s *searcher) results() []Result {
+	entries := append([]heapEntry(nil), s.heap...)
+	sort.Slice(entries, func(i, j int) bool { return entries[i].dist < entries[j].dist })
+	out := make([]Result, len(entries))
+	for i, e := range entries {
+		toks := make([]string, len(e.toks))
+		for j, id := range e.toks {
+			toks[j] = s.ix.in.str(id)
+		}
+		out[i] = Result{Tokens: toks, Distance: e.dist}
+	}
+	return out
+}
+
+// searchLen searches the trie holding structures of length n, unless BDB
+// proves it cannot beat the current threshold (Proposition 1: the minimum
+// achievable distance between strings of lengths m and n is |m−n|·W_L).
+func (s *searcher) searchLen(n int) {
+	tr := s.ix.tries[n]
+	if tr == nil {
+		return
+	}
+	if !s.opts.DisableBDB {
+		lower := math.Abs(float64(len(s.q)-n)) * sqltoken.WeightLiteral
+		if lower >= s.threshold() {
+			s.st.TriesSkipped++
+			return
+		}
+	}
+	s.st.TriesSearched++
+	// Root column: dp[i][0] = cost of deleting the first i MaskOut tokens.
+	col := make([]float64, len(s.q)+1)
+	for i := 1; i <= len(s.q); i++ {
+		col[i] = col[i-1] + s.qw[i-1]
+	}
+	s.path = s.path[:0]
+	s.descend(tr.root, col)
+}
+
+// descend explores node's children, advancing the DP by one column per
+// child token, with min-column pruning and (optionally) DAP.
+func (s *searcher) descend(n *node, col []float64) {
+	if !s.opts.DAP || len(n.children) < 2 {
+		for _, c := range n.children {
+			childCol := s.step(col, c.tok)
+			s.visit(c, childCol)
+		}
+		return
+	}
+	// DAP: non-prime children are explored normally; within each prime-
+	// superset group only the child whose DP column ends lowest is
+	// explored further.
+	var bestChild [3]*node
+	var bestCol [3][]float64
+	for _, c := range n.children {
+		g := s.ix.prime[c.tok]
+		if g < 0 {
+			s.visit(c, s.step(col, c.tok))
+			continue
+		}
+		cc := s.step(col, c.tok)
+		if bestChild[g] == nil || last(cc) < last(bestCol[g]) {
+			bestChild[g] = c
+			bestCol[g] = cc
+		}
+	}
+	for g := range bestChild {
+		if bestChild[g] != nil {
+			s.visit(bestChild[g], bestCol[g])
+		}
+	}
+}
+
+func (s *searcher) visit(c *node, col []float64) {
+	s.st.NodesVisited++
+	s.path = append(s.path, c.tok)
+	if c.leaf {
+		if d := col[len(col)-1]; d < s.threshold() {
+			s.offer(d, s.path)
+		}
+	}
+	// Min-column pruning: every descendant's distance is ≥ min(col).
+	if minOf(col) < s.threshold() {
+		s.descend(c, col)
+	}
+	s.path = s.path[:len(s.path)-1]
+}
+
+// step advances the DP one column for trie token tok (Algorithm 1): row 0
+// inserts tok; row i matches q[i-1] diagonally or takes the cheaper of
+// deleting q[i-1] (cost qw) or inserting tok (cost W(tok)).
+func (s *searcher) step(prev []float64, tok tokenID) []float64 {
+	w := s.w[tok]
+	cur := make([]float64, len(prev))
+	cur[0] = prev[0] + w
+	for i := 1; i < len(prev); i++ {
+		if s.q[i-1] == tok {
+			cur[i] = prev[i-1]
+			continue
+		}
+		ins := prev[i] + w           // insert the trie token (advance column only)
+		delQ := cur[i-1] + s.qw[i-1] // delete the query token (advance row only)
+		if ins < delQ {
+			cur[i] = ins
+		} else {
+			cur[i] = delQ
+		}
+	}
+	return cur
+}
+
+// primeGroup classifies a token into the prime superset groups of DAP:
+// 0 = aggregate ops, 1 = connectives, 2 = comparison ops; −1 otherwise.
+func primeGroup(tok string) int {
+	switch tok {
+	case "AVG", "COUNT", "SUM", "MAX", "MIN":
+		return 0
+	case "AND", "OR":
+		return 1
+	case "=", "<", ">":
+		return 2
+	}
+	return -1
+}
+
+func minOf(col []float64) float64 {
+	m := col[0]
+	for _, v := range col[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+func last(col []float64) float64 { return col[len(col)-1] }
+
+// maxINVList bounds the inverted list size INV will scan flat; larger lists
+// fall back to trie search.
+const maxINVList = 25000
+
+// searchINV runs the inverted-index fast path: if the query contains any
+// indexed keyword, scan only the structures listed under the rarest such
+// keyword. Returns false if no indexed keyword is present (caller falls
+// back to trie search).
+func (s *searcher) searchINV() bool {
+	var bestList [][]tokenID
+	found := false
+	for _, id := range s.q {
+		if id == unknownID {
+			continue
+		}
+		str := s.ix.in.str(id)
+		if !sqltoken.IsKeyword(str) || invExcluded[str] {
+			continue
+		}
+		list, ok := s.ix.inv[id]
+		if !ok {
+			continue
+		}
+		if !found || len(list) < len(bestList) {
+			bestList = list
+			found = true
+		}
+	}
+	if !found {
+		return false
+	}
+	// A huge inverted list (AND/OR appear in most predicates) buys nothing
+	// over the prefix-sharing trie; scanning it flat would be slower than
+	// the search it is meant to shortcut. Fall back to trie search then —
+	// INV only wins when the keyword is selective, which is the paper's
+	// premise for it.
+	if len(bestList) > maxINVList {
+		return false
+	}
+	// Scan in order of increasing length difference from the query: the
+	// Proposition 1 lower bound then lets the whole remaining scan stop as
+	// soon as both frontiers are out of range — the flat-list analogue of
+	// BDB. Lists are kept length-sorted at insertion time.
+	m := len(s.q)
+	split := sort.Search(len(bestList), func(i int) bool { return len(bestList[i]) >= m })
+	lo, hi := split-1, split
+	scan := func(structIDs []tokenID) bool {
+		lower := float64(len(structIDs) - m)
+		if lower < 0 {
+			lower = -lower
+		}
+		if lower*sqltoken.WeightLiteral >= s.threshold() {
+			return false // this side is exhausted
+		}
+		s.st.InvScanned++
+		d := s.flatDistance(structIDs, s.threshold())
+		if d < s.threshold() {
+			s.offer(d, structIDs)
+		}
+		return true
+	}
+	loAlive, hiAlive := lo >= 0, hi < len(bestList)
+	for loAlive || hiAlive {
+		// Advance the frontier closer in length to the query first.
+		useHi := hiAlive
+		if loAlive && hiAlive {
+			useHi = len(bestList[hi])-m <= m-len(bestList[lo])
+		}
+		if useHi {
+			if !scan(bestList[hi]) {
+				hiAlive = false
+			} else if hi++; hi >= len(bestList) {
+				hiAlive = false
+			}
+		} else {
+			if !scan(bestList[lo]) {
+				loAlive = false
+			} else if lo--; lo < 0 {
+				loAlive = false
+			}
+		}
+	}
+	return true
+}
+
+// flatDistance computes the weighted edit distance between the query and one
+// flat structure (the INV path), abandoning early once every cell of a row
+// exceeds limit (the distance is then provably ≥ limit).
+func (s *searcher) flatDistance(b []tokenID, limit float64) float64 {
+	prev := make([]float64, len(b)+1)
+	cur := make([]float64, len(b)+1)
+	for j := 1; j <= len(b); j++ {
+		prev[j] = prev[j-1] + s.w[b[j-1]]
+	}
+	for i := 1; i <= len(s.q); i++ {
+		cur[0] = prev[0] + s.qw[i-1]
+		rowMin := cur[0]
+		for j := 1; j <= len(b); j++ {
+			if s.q[i-1] == b[j-1] {
+				cur[j] = prev[j-1]
+			} else {
+				del := prev[j] + s.qw[i-1]
+				ins := cur[j-1] + s.w[b[j-1]]
+				if del < ins {
+					cur[j] = del
+				} else {
+					cur[j] = ins
+				}
+			}
+			if cur[j] < rowMin {
+				rowMin = cur[j]
+			}
+		}
+		if rowMin >= limit {
+			return rowMin // can only grow from here
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// heapEntry and resultHeap implement a small worst-first binary heap for
+// top-k maintenance.
+type heapEntry struct {
+	dist float64
+	toks []tokenID
+}
+
+type resultHeap []heapEntry
+
+func (h *resultHeap) push(e heapEntry) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if (*h)[p].dist >= (*h)[i].dist {
+			break
+		}
+		(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
+		i = p
+	}
+}
+
+func (h *resultHeap) popWorst() heapEntry {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < n && (*h)[l].dist > (*h)[big].dist {
+			big = l
+		}
+		if r < n && (*h)[r].dist > (*h)[big].dist {
+			big = r
+		}
+		if big == i {
+			break
+		}
+		(*h)[i], (*h)[big] = (*h)[big], (*h)[i]
+	}
+	return top
+}

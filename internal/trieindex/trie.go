@@ -1,0 +1,267 @@
+// Package trieindex implements the structure index and search engine of
+// Sections 3.3–3.4 and Appendix D: ground-truth SQL structures are packed
+// into 50 disjoint tries, one per token length, and searched with a
+// SQL-specific weighted edit distance (insert/delete only; W_K=1.2,
+// W_S=1.1, W_L=1.0) computed by a column-passing dynamic program over trie
+// paths. Three optimizations are provided:
+//
+//   - BDB — bidirectional bounds (Proposition 1) prune whole tries whose
+//     best possible distance already exceeds the current best; accuracy
+//     preserving.
+//   - DAP — diversity-aware pruning: among sibling children drawn from the
+//     "prime superset" ({AVG,COUNT,SUM,MAX,MIN} ∪ {AND,OR} ∪ {=,<,>}), only
+//     the locally-best branch is explored; trades accuracy for latency.
+//   - INV — an inverted index from non-universal keywords to the structures
+//     containing them; when the transcript mentions such a keyword, only
+//     those structures are scanned; trades accuracy for latency.
+package trieindex
+
+import (
+	"sort"
+
+	"speakql/internal/sqltoken"
+)
+
+// tokenID is an interned token. The structure alphabet is tiny (keywords,
+// splchars, and the literal symbol), so 16 bits is generous.
+type tokenID uint16
+
+// unknownID never matches any indexed token: transcripts can contain words
+// outside the structure alphabet only if masking was skipped, and those must
+// simply never align.
+const unknownID = tokenID(0xFFFF)
+
+// interner maps token strings to dense ids.
+type interner struct {
+	ids  map[string]tokenID
+	strs []string
+}
+
+func newInterner() *interner {
+	return &interner{ids: make(map[string]tokenID)}
+}
+
+func (in *interner) intern(tok string) tokenID {
+	if id, ok := in.ids[tok]; ok {
+		return id
+	}
+	id := tokenID(len(in.strs))
+	in.ids[tok] = id
+	in.strs = append(in.strs, tok)
+	return id
+}
+
+func (in *interner) lookup(tok string) tokenID {
+	if id, ok := in.ids[tok]; ok {
+		return id
+	}
+	return unknownID
+}
+
+func (in *interner) str(id tokenID) string { return in.strs[id] }
+
+// node is a trie node. Children are kept sorted by token id for binary
+// search during insertion; traversal order is deterministic.
+type node struct {
+	tok      tokenID
+	leaf     bool
+	children []*node
+}
+
+func (n *node) child(tok tokenID) *node {
+	i := sort.Search(len(n.children), func(i int) bool { return n.children[i].tok >= tok })
+	if i < len(n.children) && n.children[i].tok == tok {
+		return n.children[i]
+	}
+	return nil
+}
+
+func (n *node) insertChild(tok tokenID) *node {
+	i := sort.Search(len(n.children), func(i int) bool { return n.children[i].tok >= tok })
+	if i < len(n.children) && n.children[i].tok == tok {
+		return n.children[i]
+	}
+	c := &node{tok: tok}
+	n.children = append(n.children, nil)
+	copy(n.children[i+1:], n.children[i:])
+	n.children[i] = c
+	return c
+}
+
+// trie holds all structures of one token length.
+type trie struct {
+	root  *node
+	count int // number of structures
+	nodes int // total node count (for stats)
+}
+
+// Options configures index construction and search behaviour.
+type Options struct {
+	// DisableBDB turns off the bidirectional-bounds trie pruning
+	// (Proposition 1). Used only by the Figure 15 ablation; BDB never
+	// changes results.
+	DisableBDB bool
+	// DAP enables diversity-aware pruning (Appendix D.3); approximate.
+	DAP bool
+	// INV enables the inverted-index fast path (Appendix D.3); approximate.
+	INV bool
+	// UniformWeights replaces the SQL-specific weights (W_K=1.2, W_S=1.1,
+	// W_L=1.0) with 1.0 for every token class — the ablation of the
+	// Section 3.4 design choice that Keywords are the most trustworthy
+	// anchors. Not part of the paper's own ablation set.
+	UniformWeights bool
+}
+
+// Index is the structure index: one trie per structure length plus the
+// optional inverted index. Build it once (offline, Section 3.2) and share it
+// across goroutines; Search does not mutate the index.
+type Index struct {
+	in         *interner
+	tries      []*trie // indexed by structure length
+	maxLen     int
+	total      int
+	weights    []float64               // weight per interned token id
+	prime      []int8                  // DAP prime-superset group per id (−1 none)
+	inv        map[tokenID][][]tokenID // keyword → structures containing it
+	corpus     [][]tokenID             // retained only when INV is on
+	keepCorpus bool
+}
+
+// NewIndex creates an empty index. Set keepINV if INV search will be used
+// (it needs the flat corpus retained).
+func NewIndex(maxLen int, keepINV bool) *Index {
+	return &Index{
+		in:         newInterner(),
+		tries:      make([]*trie, maxLen+1),
+		maxLen:     maxLen,
+		inv:        make(map[tokenID][][]tokenID),
+		keepCorpus: keepINV,
+	}
+}
+
+// invExcluded are the universal keywords excluded from the inverted index:
+// they appear in (nearly) every structure and so discriminate nothing.
+var invExcluded = map[string]bool{"SELECT": true, "FROM": true, "WHERE": true}
+
+// Insert adds one structure (a token sequence over the grammar alphabet).
+// Duplicate insertions are idempotent.
+func (ix *Index) Insert(tokens []string) {
+	if len(tokens) == 0 || len(tokens) > ix.maxLen {
+		return
+	}
+	ids := make([]tokenID, len(tokens))
+	for i, t := range tokens {
+		id := ix.in.intern(t)
+		ids[i] = id
+		for int(id) >= len(ix.weights) {
+			ix.weights = append(ix.weights, 0)
+			ix.prime = append(ix.prime, -1)
+		}
+		ix.weights[id] = sqltoken.Weight(t)
+		ix.prime[id] = int8(primeGroup(t))
+	}
+	tr := ix.tries[len(tokens)]
+	if tr == nil {
+		tr = &trie{root: &node{}}
+		ix.tries[len(tokens)] = tr
+	}
+	n := tr.root
+	for _, id := range ids {
+		n = n.insertChild(id)
+	}
+	if n.leaf {
+		return // duplicate
+	}
+	n.leaf = true
+	tr.count++
+	ix.total++
+	if ix.keepCorpus {
+		ix.corpus = append(ix.corpus, ids)
+		seen := map[tokenID]bool{}
+		for i, t := range tokens {
+			if sqltoken.IsKeyword(t) && !invExcluded[t] && !seen[ids[i]] {
+				seen[ids[i]] = true
+				// Keep each inverted list length-sorted so the INV scan
+				// can expand outward from the query's length and stop on
+				// the Proposition 1 bound. The generator emits structures
+				// in non-decreasing length, so this append is O(1) in
+				// practice; the insertion sort below covers other callers.
+				list := ix.inv[ids[i]]
+				j := len(list)
+				for j > 0 && len(list[j-1]) > len(ids) {
+					j--
+				}
+				list = append(list, nil)
+				copy(list[j+1:], list[j:])
+				list[j] = ids
+				ix.inv[ids[i]] = list
+			}
+		}
+	}
+}
+
+// Total returns the number of distinct structures indexed.
+func (ix *Index) Total() int { return ix.total }
+
+// MaxLen returns the maximum indexed structure length.
+func (ix *Index) MaxLen() int { return ix.maxLen }
+
+// NumTries returns the number of non-empty tries.
+func (ix *Index) NumTries() int {
+	n := 0
+	for _, t := range ix.tries {
+		if t != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// MemoryStats summarizes the index's size: structures, trie nodes, and the
+// per-length breakdown (Section 3.3's memory-for-latency trade is visible
+// in the node counts).
+type MemoryStats struct {
+	Structures int
+	Nodes      int
+	PerLength  map[int]LengthStats
+}
+
+// LengthStats is one trie's share.
+type LengthStats struct {
+	Structures int
+	Nodes      int
+}
+
+// Memory walks the tries and returns their stats.
+func (ix *Index) Memory() MemoryStats {
+	st := MemoryStats{Structures: ix.total, PerLength: map[int]LengthStats{}}
+	for length, t := range ix.tries {
+		if t == nil {
+			continue
+		}
+		n := countNodes(t.root)
+		st.Nodes += n
+		st.PerLength[length] = LengthStats{Structures: t.count, Nodes: n}
+	}
+	return st
+}
+
+func countNodes(n *node) int {
+	total := 0
+	for _, c := range n.children {
+		total += 1 + countNodes(c)
+	}
+	return total
+}
+
+// tokensOf converts a transcript to interned ids (unknown tokens map to a
+// never-matching id) and their deletion weights.
+func (ix *Index) tokensOf(toks []string) ([]tokenID, []float64) {
+	ids := make([]tokenID, len(toks))
+	w := make([]float64, len(toks))
+	for i, t := range toks {
+		ids[i] = ix.in.lookup(t)
+		w[i] = sqltoken.Weight(t)
+	}
+	return ids, w
+}

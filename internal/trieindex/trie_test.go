@@ -1,0 +1,363 @@
+package trieindex
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"speakql/internal/grammar"
+	"speakql/internal/metrics"
+)
+
+func buildIndex(t testing.TB, cfg grammar.GenConfig, keepINV bool) *Index {
+	t.Helper()
+	ix := NewIndex(cfg.MaxTokens, keepINV)
+	err := grammar.Generate(cfg, func(toks []string) bool {
+		ix.Insert(toks)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestInsertAndTotal(t *testing.T) {
+	ix := NewIndex(10, false)
+	ix.Insert(strings.Fields("SELECT x FROM x"))
+	ix.Insert(strings.Fields("SELECT x FROM x"))
+	ix.Insert(strings.Fields("SELECT * FROM x"))
+	ix.Insert(strings.Fields("SELECT x FROM x WHERE x = x"))
+	if ix.Total() != 3 {
+		t.Fatalf("Total = %d, want 3 (duplicates ignored)", ix.Total())
+	}
+	if ix.NumTries() != 2 {
+		t.Fatalf("NumTries = %d, want 2 (lengths 4 and 8)", ix.NumTries())
+	}
+	// Over-long insertions are silently ignored.
+	ix.Insert(strings.Fields("SELECT x FROM x WHERE x = x AND x = x"))
+	if ix.Total() != 3 {
+		t.Fatalf("over-long structure was indexed")
+	}
+}
+
+func TestSearchExactMatch(t *testing.T) {
+	ix := buildIndex(t, grammar.TestScale(), false)
+	queries := []string{
+		"SELECT x FROM x",
+		"SELECT * FROM x",
+		"SELECT AVG ( x ) FROM x WHERE x = x",
+		"SELECT x FROM x NATURAL JOIN x WHERE x BETWEEN x AND x",
+		"SELECT x FROM x WHERE x = x ORDER BY x",
+	}
+	for _, q := range queries {
+		res, _ := ix.Search(strings.Fields(q), Options{})
+		if res.Distance != 0 {
+			t.Errorf("Search(%q) distance = %v, want 0", q, res.Distance)
+		}
+		if strings.Join(res.Tokens, " ") != q {
+			t.Errorf("Search(%q) = %q", q, strings.Join(res.Tokens, " "))
+		}
+	}
+}
+
+func TestSearchRunningExample(t *testing.T) {
+	// Section 3.1's running example: masked transcript of "select sales from
+	// employers wear name equals Jon" is SELECT x FROM x x x = x; the
+	// closest structure is SELECT x FROM x WHERE x = x.
+	ix := buildIndex(t, grammar.TestScale(), false)
+	res, _ := ix.Search(strings.Fields("SELECT x FROM x x x = x"), Options{})
+	if got := strings.Join(res.Tokens, " "); got != "SELECT x FROM x WHERE x = x" {
+		t.Errorf("running example: got %q (dist %v)", got, res.Distance)
+	}
+}
+
+// The search must return exactly the minimum weighted edit distance over the
+// whole corpus — verified against a brute-force scan.
+func TestSearchMatchesBruteForce(t *testing.T) {
+	cfg := grammar.TestScale()
+	ix := buildIndex(t, cfg, false)
+	var corpus [][]string
+	err := grammar.Generate(cfg, func(toks []string) bool {
+		corpus = append(corpus, append([]string(nil), toks...))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	vocab := []string{"SELECT", "FROM", "WHERE", "x", "=", "<", ">", "(", ")",
+		",", "AND", "OR", "AVG", "COUNT", "ORDER", "BY", "LIMIT", "*", "."}
+	trials := 60
+	if testing.Short() {
+		trials = 10
+	}
+	for trial := 0; trial < trials; trial++ {
+		m := 1 + rng.Intn(14)
+		q := make([]string, m)
+		for i := range q {
+			q[i] = vocab[rng.Intn(len(vocab))]
+		}
+		want := math.Inf(1)
+		for _, s := range corpus {
+			if d := metrics.WeightedTokenEditDistance(q, s); d < want {
+				want = d
+			}
+		}
+		res, _ := ix.Search(q, Options{})
+		if math.Abs(res.Distance-want) > 1e-9 {
+			t.Fatalf("query %v: search dist %v, brute force %v (got %v)",
+				q, res.Distance, want, res.Tokens)
+		}
+		// BDB off must give the same distance (it is accuracy-preserving).
+		resNoBDB, _ := ix.Search(q, Options{DisableBDB: true})
+		if math.Abs(resNoBDB.Distance-want) > 1e-9 {
+			t.Fatalf("query %v: no-BDB dist %v, want %v", q, resNoBDB.Distance, want)
+		}
+	}
+}
+
+func TestSearchTopK(t *testing.T) {
+	ix := buildIndex(t, grammar.TestScale(), false)
+	q := strings.Fields("SELECT x FROM x x x = x")
+	rs, _ := ix.SearchTopK(q, 5, Options{})
+	if len(rs) != 5 {
+		t.Fatalf("topk returned %d results", len(rs))
+	}
+	for i := 1; i < len(rs); i++ {
+		if rs[i].Distance < rs[i-1].Distance {
+			t.Fatalf("topk not sorted: %v", rs)
+		}
+	}
+	// Distinct structures.
+	seen := map[string]bool{}
+	for _, r := range rs {
+		key := strings.Join(r.Tokens, " ")
+		if seen[key] {
+			t.Fatalf("duplicate structure in topk: %s", key)
+		}
+		seen[key] = true
+	}
+	// k=1 must equal Search.
+	one, _ := ix.Search(q, Options{})
+	if one.Distance != rs[0].Distance {
+		t.Fatalf("Search dist %v != topk[0] dist %v", one.Distance, rs[0].Distance)
+	}
+}
+
+func TestSearchTopKLargerThanCorpus(t *testing.T) {
+	ix := NewIndex(10, false)
+	ix.Insert(strings.Fields("SELECT x FROM x"))
+	ix.Insert(strings.Fields("SELECT * FROM x"))
+	rs, _ := ix.SearchTopK(strings.Fields("SELECT x FROM x"), 10, Options{})
+	if len(rs) != 2 {
+		t.Fatalf("got %d results, want 2", len(rs))
+	}
+}
+
+func TestSearchEmptyIndexAndQuery(t *testing.T) {
+	ix := NewIndex(10, false)
+	if rs, _ := ix.SearchTopK(strings.Fields("SELECT x FROM x"), 3, Options{}); rs != nil {
+		t.Fatalf("empty index returned %v", rs)
+	}
+	ix.Insert(strings.Fields("SELECT x FROM x"))
+	res, _ := ix.Search(nil, Options{})
+	if math.Abs(res.Distance-4.4) > 1e-9 {
+		// inserting SELECT(1.2) x(1.0) FROM(1.2) x(1.0) from nothing
+		t.Fatalf("empty query dist = %v, want 4.4", res.Distance)
+	}
+}
+
+func TestBDBSkipsTries(t *testing.T) {
+	ix := buildIndex(t, grammar.TestScale(), false)
+	q := strings.Fields("SELECT x FROM x")
+	_, st := ix.Search(q, Options{})
+	if st.TriesSkipped == 0 {
+		t.Error("BDB skipped no tries for a short exact query")
+	}
+	_, stOff := ix.Search(q, Options{DisableBDB: true})
+	if stOff.TriesSkipped != 0 {
+		t.Error("BDB disabled but tries were skipped")
+	}
+	if stOff.NodesVisited < st.NodesVisited {
+		t.Errorf("BDB visited more nodes (%d) than no-BDB (%d)",
+			st.NodesVisited, stOff.NodesVisited)
+	}
+}
+
+// Reproduces the bidirectional-bounds walk-through of Figure 10: query
+// A B A against tries of lengths 1–5; after finding distance 1 at length 2,
+// every other trie is skipped.
+func TestFigure10Example(t *testing.T) {
+	ix := NewIndex(50, false)
+	ix.Insert([]string{"A"})
+	ix.Insert([]string{"A", "B"})
+	ix.Insert([]string{"A", "B", "C"})
+	ix.Insert([]string{"A", "B", "C", "D"})
+	ix.Insert([]string{"A", "B", "C", "D", "E"})
+	res, st := ix.Search([]string{"A", "B", "A"}, Options{})
+	if got := strings.Join(res.Tokens, " "); got != "A B" {
+		t.Fatalf("Figure 10: got %q, want A B", got)
+	}
+	if math.Abs(res.Distance-1.0) > 1e-9 {
+		t.Fatalf("Figure 10: dist %v, want 1.0 (one literal delete)", res.Distance)
+	}
+	// Searched: length 3 (finds A B C at 2), length 2 (finds A B at 1),
+	// then lengths 1, 4, 5 are all skipped by the bounds.
+	if st.TriesSearched != 2 || st.TriesSkipped != 3 {
+		t.Fatalf("Figure 10: searched=%d skipped=%d, want 2/3",
+			st.TriesSearched, st.TriesSkipped)
+	}
+}
+
+func TestDAPApproximation(t *testing.T) {
+	ix := buildIndex(t, grammar.TestScale(), false)
+	// A query whose closest structure differs only in a prime-superset
+	// token still yields a valid (possibly different) structure under DAP.
+	q := strings.Fields("SELECT SUM ( x ) FROM x WHERE x = x")
+	exact, _ := ix.Search(q, Options{})
+	dap, stD := ix.Search(q, Options{DAP: true})
+	if exact.Distance != 0 {
+		t.Fatalf("exact search should find the structure exactly")
+	}
+	if dap.Distance < exact.Distance {
+		t.Fatalf("DAP distance below exact minimum")
+	}
+	_, stE := ix.Search(q, Options{})
+	if stD.NodesVisited > stE.NodesVisited {
+		t.Errorf("DAP visited more nodes (%d) than exact (%d)",
+			stD.NodesVisited, stE.NodesVisited)
+	}
+}
+
+func TestINVPath(t *testing.T) {
+	ix := buildIndex(t, grammar.TestScale(), true)
+	// Query mentions BETWEEN, a non-universal keyword → INV path applies.
+	q := strings.Fields("SELECT x FROM x WHERE x BETWEEN x AND x")
+	res, st := ix.Search(q, Options{INV: true})
+	if !st.UsedINV {
+		t.Fatal("INV was not used despite BETWEEN in query")
+	}
+	if st.InvScanned == 0 || st.InvScanned >= ix.Total() {
+		t.Fatalf("INV scanned %d of %d structures", st.InvScanned, ix.Total())
+	}
+	if res.Distance != 0 {
+		t.Fatalf("INV missed the exact structure: dist %v, got %v",
+			res.Distance, res.Tokens)
+	}
+	// Query without any indexed keyword falls back to trie search.
+	q2 := strings.Fields("SELECT x FROM x WHERE x = x")
+	_, st2 := ix.Search(q2, Options{INV: true})
+	if st2.UsedINV {
+		t.Fatal("INV used with no non-universal keyword")
+	}
+}
+
+func TestINVRequiresCorpus(t *testing.T) {
+	ix := buildIndex(t, grammar.TestScale(), false) // keepINV = false
+	q := strings.Fields("SELECT x FROM x WHERE x BETWEEN x AND x")
+	res, st := ix.Search(q, Options{INV: true})
+	if st.UsedINV {
+		t.Fatal("INV used without a retained corpus")
+	}
+	if res.Distance != 0 {
+		t.Fatal("fallback trie search failed")
+	}
+}
+
+// Property: search distance is never negative and never exceeds the
+// Proposition 1 upper bound (m+n)·W_K for the returned structure.
+func TestSearchDistanceBounds(t *testing.T) {
+	ix := buildIndex(t, grammar.TestScale(), false)
+	rng := rand.New(rand.NewSource(3))
+	vocab := []string{"SELECT", "FROM", "WHERE", "x", "=", ",", "AND", "sales", "wear"}
+	for trial := 0; trial < 40; trial++ {
+		q := make([]string, 1+rng.Intn(12))
+		for i := range q {
+			q[i] = vocab[rng.Intn(len(vocab))]
+		}
+		res, _ := ix.Search(q, Options{})
+		if res.Distance < 0 {
+			t.Fatalf("negative distance for %v", q)
+		}
+		ub := float64(len(q)+len(res.Tokens)) * 1.2
+		if res.Distance > ub+1e-9 {
+			t.Fatalf("distance %v above upper bound %v", res.Distance, ub)
+		}
+	}
+}
+
+func BenchmarkSearchTestScale(b *testing.B) {
+	ix := buildIndex(b, grammar.TestScale(), false)
+	q := strings.Fields("SELECT x FROM x x x = x AND x = x")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Search(q, Options{})
+	}
+}
+
+func BenchmarkSearchTestScaleNoBDB(b *testing.B) {
+	ix := buildIndex(b, grammar.TestScale(), false)
+	q := strings.Fields("SELECT x FROM x x x = x AND x = x")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Search(q, Options{DisableBDB: true})
+	}
+}
+
+func TestMemoryStats(t *testing.T) {
+	ix := buildIndex(t, grammar.TestScale(), false)
+	st := ix.Memory()
+	if st.Structures != ix.Total() {
+		t.Errorf("Structures = %d, want %d", st.Structures, ix.Total())
+	}
+	if st.Nodes <= st.Structures {
+		t.Errorf("Nodes %d should exceed structure count %d", st.Nodes, st.Structures)
+	}
+	sumS, sumN := 0, 0
+	for _, ls := range st.PerLength {
+		sumS += ls.Structures
+		sumN += ls.Nodes
+	}
+	if sumS != st.Structures || sumN != st.Nodes {
+		t.Errorf("per-length totals disagree: %d/%d vs %d/%d",
+			sumS, sumN, st.Structures, st.Nodes)
+	}
+	// Prefix sharing: nodes must be far fewer than total tokens inserted.
+	totalTokens := 0
+	_ = grammar.Generate(grammar.TestScale(), func(toks []string) bool {
+		totalTokens += len(toks)
+		return true
+	})
+	if st.Nodes >= totalTokens {
+		t.Errorf("no prefix sharing: %d nodes for %d tokens", st.Nodes, totalTokens)
+	}
+}
+
+func TestUniformWeightsAblation(t *testing.T) {
+	ix := buildIndex(t, grammar.TestScale(), false)
+	// Under uniform weights the distance for a keyword substitution equals
+	// a literal substitution; under class weights they differ.
+	q := strings.Fields("SELECT x FROM x wear x = x") // "wear" garbage token
+	def, _ := ix.Search(q, Options{})
+	uni, _ := ix.Search(q, Options{UniformWeights: true})
+	if def.Distance == uni.Distance {
+		t.Logf("distances coincide for this query (%v) — acceptable", def.Distance)
+	}
+	if uni.Distance <= 0 || def.Distance <= 0 {
+		t.Fatal("expected nonzero distances")
+	}
+	// Uniform distance of an insert+delete pair is exactly 2.
+	ix2 := NewIndex(10, false)
+	ix2.Insert(strings.Fields("SELECT x FROM x"))
+	r, _ := ix2.Search(strings.Fields("SELECT x x FROM x"), Options{UniformWeights: true})
+	if r.Distance != 1 {
+		t.Errorf("uniform delete cost = %v, want 1", r.Distance)
+	}
+	r, _ = ix2.Search(strings.Fields("x FROM x"), Options{UniformWeights: true})
+	if r.Distance != 1 { // SELECT inserted at cost 1 (not 1.2)
+		t.Errorf("uniform keyword insert cost = %v, want 1", r.Distance)
+	}
+}

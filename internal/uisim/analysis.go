@@ -1,0 +1,242 @@
+package uisim
+
+import (
+	"math"
+	"sort"
+)
+
+// QuerySummary aggregates trials for one query across participants — the
+// rows behind Figure 7's three panels and Figure 12.
+type QuerySummary struct {
+	QueryID int
+	Complex bool
+
+	MedianSpeakQLSec float64 // Figure 7C "median time to completion"
+	MedianTypingSec  float64
+	Speedup          float64 // Figure 7A: typing / SpeakQL
+
+	MedianSpeakQLEffort float64 // Figure 7C "median units of effort"
+	MedianTypingEffort  float64
+	EffortReduction     float64 // Figure 7B: typing / SpeakQL
+
+	PctSpeaking float64 // Figure 12A: share of end-to-end time dictating
+	PctKeyboard float64 // Figure 12B: share on the SQL keyboard
+}
+
+// Summarize reduces raw trials to per-query summaries, in query order.
+func Summarize(trials []Trial) []QuerySummary {
+	byQuery := map[int][]Trial{}
+	for _, t := range trials {
+		byQuery[t.QueryID] = append(byQuery[t.QueryID], t)
+	}
+	var ids []int
+	for id := range byQuery {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var out []QuerySummary
+	for _, id := range ids {
+		var sqlSec, typSec, sqlEff, typEff []float64
+		var speakShare, kbShare []float64
+		complexQ := false
+		for _, t := range byQuery[id] {
+			complexQ = t.Complex
+			if t.SpeakQL {
+				sqlSec = append(sqlSec, t.Seconds)
+				sqlEff = append(sqlEff, float64(t.Effort))
+				if t.Seconds > 0 {
+					speakShare = append(speakShare, t.SpeakSec/t.Seconds)
+					kbShare = append(kbShare, t.KeyboardSec/t.Seconds)
+				}
+			} else {
+				typSec = append(typSec, t.Seconds)
+				typEff = append(typEff, float64(t.Effort))
+			}
+		}
+		qs := QuerySummary{
+			QueryID:             id,
+			Complex:             complexQ,
+			MedianSpeakQLSec:    median(sqlSec),
+			MedianTypingSec:     median(typSec),
+			MedianSpeakQLEffort: median(sqlEff),
+			MedianTypingEffort:  median(typEff),
+			PctSpeaking:         mean(speakShare),
+			PctKeyboard:         mean(kbShare),
+		}
+		if qs.MedianSpeakQLSec > 0 {
+			qs.Speedup = qs.MedianTypingSec / qs.MedianSpeakQLSec
+		}
+		if qs.MedianSpeakQLEffort > 0 {
+			qs.EffortReduction = qs.MedianTypingEffort / qs.MedianSpeakQLEffort
+		}
+		out = append(out, qs)
+	}
+	return out
+}
+
+// MeanSpeedup averages per-query speedups over the selected queries
+// (complexOnly filters; pass nil to include all).
+func MeanSpeedup(sums []QuerySummary, include func(QuerySummary) bool) float64 {
+	var vals []float64
+	for _, s := range sums {
+		if include == nil || include(s) {
+			vals = append(vals, s.Speedup)
+		}
+	}
+	return mean(vals)
+}
+
+// MeanEffortReduction averages per-query effort-reduction factors.
+func MeanEffortReduction(sums []QuerySummary, include func(QuerySummary) bool) float64 {
+	var vals []float64
+	for _, s := range sums {
+		if include == nil || include(s) {
+			vals = append(vals, s.EffortReduction)
+		}
+	}
+	return mean(vals)
+}
+
+// PairedDeltas extracts (typing − SpeakQL) differences per (participant,
+// query) for the hypothesis tests of Section 6.4.
+func PairedDeltas(trials []Trial, metric func(Trial) float64) []float64 {
+	type key struct{ p, q int }
+	speak := map[key]float64{}
+	typed := map[key]float64{}
+	for _, t := range trials {
+		k := key{t.Participant, t.QueryID}
+		if t.SpeakQL {
+			speak[k] = metric(t)
+		} else {
+			typed[k] = metric(t)
+		}
+	}
+	var deltas []float64
+	for k, tv := range typed {
+		if sv, ok := speak[k]; ok {
+			deltas = append(deltas, tv-sv)
+		}
+	}
+	sort.Float64s(deltas)
+	return deltas
+}
+
+// SignTest returns the two-sided p-value of the exact binomial sign test on
+// the paired deltas (zeros dropped).
+func SignTest(deltas []float64) float64 {
+	n, pos := 0, 0
+	for _, d := range deltas {
+		if d == 0 {
+			continue
+		}
+		n++
+		if d > 0 {
+			pos++
+		}
+	}
+	if n == 0 {
+		return 1
+	}
+	k := pos
+	if n-pos < k {
+		k = n - pos
+	}
+	// P = 2 · Σ_{i≤k} C(n,i) / 2^n, capped at 1.
+	p := 0.0
+	for i := 0; i <= k; i++ {
+		p += binomPMF(n, i)
+	}
+	p *= 2
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+func binomPMF(n, k int) float64 {
+	// log-space for stability at n = 180.
+	lg := lgamma(float64(n+1)) - lgamma(float64(k+1)) - lgamma(float64(n-k+1))
+	return math.Exp(lg - float64(n)*math.Ln2)
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// WilcoxonSignedRank returns the z statistic and approximate two-sided
+// p-value of the Wilcoxon signed-rank test on the paired deltas (normal
+// approximation, fine at the study's n = 180).
+func WilcoxonSignedRank(deltas []float64) (z, p float64) {
+	type item struct {
+		abs float64
+		pos bool
+	}
+	var items []item
+	for _, d := range deltas {
+		if d == 0 {
+			continue
+		}
+		items = append(items, item{math.Abs(d), d > 0})
+	}
+	n := len(items)
+	if n == 0 {
+		return 0, 1
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].abs < items[j].abs })
+	// Ranks with ties averaged.
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j < n && items[j].abs == items[i].abs {
+			j++
+		}
+		avg := float64(i+j+1) / 2 // 1-based average rank
+		for k := i; k < j; k++ {
+			ranks[k] = avg
+		}
+		i = j
+	}
+	var wPlus float64
+	for i, it := range items {
+		if it.pos {
+			wPlus += ranks[i]
+		}
+	}
+	mu := float64(n*(n+1)) / 4
+	sigma := math.Sqrt(float64(n*(n+1)*(2*n+1)) / 24)
+	if sigma == 0 {
+		return 0, 1
+	}
+	z = (wPlus - mu) / sigma
+	p = 2 * (1 - normCDF(math.Abs(z)))
+	return z, p
+}
+
+func normCDF(x float64) float64 {
+	return 0.5 * (1 + math.Erf(x/math.Sqrt2))
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

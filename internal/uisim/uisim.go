@@ -1,0 +1,345 @@
+// Package uisim simulates the paper's tablet user study (Section 6.4) with
+// the live SpeakQL pipeline in the loop: simulated participants compose
+// Table 6's 12 queries under two within-subjects conditions — raw typing on
+// the tablet's soft keyboard versus SpeakQL dictation plus interactive
+// correction — with the condition order alternated across queries and
+// participants exactly as the study design prescribes. Interface costs
+// (dictation rate, touch latency, keyboard repair) run through
+// internal/session's cost model, so better or worse correction quality
+// moves the reproduced Figure 7 directly.
+package uisim
+
+import (
+	"math/rand"
+	"strings"
+
+	"speakql/internal/asr"
+	"speakql/internal/core"
+	"speakql/internal/dataset"
+	"speakql/internal/metrics"
+	"speakql/internal/session"
+	"speakql/internal/speech"
+	"speakql/internal/sqltoken"
+)
+
+// Participant is one simulated user's motor/speech parameters, drawn once
+// per participant around tablet-typical means.
+type Participant struct {
+	ID          int
+	TypingCPS   float64 // characters per second on a tablet soft keyboard
+	SpeakingWPS float64 // words per second when dictating
+	TouchSec    float64 // seconds per touch/click
+	ThinkSec    float64 // upfront comprehension time per query
+}
+
+// NewParticipants draws n participants deterministically.
+func NewParticipants(n int, seed int64) []Participant {
+	rng := rand.New(rand.NewSource(seed))
+	ps := make([]Participant, n)
+	for i := range ps {
+		ps[i] = Participant{
+			ID:          i + 1,
+			TypingCPS:   clamp(1.3+rng.NormFloat64()*0.3, 0.7, 2.2),
+			SpeakingWPS: clamp(2.1+rng.NormFloat64()*0.4, 1.2, 3.2),
+			TouchSec:    clamp(1.3+rng.NormFloat64()*0.3, 0.7, 2.2),
+			ThinkSec:    clamp(6+rng.NormFloat64()*2, 2, 12),
+		}
+	}
+	return ps
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Trial is one (participant, query, condition) measurement.
+type Trial struct {
+	Participant int
+	QueryID     int
+	Complex     bool
+	SpeakQL     bool    // condition
+	Seconds     float64 // time to completion
+	Effort      int     // units of effort (touches + dictation attempts)
+	SpeakSec    float64 // time spent dictating (SpeakQL condition)
+	KeyboardSec float64 // time spent on the SQL keyboard
+	EditSec     float64 // total correction time (keyboard + re-dictation)
+	Dictations  int
+	FinalTED    int // residual token edit distance (0 = completed exactly)
+}
+
+// Study holds everything a simulation run needs.
+type Study struct {
+	Engine  *core.Engine
+	ASR     *asr.Engine
+	Queries []dataset.StudyQuery
+	Seed    int64
+}
+
+// Run simulates every participant composing every query under both
+// conditions, alternating which condition comes first per query and per
+// participant (the paper's within-subjects interleaving), and returns all
+// trials (2 × participants × queries).
+func (s Study) Run(participants []Participant) []Trial {
+	var trials []Trial
+	for pi, p := range participants {
+		for qi, q := range s.Queries {
+			speakFirst := (pi+qi)%2 == 0
+			rng := rand.New(rand.NewSource(s.Seed ^ int64(pi*1000+qi)))
+			a := s.simulateSpeakQL(rng, p, q)
+			b := s.simulateTyping(rng, p, q, speakFirst)
+			trials = append(trials, a, b)
+		}
+	}
+	return trials
+}
+
+// simulateTyping models the control condition: typing the query from
+// scratch on the tablet. Typing the second time (after having dictated the
+// same query) gets a small familiarity discount, which the alternating
+// design is there to balance out.
+func (s Study) simulateTyping(rng *rand.Rand, p Participant, q dataset.StudyQuery, second bool) Trial {
+	chars := len(q.SQL)
+	// Soft-keyboard SQL typing needs symbol-layer switches; ~8% of
+	// keystrokes are corrections.
+	strokes := int(float64(chars) * (1.08 + rng.Float64()*0.06))
+	secs := p.ThinkSec + float64(strokes)/p.TypingCPS
+	if second {
+		secs *= 0.92
+	}
+	return Trial{
+		Participant: p.ID,
+		QueryID:     q.ID,
+		Complex:     q.Complex,
+		SpeakQL:     false,
+		Seconds:     secs,
+		Effort:      strokes,
+	}
+}
+
+// simulateSpeakQL models the SpeakQL condition: dictate the whole query (or
+// clause-by-clause for complex queries, which the pilot study showed users
+// prefer), then repair the display with clause re-dictation or the SQL
+// keyboard until it matches the ground truth.
+func (s Study) simulateSpeakQL(rng *rand.Rand, p Participant, q dataset.StudyQuery) Trial {
+	sess := session.New(s.Engine)
+	want := core.TokensOf(q.SQL)
+	spoken := speech.VerbalizeQuery(q.SQL)
+
+	tr := Trial{Participant: p.ID, QueryID: q.ID, Complex: q.Complex, SpeakQL: true}
+	dictate := func(words []string, clause bool) {
+		transcript := s.ASR.TranscribeN(words, 1+rng.Intn(4))[0]
+		if clause {
+			sess.DictateClause(transcript)
+		} else {
+			sess.DictateFull(transcript)
+		}
+		d := float64(len(words)) / p.SpeakingWPS
+		tr.SpeakSec += d
+		tr.Seconds += d + 0.8 // engine + render latency
+	}
+
+	tr.Seconds += p.ThinkSec
+	if q.Complex {
+		// Clause-level dictation (Section 5): complex queries are spoken
+		// clause by clause to cut cognitive load.
+		for _, cl := range clauseSpokenForms(q.SQL) {
+			dictate(cl, true)
+		}
+	} else {
+		dictate(spoken, false)
+	}
+
+	// Interactive correction loop: up to one clause re-dictation round,
+	// then SQL-keyboard repair of whatever remains.
+	if ted(want, sess.Tokens()) > 0 {
+		if bad, words, ok := worstClause(q.SQL, want, sess.Tokens()); ok && ted(want, sess.Tokens()) >= 4 {
+			_ = bad
+			redictSec := float64(len(words)) / p.SpeakingWPS
+			dictate(words, true)
+			tr.EditSec += redictSec
+		}
+	}
+	// Keyboard repair: align current display to ground truth token-wise.
+	touchesBefore := sess.Touches()
+	keyboardRepair(sess, want)
+	repairTouches := sess.Touches() - touchesBefore
+	kbSec := float64(repairTouches) * p.TouchSec
+	tr.KeyboardSec = kbSec
+	tr.EditSec += kbSec
+	tr.Seconds += kbSec
+
+	tr.Effort = sess.Effort()
+	tr.Dictations = sess.Dictations()
+	tr.FinalTED = ted(want, sess.Tokens())
+	return tr
+}
+
+func ted(a, b []string) int {
+	return metrics.TokenEditDistance(lower(a), lower(b))
+}
+
+func lower(ts []string) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = strings.ToLower(t)
+	}
+	return out
+}
+
+// clauseSpokenForms splits a query's verbalization at clause heads so that
+// each piece can be dictated separately.
+func clauseSpokenForms(sql string) [][]string {
+	toks := sqltoken.TokenizeSQL(sql)
+	var clauses [][]string
+	var cur []string
+	flush := func() {
+		if len(cur) > 0 {
+			clauses = append(clauses, cur)
+			cur = nil
+		}
+	}
+	for i, t := range toks {
+		up := strings.ToUpper(t)
+		if (up == "SELECT" || up == "FROM" || up == "WHERE" || up == "GROUP" ||
+			up == "ORDER" || up == "LIMIT") && i > 0 {
+			flush()
+		}
+		cur = append(cur, speech.VerbalizeToken(t)...)
+	}
+	flush()
+	return clauses
+}
+
+// worstClause finds the ground-truth clause overlapping the most residual
+// errors, returning its spoken words for re-dictation.
+func worstClause(sql string, want, got []string) (string, []string, bool) {
+	type span struct {
+		head  string
+		words []string
+		errs  int
+	}
+	clauses := clauseSpokenForms(sql)
+	if len(clauses) == 0 {
+		return "", nil, false
+	}
+	gotSet := map[string]int{}
+	for _, t := range lower(got) {
+		gotSet[t]++
+	}
+	var best span
+	toks := sqltoken.TokenizeSQL(sql)
+	_ = toks
+	for _, cl := range clauses {
+		errs := 0
+		for _, w := range cl {
+			if gotSet[w] == 0 {
+				errs++
+			} else {
+				gotSet[w]--
+			}
+		}
+		if errs > best.errs {
+			best = span{head: strings.ToUpper(cl[0]), words: cl, errs: errs}
+		}
+	}
+	if best.errs == 0 {
+		return "", nil, false
+	}
+	return best.head, best.words, true
+}
+
+// keyboardRepair applies minimal token edits (delete extra, replace wrong,
+// insert missing) until the display equals the ground truth — the SQL
+// Keyboard's in-place editing (Figure 5B).
+func keyboardRepair(sess *session.Session, want []string) {
+	got := sess.Tokens()
+	// Simple forward alignment: walk both sequences via LCS and issue
+	// operations for mismatches.
+	ops := diffOps(lower(got), lower(want))
+	// Apply in reverse order so indices stay valid.
+	for i := len(ops) - 1; i >= 0; i-- {
+		op := ops[i]
+		switch op.kind {
+		case opDelete:
+			sess.DeleteToken(op.pos)
+		case opInsert:
+			sess.InsertToken(op.pos, want[op.wantIdx])
+		case opReplace:
+			sess.ReplaceToken(op.pos, want[op.wantIdx])
+		}
+	}
+}
+
+type opKind int
+
+const (
+	opDelete opKind = iota
+	opInsert
+	opReplace
+)
+
+type editOp struct {
+	kind    opKind
+	pos     int // position in the current (got) sequence
+	wantIdx int
+}
+
+// diffOps computes a minimal Levenshtein script from got to want.
+func diffOps(got, want []string) []editOp {
+	n, m := len(got), len(want)
+	dp := make([][]int, n+1)
+	for i := range dp {
+		dp[i] = make([]int, m+1)
+		dp[i][0] = i
+	}
+	for j := 0; j <= m; j++ {
+		dp[0][j] = j
+	}
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			if got[i-1] == want[j-1] {
+				dp[i][j] = dp[i-1][j-1]
+				continue
+			}
+			best := dp[i-1][j] + 1 // delete
+			if v := dp[i][j-1] + 1; v < best {
+				best = v
+			}
+			if v := dp[i-1][j-1] + 1; v < best {
+				best = v
+			}
+			dp[i][j] = best
+		}
+	}
+	var ops []editOp
+	i, j := n, m
+	for i > 0 || j > 0 {
+		switch {
+		case i > 0 && j > 0 && got[i-1] == want[j-1] && dp[i][j] == dp[i-1][j-1]:
+			i--
+			j--
+		case i > 0 && j > 0 && dp[i][j] == dp[i-1][j-1]+1:
+			ops = append(ops, editOp{kind: opReplace, pos: i - 1, wantIdx: j - 1})
+			i--
+			j--
+		case i > 0 && dp[i][j] == dp[i-1][j]+1:
+			ops = append(ops, editOp{kind: opDelete, pos: i - 1})
+			i--
+		default:
+			ops = append(ops, editOp{kind: opInsert, pos: i, wantIdx: j - 1})
+			j--
+		}
+	}
+	// ops were collected back-to-front; reverse to forward order. Callers
+	// apply them in reverse again, so net application order is safe.
+	for a, b := 0, len(ops)-1; a < b; a, b = a+1, b-1 {
+		ops[a], ops[b] = ops[b], ops[a]
+	}
+	return ops
+}

@@ -1,0 +1,61 @@
+package speakql_test
+
+import (
+	"strings"
+	"testing"
+
+	"speakql"
+	"speakql/internal/dataset"
+)
+
+func TestPackageExample(t *testing.T) {
+	cat := speakql.NewCatalog(
+		[]string{"Employees", "Salaries"},
+		[]string{"FirstName", "LastName", "Salary"},
+		[]string{"John", "Jon"})
+	eng, err := speakql.NewEngine(speakql.Config{
+		Grammar: speakql.TestGrammar(),
+		Catalog: cat,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := eng.Correct("select sales from employers wear first name equals Jon")
+	got := out.Best().SQL
+	want := "SELECT Salary FROM Employees WHERE FirstName = 'Jon'"
+	if got != want {
+		t.Errorf("doc example: got %q, want %q", got, want)
+	}
+}
+
+func TestCatalogOf(t *testing.T) {
+	db := dataset.NewEmployeesDB(dataset.EmployeesConfig{Employees: 20, Departments: 3, Seed: 1})
+	cat := speakql.CatalogOf(db)
+	if len(cat.Tables()) != 6 {
+		t.Errorf("tables = %v", cat.Tables())
+	}
+	if !cat.HasAttribute("Salary") {
+		t.Error("attribute catalog incomplete")
+	}
+}
+
+func TestZeroConfigEngineUsable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("default grammar scale is slow in -short mode")
+	}
+	eng, err := speakql.NewEngine(speakql.Config{Grammar: speakql.TestGrammar()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := eng.Correct("select star from employees")
+	if got := strings.Join(out.Best().Structure, " "); got != "SELECT * FROM x1" {
+		t.Errorf("structure = %q", got)
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	toks := speakql.Tokenize("SELECT AVG ( salary ) FROM Salaries")
+	if len(toks) != 7 {
+		t.Errorf("tokens = %v", toks)
+	}
+}
