@@ -5,6 +5,7 @@
 package speakql_test
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 
@@ -16,6 +17,8 @@ import (
 	"speakql/internal/metrics"
 	"speakql/internal/phonetic"
 	"speakql/internal/speech"
+	"speakql/internal/structure"
+	"speakql/internal/trieindex"
 )
 
 var (
@@ -132,6 +135,51 @@ func BenchmarkStructureSearch(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.Structure.Determine("select salary from employees where gender equals M and salary greater than 70000")
+	}
+}
+
+// BenchmarkStructureSearchParallel is BenchmarkStructureSearch with the trie
+// partitions searched on a GOMAXPROCS-wide worker pool (same index, shared).
+// Results are bit-identical to the serial search; compare ns/op between the
+// two to see the partition-parallel speedup on a multi-core machine.
+func BenchmarkStructureSearchParallel(b *testing.B) {
+	e := env(b)
+	par := structure.NewFromIndex(e.Structure.Index(),
+		trieindex.Options{Workers: runtime.GOMAXPROCS(0)}, e.GrammarCfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		par.Determine("select salary from employees where gender equals M and salary greater than 70000")
+	}
+}
+
+var benchAlternatives = []string{
+	"select sales from employers wear first name equals Jon",
+	"select salary from employees where gender equals M",
+	"select first name from employees order by higher date",
+	"select count of everything from titles",
+	"select last name from employees where salary greater than 70000",
+}
+
+// BenchmarkCorrectAlternatives corrects a 5-alternative ASR n-best list
+// strictly sequentially, the pre-refactor behavior.
+func BenchmarkCorrectAlternatives(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, tr := range benchAlternatives {
+			e.Engine.Correct(tr)
+		}
+	}
+}
+
+// BenchmarkCorrectAlternativesParallel runs the same n-best list through
+// CorrectAlternatives, which fans the alternatives out over a
+// GOMAXPROCS-bounded pool while preserving output order.
+func BenchmarkCorrectAlternativesParallel(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Engine.CorrectAlternatives(benchAlternatives)
 	}
 }
 

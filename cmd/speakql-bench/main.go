@@ -5,26 +5,31 @@
 //
 // Usage:
 //
-//	speakql-bench [-scale test|default|paper] [-run id[,id…]] [-list]
+//	speakql-bench [-scale test|default|paper] [-run id[,id…]] [-parallel n] [-list]
 //
-// Artifact ids: table2, figure6, figure7 (incl. figure12), figure8,
-// figure11, table4 (incl. figure13), figure14, figure15, figure16,
-// figure17, figure18, table5.
+// -parallel n searches the trie index's length partitions on n workers
+// (n < 0 means GOMAXPROCS); results are bit-identical to the serial search,
+// only latency changes. Artifact ids: table2, figure6, figure7 (incl.
+// figure12), figure8, figure11, table4 (incl. figure13), figure14, figure15,
+// figure16, figure17, figure18, table5.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"speakql/internal/experiments"
+	"speakql/internal/trieindex"
 )
 
 func main() {
 	scale := flag.String("scale", "default", "corpus scale: test, default, or paper")
 	run := flag.String("run", "all", "comma-separated artifact ids, or 'all'")
+	parallel := flag.Int("parallel", 0, "trie-search workers: 0|1 serial, n>1 parallel, <0 GOMAXPROCS")
 	list := flag.Bool("list", false, "list artifact ids and exit")
 	flag.Parse()
 
@@ -46,9 +51,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	fmt.Printf("SpeakQL experiment harness — scale=%s\n", sc)
+	workers := *parallel
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("SpeakQL experiment harness — scale=%s search-workers=%d\n", sc, workers)
 	t0 := time.Now()
-	env := experiments.NewEnv(sc)
+	env := experiments.NewEnvWithSearch(sc, trieindex.Options{Workers: workers})
 	mem := env.Structure.Index().Memory()
 	fmt.Printf("environment ready in %.1fs (grammar: ≤%d tokens, %d structures in %d trie nodes; Employees train/test %d/%d, Yelp %d)\n\n",
 		time.Since(t0).Seconds(), env.GrammarCfg.MaxTokens,

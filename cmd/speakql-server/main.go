@@ -8,8 +8,14 @@
 //	POST /api/edit      {"id": "...", "op": "replace", "pos": 2, "token": "Salary"}
 //	POST /api/execute   {"sql": "SELECT ..."}
 //	GET  /api/schema
+//	GET  /api/stats
 //
-// Usage: speakql-server [-addr :8080] [-db employees|yelp] [-scale test|default|paper]
+// Usage: speakql-server [-addr :8080] [-db employees|yelp]
+// [-scale test|default|paper] [-workers n] [-timeout 10s]
+//
+// -workers n searches trie partitions on n goroutines per request (<0 means
+// GOMAXPROCS; results are identical to serial search). -timeout bounds the
+// correction work per /api/correct and /api/dictate request (0 disables).
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"runtime"
 
 	"speakql"
 	"speakql/internal/core"
@@ -35,7 +42,15 @@ func main() {
 	scale := flag.String("scale", "test", "structure corpus scale: test, default, or paper")
 	idxCache := flag.String("index-cache", "",
 		"path to a persisted structure index: loaded if present, built and written otherwise")
+	workers := flag.Int("workers", 0, "trie-search workers per request: 0|1 serial, n>1 parallel, <0 GOMAXPROCS")
+	timeout := flag.Duration("timeout", httpapi.DefaultRequestTimeout,
+		"per-request correction deadline for /api/correct and /api/dictate (0 disables)")
 	flag.Parse()
+
+	if *workers < 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+	searchOpts := trieindex.Options{Workers: *workers}
 
 	var db *sqlengine.Database
 	switch *dbFlag {
@@ -65,18 +80,20 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		comp := structure.NewFromIndex(ix, trieindex.Options{}, gcfg)
+		comp := structure.NewFromIndex(ix, searchOpts, gcfg)
 		eng = core.NewEngineWithComponent(comp, speakql.CatalogOf(db), 5)
 	} else {
 		log.Printf("building structure index (%s scale)…", *scale)
 		var err error
-		eng, err = speakql.NewEngine(speakql.Config{Grammar: gcfg, Catalog: speakql.CatalogOf(db)})
+		eng, err = speakql.NewEngine(speakql.Config{Grammar: gcfg, Search: searchOpts, Catalog: speakql.CatalogOf(db)})
 		if err != nil {
 			log.Fatal(err)
 		}
 	}
 	srv := httpapi.New(eng, db)
-	log.Printf("listening on %s (db=%s)", *addr, db.Name)
+	srv.SetRequestTimeout(*timeout)
+	log.Printf("listening on %s (db=%s, search-workers=%d, request-timeout=%s)",
+		*addr, db.Name, *workers, *timeout)
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }
 

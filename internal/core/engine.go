@@ -6,10 +6,15 @@
 package core
 
 import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"speakql/internal/grammar"
 	"speakql/internal/literal"
+	"speakql/internal/obs"
 	"speakql/internal/sqltoken"
 	"speakql/internal/structure"
 	"speakql/internal/trieindex"
@@ -121,16 +126,40 @@ func (e *Engine) Correct(transcript string) Output {
 	return e.CorrectTopK(transcript, 1)
 }
 
+// CorrectContext is Correct under a context (see CorrectTopKContext).
+func (e *Engine) CorrectContext(ctx context.Context, transcript string) Output {
+	return e.CorrectTopKContext(ctx, transcript, 1)
+}
+
 // CorrectTopK runs the pipeline keeping k structure hypotheses, each filled
 // with literals ("best of top k", Table 2's Top 5 columns).
 func (e *Engine) CorrectTopK(transcript string, k int) Output {
+	return e.CorrectTopKContext(context.Background(), transcript, k)
+}
+
+// CorrectTopKContext is CorrectTopK under a context: cancellation is
+// honored between pipeline stages and at trie-partition boundaries inside
+// structure determination. A cancelled call returns promptly with whatever
+// partial Output the completed work supports — possibly no candidates —
+// and never leaks a goroutine.
+func (e *Engine) CorrectTopKContext(ctx context.Context, transcript string, k int) Output {
 	if k < 1 {
 		k = 1
 	}
+	span := obs.StartSpan("core.correct")
+	defer span.End()
 	t0 := time.Now()
-	structs := e.structure.DetermineTopK(transcript, k)
+	structs := e.structure.DetermineTopKContext(ctx, transcript, k)
 	t1 := time.Now()
 	out := Output{StructureLatency: t1.Sub(t0)}
+	if ctx.Err() != nil {
+		// The deadline passed mid-search: the structures (if any) are the
+		// best found so far, but filling literals would only add latency
+		// the caller has already declined to spend.
+		obs.Add("core.cancelled", 1)
+		return out
+	}
+	lspan := obs.StartSpan("literal.determine")
 	for _, sr := range structs {
 		out.Transcript = sr.Transcript
 		bindings := literal.Determine(sr.Transcript, sr.Structure, e.catalog, e.kLiterals)
@@ -143,6 +172,7 @@ func (e *Engine) CorrectTopK(transcript string, k int) Output {
 		})
 	}
 	out.LiteralLatency = time.Since(t1)
+	lspan.End()
 	return out
 }
 
@@ -150,10 +180,46 @@ func (e *Engine) CorrectTopK(transcript string, k int) Output {
 // alternatives (the engine's n-best list) and returns one Output per
 // alternative, in order. Used for the "best of top 5" evaluation.
 func (e *Engine) CorrectAlternatives(transcripts []string) []Output {
+	return e.CorrectAlternativesContext(context.Background(), transcripts)
+}
+
+// CorrectAlternativesContext corrects the alternatives concurrently on a
+// pool bounded by GOMAXPROCS (the engine is read-only after construction).
+// Outputs keep the input order — alternative i's result is always at index
+// i — so ranking by ASR confidence is preserved. Cancellation stops the
+// remaining alternatives; already-started ones finish their current
+// partition and return partial Outputs.
+func (e *Engine) CorrectAlternativesContext(ctx context.Context, transcripts []string) []Output {
 	outs := make([]Output, len(transcripts))
-	for i, tr := range transcripts {
-		outs[i] = e.Correct(tr)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(transcripts) {
+		workers = len(transcripts)
 	}
+	if workers <= 1 {
+		for i, tr := range transcripts {
+			if ctx.Err() != nil {
+				break
+			}
+			outs[i] = e.CorrectContext(ctx, tr)
+		}
+		return outs
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(transcripts) || ctx.Err() != nil {
+					return
+				}
+				outs[i] = e.CorrectContext(ctx, transcripts[i])
+			}
+		}()
+	}
+	wg.Wait()
 	return outs
 }
 

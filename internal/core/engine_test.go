@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"speakql/internal/asr"
 	"speakql/internal/grammar"
@@ -211,5 +214,76 @@ func TestCorrectDeterministic(t *testing.T) {
 	b := e.Correct(tr).Best()
 	if a.SQL != b.SQL || strings.Join(a.Structure, " ") != strings.Join(b.Structure, " ") {
 		t.Fatalf("non-deterministic correction: %q vs %q", a.SQL, b.SQL)
+	}
+}
+
+func TestCorrectContextAlreadyCancelled(t *testing.T) {
+	e := engine(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	before := runtime.NumGoroutine()
+	t0 := time.Now()
+	out := e.CorrectContext(ctx, "select sales from employers wear name equals Jon")
+	if el := time.Since(t0); el > time.Second {
+		t.Errorf("cancelled Correct took %v", el)
+	}
+	if len(out.Candidates) != 0 {
+		t.Errorf("cancelled Correct produced %d candidates", len(out.Candidates))
+	}
+	// No goroutine may outlive the call.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Errorf("goroutines grew from %d to %d", before, n)
+	}
+}
+
+func TestCorrectContextUncancelledMatchesPlain(t *testing.T) {
+	e := engine(t)
+	tr := "select salary from employees where gender equals M"
+	plain := e.CorrectTopK(tr, 3)
+	ctxed := e.CorrectTopKContext(context.Background(), tr, 3)
+	if len(plain.Candidates) != len(ctxed.Candidates) {
+		t.Fatalf("candidate counts differ: %d vs %d", len(plain.Candidates), len(ctxed.Candidates))
+	}
+	for i := range plain.Candidates {
+		if plain.Candidates[i].SQL != ctxed.Candidates[i].SQL {
+			t.Errorf("candidate %d: %q vs %q", i, plain.Candidates[i].SQL, ctxed.Candidates[i].SQL)
+		}
+	}
+}
+
+func TestCorrectAlternativesOrderPreserved(t *testing.T) {
+	e := engine(t)
+	alts := []string{
+		"select sales from employers wear name equals Jon",
+		"select first name from employees",
+		"select salary from employees where gender equals M",
+		"select count of everything from titles",
+		"select last name from employees where salary greater than 70000",
+	}
+	// Reference: the strictly sequential pipeline.
+	want := make([]Output, len(alts))
+	for i, tr := range alts {
+		want[i] = e.Correct(tr)
+	}
+	for run := 0; run < 3; run++ {
+		got := e.CorrectAlternatives(alts)
+		if len(got) != len(want) {
+			t.Fatalf("run %d: %d outputs", run, len(got))
+		}
+		for i := range want {
+			if got[i].Best().SQL != want[i].Best().SQL {
+				t.Errorf("run %d: output %d = %q, want %q", run, i, got[i].Best().SQL, want[i].Best().SQL)
+			}
+		}
+	}
+}
+
+func TestCorrectAlternativesEmpty(t *testing.T) {
+	if outs := engine(t).CorrectAlternatives(nil); len(outs) != 0 {
+		t.Errorf("nil alternatives returned %d outputs", len(outs))
 	}
 }

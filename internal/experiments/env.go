@@ -79,6 +79,14 @@ func (env *Env) TestEvals() []QueryEval {
 // offline parts of the paper: database generation, corpus generation,
 // structure-index construction, and ASR language-model training.
 func NewEnv(scale Scale) *Env {
+	return NewEnvWithSearch(scale, trieindex.Options{})
+}
+
+// NewEnvWithSearch is NewEnv with explicit trie-search options, so harnesses
+// can run the whole evaluation with e.g. parallel search
+// (Options{Workers: runtime.GOMAXPROCS(0)}) or the Appendix D.3
+// approximations turned on.
+func NewEnvWithSearch(scale Scale, search trieindex.Options) *Env {
 	env := &Env{Scale: scale}
 	var corpusSizes [3]int
 	switch scale {
@@ -107,7 +115,7 @@ func NewEnv(scale Scale) *Env {
 		Seed:    42,
 	})
 
-	sc, err := structure.New(structure.Config{Grammar: env.GrammarCfg, Search: trieindex.Options{}})
+	sc, err := structure.New(structure.Config{Grammar: env.GrammarCfg, Search: search})
 	if err != nil {
 		panic(fmt.Sprintf("experiments: structure index: %v", err))
 	}

@@ -1,35 +1,78 @@
 // Package httpapi implements the HTTP JSON backend for SpeakQL's
 // interactive display (the analog of the paper's CloudLab backend):
 // transcript correction, clause-level re-dictation, SQL-keyboard edits with
-// effort accounting, query execution against the demo database, and the
-// schema lists the SQL Keyboard renders. cmd/speakql-server wires it to a
-// listener.
+// effort accounting, query execution against the demo database, the schema
+// lists the SQL Keyboard renders, and per-stage pipeline statistics.
+// cmd/speakql-server wires it to a listener.
+//
+// Concurrency: the engine is read-only and shared freely; each session has
+// its own lock, so dictations in unrelated sessions correct in parallel and
+// only same-session requests serialize. Correction-running endpoints
+// (/api/correct, /api/dictate) run under a per-request deadline so one
+// pathological transcript cannot pin a worker.
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"speakql/internal/core"
+	"speakql/internal/obs"
 	"speakql/internal/session"
 	"speakql/internal/sqlengine"
 )
 
-type Server struct {
-	engine *core.Engine
-	db     *sqlengine.Database
+// DefaultRequestTimeout bounds the correction work done for one
+// /api/correct or /api/dictate request. The paper's premise is sub-second
+// interaction; anything this far past it is better cut off partial.
+const DefaultRequestTimeout = 10 * time.Second
 
-	mu       sync.Mutex
-	sessions map[string]*session.Session
+// sessionEntry pairs one session with its own lock: holding it serializes
+// requests within that session without blocking any other session.
+type sessionEntry struct {
+	mu   sync.Mutex
+	sess *session.Session
+}
+
+type Server struct {
+	engine  *core.Engine
+	db      *sqlengine.Database
+	timeout time.Duration
+	reg     *obs.Registry
+
+	mu       sync.Mutex // guards sessions and nextID only — never held across corrections
+	sessions map[string]*sessionEntry
 	nextID   int
 }
 
-// New creates a Server over the given engine and database.
+// New creates a Server over the given engine and database, reporting stats
+// from the default obs registry.
 func New(engine *core.Engine, db *sqlengine.Database) *Server {
-	return &Server{engine: engine, db: db, sessions: map[string]*session.Session{}}
+	return &Server{
+		engine:   engine,
+		db:       db,
+		timeout:  DefaultRequestTimeout,
+		reg:      obs.Default(),
+		sessions: map[string]*sessionEntry{},
+	}
+}
+
+// SetRequestTimeout overrides the per-request correction deadline
+// (0 disables it). Call before serving.
+func (s *Server) SetRequestTimeout(d time.Duration) { s.timeout = d }
+
+// requestCtx derives the correction context for one request: the client
+// disconnecting or the server deadline expiring, whichever first.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.timeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.timeout)
 }
 
 // Handler returns the API's http.Handler.
@@ -42,6 +85,7 @@ func (s *Server) Handler() *http.ServeMux {
 	mux.HandleFunc("POST /api/execute", s.handleExecute)
 	mux.HandleFunc("GET /api/schema", s.handleSchema)
 	mux.HandleFunc("GET /api/keyboard", s.handleKeyboard)
+	mux.HandleFunc("GET /api/stats", s.handleStats)
 	mux.HandleFunc("GET /{$}", s.handleIndex)
 	return mux
 }
@@ -73,6 +117,8 @@ type candidateJSON struct {
 }
 
 func (s *Server) handleCorrect(w http.ResponseWriter, r *http.Request) {
+	span := s.reg.StartSpan("http.correct")
+	defer span.End()
 	var req correctReq
 	if err := decode(r, &req); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -81,7 +127,9 @@ func (s *Server) handleCorrect(w http.ResponseWriter, r *http.Request) {
 	if req.TopK < 1 {
 		req.TopK = 1
 	}
-	out := s.engine.CorrectTopK(req.Transcript, req.TopK)
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	out := s.engine.CorrectTopKContext(ctx, req.Transcript, req.TopK)
 	var cands []candidateJSON
 	for _, c := range out.Candidates {
 		cands = append(cands, candidateJSON{SQL: c.SQL, Structure: c.Structure, Distance: c.StructureDistance})
@@ -90,6 +138,8 @@ func (s *Server) handleCorrect(w http.ResponseWriter, r *http.Request) {
 		"transcript":   out.Transcript,
 		"candidates":   cands,
 		"structure_ms": out.StructureLatency.Milliseconds(),
+		"literal_ms":   out.LiteralLatency.Milliseconds(),
+		"deadline_hit": ctx.Err() != nil,
 	})
 }
 
@@ -97,16 +147,16 @@ func (s *Server) handleNewSession(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	s.nextID++
 	id := "s" + strconv.Itoa(s.nextID)
-	s.sessions[id] = session.New(s.engine)
+	s.sessions[id] = &sessionEntry{sess: session.New(s.engine)}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]string{"id": id})
 }
 
-func (s *Server) session(id string) (*session.Session, bool) {
+func (s *Server) session(id string) (*sessionEntry, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	sess, ok := s.sessions[id]
-	return sess, ok
+	entry, ok := s.sessions[id]
+	return entry, ok
 }
 
 type dictateReq struct {
@@ -116,24 +166,28 @@ type dictateReq struct {
 }
 
 func (s *Server) handleDictate(w http.ResponseWriter, r *http.Request) {
+	span := s.reg.StartSpan("http.dictate")
+	defer span.End()
 	var req dictateReq
 	if err := decode(r, &req); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	sess, ok := s.session(req.ID)
+	entry, ok := s.session(req.ID)
 	if !ok {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown session %q", req.ID))
 		return
 	}
-	s.mu.Lock()
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	entry.mu.Lock()
 	if req.Clause {
-		sess.DictateClause(req.Transcript)
+		entry.sess.DictateClauseContext(ctx, req.Transcript)
 	} else {
-		sess.DictateFull(req.Transcript)
+		entry.sess.DictateFullContext(ctx, req.Transcript)
 	}
-	resp := sessionState(sess)
-	s.mu.Unlock()
+	resp := sessionState(entry.sess)
+	entry.mu.Unlock()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -145,31 +199,33 @@ type editReq struct {
 }
 
 func (s *Server) handleEdit(w http.ResponseWriter, r *http.Request) {
+	span := s.reg.StartSpan("http.edit")
+	defer span.End()
 	var req editReq
 	if err := decode(r, &req); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	sess, ok := s.session(req.ID)
+	entry, ok := s.session(req.ID)
 	if !ok {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown session %q", req.ID))
 		return
 	}
-	s.mu.Lock()
+	entry.mu.Lock()
 	switch req.Op {
 	case "insert":
-		sess.InsertToken(req.Pos, req.Token)
+		entry.sess.InsertToken(req.Pos, req.Token)
 	case "delete":
-		sess.DeleteToken(req.Pos)
+		entry.sess.DeleteToken(req.Pos)
 	case "replace":
-		sess.ReplaceToken(req.Pos, req.Token)
+		entry.sess.ReplaceToken(req.Pos, req.Token)
 	default:
-		s.mu.Unlock()
+		entry.mu.Unlock()
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown op %q", req.Op))
 		return
 	}
-	resp := sessionState(sess)
-	s.mu.Unlock()
+	resp := sessionState(entry.sess)
+	entry.mu.Unlock()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -188,6 +244,8 @@ type executeReq struct {
 }
 
 func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
+	span := s.reg.StartSpan("http.execute")
+	defer span.End()
 	var req executeReq
 	if err := decode(r, &req); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -221,5 +279,31 @@ func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"database": s.db.Name,
 		"tables":   tables,
+	})
+}
+
+// handleStats serves the obs registry snapshot: per-stage span counts and
+// cumulative/max latencies plus the pipeline's monotonic counters. Stage
+// keys: http.* wrap whole handlers; core.correct, structure.determine, and
+// literal.determine time the engine stages of Figure 2.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	snap := s.reg.Snapshot()
+	stages := map[string]any{}
+	for _, name := range snap.StageNames() {
+		st := snap.Stages[name]
+		stages[name] = map[string]any{
+			"count":    st.Count,
+			"total_ns": int64(st.Total),
+			"max_ns":   int64(st.Max),
+			"mean_ns":  int64(st.Mean()),
+		}
+	}
+	s.mu.Lock()
+	nsessions := len(s.sessions)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"stages":   stages,
+		"counters": snap.Counters,
+		"sessions": nsessions,
 	})
 }

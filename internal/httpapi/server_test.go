@@ -3,9 +3,11 @@ package httpapi
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
 	"speakql/internal/core"
@@ -18,6 +20,7 @@ import (
 var (
 	testSrv *httptest.Server
 	testDB  *sqlengine.Database
+	testEng *core.Engine
 )
 
 func srv(t *testing.T) *httptest.Server {
@@ -29,6 +32,7 @@ func srv(t *testing.T) *httptest.Server {
 		if err != nil {
 			t.Fatal(err)
 		}
+		testEng = eng
 		testSrv = httptest.NewServer(New(eng, testDB).Handler())
 	}
 	return testSrv
@@ -251,5 +255,176 @@ func TestIndexPage(t *testing.T) {
 		if !strings.Contains(page, needle) {
 			t.Errorf("index page missing %s wiring", needle)
 		}
+	}
+}
+
+func TestCorrectReportsBothStageLatencies(t *testing.T) {
+	s := srv(t)
+	code, out := post(t, s.URL+"/api/correct", map[string]any{
+		"transcript": "select salary from employees where gender equals M",
+	})
+	if code != http.StatusOK {
+		t.Fatalf("status = %d: %v", code, out)
+	}
+	for _, key := range []string{"structure_ms", "literal_ms"} {
+		if _, ok := out[key].(float64); !ok {
+			t.Errorf("response missing %s: %v", key, out)
+		}
+	}
+	if out["deadline_hit"].(bool) {
+		t.Error("deadline_hit on an ordinary request")
+	}
+}
+
+func statsSnapshot(t *testing.T, base string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(base + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status = %d", resp.StatusCode)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func stageField(t *testing.T, snap map[string]any, stage, field string) float64 {
+	t.Helper()
+	stages, ok := snap["stages"].(map[string]any)
+	if !ok {
+		t.Fatalf("no stages in %v", snap)
+	}
+	st, ok := stages[stage].(map[string]any)
+	if !ok {
+		return 0 // stage not recorded yet
+	}
+	return st[field].(float64)
+}
+
+func TestStatsEndpointTracksCorrections(t *testing.T) {
+	s := srv(t)
+	before := statsSnapshot(t, s.URL)
+	code, _ := post(t, s.URL+"/api/correct", map[string]any{
+		"transcript": "select first name from employees where salary greater than 70000",
+	})
+	if code != http.StatusOK {
+		t.Fatal("correct failed")
+	}
+	after := statsSnapshot(t, s.URL)
+	for _, stage := range []string{"http.correct", "core.correct", "structure.determine", "literal.determine"} {
+		if d := stageField(t, after, stage, "count") - stageField(t, before, stage, "count"); d < 1 {
+			t.Errorf("stage %s count grew by %v, want >= 1", stage, d)
+		}
+		if d := stageField(t, after, stage, "total_ns") - stageField(t, before, stage, "total_ns"); d <= 0 {
+			t.Errorf("stage %s total_ns grew by %v, want > 0", stage, d)
+		}
+	}
+	cb, _ := before["counters"].(map[string]any)["search.nodes_visited"].(float64)
+	ca, _ := after["counters"].(map[string]any)["search.nodes_visited"].(float64)
+	if ca <= cb {
+		t.Errorf("search.nodes_visited did not grow: %v -> %v", cb, ca)
+	}
+}
+
+// postNoFail is a goroutine-safe variant of post: it reports failures as
+// error values instead of calling t.Fatal (which must not run off the test
+// goroutine).
+func postNoFail(url string, body any) (int, map[string]any, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return resp.StatusCode, nil, err
+	}
+	return resp.StatusCode, out, nil
+}
+
+// Race-focused load test: session dictations and keyboard edits across many
+// sessions at once, interleaved with stateless /api/correct traffic and
+// direct engine use. Under -race this exercises the per-session locking; the
+// assertions verify sessions never bleed into each other.
+func TestConcurrentSessionTraffic(t *testing.T) {
+	s := srv(t)
+	eng := testEng
+	const nSessions = 8
+	ids := make([]string, nSessions)
+	for i := range ids {
+		_, out := post(t, s.URL+"/api/session", map[string]any{})
+		ids[i] = out["id"].(string)
+	}
+	transcripts := []string{
+		"select salary from employees where gender equals M",
+		"select first name from employees",
+		"select count of everything from titles",
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for i := 0; i < nSessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := ids[i]
+			for rep := 0; rep < 3; rep++ {
+				code, out, err := postNoFail(s.URL+"/api/dictate", map[string]any{
+					"id": id, "transcript": transcripts[(i+rep)%len(transcripts)],
+				})
+				if err != nil || code != http.StatusOK {
+					errs <- fmt.Sprintf("dictate %s: %d %v %v", id, code, out, err)
+					return
+				}
+				code, out, err = postNoFail(s.URL+"/api/edit", map[string]any{
+					"id": id, "op": "insert", "pos": 0, "token": "SELECT",
+				})
+				if err != nil || code != http.StatusOK {
+					errs <- fmt.Sprintf("edit %s: %d %v %v", id, code, out, err)
+					return
+				}
+			}
+			// Each session saw exactly its own 3 dictations plus this one.
+			_, out, err := postNoFail(s.URL+"/api/dictate", map[string]any{
+				"id": id, "transcript": transcripts[0],
+			})
+			if err != nil {
+				errs <- fmt.Sprintf("final dictate %s: %v", id, err)
+				return
+			}
+			if got := out["dictations"].(float64); got != 4 {
+				errs <- fmt.Sprintf("session %s dictations = %v, want 4", id, got)
+			}
+		}(i)
+	}
+	// Stateless correction traffic and direct engine use alongside.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rep := 0; rep < 3; rep++ {
+				eng.Correct(transcripts[(w+rep)%len(transcripts)])
+				code, _, err := postNoFail(s.URL+"/api/correct", map[string]any{
+					"transcript": transcripts[rep%len(transcripts)],
+				})
+				if err != nil || code != http.StatusOK {
+					errs <- fmt.Sprintf("correct: %d %v", code, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
 	}
 }

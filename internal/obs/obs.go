@@ -1,0 +1,186 @@
+// Package obs is SpeakQL's lightweight observability layer: per-stage
+// latency spans, monotonic counters, and an optional pluggable sink for
+// exporting events. The correction pipeline (structure determination,
+// literal determination, the HTTP handlers) records into the process-wide
+// default registry; GET /api/stats serves its snapshot. With no sink set
+// the layer only aggregates — a span costs two clock reads and a few
+// atomic adds, cheap enough to stay always-on in the hot path.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Sink receives every completed span and counter increment, for exporting
+// to an external system (log, OTLP bridge, test capture). Implementations
+// must be safe for concurrent use; calls happen on the hot path, so they
+// should be fast or hand off asynchronously.
+type Sink interface {
+	Span(stage string, d time.Duration)
+	Count(name string, delta int64)
+}
+
+// stageAgg accumulates one stage's spans. All fields are atomics: spans
+// from concurrent requests land here without locking.
+type stageAgg struct {
+	count atomic.Int64
+	nanos atomic.Int64
+	max   atomic.Int64
+}
+
+func (a *stageAgg) record(d time.Duration) {
+	a.count.Add(1)
+	a.nanos.Add(int64(d))
+	for {
+		cur := a.max.Load()
+		if int64(d) <= cur || a.max.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// Registry aggregates spans and counters and forwards them to the sink, if
+// any. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	stages sync.Map // string → *stageAgg
+	counts sync.Map // string → *atomic.Int64
+	sink   atomic.Value
+}
+
+// sinkBox wraps the sink so atomic.Value sees one concrete type.
+type sinkBox struct{ s Sink }
+
+// NewRegistry returns an empty registry with no sink.
+func NewRegistry() *Registry { return &Registry{} }
+
+// defaultRegistry is the process-wide registry the pipeline records into.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// SetSink installs (or, with nil, removes) the registry's export sink.
+func (r *Registry) SetSink(s Sink) { r.sink.Store(sinkBox{s}) }
+
+func (r *Registry) loadSink() Sink {
+	if b, ok := r.sink.Load().(sinkBox); ok {
+		return b.s
+	}
+	return nil
+}
+
+// Span is an in-flight stage timing started by StartSpan.
+type Span struct {
+	r     *Registry
+	stage string
+	start time.Time
+}
+
+// StartSpan begins timing one stage; call End to record it.
+func (r *Registry) StartSpan(stage string) Span {
+	return Span{r: r, stage: stage, start: time.Now()}
+}
+
+// End records the span's duration. Safe on the zero Span (no-op).
+func (sp Span) End() {
+	if sp.r == nil {
+		return
+	}
+	d := time.Since(sp.start)
+	sp.r.stageFor(sp.stage).record(d)
+	if s := sp.r.loadSink(); s != nil {
+		s.Span(sp.stage, d)
+	}
+}
+
+func (r *Registry) stageFor(stage string) *stageAgg {
+	if a, ok := r.stages.Load(stage); ok {
+		return a.(*stageAgg)
+	}
+	a, _ := r.stages.LoadOrStore(stage, &stageAgg{})
+	return a.(*stageAgg)
+}
+
+// Add increments a monotonic counter.
+func (r *Registry) Add(name string, delta int64) {
+	if delta == 0 {
+		return
+	}
+	c, ok := r.counts.Load(name)
+	if !ok {
+		c, _ = r.counts.LoadOrStore(name, new(atomic.Int64))
+	}
+	c.(*atomic.Int64).Add(delta)
+	if s := r.loadSink(); s != nil {
+		s.Count(name, delta)
+	}
+}
+
+// StageStats is one stage's aggregate: how many spans completed, their
+// cumulative latency, and the worst single span.
+type StageStats struct {
+	Count int64
+	Total time.Duration
+	Max   time.Duration
+}
+
+// Mean returns the average span latency (0 when no spans recorded).
+func (s StageStats) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Total / time.Duration(s.Count)
+}
+
+// Snapshot is a point-in-time copy of a registry's aggregates.
+type Snapshot struct {
+	Stages   map[string]StageStats
+	Counters map[string]int64
+}
+
+// Snapshot copies the current aggregates. Concurrent recording continues;
+// the snapshot is internally consistent per stage, not across stages.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{Stages: map[string]StageStats{}, Counters: map[string]int64{}}
+	r.stages.Range(func(k, v any) bool {
+		a := v.(*stageAgg)
+		snap.Stages[k.(string)] = StageStats{
+			Count: a.count.Load(),
+			Total: time.Duration(a.nanos.Load()),
+			Max:   time.Duration(a.max.Load()),
+		}
+		return true
+	})
+	r.counts.Range(func(k, v any) bool {
+		snap.Counters[k.(string)] = v.(*atomic.Int64).Load()
+		return true
+	})
+	return snap
+}
+
+// StageNames returns the snapshot's stage names, sorted (stable rendering).
+func (s Snapshot) StageNames() []string {
+	names := make([]string, 0, len(s.Stages))
+	for n := range s.Stages {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Reset drops all aggregates (tests and long-lived servers rolling over).
+func (r *Registry) Reset() {
+	r.stages.Range(func(k, _ any) bool { r.stages.Delete(k); return true })
+	r.counts.Range(func(k, _ any) bool { r.counts.Delete(k); return true })
+}
+
+// Package-level shorthands recording into the default registry.
+
+// StartSpan begins a stage timing in the default registry.
+func StartSpan(stage string) Span { return defaultRegistry.StartSpan(stage) }
+
+// Add increments a counter in the default registry.
+func Add(name string, delta int64) { defaultRegistry.Add(name, delta) }

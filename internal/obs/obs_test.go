@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanAggregation(t *testing.T) {
+	r := NewRegistry()
+	sp := r.StartSpan("stage.a")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	r.StartSpan("stage.a").End()
+
+	snap := r.Snapshot()
+	st := snap.Stages["stage.a"]
+	if st.Count != 2 {
+		t.Fatalf("count = %d, want 2", st.Count)
+	}
+	if st.Total <= 0 || st.Max <= 0 || st.Max > st.Total {
+		t.Errorf("total=%v max=%v inconsistent", st.Total, st.Max)
+	}
+	if st.Mean() > st.Max {
+		t.Errorf("mean %v > max %v", st.Mean(), st.Max)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	r := NewRegistry()
+	r.Add("nodes", 3)
+	r.Add("nodes", 4)
+	r.Add("zero", 0) // no-op: must not materialize a counter
+	snap := r.Snapshot()
+	if snap.Counters["nodes"] != 7 {
+		t.Errorf("nodes = %d, want 7", snap.Counters["nodes"])
+	}
+	if _, ok := snap.Counters["zero"]; ok {
+		t.Error("zero-delta add created a counter")
+	}
+}
+
+func TestZeroSpanEndIsNoop(t *testing.T) {
+	var sp Span
+	sp.End() // must not panic
+}
+
+func TestReset(t *testing.T) {
+	r := NewRegistry()
+	r.StartSpan("s").End()
+	r.Add("c", 1)
+	r.Reset()
+	snap := r.Snapshot()
+	if len(snap.Stages) != 0 || len(snap.Counters) != 0 {
+		t.Errorf("after reset: %+v", snap)
+	}
+}
+
+// captureSink records events for sink-delivery assertions.
+type captureSink struct {
+	mu     sync.Mutex
+	spans  int
+	counts int64
+}
+
+func (c *captureSink) Span(string, time.Duration) {
+	c.mu.Lock()
+	c.spans++
+	c.mu.Unlock()
+}
+
+func (c *captureSink) Count(_ string, d int64) {
+	c.mu.Lock()
+	c.counts += d
+	c.mu.Unlock()
+}
+
+func TestSinkReceivesEvents(t *testing.T) {
+	r := NewRegistry()
+	sink := &captureSink{}
+	r.SetSink(sink)
+	r.StartSpan("s").End()
+	r.Add("c", 5)
+	r.SetSink(nil)
+	r.StartSpan("s").End() // must not reach the removed sink
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if sink.spans != 1 || sink.counts != 5 {
+		t.Errorf("sink saw spans=%d counts=%d", sink.spans, sink.counts)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.StartSpan("hot").End()
+				r.Add("n", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	if snap.Stages["hot"].Count != 1600 || snap.Counters["n"] != 1600 {
+		t.Errorf("lost updates: %+v", snap)
+	}
+}
+
+func TestStageNamesSorted(t *testing.T) {
+	r := NewRegistry()
+	r.StartSpan("b").End()
+	r.StartSpan("a").End()
+	names := r.Snapshot().StageNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("names = %v", names)
+	}
+}

@@ -8,6 +8,7 @@
 package session
 
 import (
+	"context"
 	"strings"
 
 	"speakql/internal/core"
@@ -86,7 +87,15 @@ const CostRecordButton = 2
 // DictateFull runs the whole-query pipeline ("Record" button) and replaces
 // the display.
 func (s *Session) DictateFull(transcript string) {
-	out := s.engine.Correct(transcript)
+	s.DictateFullContext(context.Background(), transcript)
+}
+
+// DictateFullContext is DictateFull under a request context: an expired
+// deadline leaves the display holding the engine's partial (possibly empty)
+// output. The dictation attempt is logged either way — the user pressed the
+// button.
+func (s *Session) DictateFullContext(ctx context.Context, transcript string) {
+	out := s.engine.CorrectContext(ctx, transcript)
 	s.tokens = out.Best().Tokens
 	s.events = append(s.events, Event{Kind: EventDictateFull, Detail: transcript, Touches: CostRecordButton})
 }
@@ -139,10 +148,16 @@ func (s *Session) clauseSpan(head string) (lo, hi int, ok bool) {
 // keeps the whole display syntactically valid. If the current display lacks
 // the clause (or is empty), the dictation is appended in clause order.
 func (s *Session) DictateClause(transcript string) {
+	s.DictateClauseContext(context.Background(), transcript)
+}
+
+// DictateClauseContext is DictateClause under a request context (see
+// DictateFullContext for deadline semantics).
+func (s *Session) DictateClauseContext(ctx context.Context, transcript string) {
 	head := clauseOf(transcript)
 	s.events = append(s.events, Event{Kind: EventDictateClause, Detail: transcript, Touches: CostRecordButton})
 	if head == "" || len(s.tokens) == 0 {
-		out := s.engine.Correct(transcript)
+		out := s.engine.CorrectContext(ctx, transcript)
 		s.tokens = out.Best().Tokens
 		return
 	}
@@ -156,7 +171,7 @@ func (s *Session) DictateClause(transcript string) {
 		parts = append(parts, s.tokens...)
 		parts = append(parts, transcriptTokens(transcript)...)
 	}
-	out := s.engine.Correct(strings.Join(parts, " "))
+	out := s.engine.CorrectContext(ctx, strings.Join(parts, " "))
 	s.tokens = out.Best().Tokens
 }
 

@@ -8,9 +8,11 @@
 package structure
 
 import (
+	"context"
 	"strings"
 
 	"speakql/internal/grammar"
+	"speakql/internal/obs"
 	"speakql/internal/sqltoken"
 	"speakql/internal/trieindex"
 )
@@ -70,7 +72,13 @@ type Result struct {
 
 // Determine returns the best structure for a raw ASR transcript.
 func (c *Component) Determine(transcript string) Result {
-	rs := c.DetermineTopK(transcript, 1)
+	return c.DetermineContext(context.Background(), transcript)
+}
+
+// DetermineContext is Determine with cancellation (see
+// DetermineTopKContext).
+func (c *Component) DetermineContext(ctx context.Context, transcript string) Result {
+	rs := c.DetermineTopKContext(ctx, transcript, 1)
 	if len(rs) == 0 {
 		return Result{}
 	}
@@ -79,14 +87,26 @@ func (c *Component) Determine(transcript string) Result {
 
 // DetermineTopK returns the k best structures, closest first.
 func (c *Component) DetermineTopK(transcript string, k int) []Result {
+	return c.DetermineTopKContext(context.Background(), transcript, k)
+}
+
+// DetermineTopKContext is DetermineTopK under a context: the trie search
+// checks ctx at partition boundaries, so an expired deadline returns the
+// best structures found so far (possibly none) rather than completing the
+// sweep.
+func (c *Component) DetermineTopKContext(ctx context.Context, transcript string, k int) []Result {
+	span := obs.StartSpan("structure.determine")
+	defer span.End()
 	toks := sqltoken.SubstituteSpokenForms(sqltoken.TokenizeTranscript(transcript))
 	outer, inner := splitNested(toks)
 	masked := sqltoken.MaskGeneric(outer)
-	cands, stats := c.ix.SearchTopK(masked, k, c.opts)
+	cands, stats := c.ix.SearchTopKContext(ctx, masked, k, c.opts)
+	recordSearchStats(stats)
 	results := make([]Result, 0, len(cands))
 	var innerStruct []string
 	if inner != nil {
-		innerRes, _ := c.ix.Search(sqltoken.MaskGeneric(inner), c.opts)
+		innerRes, innerStats := c.ix.SearchContext(ctx, sqltoken.MaskGeneric(inner), c.opts)
+		recordSearchStats(innerStats)
 		innerStruct = innerRes.Tokens
 	}
 	for _, cand := range cands {
@@ -102,6 +122,18 @@ func (c *Component) DetermineTopK(transcript string, k int) []Result {
 		})
 	}
 	return results
+}
+
+// recordSearchStats feeds one search's work counters into the obs layer,
+// where GET /api/stats aggregates them across requests.
+func recordSearchStats(st trieindex.Stats) {
+	obs.Add("search.nodes_visited", int64(st.NodesVisited))
+	obs.Add("search.tries_searched", int64(st.TriesSearched))
+	obs.Add("search.tries_skipped_bdb", int64(st.TriesSkipped))
+	obs.Add("search.inv_scanned", int64(st.InvScanned))
+	if st.UsedINV {
+		obs.Add("search.inv_hits", 1)
+	}
 }
 
 // splitNested implements the Appendix F.8 heuristic: if a second SELECT

@@ -179,3 +179,60 @@ func TestNewFromIndex(t *testing.T) {
 		t.Errorf("shared-index DAP component: got %q", got)
 	}
 }
+
+func TestNestedQuerySplitNoCloseParen(t *testing.T) {
+	// Trailing nested query with the close paren never spoken: the inner
+	// span runs to the end of the transcript.
+	outer, inner := splitNested(strings.Fields(
+		"SELECT name FROM employees WHERE id IN ( SELECT id FROM managers"))
+	if got := strings.Join(inner, " "); got != "SELECT id FROM managers" {
+		t.Errorf("inner = %q", got)
+	}
+	if got := strings.Join(outer, " "); got != "SELECT name FROM employees WHERE id IN ( x" {
+		t.Errorf("outer = %q", got)
+	}
+}
+
+func TestNestedQuerySplitInnerParens(t *testing.T) {
+	// Parens inside the nested query (COUNT ( id )) must not end the span:
+	// only the depth-0 close paren does.
+	outer, inner := splitNested(strings.Fields(
+		"SELECT name FROM employees WHERE id IN ( SELECT COUNT ( id ) FROM managers )"))
+	if got := strings.Join(inner, " "); got != "SELECT COUNT ( id ) FROM managers" {
+		t.Errorf("inner = %q", got)
+	}
+	if got := strings.Join(outer, " "); got != "SELECT name FROM employees WHERE id IN ( x )" {
+		t.Errorf("outer = %q", got)
+	}
+}
+
+func TestSpliceNestedReplacesValueSlot(t *testing.T) {
+	outer := strings.Fields("SELECT x FROM x WHERE x IN ( x )")
+	inner := strings.Fields("SELECT x FROM x")
+	got := strings.Join(spliceNested(outer, inner), " ")
+	if got != "SELECT x FROM x WHERE x IN ( SELECT x FROM x )" {
+		t.Errorf("spliced = %q", got)
+	}
+}
+
+func TestSpliceNestedNoValueSlot(t *testing.T) {
+	// No ( literal ) slot in the outer structure: the inner structure is
+	// appended parenthesized rather than dropped.
+	outer := strings.Fields("SELECT x FROM x")
+	inner := strings.Fields("SELECT x FROM x")
+	got := strings.Join(spliceNested(outer, inner), " ")
+	if got != "SELECT x FROM x ( SELECT x FROM x )" {
+		t.Errorf("spliced = %q", got)
+	}
+}
+
+func TestSpliceNestedPicksLastSlot(t *testing.T) {
+	// Two candidate slots: the splice targets the rightmost one (nested
+	// queries are dictated last in the transcripts we split).
+	outer := strings.Fields("SELECT COUNT ( x ) FROM x WHERE x IN ( x )")
+	inner := strings.Fields("SELECT x FROM x")
+	got := strings.Join(spliceNested(outer, inner), " ")
+	if got != "SELECT COUNT ( x ) FROM x WHERE x IN ( SELECT x FROM x )" {
+		t.Errorf("spliced = %q", got)
+	}
+}

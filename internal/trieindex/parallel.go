@@ -1,0 +1,105 @@
+// Parallel trie search: the length partitions of Box 2 are independent
+// except for the best-distance bound that BDB pruning feeds on, so they fan
+// out over a bounded worker pool that shares the bound through one atomic.
+// Determinism is preserved end to end — see searchParallel.
+package trieindex
+
+import (
+	"context"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// sharedBound is the cross-partition pruning bound: the minimum over all
+// workers of their local k-th-best distance, which is always an upper bound
+// on the global k-th-best. It only tightens, so publishing it can never
+// prune a true top-k candidate.
+type sharedBound struct{ bits atomic.Uint64 }
+
+func newSharedBound() *sharedBound {
+	b := &sharedBound{}
+	b.bits.Store(math.Float64bits(math.Inf(1)))
+	return b
+}
+
+func (b *sharedBound) load() float64 { return math.Float64frombits(b.bits.Load()) }
+
+// relax lowers the bound to d if d is smaller. Distances are non-negative,
+// but float ordering is not bit ordering, so this is a compare-and-swap
+// loop on the decoded value rather than an atomic min on the bits.
+func (b *sharedBound) relax(d float64) {
+	for {
+		cur := b.bits.Load()
+		if math.Float64frombits(cur) <= d {
+			return
+		}
+		if b.bits.CompareAndSwap(cur, math.Float64bits(d)) {
+			return
+		}
+	}
+}
+
+// searchParallel fans the partition order out over opts.Workers goroutines.
+// Workers claim partitions from an atomic cursor, so the closest-length
+// partitions (which tighten the bound fastest) start first, mirroring the
+// serial schedule.
+//
+// Results are bit-identical to serial search. Each worker keeps a local
+// top-k heap ordered by (distance, partition rank, offer sequence) — the
+// global enumeration order — and prunes against the shared bound with <=
+// rather than <, so an equal-distance candidate in a concurrently searched
+// partition survives to the merge, where enumeration rank settles the tie
+// exactly as a serial pass would have. The union of local top-k sets always
+// contains the global top-k, and the final sort-and-truncate under the same
+// total order selects it regardless of scheduling.
+//
+// ctx is checked before each partition claim; cancellation returns the best
+// results found so far after all workers drain (no goroutine outlives the
+// call).
+func (ix *Index) searchParallel(ctx context.Context, q []tokenID, qw []float64, k int, opts Options, order []int) ([]Result, Stats) {
+	workers := opts.Workers
+	if workers > len(order) {
+		workers = len(order)
+	}
+	shared := newSharedBound()
+	searchers := make([]*searcher, workers)
+	stats := make([]Stats, workers)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		s := ix.newSearcher(q, qw, k, opts, &stats[w])
+		s.shared = shared
+		searchers[w] = s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(order) || ctx.Err() != nil {
+					return
+				}
+				s.rank = int32(i)
+				s.searchLen(order[i])
+			}
+		}()
+	}
+	wg.Wait()
+
+	var st Stats
+	var all []heapEntry
+	for w := 0; w < workers; w++ {
+		st.add(stats[w])
+		all = append(all, searchers[w].heap...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[j].worse(all[i]) })
+	if len(all) > k {
+		all = all[:k]
+	}
+	out := make([]Result, len(all))
+	for i, e := range all {
+		out[i] = Result{Tokens: ix.stringsOf(e.toks), Distance: e.dist}
+	}
+	return out, st
+}

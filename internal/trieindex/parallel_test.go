@@ -1,0 +1,238 @@
+package trieindex
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"speakql/internal/grammar"
+)
+
+// maskedQueries generates a mix of exact structures, perturbed structures,
+// and noisy token streams, exercising ties, long/short queries, and unknown
+// tokens.
+func maskedQueries(ix *Index, n int, seed int64) [][]string {
+	rng := rand.New(rand.NewSource(seed))
+	var corpus [][]string
+	for _, tr := range ix.tries {
+		if tr == nil {
+			continue
+		}
+		var walk func(n *node, path []string)
+		walk = func(nd *node, path []string) {
+			for _, c := range nd.children {
+				p := append(path, ix.in.str(c.tok))
+				if c.leaf {
+					corpus = append(corpus, append([]string(nil), p...))
+				}
+				walk(c, p)
+			}
+		}
+		walk(tr.root, nil)
+	}
+	vocab := []string{"SELECT", "FROM", "WHERE", "x", "AND", "=", "(", ")", "COUNT", "zzz"}
+	qs := make([][]string, 0, n)
+	for i := 0; i < n; i++ {
+		base := append([]string(nil), corpus[rng.Intn(len(corpus))]...)
+		switch i % 3 {
+		case 0: // exact structure: many zero-distance ties possible
+		case 1: // perturbed: delete one token, insert one
+			if len(base) > 1 {
+				j := rng.Intn(len(base))
+				base = append(base[:j], base[j+1:]...)
+			}
+			j := rng.Intn(len(base) + 1)
+			base = append(base[:j], append([]string{vocab[rng.Intn(len(vocab))]}, base[j:]...)...)
+		default: // noisy stream
+			ln := 3 + rng.Intn(12)
+			base = base[:0]
+			for j := 0; j < ln; j++ {
+				base = append(base, vocab[rng.Intn(len(vocab))])
+			}
+		}
+		qs = append(qs, base)
+	}
+	return qs
+}
+
+// TestParallelMatchesSerial is the differential determinism test: for every
+// query and several k values, the parallel search must return byte-identical
+// results — same structures, same distances, same order — as the serial
+// search, for every worker count.
+func TestParallelMatchesSerial(t *testing.T) {
+	ix := buildIndex(t, grammar.TestScale(), false)
+	queries := maskedQueries(ix, 60, 7)
+	for _, workers := range []int{2, 3, 8} {
+		for _, k := range []int{1, 3, 10} {
+			for qi, q := range queries {
+				serial, _ := ix.SearchTopK(q, k, Options{})
+				par, _ := ix.SearchTopK(q, k, Options{Workers: workers})
+				if len(serial) != len(par) {
+					t.Fatalf("workers=%d k=%d q#%d %v: serial %d results, parallel %d",
+						workers, k, qi, q, len(serial), len(par))
+				}
+				for i := range serial {
+					if serial[i].Distance != par[i].Distance ||
+						strings.Join(serial[i].Tokens, " ") != strings.Join(par[i].Tokens, " ") {
+						t.Fatalf("workers=%d k=%d q#%d %v: result %d differs:\n serial  %v (%v)\n parallel %v (%v)",
+							workers, k, qi, q, i,
+							serial[i].Tokens, serial[i].Distance,
+							par[i].Tokens, par[i].Distance)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Repeated parallel runs of the same query must agree with each other (no
+// scheduling-dependent output), including under the DAP and uniform-weight
+// option variants.
+func TestParallelRepeatable(t *testing.T) {
+	ix := buildIndex(t, grammar.TestScale(), false)
+	q := strings.Fields("SELECT x FROM x x x = x AND x > x")
+	for _, opts := range []Options{
+		{Workers: 4},
+		{Workers: 4, DAP: true},
+		{Workers: 4, UniformWeights: true},
+	} {
+		first, _ := ix.SearchTopK(q, 5, opts)
+		for run := 0; run < 20; run++ {
+			again, _ := ix.SearchTopK(q, 5, opts)
+			if len(again) != len(first) {
+				t.Fatalf("opts %+v run %d: %d results vs %d", opts, run, len(again), len(first))
+			}
+			for i := range first {
+				if first[i].Distance != again[i].Distance ||
+					strings.Join(first[i].Tokens, " ") != strings.Join(again[i].Tokens, " ") {
+					t.Fatalf("opts %+v run %d: result %d drifted", opts, run, i)
+				}
+			}
+		}
+	}
+}
+
+// Parallel DAP must match serial DAP: the approximation is defined per
+// partition, so partition-level parallelism cannot change which branches it
+// keeps.
+func TestParallelDAPMatchesSerial(t *testing.T) {
+	ix := buildIndex(t, grammar.TestScale(), false)
+	for _, q := range maskedQueries(ix, 30, 11) {
+		serial, _ := ix.SearchTopK(q, 3, Options{DAP: true})
+		par, _ := ix.SearchTopK(q, 3, Options{DAP: true, Workers: 4})
+		for i := range serial {
+			if i >= len(par) || serial[i].Distance != par[i].Distance ||
+				strings.Join(serial[i].Tokens, " ") != strings.Join(par[i].Tokens, " ") {
+				t.Fatalf("DAP diverged on %v at %d: serial %v parallel %v", q, i, serial, par)
+			}
+		}
+	}
+}
+
+func TestSearchContextAlreadyCancelled(t *testing.T) {
+	ix := buildIndex(t, grammar.TestScale(), false)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	before := runtime.NumGoroutine()
+	for _, workers := range []int{0, 4} {
+		rs, st := ix.SearchTopKContext(ctx, strings.Fields("SELECT x FROM x"), 3, Options{Workers: workers})
+		if len(rs) != 0 {
+			t.Errorf("workers=%d: cancelled search returned %d results", workers, len(rs))
+		}
+		if st.TriesSearched != 0 {
+			t.Errorf("workers=%d: cancelled search searched %d tries", workers, st.TriesSearched)
+		}
+	}
+	// No worker goroutine may outlive the call.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Errorf("goroutines grew from %d to %d after cancelled searches", before, n)
+	}
+}
+
+func TestSearchContextDeadline(t *testing.T) {
+	ix := buildIndex(t, grammar.TestScale(), false)
+	// An already-expired deadline behaves like cancellation: prompt return,
+	// partial (here: empty) results, valid stats.
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	t0 := time.Now()
+	rs, _ := ix.SearchTopKContext(ctx, strings.Fields("SELECT x FROM x WHERE x = x"), 2, Options{Workers: 4})
+	if el := time.Since(t0); el > time.Second {
+		t.Errorf("expired-deadline search took %v", el)
+	}
+	if len(rs) != 0 {
+		t.Errorf("expired-deadline search returned results: %v", rs)
+	}
+}
+
+func TestSharedBoundRelax(t *testing.T) {
+	b := newSharedBound()
+	if !math.IsInf(b.load(), 1) {
+		t.Fatalf("initial bound = %v", b.load())
+	}
+	b.relax(3.5)
+	b.relax(7.0) // looser: ignored
+	if b.load() != 3.5 {
+		t.Errorf("bound = %v, want 3.5", b.load())
+	}
+	b.relax(1.2)
+	if b.load() != 1.2 {
+		t.Errorf("bound = %v, want 1.2", b.load())
+	}
+}
+
+// Regression: popWorst must restore the heap property all the way down,
+// not just at the root. The broken sift-down left heap[0] smaller than a
+// deeper entry, which over-tightened the pruning threshold (and, via the
+// shared bound, poisoned every concurrent partition's pruning).
+func TestResultHeapOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		var h resultHeap
+		k := 1 + rng.Intn(8)
+		var kept []float64
+		for i := 0; i < 50; i++ {
+			d := float64(rng.Intn(20))
+			if len(h) == k {
+				if d >= h[0].dist {
+					continue
+				}
+				h.popWorst()
+			}
+			h.push(heapEntry{dist: d, seq: uint64(i)})
+			// Invariant: h[0] is the worst entry.
+			for _, e := range h {
+				if e.worse(h[0]) {
+					t.Fatalf("trial %d: heap[0]=%v not worst (found %v)", trial, h[0].dist, e.dist)
+				}
+			}
+		}
+		for _, e := range h {
+			kept = append(kept, e.dist)
+		}
+		_ = kept
+	}
+}
+
+// Parallel search with more workers than partitions must clamp and still
+// return correct results.
+func TestParallelMoreWorkersThanPartitions(t *testing.T) {
+	ix := NewIndex(10, false)
+	ix.Insert(strings.Fields("SELECT x FROM x"))
+	ix.Insert(strings.Fields("SELECT * FROM x"))
+	rs, _ := ix.SearchTopK(strings.Fields("SELECT x FROM x"), 2, Options{Workers: 16})
+	if len(rs) != 2 || rs[0].Distance != 0 {
+		t.Fatalf("results = %v", rs)
+	}
+	if got := strings.Join(rs[0].Tokens, " "); got != "SELECT x FROM x" {
+		t.Errorf("best = %q", got)
+	}
+}

@@ -1,6 +1,7 @@
 package trieindex
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -24,66 +25,115 @@ type Stats struct {
 	UsedINV       bool
 }
 
+// add merges another partition's stats in (parallel search sums the
+// per-worker counters).
+func (st *Stats) add(o Stats) {
+	st.NodesVisited += o.NodesVisited
+	st.TriesSearched += o.TriesSearched
+	st.TriesSkipped += o.TriesSkipped
+	st.InvScanned += o.InvScanned
+	st.UsedINV = st.UsedINV || o.UsedINV
+}
+
 // Search returns the closest structure to maskOut (ties broken by
 // enumeration order). It is Box 2's algorithm with k=1.
 func (ix *Index) Search(maskOut []string, opts Options) (Result, Stats) {
-	rs, st := ix.SearchTopK(maskOut, 1, opts)
+	return ix.SearchContext(context.Background(), maskOut, opts)
+}
+
+// SearchContext is Search with cancellation: ctx is checked at partition
+// boundaries, and a cancelled search returns the best result found so far.
+func (ix *Index) SearchContext(ctx context.Context, maskOut []string, opts Options) (Result, Stats) {
+	rs, st := ix.SearchTopKContext(ctx, maskOut, 1, opts)
 	if len(rs) == 0 {
 		return Result{}, st
 	}
 	return rs[0], st
 }
 
-// SearchTopK returns the k closest structures in increasing distance order.
-// With opts zero-valued this is the exact algorithm (BDB on); DAP and INV
-// trade accuracy for latency per Appendix D.3.
+// SearchTopK returns the k closest structures in increasing distance order,
+// ties broken by enumeration order. With opts zero-valued this is the exact
+// algorithm (BDB on); DAP and INV trade accuracy for latency per Appendix
+// D.3; Workers > 1 searches the length partitions concurrently with results
+// bit-identical to the serial pass.
 func (ix *Index) SearchTopK(maskOut []string, k int, opts Options) ([]Result, Stats) {
+	return ix.SearchTopKContext(context.Background(), maskOut, k, opts)
+}
+
+// SearchTopKContext is SearchTopK with cancellation: ctx is checked at
+// partition (per-length trie) boundaries — never mid-trie — so an expired
+// deadline stops the search promptly and returns the best results found so
+// far. An already-cancelled context returns nil without searching.
+func (ix *Index) SearchTopKContext(ctx context.Context, maskOut []string, k int, opts Options) ([]Result, Stats) {
 	var st Stats
-	if k <= 0 || ix.total == 0 {
+	if k <= 0 || ix.total == 0 || ctx.Err() != nil {
 		return nil, st
 	}
 	q, qw := ix.tokensOf(maskOut)
-	s := &searcher{
-		ix:   ix,
-		q:    q,
-		qw:   qw,
-		k:    k,
-		opts: opts,
-		st:   &st,
+	if opts.INV {
+		s := ix.newSearcher(q, qw, k, opts, &st)
+		if s.searchINV() {
+			st.UsedINV = true
+			return s.results(), st
+		}
 	}
+	// Bidirectional order of Box 2: lengths m, m−1, …, 1 then m+1, …, max.
+	// Trying the closest lengths first makes the BDB threshold tighten
+	// quickly — serially and in parallel alike.
+	order := ix.partitionOrder(len(q))
+	if opts.Workers > 1 && len(order) > 1 {
+		return ix.searchParallel(ctx, q, qw, k, opts, order)
+	}
+	s := ix.newSearcher(q, qw, k, opts, &st)
+	for _, n := range order {
+		if ctx.Err() != nil {
+			break
+		}
+		s.searchLen(n)
+	}
+	return s.results(), st
+}
+
+// partitionOrder lists the non-empty trie lengths in Box 2's bidirectional
+// search order for a query of qlen tokens.
+func (ix *Index) partitionOrder(qlen int) []int {
+	m := qlen
+	if m > ix.maxLen {
+		m = ix.maxLen // queries longer than any structure start at the top
+	}
+	order := make([]int, 0, len(ix.tries))
+	for n := m; n >= 1; n-- {
+		if ix.tries[n] != nil {
+			order = append(order, n)
+		}
+	}
+	for n := m + 1; n <= ix.maxLen; n++ {
+		if ix.tries[n] != nil {
+			order = append(order, n)
+		}
+	}
+	return order
+}
+
+// newSearcher builds the per-query (or, in parallel search, per-worker)
+// search state. q is shared read-only across searchers; the uniform-weight
+// ablation copies qw before overwriting so concurrent searchers never
+// mutate shared slices.
+func (ix *Index) newSearcher(q []tokenID, qw []float64, k int, opts Options, st *Stats) *searcher {
+	s := &searcher{ix: ix, q: q, qw: qw, k: k, opts: opts, st: st}
 	if opts.UniformWeights {
 		s.w = make([]float64, len(ix.weights))
 		for i := range s.w {
 			s.w[i] = 1
 		}
+		s.qw = make([]float64, len(qw))
 		for i := range s.qw {
 			s.qw[i] = 1
 		}
 	} else {
 		s.w = ix.weights
 	}
-
-	if opts.INV {
-		if s.searchINV() {
-			st.UsedINV = true
-			return s.results(), st
-		}
-	}
-
-	m := len(q)
-	if m > ix.maxLen {
-		m = ix.maxLen // queries longer than any structure start at the top
-	}
-	// Bidirectional order of Box 2: lengths m, m−1, …, 1 then m+1, …, max.
-	// Trying the closest lengths first makes the BDB threshold tighten
-	// quickly.
-	for n := m; n >= 1; n-- {
-		s.searchLen(n)
-	}
-	for n := m + 1; n <= ix.maxLen; n++ {
-		s.searchLen(n)
-	}
-	return s.results(), st
+	return s
 }
 
 // searcher carries the per-query search state.
@@ -98,14 +148,40 @@ type searcher struct {
 
 	heap resultHeap // current best k, worst first
 	path []tokenID  // tokens on the current root→node path
+
+	// rank is the current partition's position in the bidirectional search
+	// order and seq counts offers; together they reconstruct the global
+	// enumeration order so parallel merging breaks distance ties exactly
+	// like a serial pass. Serial search leaves rank at 0 and lets seq run
+	// across partitions — the same total order.
+	rank int32
+	seq  uint64
+
+	// shared is the cross-partition best-distance bound (nil when serial).
+	shared *sharedBound
 }
 
-// threshold is the pruning bound: the k-th best distance so far.
+// threshold is the local pruning bound: the k-th best distance this
+// searcher has kept.
 func (s *searcher) threshold() float64 {
 	if len(s.heap) < s.k {
 		return math.Inf(1)
 	}
 	return s.heap[0].dist
+}
+
+// viable reports whether a candidate (or subtree lower bound) at distance d
+// can still reach the final top-k. Locally the test is d < threshold():
+// within one enumeration order an equal-distance candidate always loses the
+// tie to an already-kept one. Against the shared cross-partition bound the
+// test is d <= bound: an equal-distance candidate in another partition may
+// still win its tie at merge time (by enumeration rank), so it must survive
+// the prune.
+func (s *searcher) viable(d float64) bool {
+	if d >= s.threshold() {
+		return false
+	}
+	return s.shared == nil || d <= s.shared.load()
 }
 
 // offer records a candidate leaf.
@@ -118,21 +194,33 @@ func (s *searcher) offer(dist float64, toks []tokenID) {
 	}
 	cp := make([]tokenID, len(toks))
 	copy(cp, toks)
-	s.heap.push(heapEntry{dist: dist, toks: cp})
+	s.seq++
+	s.heap.push(heapEntry{dist: dist, rank: s.rank, seq: s.seq, toks: cp})
+	if s.shared != nil && len(s.heap) == s.k {
+		// The worker's k-th best is an upper bound on the global k-th best
+		// (more candidates only lower it), so publishing it can only
+		// tighten — never over-tighten — everyone's pruning.
+		s.shared.relax(s.heap[0].dist)
+	}
 }
 
 func (s *searcher) results() []Result {
 	entries := append([]heapEntry(nil), s.heap...)
-	sort.Slice(entries, func(i, j int) bool { return entries[i].dist < entries[j].dist })
+	sort.Slice(entries, func(i, j int) bool { return entries[j].worse(entries[i]) })
 	out := make([]Result, len(entries))
 	for i, e := range entries {
-		toks := make([]string, len(e.toks))
-		for j, id := range e.toks {
-			toks[j] = s.ix.in.str(id)
-		}
-		out[i] = Result{Tokens: toks, Distance: e.dist}
+		out[i] = Result{Tokens: s.ix.stringsOf(e.toks), Distance: e.dist}
 	}
 	return out
+}
+
+// stringsOf resolves interned ids back to tokens.
+func (ix *Index) stringsOf(ids []tokenID) []string {
+	toks := make([]string, len(ids))
+	for i, id := range ids {
+		toks[i] = ix.in.str(id)
+	}
+	return toks
 }
 
 // searchLen searches the trie holding structures of length n, unless BDB
@@ -145,7 +233,7 @@ func (s *searcher) searchLen(n int) {
 	}
 	if !s.opts.DisableBDB {
 		lower := math.Abs(float64(len(s.q)-n)) * sqltoken.WeightLiteral
-		if lower >= s.threshold() {
+		if !s.viable(lower) {
 			s.st.TriesSkipped++
 			return
 		}
@@ -198,12 +286,12 @@ func (s *searcher) visit(c *node, col []float64) {
 	s.st.NodesVisited++
 	s.path = append(s.path, c.tok)
 	if c.leaf {
-		if d := col[len(col)-1]; d < s.threshold() {
+		if d := col[len(col)-1]; s.viable(d) {
 			s.offer(d, s.path)
 		}
 	}
 	// Min-column pruning: every descendant's distance is ≥ min(col).
-	if minOf(col) < s.threshold() {
+	if s.viable(minOf(col)) {
 		s.descend(c, col)
 	}
 	s.path = s.path[:len(s.path)-1]
@@ -380,10 +468,26 @@ func (s *searcher) flatDistance(b []tokenID, limit float64) float64 {
 }
 
 // heapEntry and resultHeap implement a small worst-first binary heap for
-// top-k maintenance.
+// top-k maintenance. Entries are totally ordered by (distance, partition
+// rank, offer sequence) — distance ties resolve to the earliest-enumerated
+// candidate, which is what makes serial and parallel search agree exactly.
 type heapEntry struct {
 	dist float64
+	rank int32
+	seq  uint64
 	toks []tokenID
+}
+
+// worse reports whether e loses to o: strictly greater distance, or an
+// equal distance with a later enumeration position.
+func (e heapEntry) worse(o heapEntry) bool {
+	if e.dist != o.dist {
+		return e.dist > o.dist
+	}
+	if e.rank != o.rank {
+		return e.rank > o.rank
+	}
+	return e.seq > o.seq
 }
 
 type resultHeap []heapEntry
@@ -393,7 +497,7 @@ func (h *resultHeap) push(e heapEntry) {
 	i := len(*h) - 1
 	for i > 0 {
 		p := (i - 1) / 2
-		if (*h)[p].dist >= (*h)[i].dist {
+		if !(*h)[i].worse((*h)[p]) {
 			break
 		}
 		(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
@@ -411,16 +515,17 @@ func (h *resultHeap) popWorst() heapEntry {
 	for {
 		l, r := 2*i+1, 2*i+2
 		big := i
-		if l < n && (*h)[l].dist > (*h)[big].dist {
+		if l < n && (*h)[l].worse((*h)[big]) {
 			big = l
 		}
-		if r < n && (*h)[r].dist > (*h)[big].dist {
+		if r < n && (*h)[r].worse((*h)[big]) {
 			big = r
 		}
 		if big == i {
 			break
 		}
 		(*h)[i], (*h)[big] = (*h)[big], (*h)[i]
+		i = big
 	}
 	return top
 }
