@@ -11,6 +11,7 @@ import (
 
 	"speakql"
 	"speakql/internal/asr"
+	"speakql/internal/core"
 	"speakql/internal/dataset"
 	"speakql/internal/experiments"
 	"speakql/internal/literal"
@@ -149,6 +150,21 @@ func BenchmarkStructureSearchParallel(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		par.Determine("select salary from employees where gender equals M and salary greater than 70000")
+	}
+}
+
+// BenchmarkStructureSearchCached is BenchmarkStructureSearch behind the LRU
+// memo cache at 100% hit rate — the steady-state cost of a repeated masked
+// shape (a map lookup plus the literal stage's share of Determine).
+func BenchmarkStructureSearchCached(b *testing.B) {
+	e := env(b)
+	cached := structure.NewFromIndex(e.Structure.Index(), trieindex.Options{}, e.GrammarCfg)
+	cached.SetSearchCache(core.NewSearchLRU(64))
+	const transcript = "select salary from employees where gender equals M and salary greater than 70000"
+	cached.Determine(transcript) // fill
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cached.Determine(transcript)
 	}
 }
 

@@ -5,31 +5,73 @@
 //
 // Usage:
 //
-//	speakql-bench [-scale test|default|paper] [-run id[,id…]] [-parallel n] [-list]
+//	speakql-bench [-scale test|default|paper] [-run id[,id…]] [-parallel n]
+//	              [-cachesize n] [-json FILE] [-list]
 //
 // -parallel n searches the trie index's length partitions on n workers
 // (n < 0 means GOMAXPROCS); results are bit-identical to the serial search,
-// only latency changes. Artifact ids: table2, figure6, figure7 (incl.
-// figure12), figure8, figure11, table4 (incl. figure13), figure14, figure15,
-// figure16, figure17, figure18, table5.
+// only latency changes. -cachesize n memoizes structure searches in an LRU
+// keyed by the masked transcript (0 disables). -json FILE additionally runs
+// a micro-benchmark suite over the built index and writes machine-readable
+// results — ns/op, B/op, allocs/op per benchmark, per-artifact wall-clock,
+// and the cache hit rate — for the perf trajectory (CI uploads it as an
+// artifact). Artifact ids: table2, figure6, figure7 (incl. figure12),
+// figure8, figure11, table4 (incl. figure13), figure14, figure15, figure16,
+// figure17, figure18, table5.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"strings"
+	"testing"
 	"time"
 
 	"speakql/internal/experiments"
 	"speakql/internal/trieindex"
 )
 
+// benchJSON is the -json payload.
+type benchJSON struct {
+	Scale     string           `json:"scale"`
+	Workers   int              `json:"workers"`
+	CacheSize int              `json:"cachesize"`
+	EnvSecs   float64          `json:"env_build_seconds"`
+	Micro     []microResult    `json:"micro"`
+	Artifacts []artifactTiming `json:"artifacts"`
+	Cache     *cacheJSON       `json:"cache,omitempty"`
+}
+
+type microResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	N           int     `json:"iterations"`
+}
+
+type artifactTiming struct {
+	ID      string  `json:"id"`
+	Seconds float64 `json:"seconds"`
+}
+
+type cacheJSON struct {
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Evictions int64   `json:"evictions"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
 func main() {
 	scale := flag.String("scale", "default", "corpus scale: test, default, or paper")
 	run := flag.String("run", "all", "comma-separated artifact ids, or 'all'")
 	parallel := flag.Int("parallel", 0, "trie-search workers: 0|1 serial, n>1 parallel, <0 GOMAXPROCS")
+	cacheSize := flag.Int("cachesize", 0,
+		"LRU memo cache entries for structure searches, keyed by masked transcript (0 disables)")
+	jsonOut := flag.String("json", "", "write machine-readable benchmark results to this file")
 	list := flag.Bool("list", false, "list artifact ids and exit")
 	flag.Parse()
 
@@ -55,14 +97,20 @@ func main() {
 	if workers < 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	fmt.Printf("SpeakQL experiment harness — scale=%s search-workers=%d\n", sc, workers)
+	fmt.Printf("SpeakQL experiment harness — scale=%s search-workers=%d cachesize=%d\n", sc, workers, *cacheSize)
 	t0 := time.Now()
-	env := experiments.NewEnvWithSearch(sc, trieindex.Options{Workers: workers})
+	env := experiments.NewEnvWithOptions(sc, experiments.EnvOptions{
+		Search:    trieindex.Options{Workers: workers},
+		CacheSize: *cacheSize,
+	})
+	envSecs := time.Since(t0).Seconds()
 	mem := env.Structure.Index().Memory()
 	fmt.Printf("environment ready in %.1fs (grammar: ≤%d tokens, %d structures in %d trie nodes; Employees train/test %d/%d, Yelp %d)\n\n",
-		time.Since(t0).Seconds(), env.GrammarCfg.MaxTokens,
+		envSecs, env.GrammarCfg.MaxTokens,
 		mem.Structures, mem.Nodes,
 		len(env.Corpus.EmployeesTrain), len(env.Corpus.EmployeesTest), len(env.Corpus.YelpTest))
+
+	report := benchJSON{Scale: string(sc), Workers: workers, CacheSize: *cacheSize, EnvSecs: envSecs}
 
 	ids := experiments.IDs()
 	if *run != "all" {
@@ -78,6 +126,71 @@ func main() {
 		}
 		fmt.Println(strings.Repeat("=", 78))
 		fmt.Println(res.Render())
-		fmt.Printf("[%s completed in %.1fs]\n\n", id, time.Since(t1).Seconds())
+		secs := time.Since(t1).Seconds()
+		fmt.Printf("[%s completed in %.1fs]\n\n", id, secs)
+		report.Artifacts = append(report.Artifacts, artifactTiming{ID: id, Seconds: secs})
 	}
+
+	if env.Cache != nil {
+		cs := env.Cache.Stats()
+		report.Cache = &cacheJSON{Hits: cs.Hits, Misses: cs.Misses, Evictions: cs.Evictions, HitRate: cs.HitRate()}
+		fmt.Printf("search cache: %d hits / %d misses (%.1f%% hit rate), %d evictions\n",
+			cs.Hits, cs.Misses, 100*cs.HitRate(), cs.Evictions)
+	}
+
+	if *jsonOut != "" {
+		report.Micro = microBench(env, workers)
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "marshal bench json: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonOut, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote benchmark json to %s\n", *jsonOut)
+	}
+}
+
+// microBench runs the steady-state search micro-benchmarks against the
+// environment's built index via testing.Benchmark, so the -json artifact
+// carries the same ns/op, B/op, allocs/op triple `go test -bench` reports.
+func microBench(env *experiments.Env, workers int) []microResult {
+	ix := env.Structure.Index()
+	q := strings.Fields("SELECT x FROM x x x = x AND x = x")
+	cases := []struct {
+		name string
+		opts trieindex.Options
+	}{
+		{"search_serial", trieindex.Options{}},
+		{"search_no_bdb", trieindex.Options{DisableBDB: true}},
+	}
+	if workers > 1 {
+		cases = append(cases, struct {
+			name string
+			opts trieindex.Options
+		}{"search_parallel", trieindex.Options{Workers: workers}})
+	}
+	var out []microResult
+	for _, c := range cases {
+		opts := c.opts
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ix.Search(q, opts)
+			}
+		})
+		out = append(out, microResult{
+			Name:        c.name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			N:           r.N,
+		})
+		fmt.Printf("micro %-16s %12.0f ns/op %8d B/op %6d allocs/op (n=%d)\n",
+			c.name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp(), r.N)
+	}
+	return out
 }

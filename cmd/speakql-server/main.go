@@ -11,11 +11,15 @@
 //	GET  /api/stats
 //
 // Usage: speakql-server [-addr :8080] [-db employees|yelp]
-// [-scale test|default|paper] [-workers n] [-timeout 10s]
+// [-scale test|default|paper] [-workers n] [-timeout 10s] [-cachesize 1024]
+// [-pprof]
 //
 // -workers n searches trie partitions on n goroutines per request (<0 means
 // GOMAXPROCS; results are identical to serial search). -timeout bounds the
 // correction work per /api/correct and /api/dictate request (0 disables).
+// -cachesize bounds the LRU memo cache of structure searches keyed by the
+// masked transcript (0 disables; hit/miss/eviction counters appear in
+// GET /api/stats). -pprof mounts net/http/pprof under /debug/pprof/.
 package main
 
 import (
@@ -45,6 +49,9 @@ func main() {
 	workers := flag.Int("workers", 0, "trie-search workers per request: 0|1 serial, n>1 parallel, <0 GOMAXPROCS")
 	timeout := flag.Duration("timeout", httpapi.DefaultRequestTimeout,
 		"per-request correction deadline for /api/correct and /api/dictate (0 disables)")
+	cacheSize := flag.Int("cachesize", 1024,
+		"LRU memo cache entries for structure searches, keyed by masked transcript (0 disables)")
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 	flag.Parse()
 
 	if *workers < 0 {
@@ -82,18 +89,26 @@ func main() {
 		}
 		comp := structure.NewFromIndex(ix, searchOpts, gcfg)
 		eng = core.NewEngineWithComponent(comp, speakql.CatalogOf(db), 5)
+		eng.EnableSearchCache(*cacheSize)
 	} else {
 		log.Printf("building structure index (%s scale)…", *scale)
 		var err error
-		eng, err = speakql.NewEngine(speakql.Config{Grammar: gcfg, Search: searchOpts, Catalog: speakql.CatalogOf(db)})
+		eng, err = speakql.NewEngine(speakql.Config{
+			Grammar: gcfg, Search: searchOpts, Catalog: speakql.CatalogOf(db),
+			StructureCacheSize: *cacheSize,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
 	}
 	srv := httpapi.New(eng, db)
 	srv.SetRequestTimeout(*timeout)
-	log.Printf("listening on %s (db=%s, search-workers=%d, request-timeout=%s)",
-		*addr, db.Name, *workers, *timeout)
+	if *pprofFlag {
+		srv.EnablePprof()
+		log.Printf("pprof enabled at /debug/pprof/")
+	}
+	log.Printf("listening on %s (db=%s, search-workers=%d, request-timeout=%s, cachesize=%d)",
+		*addr, db.Name, *workers, *timeout, *cacheSize)
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }
 

@@ -33,6 +33,9 @@ type Config struct {
 	// TopKLiterals is the per-placeholder candidate count for the
 	// interactive display (default 5).
 	TopKLiterals int
+	// StructureCacheSize bounds the LRU memo cache for structure searches,
+	// keyed by the masked transcript (see SearchLRU). 0 disables caching.
+	StructureCacheSize int
 }
 
 // Engine is the SpeakQL correction engine. Construction generates and
@@ -42,6 +45,7 @@ type Engine struct {
 	structure *structure.Component
 	catalog   *literal.Catalog
 	kLiterals int
+	cache     *SearchLRU // nil when caching is disabled
 }
 
 // NewEngine builds the engine, generating the structure index for
@@ -60,7 +64,12 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{structure: sc, catalog: cfg.Catalog, kLiterals: cfg.TopKLiterals}, nil
+	e := &Engine{structure: sc, catalog: cfg.Catalog, kLiterals: cfg.TopKLiterals}
+	if cfg.StructureCacheSize > 0 {
+		e.cache = NewSearchLRU(cfg.StructureCacheSize)
+		sc.SetSearchCache(e.cache)
+	}
+	return e, nil
 }
 
 // NewEngineWithComponent builds an engine around an existing structure
@@ -74,6 +83,22 @@ func NewEngineWithComponent(sc *structure.Component, cat *literal.Catalog, kLite
 	}
 	return &Engine{structure: sc, catalog: cat, kLiterals: kLiterals}
 }
+
+// EnableSearchCache installs a structure-search memo cache of the given
+// size on an already-built engine (used by the engine-sharing paths that
+// bypass NewEngine). size <= 0 is a no-op. Returns the cache, or nil.
+func (e *Engine) EnableSearchCache(size int) *SearchLRU {
+	if size <= 0 {
+		return nil
+	}
+	e.cache = NewSearchLRU(size)
+	e.structure.SetSearchCache(e.cache)
+	return e.cache
+}
+
+// SearchCache returns the engine's structure-search cache, nil when
+// caching is disabled.
+func (e *Engine) SearchCache() *SearchLRU { return e.cache }
 
 // Catalog returns the engine's literal catalog.
 func (e *Engine) Catalog() *literal.Catalog { return e.catalog }

@@ -61,6 +61,10 @@ type Env struct {
 	ACS *asr.Engine
 	GCS *asr.Engine
 
+	// Cache is the structure-search memo cache shared by Engine and
+	// YelpEngine (they share one structure component); nil when disabled.
+	Cache *core.SearchLRU
+
 	testEvalOnce sync.Once
 	testEvals    []QueryEval
 }
@@ -82,11 +86,25 @@ func NewEnv(scale Scale) *Env {
 	return NewEnvWithSearch(scale, trieindex.Options{})
 }
 
+// EnvOptions tunes the shared environment beyond its scale.
+type EnvOptions struct {
+	// Search selects trie-search options for every engine in the Env.
+	Search trieindex.Options
+	// CacheSize bounds the structure-search LRU memo cache (0 disables).
+	CacheSize int
+}
+
 // NewEnvWithSearch is NewEnv with explicit trie-search options, so harnesses
 // can run the whole evaluation with e.g. parallel search
 // (Options{Workers: runtime.GOMAXPROCS(0)}) or the Appendix D.3
 // approximations turned on.
 func NewEnvWithSearch(scale Scale, search trieindex.Options) *Env {
+	return NewEnvWithOptions(scale, EnvOptions{Search: search})
+}
+
+// NewEnvWithOptions is the fully-parameterized environment constructor.
+func NewEnvWithOptions(scale Scale, opts EnvOptions) *Env {
+	search := opts.Search
 	env := &Env{Scale: scale}
 	var corpusSizes [3]int
 	switch scale {
@@ -120,6 +138,10 @@ func NewEnvWithSearch(scale Scale, search trieindex.Options) *Env {
 		panic(fmt.Sprintf("experiments: structure index: %v", err))
 	}
 	env.Structure = sc
+	if opts.CacheSize > 0 {
+		env.Cache = core.NewSearchLRU(opts.CacheSize)
+		sc.SetSearchCache(env.Cache)
+	}
 
 	empCat := literal.NewCatalog(env.EmpDB.TableNames(), env.EmpDB.AttributeNames(), env.EmpDB.StringValues(0))
 	yelpCat := literal.NewCatalog(env.YelpDB.TableNames(), env.YelpDB.AttributeNames(), env.YelpDB.StringValues(0))

@@ -55,6 +55,7 @@ func RunFigure15(env *Env) Figure15Result {
 	if err != nil {
 		panic(err)
 	}
+	ix.Freeze() // arena kernel, like every serving index
 	variants := []struct {
 		name string
 		opts trieindex.Options

@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"sync"
 	"time"
@@ -44,6 +45,7 @@ type Server struct {
 	db      *sqlengine.Database
 	timeout time.Duration
 	reg     *obs.Registry
+	pprof   bool
 
 	mu       sync.Mutex // guards sessions and nextID only — never held across corrections
 	sessions map[string]*sessionEntry
@@ -66,6 +68,12 @@ func New(engine *core.Engine, db *sqlengine.Database) *Server {
 // (0 disables it). Call before serving.
 func (s *Server) SetRequestTimeout(d time.Duration) { s.timeout = d }
 
+// EnablePprof mounts net/http/pprof's handlers under /debug/pprof/ on the
+// next Handler call, so search hot spots can be profiled in situ. Off by
+// default: the profile endpoints expose internals and cost CPU, so they are
+// opt-in (speakql-server's -pprof flag). Call before Handler.
+func (s *Server) EnablePprof() { s.pprof = true }
+
 // requestCtx derives the correction context for one request: the client
 // disconnecting or the server deadline expiring, whichever first.
 func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
@@ -87,6 +95,13 @@ func (s *Server) Handler() *http.ServeMux {
 	mux.HandleFunc("GET /api/keyboard", s.handleKeyboard)
 	mux.HandleFunc("GET /api/stats", s.handleStats)
 	mux.HandleFunc("GET /{$}", s.handleIndex)
+	if s.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -301,9 +316,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	nsessions := len(s.sessions)
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"stages":   stages,
 		"counters": snap.Counters,
 		"sessions": nsessions,
-	})
+	}
+	if c := s.engine.SearchCache(); c != nil {
+		cs := c.Stats()
+		resp["cache"] = map[string]any{
+			"hits":      cs.Hits,
+			"misses":    cs.Misses,
+			"evictions": cs.Evictions,
+			"entries":   cs.Entries,
+			"capacity":  cs.Capacity,
+			"hit_rate":  cs.HitRate(),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

@@ -331,6 +331,68 @@ func TestStatsEndpointTracksCorrections(t *testing.T) {
 	}
 }
 
+// A cache-enabled server must expose the cache block in /api/stats, with
+// hits appearing once a masked shape repeats; the default server (no cache)
+// must omit the block. pprof mounts only when enabled.
+func TestStatsCacheBlockAndPprof(t *testing.T) {
+	db := dataset.NewEmployeesDB(dataset.EmployeesConfig{Employees: 50, Departments: 3, Seed: 9})
+	cat := literal.NewCatalog(db.TableNames(), db.AttributeNames(), db.StringValues(0))
+	eng, err := core.NewEngine(core.Config{Grammar: grammar.TestScale(), Catalog: cat, StructureCacheSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	api := New(eng, db)
+	api.EnablePprof()
+	cs := httptest.NewServer(api.Handler())
+	defer cs.Close()
+
+	for i := 0; i < 2; i++ { // same transcript twice → second is a hit
+		if code, _ := post(t, cs.URL+"/api/correct", map[string]any{
+			"transcript": "select name from employees",
+		}); code != http.StatusOK {
+			t.Fatal("correct failed")
+		}
+	}
+	stats := statsSnapshot(t, cs.URL)
+	cache, ok := stats["cache"].(map[string]any)
+	if !ok {
+		t.Fatalf("no cache block in stats: %v", stats)
+	}
+	if hits := cache["hits"].(float64); hits < 1 {
+		t.Errorf("cache hits = %v, want >= 1", hits)
+	}
+	if cache["capacity"].(float64) != 32 {
+		t.Errorf("cache capacity = %v", cache["capacity"])
+	}
+	// The obs counters mirror the same numbers.
+	counters := stats["counters"].(map[string]any)
+	if counters["cache.search_hits"].(float64) < 1 {
+		t.Errorf("cache.search_hits counter missing: %v", counters)
+	}
+	resp, err := http.Get(cs.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof endpoint status = %d", resp.StatusCode)
+	}
+
+	// Cache-less server: no cache block, no pprof.
+	plain := srv(t)
+	if _, ok := statsSnapshot(t, plain.URL)["cache"]; ok {
+		t.Error("cache block present without a cache")
+	}
+	resp, err = http.Get(plain.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("pprof mounted without -pprof")
+	}
+}
+
 // postNoFail is a goroutine-safe variant of post: it reports failures as
 // error values instead of calling t.Fatal (which must not run off the test
 // goroutine).

@@ -140,3 +140,42 @@ func TestEffortAccounting(t *testing.T) {
 		t.Fatalf("events = %v", s.Events())
 	}
 }
+
+// A session driven by a cache-enabled engine must produce the same SQL as
+// one driven by the cache-less engine — re-dictations repeat masked shapes,
+// exactly the traffic the cache exists for — and the repeats must hit.
+func TestSessionWithSearchCache(t *testing.T) {
+	plain := New(engine(t))
+	cachedEngine, err := core.NewEngine(core.Config{
+		Grammar:            grammar.TestScale(),
+		Catalog:            engine(t).Catalog(),
+		StructureCacheSize: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := New(cachedEngine)
+	steps := []struct {
+		clause bool
+		text   string
+	}{
+		{false, "select salary from employees where gender equals M"},
+		{true, "select first name"},
+		{false, "select salary from employees where gender equals M"}, // repeat → hit
+	}
+	for _, st := range steps {
+		if st.clause {
+			plain.DictateClause(st.text)
+			cached.DictateClause(st.text)
+		} else {
+			plain.DictateFull(st.text)
+			cached.DictateFull(st.text)
+		}
+		if plain.SQL() != cached.SQL() {
+			t.Fatalf("after %q: plain %q, cached %q", st.text, plain.SQL(), cached.SQL())
+		}
+	}
+	if cs := cachedEngine.SearchCache().Stats(); cs.Hits == 0 {
+		t.Errorf("repeated dictation produced no cache hits: %+v", cs)
+	}
+}

@@ -9,6 +9,7 @@ package structure
 
 import (
 	"context"
+	"strconv"
 	"strings"
 
 	"speakql/internal/grammar"
@@ -21,10 +22,27 @@ import (
 // construction is the offline part of Section 3.2) and reuse it; Determine
 // is safe for concurrent use.
 type Component struct {
-	ix   *trieindex.Index
-	opts trieindex.Options
-	cfg  grammar.GenConfig
+	ix    *trieindex.Index
+	opts  trieindex.Options
+	cfg   grammar.GenConfig
+	cache SearchCache
 }
+
+// SearchCache memoizes trie searches by masked transcript. The interface
+// lives here (the consumer) so the LRU implementation in internal/core can
+// depend on structure without a cycle. Implementations must be safe for
+// concurrent use; cached values are shared, so callers must not mutate the
+// returned Results' token slices (this package never does).
+type SearchCache interface {
+	Get(key string) ([]trieindex.Result, trieindex.Stats, bool)
+	Put(key string, rs []trieindex.Result, st trieindex.Stats)
+}
+
+// SetSearchCache installs a search memo cache. The masked transcript is the
+// searcher's only input, so the cache key is the masked token sequence plus
+// k; one cache must not be shared between components with different search
+// options or different indexes. Call before serving traffic.
+func (c *Component) SetSearchCache(sc SearchCache) { c.cache = sc }
 
 // Config bundles the generation scale and search options.
 type Config struct {
@@ -43,6 +61,9 @@ func New(cfg Config) (*Component, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Compact the pointer tries into their arena form: construction is
+	// done, and searches run on the allocation-free arena kernel.
+	ix.Freeze()
 	return &Component{ix: ix, opts: cfg.Search, cfg: cfg.Grammar}, nil
 }
 
@@ -100,14 +121,16 @@ func (c *Component) DetermineTopKContext(ctx context.Context, transcript string,
 	toks := sqltoken.SubstituteSpokenForms(sqltoken.TokenizeTranscript(transcript))
 	outer, inner := splitNested(toks)
 	masked := sqltoken.MaskGeneric(outer)
-	cands, stats := c.ix.SearchTopKContext(ctx, masked, k, c.opts)
+	cands, stats := c.searchTopK(ctx, masked, k)
 	recordSearchStats(stats)
 	results := make([]Result, 0, len(cands))
 	var innerStruct []string
 	if inner != nil {
-		innerRes, innerStats := c.ix.SearchContext(ctx, sqltoken.MaskGeneric(inner), c.opts)
+		innerCands, innerStats := c.searchTopK(ctx, sqltoken.MaskGeneric(inner), 1)
 		recordSearchStats(innerStats)
-		innerStruct = innerRes.Tokens
+		if len(innerCands) > 0 {
+			innerStruct = innerCands[0].Tokens
+		}
 	}
 	for _, cand := range cands {
 		st := cand.Tokens
@@ -122,6 +145,41 @@ func (c *Component) DetermineTopKContext(ctx context.Context, transcript string,
 		})
 	}
 	return results
+}
+
+// searchTopK runs the trie search through the memo cache, when one is
+// installed. The masked transcript plus k is the search's entire input (the
+// component's options and index are fixed), so equal keys always mean equal
+// results — repeated masked shapes, which dominate dictation sessions and
+// the Table 2 sweeps, skip the trie walk entirely. Cancelled searches are
+// not cached: their results are legitimately partial.
+func (c *Component) searchTopK(ctx context.Context, masked []string, k int) ([]trieindex.Result, trieindex.Stats) {
+	if c.cache == nil {
+		return c.ix.SearchTopKContext(ctx, masked, k, c.opts)
+	}
+	key := cacheKey(masked, k)
+	if rs, st, ok := c.cache.Get(key); ok {
+		return rs, st
+	}
+	rs, st := c.ix.SearchTopKContext(ctx, masked, k, c.opts)
+	if ctx.Err() == nil {
+		c.cache.Put(key, rs, st)
+	}
+	return rs, st
+}
+
+// cacheKey encodes a masked transcript and k. Masked tokens never contain
+// newlines (the transcript tokenizer splits on whitespace), so a newline
+// join is collision-free.
+func cacheKey(masked []string, k int) string {
+	var b strings.Builder
+	b.Grow(len(masked)*4 + 8)
+	for _, t := range masked {
+		b.WriteString(t)
+		b.WriteByte('\n')
+	}
+	b.WriteString(strconv.Itoa(k))
+	return b.String()
 }
 
 // recordSearchStats feeds one search's work counters into the obs layer,

@@ -1,0 +1,199 @@
+package trieindex
+
+import (
+	"strings"
+	"testing"
+
+	"speakql/internal/grammar"
+)
+
+// TestArenaMatchesPointer is the pointer-vs-arena differential test: the
+// frozen (arena-kernel) index must return byte-identical results AND
+// identical work counters to the unfrozen (pointer-kernel) index for every
+// query, k, and option combination — serial, parallel, DAP, INV, uniform
+// weights, BDB off.
+func TestArenaMatchesPointer(t *testing.T) {
+	cfg := grammar.TestScale()
+	ptr := buildIndexUnfrozen(t, cfg, true)
+	arena := buildIndex(t, cfg, true)
+	if ptr.Frozen() {
+		t.Fatal("pointer index unexpectedly frozen")
+	}
+	if !arena.Frozen() {
+		t.Fatal("arena index not frozen")
+	}
+	queries := maskedQueries(arena, 50, 19)
+	optVariants := []Options{
+		{},
+		{DisableBDB: true},
+		{DAP: true},
+		{INV: true},
+		{UniformWeights: true},
+		{Workers: 4},
+		{Workers: 4, DAP: true},
+	}
+	for _, opts := range optVariants {
+		for _, k := range []int{1, 3, 10} {
+			for qi, q := range queries {
+				pRes, pSt := ptr.SearchTopK(q, k, opts)
+				aRes, aSt := arena.SearchTopK(q, k, opts)
+				if len(pRes) != len(aRes) {
+					t.Fatalf("opts %+v k=%d q#%d %v: pointer %d results, arena %d",
+						opts, k, qi, q, len(pRes), len(aRes))
+				}
+				for i := range pRes {
+					if pRes[i].Distance != aRes[i].Distance ||
+						strings.Join(pRes[i].Tokens, " ") != strings.Join(aRes[i].Tokens, " ") {
+						t.Fatalf("opts %+v k=%d q#%d %v: result %d differs:\n pointer %v (%v)\n arena   %v (%v)",
+							opts, k, qi, q, i,
+							pRes[i].Tokens, pRes[i].Distance,
+							aRes[i].Tokens, aRes[i].Distance)
+					}
+				}
+				// Results must be bit-identical always. Work counters are
+				// additionally deterministic for serial search; with
+				// Workers>1 the shared bound tightens on a schedule-dependent
+				// timeline, so visit counts legitimately vary run to run.
+				if opts.Workers <= 1 && pSt != aSt {
+					t.Fatalf("opts %+v k=%d q#%d %v: stats differ:\n pointer %+v\n arena   %+v",
+						opts, k, qi, q, pSt, aSt)
+				}
+			}
+		}
+	}
+}
+
+// Freezing must be idempotent, and a post-freeze Insert must thaw, accept
+// the structure, and re-freeze to an index that finds it.
+func TestFreezeThawInsert(t *testing.T) {
+	ix := NewIndex(10, false)
+	ix.Insert(strings.Fields("SELECT x FROM x"))
+	ix.Freeze()
+	ix.Freeze() // idempotent
+	if !ix.Frozen() {
+		t.Fatal("index not frozen after Freeze")
+	}
+	res, _ := ix.Search(strings.Fields("SELECT x FROM x"), Options{})
+	if res.Distance != 0 {
+		t.Fatalf("frozen search missed exact match: %v", res)
+	}
+	// Insert thaws the affected trie only.
+	ix.Insert(strings.Fields("SELECT * FROM x"))
+	if ix.Frozen() {
+		t.Fatal("Insert did not thaw the trie")
+	}
+	res, _ = ix.Search(strings.Fields("SELECT * FROM x"), Options{})
+	if res.Distance != 0 {
+		t.Fatalf("thawed search missed new structure: %v", res)
+	}
+	ix.Freeze()
+	if !ix.Frozen() {
+		t.Fatal("re-freeze failed")
+	}
+	rs, _ := ix.SearchTopK(strings.Fields("SELECT x FROM x"), 2, Options{})
+	if len(rs) != 2 || rs[0].Distance != 0 {
+		t.Fatalf("re-frozen index lost structures: %v", rs)
+	}
+	// Duplicate insert into a frozen trie must thaw but not double-count.
+	total := ix.Total()
+	ix.Insert(strings.Fields("SELECT x FROM x"))
+	if ix.Total() != total {
+		t.Fatalf("duplicate insert changed Total: %d -> %d", total, ix.Total())
+	}
+}
+
+// Memory() must report identical stats before and after freezing (the
+// frozen path answers in O(1) from arena lengths).
+func TestMemoryStatsFrozenMatchesUnfrozen(t *testing.T) {
+	cfg := grammar.TestScale()
+	ix := buildIndexUnfrozen(t, cfg, false)
+	before := ix.Memory()
+	ix.Freeze()
+	after := ix.Memory()
+	if before.Structures != after.Structures || before.Nodes != after.Nodes {
+		t.Fatalf("Memory drifted across Freeze: %+v vs %+v", before, after)
+	}
+	for l, ls := range before.PerLength {
+		if after.PerLength[l] != ls {
+			t.Fatalf("length %d stats drifted: %+v vs %+v", l, ls, after.PerLength[l])
+		}
+	}
+}
+
+// flatten/thaw must round-trip exactly: thawing an arena and re-flattening
+// it reproduces the identical arena.
+func TestFlattenThawRoundTrip(t *testing.T) {
+	ix := buildIndexUnfrozen(t, grammar.TestScale(), false)
+	for length, tr := range ix.tries {
+		if tr == nil {
+			continue
+		}
+		ft := flatten(tr.root)
+		ft2 := flatten(thaw(ft))
+		if len(ft.tok) != len(ft2.tok) {
+			t.Fatalf("length %d: node count drifted %d -> %d", length, len(ft.tok), len(ft2.tok))
+		}
+		for i := range ft.tok {
+			if ft.tok[i] != ft2.tok[i] || ft.leaf[i] != ft2.leaf[i] ||
+				ft.first[i] != ft2.first[i] || ft.num[i] != ft2.num[i] {
+				t.Fatalf("length %d: node %d drifted", length, i)
+			}
+		}
+	}
+}
+
+// TestSearchKernelSteadyStateAllocs pins the arena DP kernel at zero
+// steady-state heap allocations. It drives a held searcher directly (the
+// way SearchTopK does after the sync.Pool get) so the measurement covers
+// the kernel — columns, heap maintenance, path tracking, pruning — without
+// the per-call result materialization.
+func TestSearchKernelSteadyStateAllocs(t *testing.T) {
+	ix := buildIndex(t, grammar.TestScale(), false)
+	q := strings.Fields("SELECT x FROM x x x = x AND x = x")
+	for _, opts := range []Options{{}, {DAP: true}, {UniformWeights: true}} {
+		var st Stats
+		s := ix.getSearcher(q, 3, opts, &st)
+		order := append([]int(nil), s.partitionOrder(len(s.q))...)
+		run := func() {
+			for _, n := range order {
+				s.searchLen(n)
+			}
+			s.recycle()
+		}
+		run() // warm the column pool and buffer freelist
+		if allocs := testing.AllocsPerRun(50, run); allocs != 0 {
+			t.Errorf("opts %+v: steady-state kernel allocs/op = %v, want 0", opts, allocs)
+		}
+		ix.putSearcher(s)
+	}
+}
+
+// The INV scan path must also be allocation-free at steady state.
+func TestINVKernelSteadyStateAllocs(t *testing.T) {
+	ix := buildIndex(t, grammar.TestScale(), true)
+	q := strings.Fields("SELECT x FROM x WHERE x BETWEEN x AND x")
+	var st Stats
+	s := ix.getSearcher(q, 3, Options{INV: true}, &st)
+	run := func() {
+		s.searchINV()
+		s.recycle()
+	}
+	run()
+	if allocs := testing.AllocsPerRun(50, run); allocs != 0 {
+		t.Errorf("steady-state INV allocs/op = %v, want 0", allocs)
+	}
+	ix.putSearcher(s)
+}
+
+// BenchmarkSearchTestScalePointer is the pre-arena kernel on the identical
+// corpus and query as BenchmarkSearchTestScale — the in-binary before/after
+// for the arena flattening.
+func BenchmarkSearchTestScalePointer(b *testing.B) {
+	ix := buildIndexUnfrozen(b, grammar.TestScale(), false)
+	q := strings.Fields("SELECT x FROM x x x = x AND x = x")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Search(q, Options{})
+	}
+}

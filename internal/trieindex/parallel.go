@@ -69,7 +69,8 @@ func (ix *Index) searchParallel(ctx context.Context, q []tokenID, qw []float64, 
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		s := ix.newSearcher(q, qw, k, opts, &stats[w])
+		s := ix.newPooledSearcher(k, opts, &stats[w])
+		s.adoptQuery(q, qw)
 		s.shared = shared
 		searchers[w] = s
 		wg.Add(1)
@@ -100,6 +101,11 @@ func (ix *Index) searchParallel(ctx context.Context, q []tokenID, qw []float64, 
 	out := make([]Result, len(all))
 	for i, e := range all {
 		out[i] = Result{Tokens: ix.stringsOf(e.toks), Distance: e.dist}
+	}
+	// Results are materialized to strings above, so the workers' token
+	// buffers are safe to recycle now — not before.
+	for _, s := range searchers {
+		ix.putSearcher(s)
 	}
 	return out, st
 }

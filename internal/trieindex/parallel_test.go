@@ -18,22 +18,13 @@ import (
 func maskedQueries(ix *Index, n int, seed int64) [][]string {
 	rng := rand.New(rand.NewSource(seed))
 	var corpus [][]string
-	for _, tr := range ix.tries {
-		if tr == nil {
-			continue
+	ix.forEachStructure(func(path []tokenID) {
+		toks := make([]string, len(path))
+		for i, id := range path {
+			toks[i] = ix.in.str(id)
 		}
-		var walk func(n *node, path []string)
-		walk = func(nd *node, path []string) {
-			for _, c := range nd.children {
-				p := append(path, ix.in.str(c.tok))
-				if c.leaf {
-					corpus = append(corpus, append([]string(nil), p...))
-				}
-				walk(c, p)
-			}
-		}
-		walk(tr.root, nil)
-	}
+		corpus = append(corpus, toks)
+	})
 	vocab := []string{"SELECT", "FROM", "WHERE", "x", "AND", "=", "(", ")", "COUNT", "zzz"}
 	qs := make([][]string, 0, n)
 	for i := 0; i < n; i++ {

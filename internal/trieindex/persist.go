@@ -9,19 +9,27 @@ import (
 
 // The structure corpus is generated offline (Section 3.2); a production
 // deployment builds the index once and serves it. Save/ReadIndex persist
-// the index in a compact binary format: the token dictionary, then each
-// structure as a delta-friendly token-id sequence. The trie is rebuilt on
-// load (insertion is cheap relative to I/O and keeps the format independent
-// of the in-memory node layout).
+// the index in a compact binary format.
+//
+// Version 2 serializes the frozen arenas directly — per trie the num[]
+// (child-count) array, the tok[] array, and a leaf bitmap. Because the
+// arena layout is breadth-first, first[] is exactly the running prefix sum
+// of num[] and is derived on load, so cold-start is a few bulk array reads
+// per trie with no pointer-trie reconstruction and no re-insertion. Version
+// 1 (each structure as a token-id path, re-inserted on load) is still read
+// for compatibility. Either way ReadIndex returns a frozen index.
 
 const (
-	persistMagic   = "SPQLIX"
-	persistVersion = 1
+	persistMagic     = "SPQLIX"
+	persistVersionV1 = 1
+	persistVersion   = 2
 )
 
-// Save serializes the index. The INV corpus flag is not persisted —
-// the loader chooses whether to retain the flat corpus.
+// Save serializes the index in the arena format, freezing it first if
+// needed (Freeze is idempotent and result-preserving). The INV corpus flag
+// is not persisted — the loader chooses whether to retain the flat corpus.
 func (ix *Index) Save(w io.Writer) (err error) {
+	ix.Freeze()
 	bw := bufio.NewWriter(w)
 	defer func() {
 		if ferr := bw.Flush(); err == nil {
@@ -46,45 +54,67 @@ func (ix *Index) Save(w io.Writer) (err error) {
 			return err
 		}
 	}
-	// Structures: walk every trie, emitting each leaf's path.
 	if err = writeUvarint(bw, uint64(ix.total)); err != nil {
 		return err
 	}
-	path := make([]tokenID, 0, ix.maxLen)
+	nTries := 0
 	for _, tr := range ix.tries {
+		if tr != nil {
+			nTries++
+		}
+	}
+	if err = writeUvarint(bw, uint64(nTries)); err != nil {
+		return err
+	}
+	for length, tr := range ix.tries {
 		if tr == nil {
 			continue
 		}
-		if err = writeLeaves(bw, tr.root, &path); err != nil {
+		if err = writeArena(bw, length, tr); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func writeLeaves(w *bufio.Writer, n *node, path *[]tokenID) error {
-	for _, c := range n.children {
-		*path = append(*path, c.tok)
-		if c.leaf {
-			if err := writeUvarint(w, uint64(len(*path))); err != nil {
-				return err
-			}
-			for _, id := range *path {
-				if err := writeUvarint(w, uint64(id)); err != nil {
-					return err
-				}
-			}
-		}
-		if err := writeLeaves(w, c, path); err != nil {
+// writeArena emits one frozen trie: its length, structure count, node
+// count, num[] and tok[] arrays, and the leaf bitmap. first[] is implied by
+// the BFS layout and not stored.
+func writeArena(w *bufio.Writer, length int, tr *trie) error {
+	ft := tr.flat
+	n := len(ft.tok) // includes the root at index 0
+	if err := writeUvarint(w, uint64(length)); err != nil {
+		return err
+	}
+	if err := writeUvarint(w, uint64(tr.count)); err != nil {
+		return err
+	}
+	if err := writeUvarint(w, uint64(n)); err != nil {
+		return err
+	}
+	for _, c := range ft.num {
+		if err := writeUvarint(w, uint64(c)); err != nil {
 			return err
 		}
-		*path = (*path)[:len(*path)-1]
 	}
-	return nil
+	for _, id := range ft.tok[1:] { // root's tok is unused
+		if err := writeUvarint(w, uint64(id)); err != nil {
+			return err
+		}
+	}
+	bitmap := make([]byte, (n+7)/8)
+	for i, l := range ft.leaf {
+		if l {
+			bitmap[i/8] |= 1 << (i % 8)
+		}
+	}
+	_, err := w.Write(bitmap)
+	return err
 }
 
-// ReadIndex loads an index persisted by Save. keepINV retains the flat
-// corpus for the inverted-index search path.
+// ReadIndex loads an index persisted by Save (version 2 arena format or the
+// legacy version 1 structure list). keepINV retains the flat corpus for the
+// inverted-index search path. The returned index is frozen.
 func ReadIndex(r io.Reader, keepINV bool) (*Index, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(persistMagic))
@@ -98,7 +128,7 @@ func ReadIndex(r io.Reader, keepINV bool) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	if version != persistVersion {
+	if version != persistVersionV1 && version != persistVersion {
 		return nil, fmt.Errorf("trieindex: unsupported version %d", version)
 	}
 	maxLen, err := binary.ReadUvarint(br)
@@ -120,26 +150,145 @@ func ReadIndex(r io.Reader, keepINV bool) (*Index, error) {
 		return nil, err
 	}
 	ix := NewIndex(int(maxLen), keepINV)
-	toks := make([]string, 0, maxLen)
+	if version == persistVersionV1 {
+		if err := readStructuresV1(br, ix, dict, total); err != nil {
+			return nil, err
+		}
+		ix.Freeze()
+		return ix, nil
+	}
+	// Arena format: intern the dictionary up front so persisted token ids
+	// stay valid, then bulk-read each trie.
+	for _, s := range dict {
+		ix.bindToken(ix.in.intern(s), s)
+	}
+	nTries, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	for t := uint64(0); t < nTries; t++ {
+		if err := readArena(br, ix, nTokens); err != nil {
+			return nil, fmt.Errorf("trieindex: trie %d: %w", t, err)
+		}
+	}
+	if uint64(ix.total) != total {
+		return nil, fmt.Errorf("trieindex: structure count mismatch: header %d, tries %d", total, ix.total)
+	}
+	if keepINV {
+		// Rebuild the flat corpus and inverted lists by walking the arenas
+		// in trie order — the same enumeration a v1 load's re-insertion
+		// produces, so INV tie-breaking is identical either way.
+		path := make([]tokenID, 0, ix.maxLen)
+		for _, tr := range ix.tries {
+			if tr == nil {
+				continue
+			}
+			tr.flat.walkLeaves(&path, func(p []tokenID) {
+				ix.recordCorpus(append([]tokenID(nil), p...))
+			})
+		}
+		ix.ensureInvSorted()
+	}
+	return ix, nil
+}
+
+// readArena loads one trie's arena, deriving first[] from the prefix sum of
+// num[] and validating the structural invariants the BFS layout guarantees.
+func readArena(br *bufio.Reader, ix *Index, nTokens uint64) error {
+	length, err := binary.ReadUvarint(br)
+	if err != nil {
+		return err
+	}
+	if length == 0 || length > uint64(ix.maxLen) {
+		return fmt.Errorf("trie length %d out of range", length)
+	}
+	if ix.tries[length] != nil {
+		return fmt.Errorf("duplicate trie for length %d", length)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return err
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return err
+	}
+	if n == 0 || n > 1<<31 {
+		return fmt.Errorf("node count %d out of range", n)
+	}
+	ft := &flatTrie{
+		tok:   make([]tokenID, n),
+		leaf:  make([]bool, n),
+		first: make([]int32, n),
+		num:   make([]int32, n),
+	}
+	next := int32(1)
+	for i := uint64(0); i < n; i++ {
+		c, err := binary.ReadUvarint(br)
+		if err != nil {
+			return err
+		}
+		ft.first[i] = next
+		ft.num[i] = int32(c)
+		next += int32(c)
+		if next < 0 || uint64(next) > n {
+			return fmt.Errorf("child ranges overflow arena (%d > %d)", next, n)
+		}
+	}
+	if uint64(next) != n {
+		return fmt.Errorf("child ranges cover %d of %d nodes", next, n)
+	}
+	for i := uint64(1); i < n; i++ {
+		id, err := binary.ReadUvarint(br)
+		if err != nil {
+			return err
+		}
+		if id >= nTokens {
+			return fmt.Errorf("token id %d out of range", id)
+		}
+		ft.tok[i] = tokenID(id)
+	}
+	bitmap := make([]byte, (n+7)/8)
+	if _, err := io.ReadFull(br, bitmap); err != nil {
+		return err
+	}
+	leaves := uint64(0)
+	for i := uint64(0); i < n; i++ {
+		if bitmap[i/8]&(1<<(i%8)) != 0 {
+			ft.leaf[i] = true
+			leaves++
+		}
+	}
+	if leaves != count {
+		return fmt.Errorf("leaf bitmap has %d leaves, header says %d", leaves, count)
+	}
+	ix.tries[length] = &trie{flat: ft, count: int(count), nodes: int(n) - 1}
+	ix.total += int(count)
+	return nil
+}
+
+// readStructuresV1 replays a legacy structure list through Insert.
+func readStructuresV1(br *bufio.Reader, ix *Index, dict []string, total uint64) error {
+	toks := make([]string, 0, ix.maxLen)
 	for s := uint64(0); s < total; s++ {
 		n, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, fmt.Errorf("trieindex: structure %d: %w", s, err)
+			return fmt.Errorf("trieindex: structure %d: %w", s, err)
 		}
 		toks = toks[:0]
 		for i := uint64(0); i < n; i++ {
 			id, err := binary.ReadUvarint(br)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			if id >= nTokens {
-				return nil, fmt.Errorf("trieindex: token id %d out of range", id)
+			if id >= uint64(len(dict)) {
+				return fmt.Errorf("trieindex: token id %d out of range", id)
 			}
 			toks = append(toks, dict[id])
 		}
 		ix.Insert(toks)
 	}
-	return ix, nil
+	return nil
 }
 
 func writeUvarint(w *bufio.Writer, v uint64) error {

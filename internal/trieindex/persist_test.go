@@ -1,12 +1,59 @@
 package trieindex
 
 import (
+	"bufio"
 	"bytes"
+	"io"
 	"strings"
 	"testing"
 
 	"speakql/internal/grammar"
 )
+
+// saveV1 writes the legacy version-1 format (structure list, re-inserted on
+// load) so the compatibility path stays under test now that Save emits v2.
+func (ix *Index) saveV1(w io.Writer) (err error) {
+	bw := bufio.NewWriter(w)
+	defer func() {
+		if ferr := bw.Flush(); err == nil {
+			err = ferr
+		}
+	}()
+	if _, err = bw.WriteString(persistMagic); err != nil {
+		return err
+	}
+	if err = writeUvarint(bw, persistVersionV1); err != nil {
+		return err
+	}
+	if err = writeUvarint(bw, uint64(ix.maxLen)); err != nil {
+		return err
+	}
+	if err = writeUvarint(bw, uint64(len(ix.in.strs))); err != nil {
+		return err
+	}
+	for _, s := range ix.in.strs {
+		if err = writeString(bw, s); err != nil {
+			return err
+		}
+	}
+	if err = writeUvarint(bw, uint64(ix.total)); err != nil {
+		return err
+	}
+	ix.forEachStructure(func(path []tokenID) {
+		if err != nil {
+			return
+		}
+		if err = writeUvarint(bw, uint64(len(path))); err != nil {
+			return
+		}
+		for _, id := range path {
+			if err = writeUvarint(bw, uint64(id)); err != nil {
+				return
+			}
+		}
+	})
+	return err
+}
 
 func TestPersistRoundTrip(t *testing.T) {
 	ix := buildIndex(t, grammar.TestScale(), false)
@@ -61,6 +108,114 @@ func TestPersistKeepINV(t *testing.T) {
 	}
 	if res.Distance != 0 {
 		t.Errorf("reloaded INV search distance = %v", res.Distance)
+	}
+}
+
+// The arena round trip must reproduce the arenas bit for bit — same node
+// counts, tokens, child ranges, and leaf flags per trie — and the reloaded
+// index must already be frozen (no pointer reconstruction on load).
+func TestPersistArenaRoundTripExact(t *testing.T) {
+	ix := buildIndex(t, grammar.TestScale(), false)
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadIndex(&buf, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Frozen() {
+		t.Fatal("reloaded index is not frozen")
+	}
+	for length, tr := range ix.tries {
+		var btr *trie
+		if length < len(back.tries) {
+			btr = back.tries[length]
+		}
+		if (tr == nil) != (btr == nil) {
+			t.Fatalf("length %d: presence differs", length)
+		}
+		if tr == nil {
+			continue
+		}
+		a, b := tr.flat, btr.flat
+		if len(a.tok) != len(b.tok) {
+			t.Fatalf("length %d: node count %d vs %d", length, len(a.tok), len(b.tok))
+		}
+		for i := range a.tok {
+			if i > 0 && a.tok[i] != b.tok[i] || a.leaf[i] != b.leaf[i] ||
+				a.first[i] != b.first[i] || a.num[i] != b.num[i] {
+				t.Fatalf("length %d: node %d differs", length, i)
+			}
+		}
+		if tr.count != btr.count || tr.nodes != btr.nodes {
+			t.Fatalf("length %d: counts differ", length)
+		}
+	}
+	// And a second save is byte-identical (deterministic format).
+	var buf2 bytes.Buffer
+	if err := back.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	var buf1 bytes.Buffer
+	if err := ix.Save(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Fatal("re-saving a reloaded index changed the bytes")
+	}
+}
+
+// A legacy v1 file must still load, produce a frozen index, and search
+// identically to the same corpus saved in the arena format.
+func TestPersistV1Compat(t *testing.T) {
+	ix := buildIndex(t, grammar.TestScale(), true)
+	var v1 bytes.Buffer
+	if err := ix.saveV1(&v1); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadIndex(&v1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Frozen() {
+		t.Fatal("v1 load did not freeze")
+	}
+	if back.Total() != ix.Total() {
+		t.Fatalf("v1 load lost structures: %d vs %d", back.Total(), ix.Total())
+	}
+	for _, q := range [][]string{
+		strings.Fields("SELECT x FROM x x x = x"),
+		strings.Fields("SELECT x FROM x WHERE x BETWEEN x AND x"),
+	} {
+		for _, opts := range []Options{{}, {INV: true}} {
+			a, ast := ix.Search(q, opts)
+			b, bst := back.Search(q, opts)
+			if a.Distance != b.Distance ||
+				strings.Join(a.Tokens, " ") != strings.Join(b.Tokens, " ") || ast != bst {
+				t.Fatalf("v1/v2 search disagrees for %v opts %+v", q, opts)
+			}
+		}
+	}
+}
+
+// Save on an unfrozen index freezes it (and the bytes match a pre-frozen
+// save), so callers never have to remember the Freeze step.
+func TestPersistSaveFreezes(t *testing.T) {
+	a := buildIndexUnfrozen(t, grammar.TestScale(), false)
+	b := buildIndex(t, grammar.TestScale(), false)
+	var bufA, bufB bytes.Buffer
+	if err := a.Save(&bufA); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Frozen() {
+		t.Fatal("Save did not freeze the index")
+	}
+	if err := b.Save(&bufB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Fatal("unfrozen-then-saved bytes differ from frozen-then-saved")
 	}
 }
 

@@ -69,74 +69,131 @@ func (ix *Index) SearchTopKContext(ctx context.Context, maskOut []string, k int,
 	if k <= 0 || ix.total == 0 || ctx.Err() != nil {
 		return nil, st
 	}
-	q, qw := ix.tokensOf(maskOut)
+	s := ix.getSearcher(maskOut, k, opts, &st)
 	if opts.INV {
-		s := ix.newSearcher(q, qw, k, opts, &st)
 		if s.searchINV() {
 			st.UsedINV = true
-			return s.results(), st
+			out := s.results()
+			ix.putSearcher(s)
+			return out, st
 		}
 	}
 	// Bidirectional order of Box 2: lengths m, m−1, …, 1 then m+1, …, max.
 	// Trying the closest lengths first makes the BDB threshold tighten
 	// quickly — serially and in parallel alike.
-	order := ix.partitionOrder(len(q))
+	order := s.partitionOrder(len(s.q))
 	if opts.Workers > 1 && len(order) > 1 {
-		return ix.searchParallel(ctx, q, qw, k, opts, order)
+		out, pst := ix.searchParallel(ctx, s.q, s.qw, k, opts, order)
+		ix.putSearcher(s)
+		return out, pst
 	}
-	s := ix.newSearcher(q, qw, k, opts, &st)
 	for _, n := range order {
 		if ctx.Err() != nil {
 			break
 		}
 		s.searchLen(n)
 	}
-	return s.results(), st
+	out := s.results()
+	ix.putSearcher(s)
+	return out, st
 }
 
-// partitionOrder lists the non-empty trie lengths in Box 2's bidirectional
-// search order for a query of qlen tokens.
-func (ix *Index) partitionOrder(qlen int) []int {
-	m := qlen
-	if m > ix.maxLen {
-		m = ix.maxLen // queries longer than any structure start at the top
-	}
-	order := make([]int, 0, len(ix.tries))
-	for n := m; n >= 1; n-- {
-		if ix.tries[n] != nil {
-			order = append(order, n)
-		}
-	}
-	for n := m + 1; n <= ix.maxLen; n++ {
-		if ix.tries[n] != nil {
-			order = append(order, n)
-		}
-	}
-	return order
-}
-
-// newSearcher builds the per-query (or, in parallel search, per-worker)
-// search state. q is shared read-only across searchers; the uniform-weight
-// ablation copies qw before overwriting so concurrent searchers never
-// mutate shared slices.
-func (ix *Index) newSearcher(q []tokenID, qw []float64, k int, opts Options, st *Stats) *searcher {
-	s := &searcher{ix: ix, q: q, qw: qw, k: k, opts: opts, st: st}
-	if opts.UniformWeights {
-		s.w = make([]float64, len(ix.weights))
-		for i := range s.w {
-			s.w[i] = 1
-		}
-		s.qw = make([]float64, len(qw))
-		for i := range s.qw {
-			s.qw[i] = 1
-		}
-	} else {
-		s.w = ix.weights
-	}
+// getSearcher takes a searcher from the index's pool and prepares it for
+// one query: the masked transcript is interned into the searcher's own
+// scratch buffers and the weight vectors are bound.
+func (ix *Index) getSearcher(maskOut []string, k int, opts Options, st *Stats) *searcher {
+	s := ix.newPooledSearcher(k, opts, st)
+	s.setQuery(maskOut)
 	return s
 }
 
-// searcher carries the per-query search state.
+// newPooledSearcher resets a pooled (or fresh) searcher's per-query state;
+// the query itself is bound by setQuery or adoptQuery.
+func (ix *Index) newPooledSearcher(k int, opts Options, st *Stats) *searcher {
+	s, _ := ix.pool.Get().(*searcher)
+	if s == nil {
+		s = &searcher{}
+	}
+	s.ix = ix
+	s.k = k
+	s.opts = opts
+	s.st = st
+	s.rank = 0
+	s.seq = 0
+	s.shared = nil
+	return s
+}
+
+// putSearcher recycles a searcher — its column pool, query scratch, and
+// heap-entry token buffers — back into the index's pool. The caller must
+// have materialized its results first.
+func (ix *Index) putSearcher(s *searcher) {
+	s.recycle()
+	s.ix = nil
+	s.st = nil
+	s.shared = nil
+	s.q, s.qw, s.w = nil, nil, nil
+	ix.pool.Put(s)
+}
+
+// maxRecycledBuffers bounds the freelist of heap-entry token buffers a
+// pooled searcher retains between queries.
+const maxRecycledBuffers = 64
+
+// recycle moves the heap entries' token buffers to the freelist and clears
+// per-query state, keeping all scratch memory for reuse.
+func (s *searcher) recycle() {
+	for i := range s.heap {
+		if c := s.heap[i].toks; cap(c) > 0 && len(s.free) < maxRecycledBuffers {
+			s.free = append(s.free, c[:0])
+		}
+		s.heap[i].toks = nil
+	}
+	s.heap = s.heap[:0]
+	s.path = s.path[:0]
+}
+
+// setQuery interns the masked transcript into the searcher's own buffers
+// (unknown tokens map to a never-matching id) and binds the weights.
+func (s *searcher) setQuery(maskOut []string) {
+	s.qbuf = s.qbuf[:0]
+	s.qwbuf = s.qwbuf[:0]
+	for _, t := range maskOut {
+		s.qbuf = append(s.qbuf, s.ix.in.lookup(t))
+		if s.opts.UniformWeights {
+			s.qwbuf = append(s.qwbuf, 1)
+		} else {
+			s.qwbuf = append(s.qwbuf, sqltoken.Weight(t))
+		}
+	}
+	s.q, s.qw = s.qbuf, s.qwbuf
+	s.bindWeights()
+}
+
+// adoptQuery points the searcher at query slices owned elsewhere: parallel
+// workers share the coordinating searcher's interned query read-only.
+func (s *searcher) adoptQuery(q []tokenID, qw []float64) {
+	s.q, s.qw = q, qw
+	s.bindWeights()
+}
+
+// bindWeights selects the insertion-weight vector: the index's SQL-specific
+// weights, or (under the ablation) an all-ones vector kept per searcher so
+// concurrent searchers never share mutable slices.
+func (s *searcher) bindWeights() {
+	if !s.opts.UniformWeights {
+		s.w = s.ix.weights
+		return
+	}
+	for len(s.uw) < len(s.ix.weights) {
+		s.uw = append(s.uw, 1)
+	}
+	s.w = s.uw[:len(s.ix.weights)]
+}
+
+// searcher carries the per-query search state. Searchers are pooled per
+// index: the buffers below the fold persist across queries, which is what
+// makes the steady-state search kernel allocation-free.
 type searcher struct {
 	ix   *Index
 	q    []tokenID // MaskOut, interned
@@ -159,6 +216,65 @@ type searcher struct {
 
 	// shared is the cross-partition best-distance bound (nil when serial).
 	shared *sharedBound
+
+	// Owned scratch, reused across queries via the searcher pool.
+	qbuf   []tokenID   // interned query backing
+	qwbuf  []float64   // query deletion-weight backing
+	uw     []float64   // all-ones insertion weights (UniformWeights ablation)
+	cols   [][]float64 // DP column pool, one buffer per trie depth
+	dapCol []float64   // DAP pass-1 scratch column
+	fPrev  []float64   // flatDistance row buffers (INV path)
+	fCur   []float64
+	free   [][]tokenID // recycled heap-entry token buffers
+	order  []int       // partition-order scratch
+}
+
+// column returns the pooled DP column for one trie depth, sized for the
+// current query. Buffers are created on first use at each depth and then
+// live for the searcher's lifetime.
+func (s *searcher) column(depth int) []float64 {
+	for len(s.cols) <= depth {
+		s.cols = append(s.cols, nil)
+	}
+	need := len(s.q) + 1
+	if cap(s.cols[depth]) < need {
+		s.cols[depth] = make([]float64, need)
+	}
+	s.cols[depth] = s.cols[depth][:need]
+	return s.cols[depth]
+}
+
+// dapColumn returns the scratch column DAP's scoring pass writes through.
+func (s *searcher) dapColumn() []float64 {
+	need := len(s.q) + 1
+	if cap(s.dapCol) < need {
+		s.dapCol = make([]float64, need)
+	}
+	s.dapCol = s.dapCol[:need]
+	return s.dapCol
+}
+
+// partitionOrder lists the non-empty trie lengths in Box 2's bidirectional
+// search order for a query of qlen tokens, reusing the searcher's scratch.
+func (s *searcher) partitionOrder(qlen int) []int {
+	ix := s.ix
+	m := qlen
+	if m > ix.maxLen {
+		m = ix.maxLen // queries longer than any structure start at the top
+	}
+	order := s.order[:0]
+	for n := m; n >= 1; n-- {
+		if ix.tries[n] != nil {
+			order = append(order, n)
+		}
+	}
+	for n := m + 1; n <= ix.maxLen; n++ {
+		if ix.tries[n] != nil {
+			order = append(order, n)
+		}
+	}
+	s.order = order
+	return order
 }
 
 // threshold is the local pruning bound: the k-th best distance this
@@ -184,18 +300,23 @@ func (s *searcher) viable(d float64) bool {
 	return s.shared == nil || d <= s.shared.load()
 }
 
-// offer records a candidate leaf.
+// offer records a candidate leaf. Token buffers are recycled: an evicted
+// entry's buffer (or one from the freelist) carries the new candidate, so
+// steady-state offers allocate nothing.
 func (s *searcher) offer(dist float64, toks []tokenID) {
+	var buf []tokenID
 	if len(s.heap) == s.k {
 		if dist >= s.heap[0].dist {
 			return
 		}
-		s.heap.popWorst()
+		buf = s.heap.popWorst().toks[:0]
+	} else if n := len(s.free) - 1; n >= 0 {
+		buf = s.free[n][:0]
+		s.free = s.free[:n]
 	}
-	cp := make([]tokenID, len(toks))
-	copy(cp, toks)
+	buf = append(buf, toks...)
 	s.seq++
-	s.heap.push(heapEntry{dist: dist, rank: s.rank, seq: s.seq, toks: cp})
+	s.heap.push(heapEntry{dist: dist, rank: s.rank, seq: s.seq, toks: buf})
 	if s.shared != nil && len(s.heap) == s.k {
 		// The worker's k-th best is an upper bound on the global k-th best
 		// (more candidates only lower it), so publishing it can only
@@ -226,6 +347,8 @@ func (ix *Index) stringsOf(ids []tokenID) []string {
 // searchLen searches the trie holding structures of length n, unless BDB
 // proves it cannot beat the current threshold (Proposition 1: the minimum
 // achievable distance between strings of lengths m and n is |m−n|·W_L).
+// Frozen tries run the arena kernel (arena.go); unfrozen ones the pointer
+// kernel below. Both produce bit-identical results and stats.
 func (s *searcher) searchLen(n int) {
 	tr := s.ix.tries[n]
 	if tr == nil {
@@ -240,13 +363,25 @@ func (s *searcher) searchLen(n int) {
 	}
 	s.st.TriesSearched++
 	// Root column: dp[i][0] = cost of deleting the first i MaskOut tokens.
-	col := make([]float64, len(s.q)+1)
+	col := s.column(0)
+	col[0] = 0
 	for i := 1; i <= len(s.q); i++ {
 		col[i] = col[i-1] + s.qw[i-1]
 	}
 	s.path = s.path[:0]
+	if tr.flat != nil {
+		s.descendFlat(tr.flat, 0, col, 0)
+		return
+	}
 	s.descend(tr.root, col)
 }
+
+// --- pointer-trie DP kernel ---
+//
+// The pre-arena kernel, retained for unfrozen indexes and as the reference
+// implementation the differential tests compare the arena kernel against.
+// It allocates one column per node visit; the arena kernel reuses pooled
+// columns instead.
 
 // descend explores node's children, advancing the DP by one column per
 // child token, with min-column pruning and (optionally) DAP.
@@ -301,8 +436,15 @@ func (s *searcher) visit(c *node, col []float64) {
 // inserts tok; row i matches q[i-1] diagonally or takes the cheaper of
 // deleting q[i-1] (cost qw) or inserting tok (cost W(tok)).
 func (s *searcher) step(prev []float64, tok tokenID) []float64 {
-	w := s.w[tok]
 	cur := make([]float64, len(prev))
+	s.stepInto(prev, cur, tok)
+	return cur
+}
+
+// stepInto is step writing into a caller-provided column of the same
+// length — the allocation-free form the arena kernel uses.
+func (s *searcher) stepInto(prev, cur []float64, tok tokenID) {
+	w := s.w[tok]
 	cur[0] = prev[0] + w
 	for i := 1; i < len(prev); i++ {
 		if s.q[i-1] == tok {
@@ -317,7 +459,6 @@ func (s *searcher) step(prev []float64, tok tokenID) []float64 {
 			cur[i] = delQ
 		}
 	}
-	return cur
 }
 
 // primeGroup classifies a token into the prime superset groups of DAP:
@@ -355,14 +496,11 @@ const maxINVList = 25000
 // keyword. Returns false if no indexed keyword is present (caller falls
 // back to trie search).
 func (s *searcher) searchINV() bool {
+	s.ix.ensureInvSorted()
 	var bestList [][]tokenID
 	found := false
 	for _, id := range s.q {
-		if id == unknownID {
-			continue
-		}
-		str := s.ix.in.str(id)
-		if !sqltoken.IsKeyword(str) || invExcluded[str] {
+		if id == unknownID || !s.ix.invKey[id] {
 			continue
 		}
 		list, ok := s.ix.inv[id]
@@ -388,42 +526,37 @@ func (s *searcher) searchINV() bool {
 	// Scan in order of increasing length difference from the query: the
 	// Proposition 1 lower bound then lets the whole remaining scan stop as
 	// soon as both frontiers are out of range — the flat-list analogue of
-	// BDB. Lists are kept length-sorted at insertion time.
+	// BDB. Lists are length-sorted by ensureInvSorted. The split search is
+	// hand-rolled (not sort.Search) to keep the kernel closure-free and so
+	// allocation-free.
 	m := len(s.q)
-	split := sort.Search(len(bestList), func(i int) bool { return len(bestList[i]) >= m })
-	lo, hi := split-1, split
-	scan := func(structIDs []tokenID) bool {
-		lower := float64(len(structIDs) - m)
-		if lower < 0 {
-			lower = -lower
+	lo, hi := 0, len(bestList)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if len(bestList[mid]) < m {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
-		if lower*sqltoken.WeightLiteral >= s.threshold() {
-			return false // this side is exhausted
-		}
-		s.st.InvScanned++
-		d := s.flatDistance(structIDs, s.threshold())
-		if d < s.threshold() {
-			s.offer(d, structIDs)
-		}
-		return true
 	}
-	loAlive, hiAlive := lo >= 0, hi < len(bestList)
+	loIdx, hiIdx := lo-1, lo
+	loAlive, hiAlive := loIdx >= 0, hiIdx < len(bestList)
 	for loAlive || hiAlive {
 		// Advance the frontier closer in length to the query first.
 		useHi := hiAlive
 		if loAlive && hiAlive {
-			useHi = len(bestList[hi])-m <= m-len(bestList[lo])
+			useHi = len(bestList[hiIdx])-m <= m-len(bestList[loIdx])
 		}
 		if useHi {
-			if !scan(bestList[hi]) {
+			if !s.invScan(bestList[hiIdx]) {
 				hiAlive = false
-			} else if hi++; hi >= len(bestList) {
+			} else if hiIdx++; hiIdx >= len(bestList) {
 				hiAlive = false
 			}
 		} else {
-			if !scan(bestList[lo]) {
+			if !s.invScan(bestList[loIdx]) {
 				loAlive = false
-			} else if lo--; lo < 0 {
+			} else if loIdx--; loIdx < 0 {
 				loAlive = false
 			}
 		}
@@ -431,12 +564,36 @@ func (s *searcher) searchINV() bool {
 	return true
 }
 
+// invScan scores one inverted-list structure, reporting false once the
+// Proposition 1 bound proves this scan direction exhausted.
+func (s *searcher) invScan(structIDs []tokenID) bool {
+	lower := float64(len(structIDs) - len(s.q))
+	if lower < 0 {
+		lower = -lower
+	}
+	if lower*sqltoken.WeightLiteral >= s.threshold() {
+		return false
+	}
+	s.st.InvScanned++
+	d := s.flatDistance(structIDs, s.threshold())
+	if d < s.threshold() {
+		s.offer(d, structIDs)
+	}
+	return true
+}
+
 // flatDistance computes the weighted edit distance between the query and one
 // flat structure (the INV path), abandoning early once every cell of a row
-// exceeds limit (the distance is then provably ≥ limit).
+// exceeds limit (the distance is then provably ≥ limit). Rows come from the
+// searcher's scratch, not the heap.
 func (s *searcher) flatDistance(b []tokenID, limit float64) float64 {
-	prev := make([]float64, len(b)+1)
-	cur := make([]float64, len(b)+1)
+	need := len(b) + 1
+	if cap(s.fPrev) < need {
+		s.fPrev = make([]float64, need)
+		s.fCur = make([]float64, need)
+	}
+	prev, cur := s.fPrev[:need], s.fCur[:need]
+	prev[0] = 0
 	for j := 1; j <= len(b); j++ {
 		prev[j] = prev[j-1] + s.w[b[j-1]]
 	}

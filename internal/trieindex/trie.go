@@ -18,6 +18,8 @@ package trieindex
 
 import (
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"speakql/internal/sqltoken"
 )
@@ -88,11 +90,14 @@ func (n *node) insertChild(tok tokenID) *node {
 	return c
 }
 
-// trie holds all structures of one token length.
+// trie holds all structures of one token length. Insert builds the pointer
+// trie (root); Freeze compacts it into the arena (flat) and drops the
+// pointer nodes. Exactly one of root/flat is non-nil.
 type trie struct {
 	root  *node
+	flat  *flatTrie
 	count int // number of structures
-	nodes int // total node count (for stats)
+	nodes int // total node count (set at freeze; computed by walk before)
 }
 
 // Options configures index construction and search behaviour.
@@ -128,9 +133,20 @@ type Index struct {
 	total      int
 	weights    []float64               // weight per interned token id
 	prime      []int8                  // DAP prime-superset group per id (−1 none)
+	invKey     []bool                  // id is a non-universal keyword (INV-indexed)
 	inv        map[tokenID][][]tokenID // keyword → structures containing it
 	corpus     [][]tokenID             // retained only when INV is on
 	keepCorpus bool
+
+	// invDirty marks inverted lists appended since the last length-sort;
+	// ensureInvSorted (invMu) sorts them lazily before the first INV scan.
+	invDirty atomic.Bool
+	invMu    sync.Mutex
+
+	// pool recycles searchers — and with them the DP column pool, the
+	// interned-query scratch, and the heap-entry token buffers — across
+	// SearchTopK calls, so steady-state searches allocate nothing.
+	pool sync.Pool
 }
 
 // NewIndex creates an empty index. Set keepINV if INV search will be used
@@ -159,17 +175,18 @@ func (ix *Index) Insert(tokens []string) {
 	for i, t := range tokens {
 		id := ix.in.intern(t)
 		ids[i] = id
-		for int(id) >= len(ix.weights) {
-			ix.weights = append(ix.weights, 0)
-			ix.prime = append(ix.prime, -1)
-		}
-		ix.weights[id] = sqltoken.Weight(t)
-		ix.prime[id] = int8(primeGroup(t))
+		ix.bindToken(id, t)
 	}
 	tr := ix.tries[len(tokens)]
 	if tr == nil {
 		tr = &trie{root: &node{}}
 		ix.tries[len(tokens)] = tr
+	}
+	if tr.flat != nil {
+		// The trie was frozen; thaw it back into pointer form so insertion
+		// can proceed. The next Freeze re-compacts it.
+		tr.root = thaw(tr.flat)
+		tr.flat = nil
 	}
 	n := tr.root
 	for _, id := range ids {
@@ -182,28 +199,90 @@ func (ix *Index) Insert(tokens []string) {
 	tr.count++
 	ix.total++
 	if ix.keepCorpus {
-		ix.corpus = append(ix.corpus, ids)
-		seen := map[tokenID]bool{}
-		for i, t := range tokens {
-			if sqltoken.IsKeyword(t) && !invExcluded[t] && !seen[ids[i]] {
-				seen[ids[i]] = true
-				// Keep each inverted list length-sorted so the INV scan
-				// can expand outward from the query's length and stop on
-				// the Proposition 1 bound. The generator emits structures
-				// in non-decreasing length, so this append is O(1) in
-				// practice; the insertion sort below covers other callers.
-				list := ix.inv[ids[i]]
-				j := len(list)
-				for j > 0 && len(list[j-1]) > len(ids) {
-					j--
-				}
-				list = append(list, nil)
-				copy(list[j+1:], list[j:])
-				list[j] = ids
-				ix.inv[ids[i]] = list
-			}
+		ix.recordCorpus(ids)
+	}
+}
+
+// bindToken records the per-id metadata the search kernel reads instead of
+// re-deriving it from strings on the hot path: edit weight, DAP prime
+// group, and whether the token is INV-indexable.
+func (ix *Index) bindToken(id tokenID, tok string) {
+	for int(id) >= len(ix.weights) {
+		ix.weights = append(ix.weights, 0)
+		ix.prime = append(ix.prime, -1)
+		ix.invKey = append(ix.invKey, false)
+	}
+	ix.weights[id] = sqltoken.Weight(tok)
+	ix.prime[id] = int8(primeGroup(tok))
+	ix.invKey[id] = sqltoken.IsKeyword(tok) && !invExcluded[tok]
+}
+
+// recordCorpus retains one structure for the INV fast path: the flat corpus
+// slice plus an inverted-list entry per distinct non-universal keyword.
+// Lists are appended in O(1) here and length-sorted once — in Freeze, or
+// lazily before the first INV scan — so non-monotonic insertion orders no
+// longer degrade the build to quadratic.
+func (ix *Index) recordCorpus(ids []tokenID) {
+	ix.corpus = append(ix.corpus, ids)
+	seen := map[tokenID]bool{}
+	for _, id := range ids {
+		if ix.invKey[id] && !seen[id] {
+			seen[id] = true
+			ix.inv[id] = append(ix.inv[id], ids)
+			ix.invDirty.Store(true)
 		}
 	}
+}
+
+// ensureInvSorted length-sorts the inverted lists if any were appended
+// since the last sort. The INV scan expands outward from the query's
+// length and stops on the Proposition 1 bound, which requires each list to
+// be in non-decreasing length order; the sort is stable, so structures of
+// equal length keep their insertion order (which is what ties resolve by).
+// Safe under concurrent searches: the first one in sorts under invMu while
+// the rest wait on the same lock.
+func (ix *Index) ensureInvSorted() {
+	if !ix.invDirty.Load() {
+		return
+	}
+	ix.invMu.Lock()
+	defer ix.invMu.Unlock()
+	if !ix.invDirty.Load() {
+		return
+	}
+	for _, list := range ix.inv {
+		sort.SliceStable(list, func(a, b int) bool { return len(list[a]) < len(list[b]) })
+	}
+	ix.invDirty.Store(false)
+}
+
+// Freeze compacts every trie into its contiguous arena form (see arena.go)
+// and finalizes the inverted lists. Call it once after the last Insert —
+// structure construction and ReadIndex do — to switch searches onto the
+// allocation-free cache-friendly kernel; searching an unfrozen index still
+// works on the pointer tries. Freeze is idempotent, changes no search
+// result, and must not run concurrently with searches. A later Insert
+// thaws the affected trie; re-freezing re-compacts it.
+func (ix *Index) Freeze() {
+	for _, tr := range ix.tries {
+		if tr == nil || tr.flat != nil {
+			continue
+		}
+		tr.flat = flatten(tr.root)
+		tr.nodes = len(tr.flat.tok) - 1
+		tr.root = nil
+	}
+	ix.ensureInvSorted()
+}
+
+// Frozen reports whether every trie is in arena form.
+func (ix *Index) Frozen() bool {
+	for _, tr := range ix.tries {
+		if tr != nil && tr.flat == nil {
+			return false
+		}
+	}
+	return true
 }
 
 // Total returns the number of distinct structures indexed.
@@ -238,14 +317,20 @@ type LengthStats struct {
 	Nodes      int
 }
 
-// Memory walks the tries and returns their stats.
+// Memory returns the index's size stats. Frozen tries answer in O(1) from
+// their arena lengths; unfrozen tries are walked.
 func (ix *Index) Memory() MemoryStats {
 	st := MemoryStats{Structures: ix.total, PerLength: map[int]LengthStats{}}
 	for length, t := range ix.tries {
 		if t == nil {
 			continue
 		}
-		n := countNodes(t.root)
+		var n int
+		if t.flat != nil {
+			n = len(t.flat.tok) - 1
+		} else {
+			n = countNodes(t.root)
+		}
 		st.Nodes += n
 		st.PerLength[length] = LengthStats{Structures: t.count, Nodes: n}
 	}
@@ -260,14 +345,3 @@ func countNodes(n *node) int {
 	return total
 }
 
-// tokensOf converts a transcript to interned ids (unknown tokens map to a
-// never-matching id) and their deletion weights.
-func (ix *Index) tokensOf(toks []string) ([]tokenID, []float64) {
-	ids := make([]tokenID, len(toks))
-	w := make([]float64, len(toks))
-	for i, t := range toks {
-		ids[i] = ix.in.lookup(t)
-		w[i] = sqltoken.Weight(t)
-	}
-	return ids, w
-}

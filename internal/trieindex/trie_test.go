@@ -10,7 +10,19 @@ import (
 	"speakql/internal/metrics"
 )
 
+// buildIndex builds and freezes a test index — the production configuration
+// (structure.New and ReadIndex both freeze), searched by the arena kernel.
 func buildIndex(t testing.TB, cfg grammar.GenConfig, keepINV bool) *Index {
+	t.Helper()
+	ix := buildIndexUnfrozen(t, cfg, keepINV)
+	ix.Freeze()
+	return ix
+}
+
+// buildIndexUnfrozen leaves the index in pointer-trie form, keeping the
+// pre-arena kernel under test and serving as the reference side of the
+// pointer-vs-arena differential tests.
+func buildIndexUnfrozen(t testing.TB, cfg grammar.GenConfig, keepINV bool) *Index {
 	t.Helper()
 	ix := NewIndex(cfg.MaxTokens, keepINV)
 	err := grammar.Generate(cfg, func(toks []string) bool {
