@@ -210,6 +210,52 @@ func BenchmarkLiteralDetermination(b *testing.B) {
 	}
 }
 
+// yelpScaleCatalog builds a catalog with thousands of distinct string
+// values — the scale where the phonetic BK-tree index pays off. Shared by
+// the YelpScale literal benchmarks; SetIndexed picks the voting path.
+var (
+	yelpScaleOnce sync.Once
+	yelpScaleCat  *literal.Catalog
+)
+
+func yelpScaleCatalog(b *testing.B) *literal.Catalog {
+	b.Helper()
+	yelpScaleOnce.Do(func() {
+		db := dataset.NewYelpDB(dataset.YelpConfig{Businesses: 12000, Users: 400, Reviews: 1500, Seed: 2})
+		yelpScaleCat = literal.NewCatalog(db.TableNames(), db.AttributeNames(), db.StringValues(0))
+	})
+	return yelpScaleCat
+}
+
+var (
+	yelpScaleTranscript = []string{"select", "business", "name", "from", "business", "where",
+		"city", "equals", "fenix", "and", "stars", ">", "4"}
+	yelpScaleStruct = []string{"SELECT", "x1", "FROM", "x2", "WHERE", "x3", "=", "x4", "AND", "x5", ">", "x6"}
+)
+
+// BenchmarkLiteralDeterminationYelpScale measures literal determination
+// against the multi-thousand-value catalog on the BK-indexed path;
+// …YelpScaleNaive is the same work on the retained full scan (the pre-index
+// behavior). The ratio is the index's speedup; rankings are bit-identical.
+func BenchmarkLiteralDeterminationYelpScale(b *testing.B) {
+	cat := yelpScaleCatalog(b).SetIndexed(true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		literal.Determine(yelpScaleTranscript, yelpScaleStruct, cat, 5)
+	}
+}
+
+func BenchmarkLiteralDeterminationYelpScaleNaive(b *testing.B) {
+	cat := yelpScaleCatalog(b).SetIndexed(false)
+	defer cat.SetIndexed(true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		literal.Determine(yelpScaleTranscript, yelpScaleStruct, cat, 5)
+	}
+}
+
 func BenchmarkASRTranscription(b *testing.B) {
 	eng := asr.NewEngine(asr.ACSProfile(), 1)
 	spoken := speech.VerbalizeQuery(

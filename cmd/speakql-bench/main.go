@@ -6,16 +6,20 @@
 // Usage:
 //
 //	speakql-bench [-scale test|default|paper] [-run id[,id…]] [-parallel n]
-//	              [-cachesize n] [-json FILE] [-list]
+//	              [-cachesize n] [-literal-index=true|false] [-json FILE] [-list]
 //
 // -parallel n searches the trie index's length partitions on n workers
 // (n < 0 means GOMAXPROCS); results are bit-identical to the serial search,
 // only latency changes. -cachesize n memoizes structure searches in an LRU
-// keyed by the masked transcript (0 disables). -json FILE additionally runs
-// a micro-benchmark suite over the built index and writes machine-readable
-// results — ns/op, B/op, allocs/op per benchmark, per-artifact wall-clock,
-// and the cache hit rate — for the perf trajectory (CI uploads it as an
-// artifact). Artifact ids: table2, figure6, figure7 (incl. figure12),
+// keyed by the masked transcript (0 disables). -literal-index=false turns
+// off the catalogs' phonetic BK-tree index, restoring naive full-scan
+// literal voting (identical rankings; for ablations). -json FILE
+// additionally runs a micro-benchmark suite over the built index and writes
+// machine-readable results — ns/op, B/op, allocs/op per benchmark,
+// per-artifact wall-clock, and the cache hit rate — for the perf trajectory
+// (CI uploads it as an artifact). The suite includes vote_indexed_yelp /
+// vote_naive_yelp, literal determination over a Yelp-scale catalog on both
+// voting paths. Artifact ids: table2, figure6, figure7 (incl. figure12),
 // figure8, figure11, table4 (incl. figure13), figure14, figure15, figure16,
 // figure17, figure18, table5.
 package main
@@ -30,19 +34,22 @@ import (
 	"testing"
 	"time"
 
+	"speakql/internal/dataset"
 	"speakql/internal/experiments"
+	"speakql/internal/literal"
 	"speakql/internal/trieindex"
 )
 
 // benchJSON is the -json payload.
 type benchJSON struct {
-	Scale     string           `json:"scale"`
-	Workers   int              `json:"workers"`
-	CacheSize int              `json:"cachesize"`
-	EnvSecs   float64          `json:"env_build_seconds"`
-	Micro     []microResult    `json:"micro"`
-	Artifacts []artifactTiming `json:"artifacts"`
-	Cache     *cacheJSON       `json:"cache,omitempty"`
+	Scale        string           `json:"scale"`
+	Workers      int              `json:"workers"`
+	CacheSize    int              `json:"cachesize"`
+	LiteralIndex bool             `json:"literal_index"`
+	EnvSecs      float64          `json:"env_build_seconds"`
+	Micro        []microResult    `json:"micro"`
+	Artifacts    []artifactTiming `json:"artifacts"`
+	Cache        *cacheJSON       `json:"cache,omitempty"`
 }
 
 type microResult struct {
@@ -71,6 +78,8 @@ func main() {
 	parallel := flag.Int("parallel", 0, "trie-search workers: 0|1 serial, n>1 parallel, <0 GOMAXPROCS")
 	cacheSize := flag.Int("cachesize", 0,
 		"LRU memo cache entries for structure searches, keyed by masked transcript (0 disables)")
+	literalIndex := flag.Bool("literal-index", true,
+		"use the catalogs' phonetic BK-tree index for literal voting (false restores the naive full scan)")
 	jsonOut := flag.String("json", "", "write machine-readable benchmark results to this file")
 	list := flag.Bool("list", false, "list artifact ids and exit")
 	flag.Parse()
@@ -97,11 +106,13 @@ func main() {
 	if workers < 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	fmt.Printf("SpeakQL experiment harness — scale=%s search-workers=%d cachesize=%d\n", sc, workers, *cacheSize)
+	fmt.Printf("SpeakQL experiment harness — scale=%s search-workers=%d cachesize=%d literal-index=%v\n",
+		sc, workers, *cacheSize, *literalIndex)
 	t0 := time.Now()
 	env := experiments.NewEnvWithOptions(sc, experiments.EnvOptions{
-		Search:    trieindex.Options{Workers: workers},
-		CacheSize: *cacheSize,
+		Search:              trieindex.Options{Workers: workers},
+		CacheSize:           *cacheSize,
+		DisableLiteralIndex: !*literalIndex,
 	})
 	envSecs := time.Since(t0).Seconds()
 	mem := env.Structure.Index().Memory()
@@ -110,7 +121,8 @@ func main() {
 		mem.Structures, mem.Nodes,
 		len(env.Corpus.EmployeesTrain), len(env.Corpus.EmployeesTest), len(env.Corpus.YelpTest))
 
-	report := benchJSON{Scale: string(sc), Workers: workers, CacheSize: *cacheSize, EnvSecs: envSecs}
+	report := benchJSON{Scale: string(sc), Workers: workers, CacheSize: *cacheSize,
+		LiteralIndex: *literalIndex, EnvSecs: envSecs}
 
 	ids := experiments.IDs()
 	if *run != "all" {
@@ -176,21 +188,57 @@ func microBench(env *experiments.Env, workers int) []microResult {
 	var out []microResult
 	for _, c := range cases {
 		opts := c.opts
-		r := testing.Benchmark(func(b *testing.B) {
+		out = append(out, runMicro(c.name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				ix.Search(q, opts)
 			}
-		})
-		out = append(out, microResult{
-			Name:        c.name,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			AllocsPerOp: r.AllocsPerOp(),
-			N:           r.N,
-		})
-		fmt.Printf("micro %-16s %12.0f ns/op %8d B/op %6d allocs/op (n=%d)\n",
-			c.name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp(), r.N)
+		}))
 	}
+	out = append(out, voteMicroBench()...)
+	return out
+}
+
+func runMicro(name string, fn func(b *testing.B)) microResult {
+	r := testing.Benchmark(fn)
+	fmt.Printf("micro %-18s %12.0f ns/op %8d B/op %6d allocs/op (n=%d)\n",
+		name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp(), r.N)
+	return microResult{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		N:           r.N,
+	}
+}
+
+// voteMicroBench benchmarks literal determination against a Yelp-scale
+// catalog (thousands of distinct string values) on both voting paths: the
+// phonetic BK-tree index and the retained naive full scan. The two keys
+// carry the index's speedup in the perf-trajectory artifact; rankings are
+// bit-identical between them.
+func voteMicroBench() []microResult {
+	db := dataset.NewYelpDB(dataset.YelpConfig{Businesses: 12000, Users: 400, Reviews: 1500, Seed: 2})
+	cat := literal.NewCatalog(db.TableNames(), db.AttributeNames(), db.StringValues(0))
+	transcript := strings.Fields("select business name from business where city equals fenix and stars greater than 4")
+	structToks := strings.Fields("SELECT x1 FROM x2 WHERE x3 = x4 AND x5 > x6")
+	fmt.Printf("vote micro-bench catalog: %d string values\n", len(cat.Values()))
+	var out []microResult
+	for _, c := range []struct {
+		name    string
+		indexed bool
+	}{
+		{"vote_indexed_yelp", true},
+		{"vote_naive_yelp", false},
+	} {
+		cat.SetIndexed(c.indexed)
+		out = append(out, runMicro(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				literal.Determine(transcript, structToks, cat, 5)
+			}
+		}))
+	}
+	cat.SetIndexed(true)
 	return out
 }

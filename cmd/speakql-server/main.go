@@ -12,14 +12,17 @@
 //
 // Usage: speakql-server [-addr :8080] [-db employees|yelp]
 // [-scale test|default|paper] [-workers n] [-timeout 10s] [-cachesize 1024]
-// [-pprof]
+// [-literal-index=true|false] [-pprof]
 //
 // -workers n searches trie partitions on n goroutines per request (<0 means
 // GOMAXPROCS; results are identical to serial search). -timeout bounds the
 // correction work per /api/correct and /api/dictate request (0 disables).
 // -cachesize bounds the LRU memo cache of structure searches keyed by the
 // masked transcript (0 disables; hit/miss/eviction counters appear in
-// GET /api/stats). -pprof mounts net/http/pprof under /debug/pprof/.
+// GET /api/stats). -literal-index=false turns off the catalog's phonetic
+// BK-tree index, restoring naive full-scan literal voting (identical
+// rankings; the literal block of GET /api/stats reports the active mode).
+// -pprof mounts net/http/pprof under /debug/pprof/.
 package main
 
 import (
@@ -51,6 +54,8 @@ func main() {
 		"per-request correction deadline for /api/correct and /api/dictate (0 disables)")
 	cacheSize := flag.Int("cachesize", 1024,
 		"LRU memo cache entries for structure searches, keyed by masked transcript (0 disables)")
+	literalIndex := flag.Bool("literal-index", true,
+		"use the catalog's phonetic BK-tree index for literal voting (false restores the naive full scan)")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 	flag.Parse()
 
@@ -88,14 +93,15 @@ func main() {
 			log.Fatal(err)
 		}
 		comp := structure.NewFromIndex(ix, searchOpts, gcfg)
-		eng = core.NewEngineWithComponent(comp, speakql.CatalogOf(db), 5)
+		eng = core.NewEngineWithComponent(comp, speakql.CatalogOf(db).SetIndexed(*literalIndex), 5)
 		eng.EnableSearchCache(*cacheSize)
 	} else {
 		log.Printf("building structure index (%s scale)…", *scale)
 		var err error
 		eng, err = speakql.NewEngine(speakql.Config{
 			Grammar: gcfg, Search: searchOpts, Catalog: speakql.CatalogOf(db),
-			StructureCacheSize: *cacheSize,
+			StructureCacheSize:  *cacheSize,
+			DisableLiteralIndex: !*literalIndex,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -107,8 +113,8 @@ func main() {
 		srv.EnablePprof()
 		log.Printf("pprof enabled at /debug/pprof/")
 	}
-	log.Printf("listening on %s (db=%s, search-workers=%d, request-timeout=%s, cachesize=%d)",
-		*addr, db.Name, *workers, *timeout, *cacheSize)
+	log.Printf("listening on %s (db=%s, search-workers=%d, request-timeout=%s, cachesize=%d, literal-index=%v)",
+		*addr, db.Name, *workers, *timeout, *cacheSize, *literalIndex)
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }
 

@@ -36,6 +36,10 @@ type Config struct {
 	// StructureCacheSize bounds the LRU memo cache for structure searches,
 	// keyed by the masked transcript (see SearchLRU). 0 disables caching.
 	StructureCacheSize int
+	// DisableLiteralIndex turns off the catalog's phonetic BK-tree index,
+	// restoring the naive full-scan voting path (rankings are identical;
+	// the toggle exists for ablation and differential benchmarking).
+	DisableLiteralIndex bool
 }
 
 // Engine is the SpeakQL correction engine. Construction generates and
@@ -59,6 +63,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 	}
 	if cfg.Catalog == nil {
 		cfg.Catalog = literal.NewCatalog(nil, nil, nil)
+	}
+	if cfg.DisableLiteralIndex {
+		cfg.Catalog.SetIndexed(false)
 	}
 	sc, err := structure.New(structure.Config{Grammar: cfg.Grammar, Search: cfg.Search})
 	if err != nil {

@@ -320,6 +320,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"stages":   stages,
 		"counters": snap.Counters,
 		"sessions": nsessions,
+		// The literal block groups the voting counters (vote calls, BK nodes
+		// visited, catalog entries the index skipped) with whether the
+		// phonetic index is active at all.
+		"literal": map[string]any{
+			"indexed":  s.engine.Catalog().Indexed(),
+			"counters": snap.CountersWithPrefix("literal."),
+		},
 	}
 	if c := s.engine.SearchCache(); c != nil {
 		cs := c.Stats()

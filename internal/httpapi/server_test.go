@@ -490,3 +490,36 @@ func TestConcurrentSessionTraffic(t *testing.T) {
 		t.Error(e)
 	}
 }
+
+// The stats literal block reports whether the phonetic BK-tree index is
+// active and groups the voting counters; a correction must grow them.
+func TestStatsLiteralBlock(t *testing.T) {
+	s := srv(t)
+	code, _ := post(t, s.URL+"/api/correct", map[string]any{
+		"transcript": "select first name from employees",
+	})
+	if code != http.StatusOK {
+		t.Fatal("correct failed")
+	}
+	stats := statsSnapshot(t, s.URL)
+	lit, ok := stats["literal"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats response has no literal block: %v", stats)
+	}
+	if indexed, _ := lit["indexed"].(bool); !indexed {
+		t.Errorf("literal.indexed = %v, want true", lit["indexed"])
+	}
+	counters, ok := lit["counters"].(map[string]any)
+	if !ok {
+		t.Fatalf("literal block has no counters: %v", lit)
+	}
+	if calls, _ := counters["literal.vote_calls"].(float64); calls < 1 {
+		t.Errorf("literal.vote_calls = %v, want >= 1", counters["literal.vote_calls"])
+	}
+	if nodes, _ := counters["literal.bk_nodes"].(float64); nodes < 1 {
+		t.Errorf("literal.bk_nodes = %v, want >= 1", counters["literal.bk_nodes"])
+	}
+	if _, ok := counters["literal.entries_skipped"]; !ok {
+		t.Error("literal.entries_skipped counter missing")
+	}
+}

@@ -1,0 +1,71 @@
+// BK-tree over a category set's distinct phonetic codes (Burkhard–Keller,
+// 1973). Levenshtein distance is a metric, so for a query q, a node code c,
+// and any code x in the subtree hanging off c's child at edge e —
+// dist(c, x) == e by construction — the triangle inequality gives
+// dist(q, x) ≥ |dist(q, c) − e|. Nearest-code search therefore only
+// descends into children whose edge lies within the current best radius of
+// dist(q, c), skipping entire subtrees the naive scan would visit.
+//
+// The tree is built once at catalog-construction time and laid out flat in
+// a slice (first-child/next-sibling links), so searches traverse with an
+// int32 stack and zero pointer chasing — the same arena discipline as the
+// trie index's frozen kernel (DESIGN.md §7).
+
+package literal
+
+import "speakql/internal/metrics"
+
+// bkNode is one BK-tree node covering one phonetic group.
+type bkNode struct {
+	group       int32 // index into catSet.groups
+	firstChild  int32 // index of first child, -1 when leaf
+	nextSibling int32 // next node sharing this node's parent, -1 at end
+	edge        int32 // edit distance to the parent's code
+	maxChild    int32 // max edge among direct children (0 for a leaf); lets
+	// the search bound its distance computation: if
+	// dist(q, code) > radius+maxChild, neither this node
+	// nor any child subtree can hold a nearest code.
+}
+
+// buildBK indexes the groups' codes. groups must be sorted (buildSet sorts
+// by code), which fixes the insertion order and hence the tree shape —
+// searches are deterministic regardless. Node 0 is the root.
+func buildBK(groups []phoneGroup) []bkNode {
+	if len(groups) == 0 {
+		return nil
+	}
+	nodes := make([]bkNode, 1, len(groups))
+	nodes[0] = bkNode{group: 0, firstChild: -1, nextSibling: -1}
+	for gi := 1; gi < len(groups); gi++ {
+		code := groups[gi].code
+		cur := int32(0)
+		for {
+			d := int32(metrics.CharEditDistance(code, groups[nodes[cur].group].code))
+			// Codes are distinct, so d ≥ 1 and the new node never collides
+			// with its parent.
+			next := int32(-1)
+			for ci := nodes[cur].firstChild; ci != -1; ci = nodes[ci].nextSibling {
+				if nodes[ci].edge == d {
+					next = ci
+					break
+				}
+			}
+			if next == -1 {
+				nodes = append(nodes, bkNode{
+					group:       int32(gi),
+					firstChild:  -1,
+					nextSibling: nodes[cur].firstChild,
+					edge:        d,
+				})
+				ni := int32(len(nodes) - 1)
+				nodes[cur].firstChild = ni
+				if d > nodes[cur].maxChild {
+					nodes[cur].maxChild = d
+				}
+				break
+			}
+			cur = next
+		}
+	}
+	return nodes
+}

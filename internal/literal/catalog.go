@@ -7,6 +7,14 @@
 // algorithm follows Appendix E: every enumerated transcript substring votes
 // for its phonetically-closest catalog literal, and the literal with the
 // most votes wins, ties resolved lexicographically.
+//
+// Voting is served by a phonetic index built at catalog-construction time:
+// entries collapse into groups by identical Metaphone code, and each
+// category set carries a BK-tree over the distinct codes, so a candidate
+// substring finds its nearest entries by triangle-inequality radius search
+// instead of scanning the whole set (see DESIGN.md §8). The pre-index full
+// scan is retained as the differential reference; rankings are bit-identical
+// either way.
 package literal
 
 import (
@@ -16,10 +24,35 @@ import (
 	"speakql/internal/phonetic"
 )
 
-// entry is one catalog literal with its cached phonetic encoding.
+// entry is one catalog literal with its cached phonetic encoding and its
+// lowercased spelling (raw-distance tie-breaks and exact-match probes both
+// need the lowered form; caching it keeps the hot loop allocation-free).
 type entry struct {
 	Name     string
+	Lower    string
 	Phonetic string
+}
+
+// phoneGroup is one distinct Metaphone code and the slice [first, first+num)
+// of catSet.members holding the indices of every entry that encodes to it.
+// Many catalog values collapse to one code ("Jon"/"John" → JN), so the
+// BK-tree searches groups, not entries.
+type phoneGroup struct {
+	code       string
+	first, num int32
+}
+
+// catSet is one category's literal set — tables, attributes, the global
+// value set, or one column's domain — with its exact-match map and phonetic
+// BK-tree index.
+type catSet struct {
+	entries []entry          // sorted by Name, deduplicated
+	byLower map[string]int32 // lowered name → index of first entry spelling it
+	groups  []phoneGroup     // distinct phonetic codes, sorted by code
+	members []int32          // entry indices, grouped per groups[i]
+	bk      []bkNode         // BK-tree over groups; nil when the set is empty
+	maxCode int              // longest code length (an upper bound seed for
+	// nearest-code search: dist(a,b) ≤ max(len(a), len(b)))
 }
 
 // Catalog is the phonetic representation of a database's literals
@@ -28,24 +61,27 @@ type entry struct {
 // dates are deliberately excluded (Section 4's design: "only strings,
 // excluding numbers or dates"); those are reassembled from the transcript.
 type Catalog struct {
-	tables []entry
-	attrs  []entry
-	values []entry
-	// byAttr holds per-attribute value entries (lowercased attribute name →
+	tables catSet
+	attrs  catSet
+	values catSet
+	// byAttr holds per-attribute value sets (lowercased attribute name →
 	// its column's string values). Optional: when present, value voting for
 	// a predicate whose attribute is already bound is restricted to that
 	// column's domain — a documented extension beyond the paper's global
 	// per-category sets (its future work singles literals out as the
 	// accuracy bottleneck).
-	byAttr map[string][]entry
+	byAttr map[string]*catSet
+	// noIndex disables the BK-tree fast path, restoring the naive full scan
+	// (the -literal-index=false toggle; rankings are identical either way).
+	noIndex bool
 }
 
 // NewCatalog builds the phonetic catalog. Duplicate names are collapsed.
 func NewCatalog(tables, attrs, values []string) *Catalog {
 	return &Catalog{
-		tables: buildEntries(tables),
-		attrs:  buildEntries(attrs),
-		values: buildEntries(values),
+		tables: buildSet(tables),
+		attrs:  buildSet(attrs),
+		values: buildSet(values),
 	}
 }
 
@@ -54,45 +90,95 @@ func NewCatalog(tables, attrs, values []string) *Catalog {
 // remains the fallback for unbound or unknown attributes. Returns the
 // catalog for chaining.
 func (c *Catalog) WithColumnValues(byAttr map[string][]string) *Catalog {
-	c.byAttr = make(map[string][]entry, len(byAttr))
+	c.byAttr = make(map[string]*catSet, len(byAttr))
 	for attr, vals := range byAttr {
-		c.byAttr[strings.ToLower(attr)] = buildEntries(vals)
+		set := buildSet(vals)
+		c.byAttr[strings.ToLower(attr)] = &set
 	}
 	return c
 }
 
-// columnValues returns the value entries for one attribute, ok=false when
-// no per-column domain is attached.
-func (c *Catalog) columnValues(attr string) ([]entry, bool) {
+// SetIndexed enables (the default) or disables the phonetic BK-tree fast
+// path for voting. Disabled, every vote falls back to the naive full scan —
+// the differential reference — with bit-identical rankings. Returns the
+// catalog for chaining.
+func (c *Catalog) SetIndexed(on bool) *Catalog {
+	c.noIndex = !on
+	return c
+}
+
+// Indexed reports whether voting uses the phonetic BK-tree index.
+func (c *Catalog) Indexed() bool { return !c.noIndex }
+
+// columnValues returns the value set for one attribute, ok=false when no
+// per-column domain is attached.
+func (c *Catalog) columnValues(attr string) (*catSet, bool) {
 	if c.byAttr == nil {
 		return nil, false
 	}
 	es, ok := c.byAttr[strings.ToLower(attr)]
-	return es, ok && len(es) > 0
+	if !ok || len(es.entries) == 0 {
+		return nil, false
+	}
+	return es, true
 }
 
-func buildEntries(names []string) []entry {
+// buildSet deduplicates and sorts the names, caches lowered spellings and
+// phonetic encodings, groups entries by identical code, and indexes the
+// distinct codes in a BK-tree.
+func buildSet(names []string) catSet {
 	seen := make(map[string]bool, len(names))
-	out := make([]entry, 0, len(names))
+	entries := make([]entry, 0, len(names))
 	for _, n := range names {
 		if n == "" || seen[n] {
 			continue
 		}
 		seen[n] = true
-		out = append(out, entry{Name: n, Phonetic: phonetic.Encode(n)})
+		entries = append(entries, entry{
+			Name:     n,
+			Lower:    strings.ToLower(n),
+			Phonetic: phonetic.Encode(n),
+		})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	return out
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+
+	set := catSet{entries: entries, byLower: make(map[string]int32, len(entries))}
+	byCode := make(map[string][]int32)
+	for i, e := range entries {
+		if _, ok := set.byLower[e.Lower]; !ok {
+			// First entry (in Name order) wins, matching what a linear
+			// EqualFold scan over the sorted slice would return.
+			set.byLower[e.Lower] = int32(i)
+		}
+		byCode[e.Phonetic] = append(byCode[e.Phonetic], int32(i))
+		if len(e.Phonetic) > set.maxCode {
+			set.maxCode = len(e.Phonetic)
+		}
+	}
+	codes := make([]string, 0, len(byCode))
+	for code := range byCode {
+		codes = append(codes, code)
+	}
+	sort.Strings(codes) // deterministic group order → deterministic BK shape
+	set.groups = make([]phoneGroup, len(codes))
+	set.members = make([]int32, 0, len(entries))
+	for gi, code := range codes {
+		ms := byCode[code]
+		set.groups[gi] = phoneGroup{code: code, first: int32(len(set.members)), num: int32(len(ms))}
+		set.members = append(set.members, ms...)
+	}
+	set.bk = buildBK(set.groups)
+	return set
 }
 
 // Tables returns the table names in the catalog.
-func (c *Catalog) Tables() []string { return names(c.tables) }
+func (c *Catalog) Tables() []string { return names(c.tables.entries) }
 
 // Attributes returns the attribute names in the catalog.
-func (c *Catalog) Attributes() []string { return names(c.attrs) }
+func (c *Catalog) Attributes() []string { return names(c.attrs.entries) }
 
 // Values returns the indexed string attribute values.
-func (c *Catalog) Values() []string { return names(c.values) }
+func (c *Catalog) Values() []string { return names(c.values.entries) }
 
 func names(es []entry) []string {
 	out := make([]string, len(es))
@@ -103,16 +189,13 @@ func names(es []entry) []string {
 }
 
 // HasTable reports whether name matches a table exactly (case-insensitive).
-func (c *Catalog) HasTable(name string) bool { return hasExact(c.tables, name) }
+// O(1): probes the lowered-name set built in NewCatalog.
+func (c *Catalog) HasTable(name string) bool { return hasExact(&c.tables, name) }
 
 // HasAttribute reports whether name matches an attribute exactly.
-func (c *Catalog) HasAttribute(name string) bool { return hasExact(c.attrs, name) }
+func (c *Catalog) HasAttribute(name string) bool { return hasExact(&c.attrs, name) }
 
-func hasExact(es []entry, name string) bool {
-	for _, e := range es {
-		if strings.EqualFold(e.Name, name) {
-			return true
-		}
-	}
-	return false
+func hasExact(set *catSet, name string) bool {
+	_, ok := set.byLower[strings.ToLower(name)]
+	return ok
 }

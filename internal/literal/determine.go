@@ -81,9 +81,9 @@ func Determine(transOut, bestStruct []string, cat *Catalog, k int) []Binding {
 		case grammar.CatLimit:
 			b.TopK, consumedTo = determineNumber(window, begin)
 		case grammar.CatTable:
-			b.TopK, consumedTo = vote(window, begin, cat.tables, k)
+			b.TopK, consumedTo = vote(window, begin, &cat.tables, k, cat.noIndex)
 		default:
-			b.TopK, consumedTo = vote(window, begin, cat.attrs, k)
+			b.TopK, consumedTo = vote(window, begin, &cat.attrs, k, cat.noIndex)
 			lastAttr = b.Best()
 		}
 		if len(b.TopK) == 0 {
@@ -220,7 +220,33 @@ func alignGaps(transOut, bestStruct []string) map[int]*gap {
 // distance to the heard text (so "Jon" beats "John" when the transcript
 // says "Jon"), then lexicographically. Returns the ranked top-k and the
 // transcript position consumed.
-func vote(window []string, base int, entries []entry, k int) ([]string, int) {
+//
+// The work runs on the set's phonetic BK-tree through a pooled scratch
+// (votescratch.go) unless naive is set, which restores the pre-index full
+// scan; both paths return bit-identical results.
+func vote(window []string, base int, set *catSet, k int, naive bool) ([]string, int) {
+	if len(window) == 0 || len(set.entries) == 0 {
+		return nil, base
+	}
+	if naive || len(set.bk) == 0 {
+		return voteNaive(window, base, set.entries, k)
+	}
+	s := getVoteScratch()
+	top, pos := s.run(window, base, set, k)
+	var out []string
+	if len(top) > 0 {
+		out = make([]string, len(top))
+		copy(out, top) // scratch-backed; copy before recycling
+	}
+	putVoteScratch(s)
+	return out, pos
+}
+
+// voteNaive is the full-scan reference implementation the BK-indexed
+// kernel is differentially tested against (TestVoteIndexMatchesNaive): it
+// compares every candidate substring with every entry in the set. Keep its
+// semantics frozen — tie-break rules included — when touching the kernel.
+func voteNaive(window []string, base int, entries []entry, k int) ([]string, int) {
 	if len(window) == 0 || len(entries) == 0 {
 		return nil, base
 	}
@@ -318,7 +344,7 @@ func determineValue(window []string, base int, cat *Catalog, lastAttr string, k 
 	if len(window) == 0 {
 		return nil, base
 	}
-	values := cat.values
+	values := &cat.values
 	if col, ok := cat.columnValues(lastAttr); ok {
 		values = col
 	}
@@ -338,7 +364,7 @@ func determineValue(window []string, base int, cat *Catalog, lastAttr string, k 
 	if tops, end := determineNumber(window, base); len(tops) > 0 {
 		return tops, end
 	}
-	return vote(window, base, values, k)
+	return vote(window, base, values, k, cat.noIndex)
 }
 
 // determineNumber recognizes a numeric value at the head of the window,
@@ -403,8 +429,10 @@ func mergeNumeral(acc int64, digits string, v int64) int64 {
 // assembleCode concatenates window prefixes with single-digit number words
 // folded to digits ("d zero zero two" → "d", "d0", "d00", "d002") and
 // returns the first exact case-insensitive catalog match, longest prefix
-// first.
-func assembleCode(window []string, values []entry) (string, int, bool) {
+// first. Each prefix probes the set's lowered-name map instead of
+// rescanning the value slice, so a miss costs O(window), not
+// O(window × catalog).
+func assembleCode(window []string, values *catSet) (string, int, bool) {
 	limit := len(window)
 	if limit > 2*WindowSize {
 		limit = 2 * WindowSize
@@ -421,10 +449,8 @@ func assembleCode(window []string, values []entry) (string, int, bool) {
 		built = append(built, sb.String())
 	}
 	for i := len(built) - 1; i >= 0; i-- {
-		for _, e := range values {
-			if strings.EqualFold(e.Name, built[i]) {
-				return e.Name, i + 1, true
-			}
+		if ei, ok := values.byLower[built[i]]; ok {
+			return values.entries[ei].Name, i + 1, true
 		}
 	}
 	return "", 0, false
@@ -490,11 +516,11 @@ func fallback(category grammar.Category, cat *Catalog, k int) []string {
 	var es []entry
 	switch category {
 	case grammar.CatTable:
-		es = cat.tables
+		es = cat.tables.entries
 	case grammar.CatAttr:
-		es = cat.attrs
+		es = cat.attrs.entries
 	case grammar.CatValue:
-		es = cat.values
+		es = cat.values.entries
 	default:
 		return []string{"10"} // a LIMIT count must be numeric
 	}

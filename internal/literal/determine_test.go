@@ -328,3 +328,61 @@ func TestWithColumnValuesFallback(t *testing.T) {
 		t.Errorf("fallback to global set failed: %q", bs[3].Best())
 	}
 }
+
+func TestMergeNumeralEdgeCases(t *testing.T) {
+	cases := []struct {
+		acc    int64
+		digits string
+		v      int64
+		want   int64
+	}{
+		{0, "007", 7, 7},       // zero accumulator adopts the fragment's value
+		{7, "007", 7, 7007},    // the fragment's printed width drives the shift,
+		{7, "07", 7, 707},      // not its numeric value — "007" shifts by 1000
+		{123, "45", 45, 12345}, // no trailing zeros → pure concatenation
+		{450, "7", 7, 457},     // fits inside the single trailing zero → added
+		{450, "50", 50, 45050}, // too wide for the zeros → concatenated
+		{1000, "250", 250, 1250},
+		{0, "0", 0, 0},
+	}
+	for _, c := range cases {
+		if got := mergeNumeral(c.acc, c.digits, c.v); got != c.want {
+			t.Errorf("mergeNumeral(%d, %q, %d) = %d, want %d", c.acc, c.digits, c.v, got, c.want)
+		}
+	}
+}
+
+func TestDetermineNumberEdgeCases(t *testing.T) {
+	cases := []struct {
+		window  []string
+		base    int
+		want    string // "" means: not recognized as a number
+		wantPos int
+	}{
+		// Zero-prefixed numerals parse by value; the leading zeros only
+		// matter as concatenation width for later fragments.
+		{fields("007"), 0, "7", 0},
+		{fields("007 5"), 0, "75", 1},
+		// A bare scale word is a complete spoken number.
+		{fields("thousand"), 0, "1000", 0},
+		{fields("thousand engineer"), 2, "1000", 2},
+		// "oh" is the spoken zero.
+		{fields("oh"), 0, "0", 0},
+		// The numeral run stops at the first non-number token.
+		{fields("45000 310 engineer"), 1, "45310", 2},
+		// Not numbers at all.
+		{fields("engineer"), 0, "", 0},
+		{nil, 3, "", 3},
+	}
+	for _, c := range cases {
+		tops, pos := determineNumber(c.window, c.base)
+		got := ""
+		if len(tops) > 0 {
+			got = tops[0]
+		}
+		if got != c.want || (c.want != "" && pos != c.wantPos) {
+			t.Errorf("determineNumber(%q, %d) = (%q, %d), want (%q, %d)",
+				c.window, c.base, got, pos, c.want, c.wantPos)
+		}
+	}
+}

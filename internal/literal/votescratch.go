@@ -1,0 +1,245 @@
+// The indexed voting kernel and its pooled scratch. One voteScratch owns
+// every piece of per-call working memory — the candidate text/encoding
+// arenas, the sparse per-entry counters, the BK traversal stack, and the
+// ranking permutation — so a steady-state vote() performs zero heap
+// allocations (pinned by TestVoteSteadyStateAllocs, the same discipline as
+// the structure search kernel's pooled searcher, DESIGN.md §7).
+
+package literal
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"unicode/utf8"
+
+	"speakql/internal/metrics"
+	"speakql/internal/obs"
+	"speakql/internal/phonetic"
+)
+
+const sentinelDist = 1 << 30 // "no distance recorded yet"; matches voteNaive
+
+// voteCand is one enumerated window substring: its lowered text and
+// phonetic encoding live as [off, end) ranges of the scratch arenas
+// (offsets, not subslices, so arena growth cannot invalidate them), plus
+// the absolute transcript index of its last token.
+type voteCand struct {
+	rawOff, rawEnd int32
+	encOff, encEnd int32
+	pos            int32
+}
+
+// voteScratch is the reusable state of one indexed vote.
+type voteScratch struct {
+	rawBuf []byte // lowered candidate text arena
+	encBuf []byte // candidate phonetic-encoding arena
+	cands  []voteCand
+
+	// Sparse per-entry counters: slot[e] is 1+ the counter row of entry e,
+	// 0 when e has not won any vote this call. Only rows for touched
+	// entries exist, so counter work is O(winners), not O(catalog); touched
+	// drives the end-of-call reset of slot.
+	slot     []int32
+	touched  []int32 // entry indices with counter rows, in first-win order
+	count    []int32
+	bestDist []int32
+	minRaw   []int32
+	loc      []int32
+
+	stack   []int32 // BK traversal (node indices)
+	winners []int32 // group indices at the current best radius
+	order   []int32 // ranking permutation over counter rows
+	topBuf  []string
+	ranker  voteRanker
+}
+
+var votePool = sync.Pool{New: func() any { return new(voteScratch) }}
+
+func getVoteScratch() *voteScratch { return votePool.Get().(*voteScratch) }
+
+func putVoteScratch(s *voteScratch) { votePool.Put(s) }
+
+// run votes the window against one indexed category set. The returned
+// top-k slice is scratch-backed — callers must copy it before the scratch
+// is recycled. Rankings, tie-breaks, and the consumed transcript position
+// are bit-identical to voteNaive (TestVoteIndexMatchesNaive).
+func (s *voteScratch) run(window []string, base int, set *catSet, k int) ([]string, int) {
+	// Enumerate candidates into the arenas, exactly voteNaive's (i, j)
+	// order — candidate order feeds the position tie-break below.
+	s.rawBuf, s.encBuf, s.cands = s.rawBuf[:0], s.encBuf[:0], s.cands[:0]
+	for i := 0; i < len(window); i++ {
+		rawStart := int32(len(s.rawBuf))
+		for j := i; j < len(window) && j-i < WindowSize; j++ {
+			s.rawBuf = appendLower(s.rawBuf, window[j])
+			encOff := int32(len(s.encBuf))
+			s.encBuf = phonetic.AppendEncode(s.encBuf, s.rawBuf[rawStart:])
+			s.cands = append(s.cands, voteCand{
+				rawOff: rawStart, rawEnd: int32(len(s.rawBuf)),
+				encOff: encOff, encEnd: int32(len(s.encBuf)),
+				pos: int32(base + j),
+			})
+		}
+	}
+
+	if len(s.slot) < len(set.entries) {
+		s.slot = make([]int32, len(set.entries))
+	}
+	s.touched = s.touched[:0]
+	s.count, s.bestDist, s.minRaw, s.loc = s.count[:0], s.bestDist[:0], s.minRaw[:0], s.loc[:0]
+
+	var bkNodes, entriesSeen int64
+	for _, c := range s.cands {
+		enc := s.encBuf[c.encOff:c.encEnd]
+
+		// Nearest-code radius search. best starts at an a-priori upper
+		// bound on the distance to any code (Levenshtein never exceeds the
+		// longer string), so the first node visited already tightens it.
+		best := len(enc)
+		if set.maxCode > best {
+			best = set.maxCode
+		}
+		s.winners = s.winners[:0]
+		s.stack = append(s.stack[:0], 0)
+		for len(s.stack) > 0 {
+			ni := s.stack[len(s.stack)-1]
+			s.stack = s.stack[:len(s.stack)-1]
+			node := &set.bk[ni]
+			g := &set.groups[node.group]
+			bkNodes++
+			entriesSeen += int64(g.num)
+			// Beyond best+maxChild the exact distance is irrelevant: the
+			// node is no winner and every child edge e ≤ maxChild fails
+			// |d − e| ≤ best, so the whole subtree is provably outside the
+			// radius and the banded kernel may exit early.
+			d := metrics.CharEditDistanceBounded(enc, g.code, best+int(node.maxChild))
+			if d < best {
+				best = d
+				s.winners = s.winners[:0]
+				s.winners = append(s.winners, node.group)
+			} else if d == best {
+				s.winners = append(s.winners, node.group)
+			}
+			lo, hi := d-best, d+best
+			for ci := node.firstChild; ci != -1; ci = set.bk[ci].nextSibling {
+				if e := int(set.bk[ci].edge); e >= lo && e <= hi {
+					s.stack = append(s.stack, ci)
+				}
+			}
+		}
+
+		// Every entry in every winning group receives one vote, with the
+		// same per-entry updates as the naive scan.
+		raw := s.rawBuf[c.rawOff:c.rawEnd]
+		for _, gi := range s.winners {
+			g := set.groups[gi]
+			for _, w := range set.members[g.first : g.first+g.num] {
+				si := s.slot[w]
+				if si == 0 {
+					s.touched = append(s.touched, w)
+					s.count = append(s.count, 0)
+					s.bestDist = append(s.bestDist, sentinelDist)
+					s.minRaw = append(s.minRaw, sentinelDist)
+					s.loc = append(s.loc, int32(base-1))
+					si = int32(len(s.touched))
+					s.slot[w] = si
+				}
+				si--
+				s.count[si]++
+				// Consume the transcript only up to the span that best
+				// matches the winning literal (see voteNaive).
+				if d := int32(best); d < s.bestDist[si] || (d == s.bestDist[si] && c.pos > s.loc[si]) {
+					s.bestDist[si] = d
+					s.loc[si] = c.pos
+				}
+				// The raw-spelling tie-break: bounded by the current
+				// minimum, since only a strictly smaller distance updates
+				// it — identical to the naive scan's unbounded minimum.
+				if rd := metrics.CharEditDistanceBounded(raw, set.entries[w].Lower, int(s.minRaw[si])); rd < int(s.minRaw[si]) {
+					s.minRaw[si] = int32(rd)
+				}
+			}
+		}
+	}
+
+	obs.Add("literal.vote_calls", 1)
+	obs.Add("literal.bk_nodes", bkNodes)
+	obs.Add("literal.entries_skipped",
+		int64(len(s.cands))*int64(len(set.entries))-entriesSeen)
+
+	// Rank the touched entries: votes desc, raw distance asc, name asc —
+	// the comparator is total (names are unique), so the result matches
+	// voteNaive's stable sort over the full entry list, whose zero-vote
+	// tail never reaches the top-k anyway.
+	s.order = s.order[:0]
+	for i := range s.touched {
+		s.order = append(s.order, int32(i))
+	}
+	s.ranker.s, s.ranker.set = s, set
+	sort.Sort(&s.ranker)
+
+	s.topBuf = s.topBuf[:0]
+	for _, oi := range s.order {
+		if len(s.topBuf) == k {
+			break
+		}
+		s.topBuf = append(s.topBuf, set.entries[s.touched[oi]].Name)
+	}
+
+	// Reset the sparse slots while touched is still valid; the next run
+	// may vote against a different (smaller) category set.
+	for _, w := range s.touched {
+		s.slot[w] = 0
+	}
+
+	if len(s.topBuf) == 0 {
+		return nil, base
+	}
+	return s.topBuf, int(s.loc[s.order[0]])
+}
+
+// voteRanker sorts the scratch's counter rows; it lives inside the scratch
+// so sort.Sort receives an already-heap-allocated interface value.
+type voteRanker struct {
+	s   *voteScratch
+	set *catSet
+}
+
+func (r *voteRanker) Len() int { return len(r.s.order) }
+
+func (r *voteRanker) Swap(i, j int) {
+	o := r.s.order
+	o[i], o[j] = o[j], o[i]
+}
+
+func (r *voteRanker) Less(i, j int) bool {
+	s := r.s
+	a, b := s.order[i], s.order[j]
+	if s.count[a] != s.count[b] {
+		return s.count[a] > s.count[b]
+	}
+	if s.minRaw[a] != s.minRaw[b] {
+		return s.minRaw[a] < s.minRaw[b]
+	}
+	return r.set.entries[s.touched[a]].Name < r.set.entries[s.touched[b]].Name
+}
+
+// appendLower appends s lowercased to dst. ASCII — every transcript token
+// after spoken-form substitution — lowers byte-by-byte without allocating;
+// anything else falls back to strings.ToLower so the bytes stay identical
+// to the naive scan's.
+func appendLower(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= utf8.RuneSelf {
+			return append(dst, strings.ToLower(s)...)
+		}
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		dst = append(dst, c)
+	}
+	return dst
+}

@@ -86,6 +86,114 @@ func WordErrorRate(ref, hyp []string) float64 {
 	return float64(TokenEditDistance(ref, hyp)) / float64(len(ref))
 }
 
+// CharEditDistanceBounded is CharEditDistance restricted to a band: it
+// returns the exact Levenshtein distance when that distance is at most
+// bound, and bound+1 as soon as the distance provably exceeds bound. The
+// contract literal determination's BK-tree search relies on is exactly
+// that: results ≤ bound are bit-identical to CharEditDistance; any larger
+// return value only asserts "greater than bound", never a specific
+// distance.
+//
+// The computation visits only DP cells with |i-j| ≤ bound (every cheaper
+// path leaves the band), prunes on the length difference before touching
+// any cell, and exits early once a whole row exceeds the bound. Both
+// arguments may independently be string or []byte so callers holding
+// pooled byte scratch avoid a conversion allocation; for strings shorter
+// than the internal stack buffer the function does not allocate at all.
+func CharEditDistanceBounded[A ~string | ~[]byte, B ~string | ~[]byte](a A, b B, bound int) int {
+	m, n := len(a), len(b)
+	if bound < 0 {
+		bound = 0
+	}
+	diff := m - n
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > bound {
+		return bound + 1
+	}
+	if m == 0 {
+		return n // n ≤ bound here
+	}
+	if n == 0 {
+		return m
+	}
+	overflow := bound + 1
+	// Two DP rows over b. Small inputs — every phonetic code and catalog
+	// literal in practice — fit the stack buffers; longer ones fall back to
+	// the heap.
+	const stackCap = 128
+	var sp, sc [stackCap]int
+	prev, cur := sp[:stackCap], sc[:stackCap]
+	if n+1 > stackCap {
+		prev = make([]int, n+1)
+		cur = make([]int, n+1)
+	}
+	for j := 0; j <= n; j++ {
+		if j <= bound {
+			prev[j] = j
+		} else {
+			prev[j] = overflow
+			break // cells beyond the band are never read past j = hi+1
+		}
+	}
+	for i := 1; i <= m; i++ {
+		lo := i - bound
+		if lo < 1 {
+			lo = 1
+		}
+		hi := i + bound
+		if hi > n {
+			hi = n
+		}
+		// Seed the cell left of the band so cur[lo-1] reads are in-band
+		// deletions (j = 0) or +inf.
+		if lo == 1 {
+			if i <= bound {
+				cur[0] = i
+			} else {
+				cur[0] = overflow
+			}
+		} else {
+			cur[lo-1] = overflow
+		}
+		rowMin := overflow
+		for j := lo; j <= hi; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			d := prev[j-1] + cost
+			// prev[j] is outside the previous row's band when j = i+bound;
+			// it was seeded to overflow below.
+			if v := prev[j] + 1; v < d {
+				d = v
+			}
+			if v := cur[j-1] + 1; v < d {
+				d = v
+			}
+			if d > overflow {
+				d = overflow // keep sentinel cells from drifting upward
+			}
+			cur[j] = d
+			if d < rowMin {
+				rowMin = d
+			}
+		}
+		if rowMin > bound {
+			return overflow // every continuation can only grow
+		}
+		if hi < n {
+			cur[hi+1] = overflow // next row reads prev[hi'] one past this band
+		}
+		prev, cur = cur, prev
+	}
+	if d := prev[n]; d <= bound {
+		return d
+	}
+	return overflow
+}
+
 // CharEditDistance is the Levenshtein distance (insert, delete, substitute)
 // between two strings, used for string- and phonetic-level literal
 // comparison (Section 4.3, Appendix F.7).

@@ -303,3 +303,60 @@ func TestWordErrorRate(t *testing.T) {
 		}
 	}
 }
+
+func TestCharEditDistanceBounded(t *testing.T) {
+	cases := []struct {
+		a, b  string
+		bound int
+		want  int
+	}{
+		{"", "", 0, 0},
+		{"abc", "", 3, 3},
+		{"abc", "", 2, 3},  // length-difference prune: bound+1
+		{"", "abcd", 2, 3}, // symmetric prune
+		{"kitten", "sitting", 3, 3},
+		{"kitten", "sitting", 2, 3}, // distance 3 > bound 2 → bound+1
+		{"kitten", "sitting", 10, 3},
+		{"EMPLYS", "EMPLYRS", 1, 1},
+		{"EMPLYS", "EMPLYRS", 0, 1},
+		{"same", "same", 0, 0},
+		{"FRMTT", "TTT", 1, 2}, // overflow reported as bound+1, not exact
+	}
+	for _, c := range cases {
+		if got := CharEditDistanceBounded(c.a, c.b, c.bound); got != c.want {
+			t.Errorf("CharEditDistanceBounded(%q,%q,%d) = %d, want %d", c.a, c.b, c.bound, got, c.want)
+		}
+	}
+}
+
+// The bounded distance must agree with the full distance whenever the full
+// distance fits the bound, and report exactly bound+1 otherwise — for every
+// input and every bound. This is the contract the BK-tree literal index
+// depends on for bit-identical rankings.
+func TestCharEditDistanceBoundedMatchesFull(t *testing.T) {
+	f := func(a, b string, bound uint8) bool {
+		bd := int(bound % 12)
+		full := CharEditDistance(a, b)
+		got := CharEditDistanceBounded(a, b, bd)
+		if full <= bd {
+			return got == full
+		}
+		return got == bd+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// []byte arguments must behave exactly like their string counterparts (the
+// pooled vote scratch passes candidate encodings as byte subslices).
+func TestCharEditDistanceBoundedBytes(t *testing.T) {
+	f := func(a, b string, bound uint8) bool {
+		bd := int(bound % 12)
+		return CharEditDistanceBounded([]byte(a), b, bd) == CharEditDistanceBounded(a, b, bd) &&
+			CharEditDistanceBounded(a, []byte(b), bd) == CharEditDistanceBounded(a, b, bd)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

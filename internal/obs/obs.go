@@ -9,6 +9,7 @@ package obs
 
 import (
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -159,6 +160,19 @@ func (r *Registry) Snapshot() Snapshot {
 		return true
 	})
 	return snap
+}
+
+// CountersWithPrefix returns the snapshot's counters whose names start with
+// prefix, as a fresh map (stats endpoints group related counters — e.g.
+// every "literal." counter — into one response block).
+func (s Snapshot) CountersWithPrefix(prefix string) map[string]int64 {
+	out := make(map[string]int64)
+	for name, v := range s.Counters {
+		if strings.HasPrefix(name, prefix) {
+			out[name] = v
+		}
+	}
+	return out
 }
 
 // StageNames returns the snapshot's stage names, sorted (stable rendering).

@@ -119,3 +119,17 @@ func TestStageNamesSorted(t *testing.T) {
 		t.Errorf("names = %v", names)
 	}
 }
+
+func TestCountersWithPrefix(t *testing.T) {
+	r := NewRegistry()
+	r.Add("literal.vote_calls", 2)
+	r.Add("literal.bk_nodes", 9)
+	r.Add("search.nodes_visited", 5)
+	got := r.Snapshot().CountersWithPrefix("literal.")
+	if len(got) != 2 || got["literal.vote_calls"] != 2 || got["literal.bk_nodes"] != 9 {
+		t.Errorf("CountersWithPrefix(literal.) = %v", got)
+	}
+	if len(r.Snapshot().CountersWithPrefix("nosuch.")) != 0 {
+		t.Error("unmatched prefix returned counters")
+	}
+}

@@ -14,12 +14,36 @@ import "strings"
 // like "d002" or "1993" remain distinguishable — SpeakQL indexes schema
 // literals that freely mix letters and digits.
 func Encode(word string) string {
-	w := normalize(word)
+	return string(AppendEncode(nil, word))
+}
+
+// AppendEncode appends word's Metaphone encoding to dst and returns the
+// extended slice, exactly append-style. The output bytes are identical to
+// Encode's; the point of this variant is the literal-voting hot loop, which
+// encodes every enumerated transcript substring and must not allocate at
+// steady state — it hands in a pooled buffer here instead of materializing
+// a string per substring. word may be a string or a byte slice (the voting
+// scratch holds candidate text as subslices of one arena).
+func AppendEncode[T ~string | ~[]byte](dst []byte, word T) []byte {
+	// Normalize into a stack buffer: upper-case ASCII letters, keep digits,
+	// drop everything else (identifier separators contribute no sound).
+	var nb [64]byte
+	w := nb[:0]
+	for i := 0; i < len(word); i++ {
+		c := word[i]
+		switch {
+		case c >= 'a' && c <= 'z':
+			w = append(w, c-'a'+'A')
+		case c >= 'A' && c <= 'Z':
+			w = append(w, c)
+		case c >= '0' && c <= '9':
+			w = append(w, c)
+		}
+	}
 	if len(w) == 0 {
-		return ""
+		return dst
 	}
 	w = applyInitialExceptions(w)
-	var out strings.Builder
 	n := len(w)
 	for i := 0; i < n; i++ {
 		c := w[i]
@@ -30,47 +54,47 @@ func Encode(word string) string {
 		}
 		switch {
 		case c >= '0' && c <= '9':
-			out.WriteByte(c)
+			dst = append(dst, c)
 		case isVowel(c):
 			if i == 0 {
-				out.WriteByte(c)
+				dst = append(dst, c)
 			}
 		case c == 'B':
 			// Silent in terminal -MB ("dumb", "thumb").
 			if !(i == n-1 && i > 0 && w[i-1] == 'M') {
-				out.WriteByte('B')
+				dst = append(dst, 'B')
 			}
 		case c == 'C':
 			switch {
 			case hasAt(w, i, "CIA"):
-				out.WriteByte('X')
+				dst = append(dst, 'X')
 			case hasAt(w, i, "CH"):
 				if i > 0 && hasAt(w, i-1, "SCH") {
-					out.WriteByte('K')
+					dst = append(dst, 'K')
 				} else {
-					out.WriteByte('X')
+					dst = append(dst, 'X')
 				}
 			case i+1 < n && (w[i+1] == 'I' || w[i+1] == 'E' || w[i+1] == 'Y'):
 				if !(i > 0 && w[i-1] == 'S') { // -SCI-, -SCE-, -SCY-: C silent
-					out.WriteByte('S')
+					dst = append(dst, 'S')
 				}
 			default:
-				out.WriteByte('K')
+				dst = append(dst, 'K')
 			}
 		case c == 'D':
 			if i+2 < n && w[i+1] == 'G' && (w[i+2] == 'E' || w[i+2] == 'Y' || w[i+2] == 'I') {
-				out.WriteByte('J') // "edge", "dodgy"
+				dst = append(dst, 'J') // "edge", "dodgy"
 			} else {
-				out.WriteByte('T')
+				dst = append(dst, 'T')
 			}
 		case c == 'F':
-			out.WriteByte('F')
+			dst = append(dst, 'F')
 		case c == 'G':
 			switch {
 			case hasAt(w, i, "GH"):
 				// Silent unless at end or before a vowel ("ghost" vs "night").
 				if i+2 >= n || isVowel(w[i+2]) {
-					out.WriteByte('K')
+					dst = append(dst, 'K')
 				}
 			case hasAt(w, i, "GN"):
 				// Silent in -GN, -GNED ("gnome" handled by initial rule,
@@ -79,11 +103,11 @@ func Encode(word string) string {
 				if i > 0 && w[i-1] == 'D' {
 					// already emitted J for the DGE/DGI/DGY cluster
 				} else {
-					out.WriteByte('J')
+					dst = append(dst, 'J')
 				}
 			default:
 				if !(i > 0 && w[i-1] == 'D' && i+1 < n && (w[i+1] == 'E' || w[i+1] == 'Y' || w[i+1] == 'I')) {
-					out.WriteByte('K')
+					dst = append(dst, 'K')
 				}
 			}
 		case c == 'H':
@@ -95,64 +119,64 @@ func Encode(word string) string {
 			if i > 0 && isVowel(w[i-1]) && (i+1 >= n || !isVowel(w[i+1])) {
 				break
 			}
-			out.WriteByte('H')
+			dst = append(dst, 'H')
 		case c == 'J':
-			out.WriteByte('J')
+			dst = append(dst, 'J')
 		case c == 'K':
 			if !(i > 0 && w[i-1] == 'C') { // silent after C ("tackle")
-				out.WriteByte('K')
+				dst = append(dst, 'K')
 			}
 		case c == 'L':
-			out.WriteByte('L')
+			dst = append(dst, 'L')
 		case c == 'M':
-			out.WriteByte('M')
+			dst = append(dst, 'M')
 		case c == 'N':
-			out.WriteByte('N')
+			dst = append(dst, 'N')
 		case c == 'P':
 			if i+1 < n && w[i+1] == 'H' {
-				out.WriteByte('F') // "phone"
+				dst = append(dst, 'F') // "phone"
 			} else {
-				out.WriteByte('P')
+				dst = append(dst, 'P')
 			}
 		case c == 'Q':
-			out.WriteByte('K')
+			dst = append(dst, 'K')
 		case c == 'R':
-			out.WriteByte('R')
+			dst = append(dst, 'R')
 		case c == 'S':
 			switch {
 			case i+1 < n && w[i+1] == 'H':
-				out.WriteByte('X') // "ship"
+				dst = append(dst, 'X') // "ship"
 			case hasAt(w, i, "SIO") || hasAt(w, i, "SIA"):
-				out.WriteByte('X') // "vision" (approx.), "Asia"
+				dst = append(dst, 'X') // "vision" (approx.), "Asia"
 			default:
-				out.WriteByte('S')
+				dst = append(dst, 'S')
 			}
 		case c == 'T':
 			switch {
 			case hasAt(w, i, "TIA") || hasAt(w, i, "TIO"):
-				out.WriteByte('X') // "nation"
+				dst = append(dst, 'X') // "nation"
 			case i+1 < n && w[i+1] == 'H':
-				out.WriteByte('0') // "thing" → theta
+				dst = append(dst, '0') // "thing" → theta
 			default:
-				out.WriteByte('T')
+				dst = append(dst, 'T')
 			}
 		case c == 'V':
-			out.WriteByte('F')
+			dst = append(dst, 'F')
 		case c == 'W':
 			if i+1 < n && isVowel(w[i+1]) {
-				out.WriteByte('W') // silent otherwise ("law")
+				dst = append(dst, 'W') // silent otherwise ("law")
 			}
 		case c == 'X':
-			out.WriteString("KS")
+			dst = append(dst, 'K', 'S')
 		case c == 'Y':
 			if i+1 < n && isVowel(w[i+1]) {
-				out.WriteByte('Y') // silent otherwise ("salary")
+				dst = append(dst, 'Y') // silent otherwise ("salary")
 			}
 		case c == 'Z':
-			out.WriteByte('S')
+			dst = append(dst, 'S')
 		}
 	}
-	return out.String()
+	return dst
 }
 
 // EncodeTokens encodes the concatenation of the tokens as one word. SpeakQL
@@ -165,38 +189,21 @@ func EncodeTokens(tokens []string) string {
 	return Encode(strings.Join(tokens, ""))
 }
 
-// normalize upper-cases and strips everything but ASCII letters and digits.
-// Identifier separators (_, -) act as word boundaries for the duplicate rule
-// but contribute no sound, so they are simply removed.
-func normalize(s string) string {
-	var b strings.Builder
-	for i := 0; i < len(s); i++ {
-		c := s[i]
-		switch {
-		case c >= 'a' && c <= 'z':
-			b.WriteByte(c - 'a' + 'A')
-		case c >= 'A' && c <= 'Z':
-			b.WriteByte(c)
-		case c >= '0' && c <= '9':
-			b.WriteByte(c)
-		}
-	}
-	return b.String()
-}
-
 // applyInitialExceptions handles the word-initial silent-letter clusters.
-func applyInitialExceptions(w string) string {
+// It rewrites the normalized scratch in place (dropping or substituting the
+// first letter) so the append-based encoder stays allocation-free.
+func applyInitialExceptions(w []byte) []byte {
+	if w[0] == 'X' {
+		w[0] = 'S'
+		return w
+	}
 	switch {
-	case strings.HasPrefix(w, "AE"),
-		strings.HasPrefix(w, "GN"),
-		strings.HasPrefix(w, "KN"),
-		strings.HasPrefix(w, "PN"),
-		strings.HasPrefix(w, "WR"):
+	case hasAt(w, 0, "AE"), hasAt(w, 0, "GN"), hasAt(w, 0, "KN"),
+		hasAt(w, 0, "PN"), hasAt(w, 0, "WR"):
 		return w[1:]
-	case strings.HasPrefix(w, "WH"):
-		return "W" + w[2:]
-	case strings.HasPrefix(w, "X"):
-		return "S" + w[1:]
+	case hasAt(w, 0, "WH"):
+		w[1] = 'W'
+		return w[1:]
 	default:
 		return w
 	}
@@ -210,6 +217,6 @@ func isVowel(c byte) bool {
 	return false
 }
 
-func hasAt(w string, i int, pat string) bool {
-	return i+len(pat) <= len(w) && w[i:i+len(pat)] == pat
+func hasAt(w []byte, i int, pat string) bool {
+	return i+len(pat) <= len(w) && string(w[i:i+len(pat)]) == pat
 }

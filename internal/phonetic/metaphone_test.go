@@ -199,3 +199,37 @@ func min3(a, b, c int) int {
 	}
 	return a
 }
+
+// AppendEncode must produce byte-identical output to Encode for any input,
+// both from a string and from a byte-slice argument, and must honor
+// append semantics on a non-empty dst.
+func TestAppendEncodeMatchesEncode(t *testing.T) {
+	f := func(word string) bool {
+		want := Encode(word)
+		if got := string(AppendEncode(nil, word)); got != want {
+			return false
+		}
+		if got := string(AppendEncode(nil, []byte(word))); got != want {
+			return false
+		}
+		pre := AppendEncode([]byte("PFX"), word)
+		return string(pre) == "PFX"+want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// With a pre-grown destination buffer, AppendEncode must not allocate — the
+// literal-voting kernel calls it once per enumerated substring.
+func TestAppendEncodeSteadyStateAllocs(t *testing.T) {
+	dst := make([]byte, 0, 64)
+	words := []string{"DepartmentEmployee", "first name", "salaries", "d002"}
+	if allocs := testing.AllocsPerRun(100, func() {
+		for _, w := range words {
+			dst = AppendEncode(dst[:0], w)
+		}
+	}); allocs != 0 {
+		t.Errorf("AppendEncode allocs/op = %v, want 0", allocs)
+	}
+}
