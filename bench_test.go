@@ -29,7 +29,11 @@ var (
 
 func env(b *testing.B) *experiments.Env {
 	benchEnvOnce.Do(func() {
-		benchEnv = experiments.NewEnv(experiments.ScaleTest)
+		e, err := experiments.NewEnv(experiments.ScaleTest)
+		if err != nil {
+			b.Fatalf("build env: %v", err)
+		}
+		benchEnv = e
 	})
 	return benchEnv
 }

@@ -6,7 +6,8 @@
 // Usage:
 //
 //	speakql-bench [-scale test|default|paper] [-run id[,id…]] [-parallel n]
-//	              [-cachesize n] [-literal-index=true|false] [-json FILE] [-list]
+//	              [-cachesize n] [-literal-index=true|false] [-json FILE]
+//	              [-faults SPEC] [-list]
 //
 // -parallel n searches the trie index's length partitions on n workers
 // (n < 0 means GOMAXPROCS); results are bit-identical to the serial search,
@@ -19,7 +20,10 @@
 // per-artifact wall-clock, and the cache hit rate — for the perf trajectory
 // (CI uploads it as an artifact). The suite includes vote_indexed_yelp /
 // vote_naive_yelp, literal determination over a Yelp-scale catalog on both
-// voting paths. Artifact ids: table2, figure6, figure7 (incl. figure12),
+// voting paths. -faults SPEC (or the SPEAKQL_FAULTS environment variable)
+// arms the deterministic fault injectors of internal/faultinject, for
+// rehearsing degraded runs reproducibly — off by default at zero cost.
+// Artifact ids: table2, figure6, figure7 (incl. figure12),
 // figure8, figure11, table4 (incl. figure13), figure14, figure15, figure16,
 // figure17, figure18, table5.
 package main
@@ -36,9 +40,19 @@ import (
 
 	"speakql/internal/dataset"
 	"speakql/internal/experiments"
+	"speakql/internal/faultinject"
 	"speakql/internal/literal"
 	"speakql/internal/trieindex"
 )
+
+// faultSpec resolves the effective fault-injection spec: the -faults flag
+// wins, then the SPEAKQL_FAULTS environment variable, then off.
+func faultSpec(flagVal string) string {
+	if flagVal != "" {
+		return flagVal
+	}
+	return os.Getenv("SPEAKQL_FAULTS")
+}
 
 // benchJSON is the -json payload.
 type benchJSON struct {
@@ -82,7 +96,19 @@ func main() {
 		"use the catalogs' phonetic BK-tree index for literal voting (false restores the naive full scan)")
 	jsonOut := flag.String("json", "", "write machine-readable benchmark results to this file")
 	list := flag.Bool("list", false, "list artifact ids and exit")
+	faults := flag.String("faults", "",
+		"deterministic fault-injection spec, e.g. 'seed=7;structure:latency=5ms@0.1,error@0.05' (empty disables; see internal/faultinject)")
 	flag.Parse()
+
+	if spec := faultSpec(*faults); spec != "" {
+		inj, err := faultinject.Parse(spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -faults spec: %v\n", err)
+			os.Exit(2)
+		}
+		faultinject.Set(inj)
+		fmt.Printf("fault injection active: %s\n", inj)
+	}
 
 	if *list {
 		fmt.Println(strings.Join(experiments.IDs(), "\n"))
@@ -109,11 +135,15 @@ func main() {
 	fmt.Printf("SpeakQL experiment harness — scale=%s search-workers=%d cachesize=%d literal-index=%v\n",
 		sc, workers, *cacheSize, *literalIndex)
 	t0 := time.Now()
-	env := experiments.NewEnvWithOptions(sc, experiments.EnvOptions{
+	env, err := experiments.NewEnvWithOptions(sc, experiments.EnvOptions{
 		Search:              trieindex.Options{Workers: workers},
 		CacheSize:           *cacheSize,
 		DisableLiteralIndex: !*literalIndex,
 	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
 	envSecs := time.Since(t0).Seconds()
 	mem := env.Structure.Index().Memory()
 	fmt.Printf("environment ready in %.1fs (grammar: ≤%d tokens, %d structures in %d trie nodes; Employees train/test %d/%d, Yelp %d)\n\n",

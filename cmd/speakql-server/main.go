@@ -12,7 +12,8 @@
 //
 // Usage: speakql-server [-addr :8080] [-db employees|yelp]
 // [-scale test|default|paper] [-workers n] [-timeout 10s] [-cachesize 1024]
-// [-literal-index=true|false] [-pprof]
+// [-literal-index=true|false] [-max-inflight n] [-max-queue n]
+// [-session-ttl d] [-drain-timeout d] [-faults SPEC] [-pprof]
 //
 // -workers n searches trie partitions on n goroutines per request (<0 means
 // GOMAXPROCS; results are identical to serial search). -timeout bounds the
@@ -22,20 +23,36 @@
 // GET /api/stats). -literal-index=false turns off the catalog's phonetic
 // BK-tree index, restoring naive full-scan literal voting (identical
 // rankings; the literal block of GET /api/stats reports the active mode).
-// -pprof mounts net/http/pprof under /debug/pprof/.
+//
+// Resilience: -max-inflight bounds concurrent correction requests with a
+// FIFO wait queue of -max-queue; excess load is shed with 503 + Retry-After
+// (0 disables admission control). -session-ttl evicts sessions idle past
+// the TTL (0 keeps them forever). -faults SPEC (or the SPEAKQL_FAULTS
+// environment variable) arms deterministic fault injection for chaos
+// rehearsal — see internal/faultinject for the spec grammar. GET /healthz
+// answers liveness and GET /readyz readiness (not-ready once shutdown
+// begins); SIGINT/SIGTERM drain in-flight requests for up to
+// -drain-timeout before exiting. -pprof mounts net/http/pprof under
+// /debug/pprof/.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
+	"time"
 
 	"speakql"
 	"speakql/internal/core"
 	"speakql/internal/dataset"
+	"speakql/internal/faultinject"
 	"speakql/internal/grammar"
 	"speakql/internal/httpapi"
 	"speakql/internal/sqlengine"
@@ -56,8 +73,32 @@ func main() {
 		"LRU memo cache entries for structure searches, keyed by masked transcript (0 disables)")
 	literalIndex := flag.Bool("literal-index", true,
 		"use the catalog's phonetic BK-tree index for literal voting (false restores the naive full scan)")
+	maxInflight := flag.Int("max-inflight", 64,
+		"max concurrent correction requests admitted to /api/correct and /api/dictate (0 disables admission control)")
+	maxQueue := flag.Int("max-queue", 128,
+		"max correction requests waiting for admission before shedding with 503")
+	sessionTTL := flag.Duration("session-ttl", 30*time.Minute,
+		"evict sessions idle longer than this (0 keeps sessions forever)")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second,
+		"how long graceful shutdown waits for in-flight requests on SIGINT/SIGTERM")
+	faults := flag.String("faults", "",
+		"deterministic fault-injection spec, e.g. 'seed=7;structure:latency=5ms@0.1,error@0.05' (empty disables; SPEAKQL_FAULTS is the env fallback)")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 	flag.Parse()
+
+	spec := *faults
+	if spec == "" {
+		spec = os.Getenv("SPEAKQL_FAULTS")
+	}
+	if spec != "" {
+		inj, err := faultinject.Parse(spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -faults spec: %v\n", err)
+			os.Exit(2)
+		}
+		faultinject.Set(inj)
+		log.Printf("fault injection active: %s", inj)
+	}
 
 	if *workers < 0 {
 		*workers = runtime.GOMAXPROCS(0)
@@ -109,13 +150,46 @@ func main() {
 	}
 	srv := httpapi.New(eng, db)
 	srv.SetRequestTimeout(*timeout)
+	srv.SetAdmission(*maxInflight, *maxQueue)
+	srv.SetSessionTTL(*sessionTTL)
+	defer srv.Close()
 	if *pprofFlag {
 		srv.EnablePprof()
 		log.Printf("pprof enabled at /debug/pprof/")
 	}
-	log.Printf("listening on %s (db=%s, search-workers=%d, request-timeout=%s, cachesize=%d, literal-index=%v)",
-		*addr, db.Name, *workers, *timeout, *cacheSize, *literalIndex)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s (db=%s, search-workers=%d, request-timeout=%s, cachesize=%d, literal-index=%v, max-inflight=%d, max-queue=%d, session-ttl=%s)",
+			*addr, db.Name, *workers, *timeout, *cacheSize, *literalIndex, *maxInflight, *maxQueue, *sessionTTL)
+		errCh <- hs.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+
+	// Graceful drain: flip readiness first so load balancers stop routing
+	// here, then let in-flight requests finish bounded by -drain-timeout.
+	log.Printf("shutdown signal received; draining for up to %s…", *drainTimeout)
+	srv.SetReady(false)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(drainCtx); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("drain timeout hit; closing remaining connections")
+			_ = hs.Close()
+		} else {
+			log.Printf("shutdown: %v", err)
+		}
+	}
+	log.Printf("server stopped")
 }
 
 // loadOrBuildIndex reads a persisted structure index, or builds it from the

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"speakql/internal/faultinject"
 	"speakql/internal/obs"
 	"speakql/internal/trieindex"
 )
@@ -54,7 +55,17 @@ func NewSearchLRU(max int) *SearchLRU {
 
 // Get returns the memoized results for key, marking the entry most recently
 // used. The returned slice is shared — callers must not mutate it.
+//
+// An injected cache fault (faultinject.StageCache) degrades gracefully: an
+// injected error reads as a miss, so the search simply runs — a flaky
+// cache backend must never fail a correction.
 func (c *SearchLRU) Get(key string) ([]trieindex.Result, trieindex.Stats, bool) {
+	if err := faultinject.Fire(faultinject.StageCache); err != nil {
+		c.misses.Add(1)
+		obs.Add("cache.search_misses", 1)
+		obs.Add("cache.injected_misses", 1)
+		return nil, trieindex.Stats{}, false
+	}
 	c.mu.Lock()
 	el, ok := c.items[key]
 	if !ok {

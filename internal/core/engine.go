@@ -8,6 +8,7 @@ package core
 import (
 	"context"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -40,7 +41,18 @@ type Config struct {
 	// restoring the naive full-scan voting path (rankings are identical;
 	// the toggle exists for ablation and differential benchmarking).
 	DisableLiteralIndex bool
+	// LiteralBudgetFraction is the graceful-degradation soft budget: when a
+	// deadline-carrying correction finishes structure determination with
+	// less than this fraction of the deadline window remaining, the literal
+	// stage runs in top-1 mode (one structure, one literal per placeholder)
+	// instead of being skipped wholesale. 0 means DefaultLiteralBudget;
+	// negative disables the ladder's soft rung.
+	LiteralBudgetFraction float64
 }
+
+// DefaultLiteralBudget is the default LiteralBudgetFraction: degrade the
+// literal stage when less than a quarter of the deadline window is left.
+const DefaultLiteralBudget = 0.25
 
 // Engine is the SpeakQL correction engine. Construction generates and
 // indexes the structure corpus (the offline step); Correct is cheap and
@@ -50,6 +62,7 @@ type Engine struct {
 	catalog   *literal.Catalog
 	kLiterals int
 	cache     *SearchLRU // nil when caching is disabled
+	litBudget float64    // soft-budget fraction; <= 0 disables the rung
 }
 
 // NewEngine builds the engine, generating the structure index for
@@ -67,11 +80,15 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.DisableLiteralIndex {
 		cfg.Catalog.SetIndexed(false)
 	}
+	if cfg.LiteralBudgetFraction == 0 {
+		cfg.LiteralBudgetFraction = DefaultLiteralBudget
+	}
 	sc, err := structure.New(structure.Config{Grammar: cfg.Grammar, Search: cfg.Search})
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{structure: sc, catalog: cfg.Catalog, kLiterals: cfg.TopKLiterals}
+	e := &Engine{structure: sc, catalog: cfg.Catalog, kLiterals: cfg.TopKLiterals,
+		litBudget: cfg.LiteralBudgetFraction}
 	if cfg.StructureCacheSize > 0 {
 		e.cache = NewSearchLRU(cfg.StructureCacheSize)
 		sc.SetSearchCache(e.cache)
@@ -88,8 +105,14 @@ func NewEngineWithComponent(sc *structure.Component, cat *literal.Catalog, kLite
 	if cat == nil {
 		cat = literal.NewCatalog(nil, nil, nil)
 	}
-	return &Engine{structure: sc, catalog: cat, kLiterals: kLiterals}
+	return &Engine{structure: sc, catalog: cat, kLiterals: kLiterals,
+		litBudget: DefaultLiteralBudget}
 }
+
+// SetLiteralBudgetFraction overrides the soft-budget fraction of the
+// degradation ladder (see Config.LiteralBudgetFraction); <= 0 disables the
+// literals_top1 rung. Call before serving traffic.
+func (e *Engine) SetLiteralBudgetFraction(f float64) { e.litBudget = f }
 
 // EnableSearchCache installs a structure-search memo cache of the given
 // size on an already-built engine (used by the engine-sharing paths that
@@ -131,6 +154,25 @@ type Candidate struct {
 	StructureDistance float64
 }
 
+// Degradation levels of the graceful-degradation ladder, from intact to
+// empty-handed. Every Output carries exactly one, and the engine counts
+// each under core.degraded.<level> so /api/stats accounts for the ladder.
+const (
+	// DegradationFull: both stages ran at their configured fidelity.
+	DegradationFull = "full"
+	// DegradationLiteralsTop1: structure determination consumed most of the
+	// deadline, so the literal stage ran in top-1 mode — one structure
+	// hypothesis, one literal per placeholder — instead of being skipped.
+	DegradationLiteralsTop1 = "literals_top1"
+	// DegradationStructureOnly: the deadline expired (or the literal stage
+	// failed) after structures were found; candidates carry the skeleton
+	// with unfilled placeholders and no bindings.
+	DegradationStructureOnly = "structure_only"
+	// DegradationShed: nothing could be served — structure determination
+	// failed or the deadline expired before any structure was found.
+	DegradationShed = "shed"
+)
+
 // Output is the engine's response for one transcript.
 type Output struct {
 	// Candidates are ranked hypotheses, best first. Candidates[0] is what
@@ -142,6 +184,18 @@ type Output struct {
 	// StructureLatency and LiteralLatency time the two stages.
 	StructureLatency time.Duration
 	LiteralLatency   time.Duration
+	// Degradation is the ladder level this response was served at: one of
+	// DegradationFull, DegradationLiteralsTop1, DegradationStructureOnly,
+	// DegradationShed.
+	Degradation string
+	// Err is non-nil when a pipeline stage failed outright (today only via
+	// fault injection); Candidates is empty and Degradation is shed.
+	Err error
+}
+
+// Degraded reports whether the output was served below full fidelity.
+func (o Output) Degraded() bool {
+	return o.Degradation != "" && o.Degradation != DegradationFull
 }
 
 // Best returns the top candidate (zero value if none).
@@ -171,9 +225,12 @@ func (e *Engine) CorrectTopK(transcript string, k int) Output {
 
 // CorrectTopKContext is CorrectTopK under a context: cancellation is
 // honored between pipeline stages and at trie-partition boundaries inside
-// structure determination. A cancelled call returns promptly with whatever
-// partial Output the completed work supports — possibly no candidates —
-// and never leaks a goroutine.
+// structure determination. Rather than failing outright when the deadline
+// tightens, the engine walks the graceful-degradation ladder — full →
+// literals_top1 → structure_only → shed — and reports the level it served
+// at in Output.Degradation. A cancelled call returns promptly with
+// whatever partial Output the completed work supports and never leaks a
+// goroutine.
 func (e *Engine) CorrectTopKContext(ctx context.Context, transcript string, k int) Output {
 	if k < 1 {
 		k = 1
@@ -181,20 +238,51 @@ func (e *Engine) CorrectTopKContext(ctx context.Context, transcript string, k in
 	span := obs.StartSpan("core.correct")
 	defer span.End()
 	t0 := time.Now()
-	structs := e.structure.DetermineTopKContext(ctx, transcript, k)
+	deadline, hasDeadline := ctx.Deadline()
+	structs, serr := e.structure.DetermineTopKErr(ctx, transcript, k)
 	t1 := time.Now()
 	out := Output{StructureLatency: t1.Sub(t0)}
+	if serr != nil {
+		// Structure determination failed outright (fault injection):
+		// nothing downstream can run.
+		out.Err = serr
+		return finish(out, DegradationShed)
+	}
 	if ctx.Err() != nil {
-		// The deadline passed mid-search: the structures (if any) are the
-		// best found so far, but filling literals would only add latency
-		// the caller has already declined to spend.
 		obs.Add("core.cancelled", 1)
-		return out
+		if len(structs) == 0 {
+			return finish(out, DegradationShed)
+		}
+		// The deadline passed mid-search: serve the skeletons found so far
+		// instead of dropping them — the display can still render the query
+		// shape while the user retries.
+		return finish(structureOnly(out, structs), DegradationStructureOnly)
+	}
+	level := DegradationFull
+	kLit := e.kLiterals
+	if hasDeadline && e.litBudget > 0 {
+		// Soft budget: structure ate most of the deadline window, so run
+		// literals in top-1 mode rather than risking a mid-fill expiry.
+		total := deadline.Sub(t0)
+		if remaining := deadline.Sub(t1); total > 0 &&
+			remaining < time.Duration(float64(total)*e.litBudget) {
+			level = DegradationLiteralsTop1
+			structs = structs[:1]
+			kLit = 1
+		}
 	}
 	lspan := obs.StartSpan("literal.determine")
+	defer lspan.End()
 	for _, sr := range structs {
 		out.Transcript = sr.Transcript
-		bindings := literal.Determine(sr.Transcript, sr.Structure, e.catalog, e.kLiterals)
+		bindings, lerr := literal.DetermineErr(sr.Transcript, sr.Structure, e.catalog, kLit)
+		if lerr != nil {
+			// The literal stage failed: degrade the whole response to
+			// structure-only rather than mixing filled and unfilled
+			// candidates in one ranking.
+			out.Candidates = nil
+			return finish(structureOnly(out, structs), DegradationStructureOnly)
+		}
 		out.Candidates = append(out.Candidates, Candidate{
 			SQL:               literal.RenderSQL(sr.Structure, bindings),
 			Tokens:            literal.Fill(sr.Structure, bindings),
@@ -204,7 +292,29 @@ func (e *Engine) CorrectTopKContext(ctx context.Context, transcript string, k in
 		})
 	}
 	out.LiteralLatency = time.Since(t1)
-	lspan.End()
+	return finish(out, level)
+}
+
+// finish stamps the output's ladder level and counts it.
+func finish(out Output, level string) Output {
+	out.Degradation = level
+	obs.Add("core.degraded."+level, 1)
+	return out
+}
+
+// structureOnly fills the output with skeleton-level candidates: the
+// structure, its placeholders unbound, rendered as-is. Explicitly partial —
+// Bindings is nil — but never half-filled.
+func structureOnly(out Output, structs []structure.Result) Output {
+	for _, sr := range structs {
+		out.Transcript = sr.Transcript
+		out.Candidates = append(out.Candidates, Candidate{
+			SQL:               strings.Join(sr.Structure, " "),
+			Tokens:            append([]string(nil), sr.Structure...),
+			Structure:         sr.Structure,
+			StructureDistance: sr.Distance,
+		})
+	}
 	return out
 }
 

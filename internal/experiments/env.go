@@ -81,8 +81,10 @@ func (env *Env) TestEvals() []QueryEval {
 
 // NewEnv builds the environment at the given scale. Construction covers the
 // offline parts of the paper: database generation, corpus generation,
-// structure-index construction, and ASR language-model training.
-func NewEnv(scale Scale) *Env {
+// structure-index construction, and ASR language-model training. It returns
+// an error (not a panic) when the structure index cannot be built, so
+// harnesses can report a bad grammar config cleanly.
+func NewEnv(scale Scale) (*Env, error) {
 	return NewEnvWithSearch(scale, trieindex.Options{})
 }
 
@@ -102,12 +104,12 @@ type EnvOptions struct {
 // can run the whole evaluation with e.g. parallel search
 // (Options{Workers: runtime.GOMAXPROCS(0)}) or the Appendix D.3
 // approximations turned on.
-func NewEnvWithSearch(scale Scale, search trieindex.Options) *Env {
+func NewEnvWithSearch(scale Scale, search trieindex.Options) (*Env, error) {
 	return NewEnvWithOptions(scale, EnvOptions{Search: search})
 }
 
 // NewEnvWithOptions is the fully-parameterized environment constructor.
-func NewEnvWithOptions(scale Scale, opts EnvOptions) *Env {
+func NewEnvWithOptions(scale Scale, opts EnvOptions) (*Env, error) {
 	search := opts.Search
 	env := &Env{Scale: scale}
 	var corpusSizes [3]int
@@ -139,7 +141,7 @@ func NewEnvWithOptions(scale Scale, opts EnvOptions) *Env {
 
 	sc, err := structure.New(structure.Config{Grammar: env.GrammarCfg, Search: search})
 	if err != nil {
-		panic(fmt.Sprintf("experiments: structure index: %v", err))
+		return nil, fmt.Errorf("experiments: structure index: %w", err)
 	}
 	env.Structure = sc
 	if opts.CacheSize > 0 {
@@ -163,7 +165,7 @@ func NewEnvWithOptions(scale Scale, opts EnvOptions) *Env {
 	}
 	env.ACS.TrainQueries(trainSQL)
 	env.GCS = asr.NewEngine(asr.GCSProfile(), 1002)
-	return env
+	return env, nil
 }
 
 // QueryEval is the per-query record every accuracy experiment consumes.

@@ -10,7 +10,11 @@ var testEnv *Env
 func env(t testing.TB) *Env {
 	t.Helper()
 	if testEnv == nil {
-		testEnv = NewEnv(ScaleTest)
+		e, err := NewEnv(ScaleTest)
+		if err != nil {
+			t.Fatalf("build env: %v", err)
+		}
+		testEnv = e
 	}
 	return testEnv
 }

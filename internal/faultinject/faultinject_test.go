@@ -1,0 +1,183 @@
+package faultinject
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseRejectsBadSpecs(t *testing.T) {
+	for _, spec := range []string{
+		"bogus:error",              // unknown stage
+		"structure",                // no faults
+		"structure:explode",        // unknown kind
+		"structure:error@2",        // probability out of range
+		"structure:error@0",        // zero probability
+		"structure:error@nope",     // non-numeric probability
+		"structure:latency=-5ms",   // negative latency
+		"structure:latency=banana", // unparsable duration
+		"structure:error=5ms",      // error takes no value
+		"structure:panic=1s",       // panic takes no value
+		"seed=x;structure:error",   // bad seed
+		"seed=5",                   // seed without any faults
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted a bad spec", spec)
+		}
+	}
+}
+
+func TestParseEmptyMeansOff(t *testing.T) {
+	inj, err := Parse("  ")
+	if err != nil || inj != nil {
+		t.Fatalf("Parse(blank) = %v, %v; want nil, nil", inj, err)
+	}
+}
+
+func TestFireDeterministic(t *testing.T) {
+	spec := "structure:error@0.3,latency=1ns@0.5;literal:panic@0.2;seed=42"
+	run := func() (errs, panics int) {
+		inj, err := Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 500; i++ {
+			if inj.Fire(StageStructure) != nil {
+				errs++
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						if _, ok := r.(InjectedPanic); !ok {
+							t.Errorf("panic value = %#v, want InjectedPanic", r)
+						}
+						panics++
+					}
+				}()
+				if err := inj.Fire(StageLiteral); err != nil {
+					t.Errorf("literal stage has no error fault, got %v", err)
+				}
+			}()
+		}
+		return
+	}
+	e1, p1 := run()
+	e2, p2 := run()
+	if e1 != e2 || p1 != p2 {
+		t.Fatalf("two runs diverged: (%d, %d) vs (%d, %d)", e1, p1, e2, p2)
+	}
+	// Probabilities should land in the right ballpark over 500 draws.
+	if e1 < 100 || e1 > 200 {
+		t.Errorf("error@0.3 fired %d/500 times", e1)
+	}
+	if p1 < 50 || p1 > 150 {
+		t.Errorf("panic@0.2 fired %d/500 times", p1)
+	}
+}
+
+func TestSeedChangesStream(t *testing.T) {
+	fires := func(seed string) string {
+		inj, err := Parse("cache:error@0.5;seed=" + seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for i := 0; i < 64; i++ {
+			if inj.Fire(StageCache) != nil {
+				b.WriteByte('1')
+			} else {
+				b.WriteByte('0')
+			}
+		}
+		return b.String()
+	}
+	if fires("1") == fires("2") {
+		t.Error("different seeds produced identical fault streams")
+	}
+}
+
+func TestInjectedErrorIsTyped(t *testing.T) {
+	inj, err := Parse("structure:error")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ferr := inj.Fire(StageStructure)
+	var ie *InjectedError
+	if !errors.As(ferr, &ie) || ie.Stage != StageStructure {
+		t.Fatalf("Fire error = %v, want *InjectedError{structure}", ferr)
+	}
+}
+
+func TestLatencySleeps(t *testing.T) {
+	inj, err := Parse("literal:latency=20ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now()
+	if err := inj.Fire(StageLiteral); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(t0); d < 15*time.Millisecond {
+		t.Errorf("latency fault slept %s, want ~20ms", d)
+	}
+	c := inj.Counts()[StageLiteral]
+	if c.Calls != 1 || c.Latencies != 1 || c.Errors != 0 || c.Panics != 0 {
+		t.Errorf("counts = %+v", c)
+	}
+}
+
+func TestPackageLevelFireOffIsFree(t *testing.T) {
+	Set(nil)
+	if Enabled() {
+		t.Fatal("Enabled with no injector")
+	}
+	if err := Fire(StageStructure); err != nil {
+		t.Fatalf("Fire with no injector = %v", err)
+	}
+	allocs := testing.AllocsPerRun(100, func() { _ = Fire(StageStructure) })
+	if allocs != 0 {
+		t.Errorf("disabled Fire allocates %v per call", allocs)
+	}
+}
+
+func TestSetAndCounts(t *testing.T) {
+	inj, err := Parse("cache:error;seed=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	Set(inj)
+	defer Set(nil)
+	if !Enabled() {
+		t.Fatal("not enabled after Set")
+	}
+	if err := Fire(StageCache); err == nil {
+		t.Fatal("error@1 did not fire")
+	}
+	if err := Fire(StageStructure); err != nil {
+		t.Fatalf("unconfigured stage fired: %v", err)
+	}
+	c := inj.Counts()[StageCache]
+	if c.Calls != 1 || c.Errors != 1 {
+		t.Errorf("counts = %+v", c)
+	}
+}
+
+func TestStringRoundTrips(t *testing.T) {
+	inj, err := Parse("structure:latency=5ms@0.5,error@0.1;seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := inj.String()
+	re, err := Parse(s)
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", s, err)
+	}
+	if re.String() != s {
+		t.Errorf("round trip: %q -> %q", s, re.String())
+	}
+	var nilInj *Injector
+	if nilInj.String() != "off" {
+		t.Errorf("nil String = %q", nilInj.String())
+	}
+}

@@ -1,0 +1,129 @@
+package httpapi
+
+// admission.go is the correction service's admission gate: a bounded-
+// concurrency semaphore with a deadline-aware FIFO wait queue in front of
+// the correction-running endpoints (/api/correct, /api/dictate). Under
+// overload the gate sheds load explicitly — 503 plus Retry-After — instead
+// of letting unbounded concurrent searches grind every request past its
+// deadline. Cheap endpoints (schema, stats, health) bypass the gate so the
+// service stays observable while shedding.
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+)
+
+// Shed reasons returned by gate.Acquire. Both map to 503; they are
+// distinguished so the shed log line says why.
+var (
+	// errQueueFull: the wait queue is at capacity — the server is past the
+	// load it is configured to absorb.
+	errQueueFull = errors.New("admission: queue full")
+	// errQueueExpired: the caller's deadline expired (or the client went
+	// away) while the request waited in the queue.
+	errQueueExpired = errors.New("admission: deadline expired while queued")
+)
+
+// gate is the admission controller. A request either acquires one of
+// maxInflight permits immediately, waits in a FIFO queue of at most
+// maxQueue entries, or is shed. Waiting is deadline-aware: a queued
+// request whose context expires leaves the queue and is shed rather than
+// occupying a slot it can no longer use.
+type gate struct {
+	mu          sync.Mutex
+	inflight    int
+	maxInflight int
+	maxQueue    int
+	waiters     list.List // of chan struct{}; front is next in line
+}
+
+// newGate returns a gate admitting maxInflight concurrent requests with a
+// wait queue of maxQueue. maxInflight must be >= 1; maxQueue may be 0
+// (immediate shed when saturated).
+func newGate(maxInflight, maxQueue int) *gate {
+	if maxInflight < 1 {
+		maxInflight = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &gate{maxInflight: maxInflight, maxQueue: maxQueue}
+}
+
+// Acquire obtains a permit, waiting in FIFO order while saturated. It
+// returns errQueueFull when the queue is at capacity and errQueueExpired
+// when ctx ends first (an already-expired ctx never queues). A nil return
+// must be balanced by exactly one Release.
+func (g *gate) Acquire(ctx context.Context) error {
+	if ctx.Err() != nil {
+		// Deadline-aware fast path: a dead request never queues.
+		return errQueueExpired
+	}
+	g.mu.Lock()
+	if g.inflight < g.maxInflight {
+		g.inflight++
+		g.mu.Unlock()
+		return nil
+	}
+	if g.waiters.Len() >= g.maxQueue {
+		g.mu.Unlock()
+		return errQueueFull
+	}
+	ch := make(chan struct{})
+	el := g.waiters.PushBack(ch)
+	g.mu.Unlock()
+	select {
+	case <-ch:
+		// A releaser handed its permit over (inflight stays constant
+		// across the handoff).
+		return nil
+	case <-ctx.Done():
+		g.mu.Lock()
+		select {
+		case <-ch:
+			// Lost the race: a permit was handed over concurrently with
+			// expiry. Pass it on rather than leaking it.
+			g.mu.Unlock()
+			g.Release()
+		default:
+			g.waiters.Remove(el)
+			g.mu.Unlock()
+		}
+		return errQueueExpired
+	}
+}
+
+// Release returns a permit: the longest-waiting queued request receives it
+// directly (FIFO handoff), otherwise the in-flight count drops.
+func (g *gate) Release() {
+	g.mu.Lock()
+	if el := g.waiters.Front(); el != nil {
+		g.waiters.Remove(el)
+		close(el.Value.(chan struct{}))
+		g.mu.Unlock()
+		return
+	}
+	g.inflight--
+	g.mu.Unlock()
+}
+
+// gateStats is a point-in-time view for /api/stats.
+type gateStats struct {
+	MaxInflight int `json:"max_inflight"`
+	MaxQueue    int `json:"max_queue"`
+	Inflight    int `json:"inflight"`
+	Queued      int `json:"queued"`
+}
+
+func (g *gate) stats() gateStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return gateStats{
+		MaxInflight: g.maxInflight,
+		MaxQueue:    g.maxQueue,
+		Inflight:    g.inflight,
+		Queued:      g.waiters.Len(),
+	}
+}

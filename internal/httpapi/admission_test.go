@@ -1,0 +1,155 @@
+package httpapi
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGateAdmitsUpToMaxInflight(t *testing.T) {
+	g := newGate(3, 0)
+	for i := 0; i < 3; i++ {
+		if err := g.Acquire(context.Background()); err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+	}
+	if err := g.Acquire(context.Background()); err != errQueueFull {
+		t.Fatalf("saturated gate with no queue: err = %v, want errQueueFull", err)
+	}
+	st := g.stats()
+	if st.Inflight != 3 || st.Queued != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	for i := 0; i < 3; i++ {
+		g.Release()
+	}
+	if st := g.stats(); st.Inflight != 0 {
+		t.Fatalf("after releases: %+v", st)
+	}
+}
+
+func TestGateShedsWhenQueueFull(t *testing.T) {
+	g := newGate(1, 1)
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// One waiter occupies the queue.
+	waiterIn := make(chan error, 1)
+	go func() { waiterIn <- g.Acquire(context.Background()) }()
+	waitForQueued(t, g, 1)
+	// The queue is full now: the next request sheds immediately.
+	if err := g.Acquire(context.Background()); err != errQueueFull {
+		t.Fatalf("err = %v, want errQueueFull", err)
+	}
+	g.Release() // hands the permit to the waiter
+	if err := <-waiterIn; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+	g.Release()
+}
+
+func TestGateExpiredContextNeverQueues(t *testing.T) {
+	g := newGate(1, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := g.Acquire(ctx); err != errQueueExpired {
+		t.Fatalf("err = %v, want errQueueExpired", err)
+	}
+	if st := g.stats(); st.Inflight != 0 || st.Queued != 0 {
+		t.Fatalf("dead request altered gate state: %+v", st)
+	}
+}
+
+func TestGateWaiterShedsOnDeadline(t *testing.T) {
+	g := newGate(1, 8)
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := g.Acquire(ctx); err != errQueueExpired {
+		t.Fatalf("err = %v, want errQueueExpired", err)
+	}
+	// The expired waiter must have left the queue.
+	if st := g.stats(); st.Queued != 0 {
+		t.Fatalf("expired waiter still queued: %+v", st)
+	}
+	g.Release()
+	// The permit it never consumed is still usable.
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatalf("gate leaked a permit: %v", err)
+	}
+	g.Release()
+}
+
+func TestGateHandoffIsFIFO(t *testing.T) {
+	g := newGate(1, 4)
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	const n = 3
+	order := make(chan int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		go func() {
+			if err := g.Acquire(context.Background()); err != nil {
+				order <- -1
+				return
+			}
+			order <- i
+			g.Release()
+		}()
+		// Waiter i must be queued before waiter i+1 starts, so FIFO
+		// position matches i.
+		waitForQueued(t, g, i+1)
+	}
+	g.Release() // start the handoff chain
+	for want := 0; want < n; want++ {
+		if got := <-order; got != want {
+			t.Fatalf("handoff order: got %d, want %d", got, want)
+		}
+	}
+}
+
+// TestGatePermitNotLeakedOnRace hammers the acquire/expire race: a waiter
+// whose context expires at the same moment a permit is handed to it must
+// pass the permit on, never strand it.
+func TestGatePermitNotLeakedOnRace(t *testing.T) {
+	g := newGate(2, 64)
+	var wg sync.WaitGroup
+	for i := 0; i < 200; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), time.Duration(i%5)*time.Millisecond)
+			defer cancel()
+			if err := g.Acquire(ctx); err == nil {
+				time.Sleep(time.Millisecond)
+				g.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	st := g.stats()
+	if st.Inflight != 0 || st.Queued != 0 {
+		t.Fatalf("gate did not drain: %+v", st)
+	}
+	// Both permits must still be grantable.
+	for i := 0; i < 2; i++ {
+		if err := g.Acquire(context.Background()); err != nil {
+			t.Fatalf("permit %d leaked: %v", i, err)
+		}
+	}
+}
+
+func waitForQueued(t *testing.T, g *gate, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for g.stats().Queued < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never reached %d (at %d)", n, g.stats().Queued)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -10,19 +10,32 @@
 // only same-session requests serialize. Correction-running endpoints
 // (/api/correct, /api/dictate) run under a per-request deadline so one
 // pathological transcript cannot pin a worker.
+//
+// Resilience: the correction endpoints sit behind an admission gate
+// (admission.go) that bounds in-flight work and sheds overload with 503 +
+// Retry-After; every handler runs inside panic-recovery middleware that
+// converts a panicking request into a 500 JSON error (counter
+// panic.recovered) instead of a dead process; responses report the
+// engine's graceful-degradation level; GET /healthz and GET /readyz serve
+// liveness and readiness for the process lifecycle; and idle sessions are
+// evicted by a TTL sweeper so Server.sessions cannot grow forever.
 package httpapi
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"speakql/internal/core"
+	"speakql/internal/faultinject"
 	"speakql/internal/obs"
 	"speakql/internal/session"
 	"speakql/internal/sqlengine"
@@ -33,12 +46,21 @@ import (
 // interaction; anything this far past it is better cut off partial.
 const DefaultRequestTimeout = 10 * time.Second
 
+// maxBodyBytes bounds every request body (1 MiB): the largest legitimate
+// payload is a long dictated transcript, orders of magnitude smaller.
+const maxBodyBytes = 1 << 20
+
 // sessionEntry pairs one session with its own lock: holding it serializes
 // requests within that session without blocking any other session.
 type sessionEntry struct {
 	mu   sync.Mutex
 	sess *session.Session
+	// lastUsed is the unix-nano timestamp of the last request that touched
+	// this session; the TTL sweeper evicts entries idle past the TTL.
+	lastUsed atomic.Int64
 }
+
+func (e *sessionEntry) touch() { e.lastUsed.Store(time.Now().UnixNano()) }
 
 type Server struct {
 	engine  *core.Engine
@@ -46,6 +68,14 @@ type Server struct {
 	timeout time.Duration
 	reg     *obs.Registry
 	pprof   bool
+	gate    *gate // nil = unbounded admission
+
+	ready atomic.Bool // served by /readyz; starts true (engine is built)
+
+	sessionTTL  time.Duration // idle-session eviction TTL; 0 = never evict
+	sweeperOnce sync.Once
+	stopOnce    sync.Once
+	stop        chan struct{}
 
 	mu       sync.Mutex // guards sessions and nextID only — never held across corrections
 	sessions map[string]*sessionEntry
@@ -53,20 +83,52 @@ type Server struct {
 }
 
 // New creates a Server over the given engine and database, reporting stats
-// from the default obs registry.
+// from the default obs registry. The server starts ready (the engine —
+// including its structure index — must be built before New is called);
+// SetReady(false) flips /readyz for shutdown draining.
 func New(engine *core.Engine, db *sqlengine.Database) *Server {
-	return &Server{
+	s := &Server{
 		engine:   engine,
 		db:       db,
 		timeout:  DefaultRequestTimeout,
 		reg:      obs.Default(),
+		stop:     make(chan struct{}),
 		sessions: map[string]*sessionEntry{},
 	}
+	s.ready.Store(true)
+	return s
 }
 
 // SetRequestTimeout overrides the per-request correction deadline
 // (0 disables it). Call before serving.
 func (s *Server) SetRequestTimeout(d time.Duration) { s.timeout = d }
+
+// SetAdmission bounds the correction endpoints to maxInflight concurrent
+// requests with a FIFO wait queue of maxQueue; excess load is shed with
+// 503 + Retry-After. maxInflight <= 0 disables the gate. Call before
+// Handler.
+func (s *Server) SetAdmission(maxInflight, maxQueue int) {
+	if maxInflight <= 0 {
+		s.gate = nil
+		return
+	}
+	s.gate = newGate(maxInflight, maxQueue)
+}
+
+// SetSessionTTL enables idle-session eviction: sessions untouched for ttl
+// are removed by a background sweeper started with the handler (counter
+// sessions_evicted; later requests see 404). ttl should comfortably exceed
+// the request timeout so an in-flight dictation cannot be evicted under
+// its caller. 0 disables eviction. Call before Handler.
+func (s *Server) SetSessionTTL(ttl time.Duration) { s.sessionTTL = ttl }
+
+// SetReady flips the /readyz answer: the server binary marks not-ready at
+// the start of graceful shutdown so load balancers drain it.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Close stops the background session sweeper (idempotent). The HTTP
+// handler itself holds no other background state.
+func (s *Server) Close() { s.stopOnce.Do(func() { close(s.stop) }) }
 
 // EnablePprof mounts net/http/pprof's handlers under /debug/pprof/ on the
 // next Handler call, so search hot spots can be profiled in situ. Off by
@@ -83,17 +145,70 @@ func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFun
 	return context.WithTimeout(r.Context(), s.timeout)
 }
 
-// Handler returns the API's http.Handler.
+// withRecover is the panic-isolation middleware: a panic anywhere in the
+// handler — a poisoned transcript, an injected fault — becomes a 500 JSON
+// error plus a panic.recovered counter instead of a dead process.
+// http.ErrAbortHandler is re-raised (it is net/http's own control flow).
+func (s *Server) withRecover(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			s.reg.Add("panic.recovered", 1)
+			writeJSON(w, http.StatusInternalServerError, map[string]any{
+				"error":       fmt.Sprintf("internal error: %v", rec),
+				"degradation": core.DegradationShed,
+			})
+		}()
+		h(w, r)
+	}
+}
+
+// gated applies the per-request deadline and the admission gate: the
+// request's remaining deadline also bounds its time in the wait queue, so
+// a request that would expire while queued is shed immediately with 503 +
+// Retry-After (counter admission.shed).
+func (s *Server) gated(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := s.requestCtx(r)
+		defer cancel()
+		r = r.WithContext(ctx)
+		if s.gate != nil {
+			if err := s.gate.Acquire(ctx); err != nil {
+				s.reg.Add("admission.shed", 1)
+				w.Header().Set("Retry-After", "1")
+				writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+					"error":       err.Error(),
+					"degradation": core.DegradationShed,
+				})
+				return
+			}
+			defer s.gate.Release()
+		}
+		h(w, r)
+	}
+}
+
+// Handler returns the API's http.Handler and starts the idle-session
+// sweeper when a TTL is configured.
 func (s *Server) Handler() *http.ServeMux {
+	s.startSweeper()
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /api/correct", s.handleCorrect)
-	mux.HandleFunc("POST /api/session", s.handleNewSession)
-	mux.HandleFunc("POST /api/dictate", s.handleDictate)
-	mux.HandleFunc("POST /api/edit", s.handleEdit)
-	mux.HandleFunc("POST /api/execute", s.handleExecute)
-	mux.HandleFunc("GET /api/schema", s.handleSchema)
-	mux.HandleFunc("GET /api/keyboard", s.handleKeyboard)
-	mux.HandleFunc("GET /api/stats", s.handleStats)
+	mux.HandleFunc("POST /api/correct", s.withRecover(s.gated(s.handleCorrect)))
+	mux.HandleFunc("POST /api/session", s.withRecover(s.handleNewSession))
+	mux.HandleFunc("POST /api/dictate", s.withRecover(s.gated(s.handleDictate)))
+	mux.HandleFunc("POST /api/edit", s.withRecover(s.handleEdit))
+	mux.HandleFunc("POST /api/execute", s.withRecover(s.handleExecute))
+	mux.HandleFunc("GET /api/schema", s.withRecover(s.handleSchema))
+	mux.HandleFunc("GET /api/keyboard", s.withRecover(s.handleKeyboard))
+	mux.HandleFunc("GET /api/stats", s.withRecover(s.handleStats))
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /{$}", s.handleIndex)
 	if s.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -103,6 +218,54 @@ func (s *Server) Handler() *http.ServeMux {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	return mux
+}
+
+// startSweeper launches the idle-session eviction loop once, at a quarter
+// of the TTL (sessions linger at most ~1.25×TTL). Close stops it.
+func (s *Server) startSweeper() {
+	if s.sessionTTL <= 0 {
+		return
+	}
+	s.sweeperOnce.Do(func() {
+		interval := s.sessionTTL / 4
+		if interval < 10*time.Millisecond {
+			interval = 10 * time.Millisecond
+		}
+		go func() {
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-s.stop:
+					return
+				case <-t.C:
+					s.evictIdleSessions(time.Now())
+				}
+			}
+		}()
+	})
+}
+
+// evictIdleSessions removes sessions idle past the TTL and returns how
+// many were evicted (counter sessions_evicted).
+func (s *Server) evictIdleSessions(now time.Time) int {
+	if s.sessionTTL <= 0 {
+		return 0
+	}
+	cutoff := now.Add(-s.sessionTTL).UnixNano()
+	n := 0
+	s.mu.Lock()
+	for id, e := range s.sessions {
+		if e.lastUsed.Load() < cutoff {
+			delete(s.sessions, id)
+			n++
+		}
+	}
+	s.mu.Unlock()
+	if n > 0 {
+		s.reg.Add("sessions_evicted", int64(n))
+	}
+	return n
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -115,9 +278,27 @@ func writeErr(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
-func decode[T any](r *http.Request, v *T) error {
+// decode reads one JSON request body, bounded to maxBodyBytes and with
+// unknown fields rejected, so garbage is answered with a clear 400 instead
+// of being silently ignored (or buffered without limit).
+func decode[T any](w http.ResponseWriter, r *http.Request, v *T) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	defer r.Body.Close()
-	return json.NewDecoder(r.Body).Decode(v)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		switch {
+		case errors.As(err, &mbe):
+			return fmt.Errorf("request body exceeds %d bytes", mbe.Limit)
+		case strings.HasPrefix(err.Error(), "json: unknown field"):
+			return fmt.Errorf("unknown request field %s (check the endpoint's schema)",
+				strings.TrimPrefix(err.Error(), "json: unknown field "))
+		default:
+			return fmt.Errorf("malformed request body: %v", err)
+		}
+	}
+	return nil
 }
 
 type correctReq struct {
@@ -135,16 +316,22 @@ func (s *Server) handleCorrect(w http.ResponseWriter, r *http.Request) {
 	span := s.reg.StartSpan("http.correct")
 	defer span.End()
 	var req correctReq
-	if err := decode(r, &req); err != nil {
+	if err := decode(w, r, &req); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	if req.TopK < 1 {
 		req.TopK = 1
 	}
-	ctx, cancel := s.requestCtx(r)
-	defer cancel()
+	ctx := r.Context()
 	out := s.engine.CorrectTopKContext(ctx, req.Transcript, req.TopK)
+	if out.Err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]any{
+			"error":       out.Err.Error(),
+			"degradation": out.Degradation,
+		})
+		return
+	}
 	var cands []candidateJSON
 	for _, c := range out.Candidates {
 		cands = append(cands, candidateJSON{SQL: c.SQL, Structure: c.Structure, Distance: c.StructureDistance})
@@ -155,22 +342,29 @@ func (s *Server) handleCorrect(w http.ResponseWriter, r *http.Request) {
 		"structure_ms": out.StructureLatency.Milliseconds(),
 		"literal_ms":   out.LiteralLatency.Milliseconds(),
 		"deadline_hit": ctx.Err() != nil,
+		"degradation":  out.Degradation,
 	})
 }
 
 func (s *Server) handleNewSession(w http.ResponseWriter, r *http.Request) {
+	entry := &sessionEntry{sess: session.New(s.engine)}
+	entry.touch()
 	s.mu.Lock()
 	s.nextID++
 	id := "s" + strconv.Itoa(s.nextID)
-	s.sessions[id] = &sessionEntry{sess: session.New(s.engine)}
+	s.sessions[id] = entry
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]string{"id": id})
 }
 
+// session looks up a session entry, refreshing its idle timestamp.
 func (s *Server) session(id string) (*sessionEntry, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	entry, ok := s.sessions[id]
+	if ok {
+		entry.touch()
+	}
 	return entry, ok
 }
 
@@ -184,7 +378,7 @@ func (s *Server) handleDictate(w http.ResponseWriter, r *http.Request) {
 	span := s.reg.StartSpan("http.dictate")
 	defer span.End()
 	var req dictateReq
-	if err := decode(r, &req); err != nil {
+	if err := decode(w, r, &req); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
@@ -193,16 +387,30 @@ func (s *Server) handleDictate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown session %q", req.ID))
 		return
 	}
-	ctx, cancel := s.requestCtx(r)
-	defer cancel()
-	entry.mu.Lock()
-	if req.Clause {
-		entry.sess.DictateClauseContext(ctx, req.Transcript)
-	} else {
-		entry.sess.DictateFullContext(ctx, req.Transcript)
+	ctx := r.Context()
+	// The closure scopes the session lock so a panicking correction (fault
+	// injection, poisoned transcript) releases it on the way to the
+	// recovery middleware instead of wedging the session forever.
+	out, resp := func() (core.Output, map[string]any) {
+		entry.mu.Lock()
+		defer entry.mu.Unlock()
+		var out core.Output
+		if req.Clause {
+			out = entry.sess.DictateClauseContext(ctx, req.Transcript)
+		} else {
+			out = entry.sess.DictateFullContext(ctx, req.Transcript)
+		}
+		return out, sessionState(entry.sess)
+	}()
+	if out.Err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]any{
+			"error":       out.Err.Error(),
+			"degradation": out.Degradation,
+		})
+		return
 	}
-	resp := sessionState(entry.sess)
-	entry.mu.Unlock()
+	resp["degradation"] = out.Degradation
+	resp["deadline_hit"] = ctx.Err() != nil
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -217,7 +425,7 @@ func (s *Server) handleEdit(w http.ResponseWriter, r *http.Request) {
 	span := s.reg.StartSpan("http.edit")
 	defer span.End()
 	var req editReq
-	if err := decode(r, &req); err != nil {
+	if err := decode(w, r, &req); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
@@ -227,6 +435,7 @@ func (s *Server) handleEdit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	entry.mu.Lock()
+	defer entry.mu.Unlock()
 	switch req.Op {
 	case "insert":
 		entry.sess.InsertToken(req.Pos, req.Token)
@@ -235,13 +444,10 @@ func (s *Server) handleEdit(w http.ResponseWriter, r *http.Request) {
 	case "replace":
 		entry.sess.ReplaceToken(req.Pos, req.Token)
 	default:
-		entry.mu.Unlock()
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown op %q", req.Op))
 		return
 	}
-	resp := sessionState(entry.sess)
-	entry.mu.Unlock()
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, sessionState(entry.sess))
 }
 
 func sessionState(sess *session.Session) map[string]any {
@@ -262,7 +468,7 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	span := s.reg.StartSpan("http.execute")
 	defer span.End()
 	var req executeReq
-	if err := decode(r, &req); err != nil {
+	if err := decode(w, r, &req); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
@@ -297,6 +503,24 @@ func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleHealthz is liveness: the process is up and serving. It stays 200
+// during shutdown draining (the process is alive) — readiness is what
+// flips.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: 200 only while the server should receive new
+// traffic — the index is built/loaded (true from construction) and the
+// server is not draining for shutdown.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
 // handleStats serves the obs registry snapshot: per-stage span counts and
 // cumulative/max latencies plus the pipeline's monotonic counters. Stage
 // keys: http.* wrap whole handlers; core.correct, structure.determine, and
@@ -327,6 +551,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"indexed":  s.engine.Catalog().Indexed(),
 			"counters": snap.CountersWithPrefix("literal."),
 		},
+		// The resilience block groups the overload/failure story: per-level
+		// degradation counts, recovered panics, shed requests, evicted
+		// sessions, and whether fault injection is rehearsing failures.
+		"resilience": map[string]any{
+			"degraded":         snap.CountersWithPrefix("core.degraded."),
+			"panics_recovered": snap.Counters["panic.recovered"],
+			"admission_shed":   snap.Counters["admission.shed"],
+			"sessions_evicted": snap.Counters["sessions_evicted"],
+			"faults_enabled":   faultinject.Enabled(),
+		},
+	}
+	if s.gate != nil {
+		resp["admission"] = s.gate.stats()
 	}
 	if c := s.engine.SearchCache(); c != nil {
 		cs := c.Stats()

@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 
+	"speakql/internal/faultinject"
 	"speakql/internal/grammar"
 	"speakql/internal/metrics"
 	"speakql/internal/phonetic"
@@ -46,6 +47,18 @@ func (b Binding) Best() string {
 // consumes tokens up to its winning vote's position, always reserving at
 // least one token per remaining placeholder in the gap.
 func Determine(transOut, bestStruct []string, cat *Catalog, k int) []Binding {
+	bs, _ := DetermineErr(transOut, bestStruct, cat, k)
+	return bs
+}
+
+// DetermineErr is Determine with an error channel. Today the only error
+// source is the stage's fault-injection hook (rehearsing a failed literal
+// backend); the engine degrades a failed fill to a structure-only response
+// rather than dropping the request.
+func DetermineErr(transOut, bestStruct []string, cat *Catalog, k int) ([]Binding, error) {
+	if err := faultinject.Fire(faultinject.StageLiteral); err != nil {
+		return nil, err
+	}
 	if k < 1 {
 		k = 1
 	}
@@ -97,7 +110,7 @@ func Determine(transOut, bestStruct []string, cat *Catalog, k int) []Binding {
 		bindings = append(bindings, b)
 		g.advance(consumedTo + 1)
 	}
-	return bindings
+	return bindings, nil
 }
 
 // gap is one transcript span shared by one or more placeholders.

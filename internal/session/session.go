@@ -93,11 +93,13 @@ func (s *Session) DictateFull(transcript string) {
 // DictateFullContext is DictateFull under a request context: an expired
 // deadline leaves the display holding the engine's partial (possibly empty)
 // output. The dictation attempt is logged either way — the user pressed the
-// button.
-func (s *Session) DictateFullContext(ctx context.Context, transcript string) {
+// button. The engine's Output is returned so callers can surface its
+// degradation level.
+func (s *Session) DictateFullContext(ctx context.Context, transcript string) core.Output {
 	out := s.engine.CorrectContext(ctx, transcript)
 	s.tokens = out.Best().Tokens
 	s.events = append(s.events, Event{Kind: EventDictateFull, Detail: transcript, Touches: CostRecordButton})
+	return out
 }
 
 // clauseHeads mark where each clause starts in a token stream.
@@ -152,14 +154,14 @@ func (s *Session) DictateClause(transcript string) {
 }
 
 // DictateClauseContext is DictateClause under a request context (see
-// DictateFullContext for deadline semantics).
-func (s *Session) DictateClauseContext(ctx context.Context, transcript string) {
+// DictateFullContext for deadline and return semantics).
+func (s *Session) DictateClauseContext(ctx context.Context, transcript string) core.Output {
 	head := clauseOf(transcript)
 	s.events = append(s.events, Event{Kind: EventDictateClause, Detail: transcript, Touches: CostRecordButton})
 	if head == "" || len(s.tokens) == 0 {
 		out := s.engine.CorrectContext(ctx, transcript)
 		s.tokens = out.Best().Tokens
-		return
+		return out
 	}
 	lo, hi, ok := s.clauseSpan(head)
 	var parts []string
@@ -173,6 +175,7 @@ func (s *Session) DictateClauseContext(ctx context.Context, transcript string) {
 	}
 	out := s.engine.CorrectContext(ctx, strings.Join(parts, " "))
 	s.tokens = out.Best().Tokens
+	return out
 }
 
 func transcriptTokens(transcript string) []string {

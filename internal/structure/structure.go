@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 
+	"speakql/internal/faultinject"
 	"speakql/internal/grammar"
 	"speakql/internal/obs"
 	"speakql/internal/sqltoken"
@@ -116,8 +117,21 @@ func (c *Component) DetermineTopK(transcript string, k int) []Result {
 // best structures found so far (possibly none) rather than completing the
 // sweep.
 func (c *Component) DetermineTopKContext(ctx context.Context, transcript string, k int) []Result {
+	rs, _ := c.DetermineTopKErr(ctx, transcript, k)
+	return rs
+}
+
+// DetermineTopKErr is DetermineTopKContext with an error channel. Today
+// the only error source is the stage's fault-injection hook (rehearsing a
+// failed search backend); callers that cannot act on errors use
+// DetermineTopKContext and treat failure as an empty result.
+func (c *Component) DetermineTopKErr(ctx context.Context, transcript string, k int) ([]Result, error) {
 	span := obs.StartSpan("structure.determine")
 	defer span.End()
+	if err := faultinject.Fire(faultinject.StageStructure); err != nil {
+		obs.Add("structure.injected_errors", 1)
+		return nil, err
+	}
 	toks := sqltoken.SubstituteSpokenForms(sqltoken.TokenizeTranscript(transcript))
 	outer, inner := splitNested(toks)
 	masked := sqltoken.MaskGeneric(outer)
@@ -144,7 +158,7 @@ func (c *Component) DetermineTopKContext(ctx context.Context, transcript string,
 			Stats:      stats,
 		})
 	}
-	return results
+	return results, nil
 }
 
 // searchTopK runs the trie search through the memo cache, when one is
