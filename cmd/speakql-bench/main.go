@@ -20,7 +20,9 @@
 // per-artifact wall-clock, and the cache hit rate — for the perf trajectory
 // (CI uploads it as an artifact). The suite includes vote_indexed_yelp /
 // vote_naive_yelp, literal determination over a Yelp-scale catalog on both
-// voting paths. -faults SPEC (or the SPEAKQL_FAULTS environment variable)
+// voting paths, and stream_fragment, one full clause-streaming dictation
+// (fragment session + three clauses + finalize) through the incremental
+// pipeline. -faults SPEC (or the SPEAKQL_FAULTS environment variable)
 // arms the deterministic fault injectors of internal/faultinject, for
 // rehearsing degraded runs reproducibly — off by default at zero cost.
 // Artifact ids: table2, figure6, figure7 (incl. figure12),
@@ -29,6 +31,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -225,8 +228,33 @@ func microBench(env *experiments.Env, workers int) []microResult {
 			}
 		}))
 	}
+	out = append(out, streamMicroBench(env))
 	out = append(out, voteMicroBench()...)
 	return out
+}
+
+// streamMicroBench times one full clause-streaming dictation — a fresh
+// fragment session, three dictated clauses, and a finalize — against the
+// Employees engine. The stream_fragment key tracks the incremental path's
+// cost in the perf-trajectory artifact, next to the one-shot search keys it
+// amortizes.
+func streamMicroBench(env *experiments.Env) microResult {
+	frags := []string{
+		"select first name from employees",
+		"where salary greater than 50000",
+		"and gender equals M",
+	}
+	ctx := context.Background()
+	return runMicro("stream_fragment", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fs := env.Engine.NewFragmentSession()
+			for _, f := range frags {
+				fs.CorrectFragment(ctx, f)
+			}
+			fs.Finalize(ctx)
+		}
+	})
 }
 
 func runMicro(name string, fn func(b *testing.B)) microResult {

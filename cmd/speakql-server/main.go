@@ -2,11 +2,14 @@
 // interactive display (the analog of the paper's CloudLab backend); the
 // API itself lives in internal/httpapi:
 //
-//	POST /api/correct   {"transcript": "...", "topk": 3}
-//	POST /api/session   {}                                → {"id": "..."}
-//	POST /api/dictate   {"id": "...", "transcript": "...", "clause": true}
-//	POST /api/edit      {"id": "...", "op": "replace", "pos": 2, "token": "Salary"}
-//	POST /api/execute   {"sql": "SELECT ..."}
+//	POST /api/correct         {"transcript": "...", "topk": 3}
+//	POST /api/session         {}                                → {"id": "..."}
+//	POST /api/dictate         {"id": "...", "transcript": "...", "clause": true}
+//	POST /api/stream/dictate  {"id": "...", "fragment": "..."}  (empty id auto-creates)
+//	POST /api/stream/finalize {"id": "..."}
+//	GET  /api/stream/events?session=ID                          (Server-Sent Events)
+//	POST /api/edit            {"id": "...", "op": "replace", "pos": 2, "token": "Salary"}
+//	POST /api/execute         {"sql": "SELECT ..."}
 //	GET  /api/schema
 //	GET  /api/stats
 //
@@ -15,9 +18,19 @@
 // [-literal-index=true|false] [-max-inflight n] [-max-queue n]
 // [-session-ttl d] [-drain-timeout d] [-faults SPEC] [-pprof]
 //
+// Clause streaming: /api/stream/dictate corrects one dictated fragment at a
+// time, reusing the previous fragments' search and voting work;
+// /api/stream/finalize closes the dictation with a full-fidelity re-pass;
+// /api/stream/events pushes each fragment's corrected snapshot to the
+// display over SSE (try `curl -N`). The dictate/finalize endpoints sit
+// behind the same admission gate and per-request deadline as the other
+// correction endpoints; the SSE feed does not (subscribers are cheap
+// long-lived readers).
+//
 // -workers n searches trie partitions on n goroutines per request (<0 means
 // GOMAXPROCS; results are identical to serial search). -timeout bounds the
-// correction work per /api/correct and /api/dictate request (0 disables).
+// correction work per /api/correct, /api/dictate, and /api/stream request
+// (0 disables).
 // -cachesize bounds the LRU memo cache of structure searches keyed by the
 // masked transcript (0 disables; hit/miss/eviction counters appear in
 // GET /api/stats). -literal-index=false turns off the catalog's phonetic

@@ -1,6 +1,7 @@
 package speakql_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,6 +25,34 @@ func Example() {
 	out := engine.Correct("select sales from employers wear first name equals Jon")
 	fmt.Println(out.Best().SQL)
 	// Output: SELECT Salary FROM Employees WHERE FirstName = 'Jon'
+}
+
+// Clause-streaming dictation: fragments are corrected incrementally as
+// they arrive (examples/clausedictation shows the full interface loop),
+// and finalizing yields exactly what a one-shot correction of the whole
+// transcript would.
+func ExampleEngine_NewFragmentSession() {
+	engine, err := speakql.NewEngine(speakql.Config{
+		Grammar: speakql.TestGrammar(),
+		Catalog: speakql.NewCatalog(
+			[]string{"Employees", "Salaries"},
+			[]string{"FirstName", "LastName", "Salary"},
+			[]string{"John", "Jon"}),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fs := engine.NewFragmentSession()
+	ctx := context.Background()
+	for _, clause := range []string{"select sales from employers", "wear first name equals Jon"} {
+		out := fs.CorrectFragment(ctx, clause)
+		fmt.Printf("fragment %d: %s\n", out.Seq, out.Best().SQL)
+	}
+	fmt.Println("finalized :", fs.Finalize(ctx).Best().SQL)
+	// Output:
+	// fragment 1: SELECT Salary FROM Employees
+	// fragment 2: SELECT Salary FROM Employees WHERE FirstName = 'Jon'
+	// finalized : SELECT Salary FROM Employees WHERE FirstName = 'Jon'
 }
 
 // Top-k candidates populate the interactive display's alternatives menu.

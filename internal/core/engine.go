@@ -238,9 +238,17 @@ func (e *Engine) CorrectTopKContext(ctx context.Context, transcript string, k in
 	span := obs.StartSpan("core.correct")
 	defer span.End()
 	t0 := time.Now()
-	deadline, hasDeadline := ctx.Deadline()
 	structs, serr := e.structure.DetermineTopKErr(ctx, transcript, k)
+	return e.finishPipeline(ctx, t0, structs, serr, nil)
+}
+
+// finishPipeline is the pipeline tail shared by one-shot and fragment
+// correction: it applies the degradation ladder to the structure stage's
+// outcome and runs literal determination (through memo when streaming).
+// t0 is when the correction started; the structure stage has just ended.
+func (e *Engine) finishPipeline(ctx context.Context, t0 time.Time, structs []structure.Result, serr error, memo *literal.VoteMemo) Output {
 	t1 := time.Now()
+	deadline, hasDeadline := ctx.Deadline()
 	out := Output{StructureLatency: t1.Sub(t0)}
 	if serr != nil {
 		// Structure determination failed outright (fault injection):
@@ -275,7 +283,7 @@ func (e *Engine) CorrectTopKContext(ctx context.Context, transcript string, k in
 	defer lspan.End()
 	for _, sr := range structs {
 		out.Transcript = sr.Transcript
-		bindings, lerr := literal.DetermineErr(sr.Transcript, sr.Structure, e.catalog, kLit)
+		bindings, lerr := literal.DetermineMemoErr(sr.Transcript, sr.Structure, e.catalog, kLit, memo)
 		if lerr != nil {
 			// The literal stage failed: degrade the whole response to
 			// structure-only rather than mixing filled and unfilled

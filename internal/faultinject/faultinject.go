@@ -20,7 +20,7 @@
 //
 //	spec    := clause (';' clause)*
 //	clause  := 'seed=' uint | stage ':' fault (',' fault)*
-//	stage   := 'structure' | 'literal' | 'cache'
+//	stage   := 'structure' | 'literal' | 'cache' | 'stream'
 //	fault   := kind ['=' value] ['@' probability]
 //	kind    := 'latency' | 'error' | 'panic'
 //	value   := Go duration, latency only (default 1ms)
@@ -51,10 +51,14 @@ const (
 	StageStructure = "structure"
 	StageLiteral   = "literal"
 	StageCache     = "cache"
+	// StageStream fires once per streamed dictation fragment, before the
+	// fragment enters the correction pipeline — the hook the SSE chaos tests
+	// use to rehearse flaky clause streams.
+	StageStream = "stream"
 )
 
 // stages is the closed set of valid hook points.
-var stages = []string{StageStructure, StageLiteral, StageCache}
+var stages = []string{StageStructure, StageLiteral, StageCache, StageStream}
 
 // InjectedError is the error value forced by an error fault. Callers that
 // need to distinguish rehearsed failures from organic ones can errors.As

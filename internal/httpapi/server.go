@@ -1,15 +1,17 @@
 // Package httpapi implements the HTTP JSON backend for SpeakQL's
 // interactive display (the analog of the paper's CloudLab backend):
-// transcript correction, clause-level re-dictation, SQL-keyboard edits with
-// effort accounting, query execution against the demo database, the schema
-// lists the SQL Keyboard renders, and per-stage pipeline statistics.
-// cmd/speakql-server wires it to a listener.
+// transcript correction, clause-level re-dictation, incremental
+// clause-streaming dictation with a Server-Sent Events feed
+// (/api/stream/dictate, /api/stream/finalize, /api/stream/events),
+// SQL-keyboard edits with effort accounting, query execution against the
+// demo database, the schema lists the SQL Keyboard renders, and per-stage
+// pipeline statistics. cmd/speakql-server wires it to a listener.
 //
 // Concurrency: the engine is read-only and shared freely; each session has
 // its own lock, so dictations in unrelated sessions correct in parallel and
 // only same-session requests serialize. Correction-running endpoints
-// (/api/correct, /api/dictate) run under a per-request deadline so one
-// pathological transcript cannot pin a worker.
+// (/api/correct, /api/dictate, /api/stream/*) run under a per-request
+// deadline so one pathological transcript cannot pin a worker.
 //
 // Resilience: the correction endpoints sit behind an admission gate
 // (admission.go) that bounds in-flight work and sheds overload with 503 +
@@ -39,6 +41,7 @@ import (
 	"speakql/internal/obs"
 	"speakql/internal/session"
 	"speakql/internal/sqlengine"
+	"speakql/internal/stream"
 )
 
 // DefaultRequestTimeout bounds the correction work done for one
@@ -55,6 +58,11 @@ const maxBodyBytes = 1 << 20
 type sessionEntry struct {
 	mu   sync.Mutex
 	sess *session.Session
+	// events fans the session's clause-streaming snapshots out to SSE
+	// subscribers. Created with the entry and owned by the Server (not the
+	// session) so eviction and shutdown can close it — ending every
+	// subscriber — without waiting on mu behind an in-flight correction.
+	events *stream.Broadcaster
 	// lastUsed is the unix-nano timestamp of the last request that touched
 	// this session; the TTL sweeper evicts entries idle past the TTL.
 	lastUsed atomic.Int64
@@ -62,6 +70,11 @@ type sessionEntry struct {
 
 func (e *sessionEntry) touch() { e.lastUsed.Store(time.Now().UnixNano()) }
 
+// Server is the HTTP backend: one correction engine and demo database
+// shared across every request, a registry of interactive sessions (each
+// with its own lock and event broadcaster), and the resilience machinery —
+// admission gate, panic recovery, TTL sweeper, readiness flag. Construct
+// with New, configure with the Set* methods, then mount Handler.
 type Server struct {
 	engine  *core.Engine
 	db      *sqlengine.Database
@@ -126,9 +139,25 @@ func (s *Server) SetSessionTTL(ttl time.Duration) { s.sessionTTL = ttl }
 // the start of graceful shutdown so load balancers drain it.
 func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
 
-// Close stops the background session sweeper (idempotent). The HTTP
+// Close stops the background session sweeper and closes every session's
+// event broadcaster, terminating all SSE feeds (idempotent). The HTTP
 // handler itself holds no other background state.
-func (s *Server) Close() { s.stopOnce.Do(func() { close(s.stop) }) }
+func (s *Server) Close() {
+	s.stopOnce.Do(func() {
+		close(s.stop)
+		s.mu.Lock()
+		entries := make([]*sessionEntry, 0, len(s.sessions))
+		for _, e := range s.sessions {
+			entries = append(entries, e)
+		}
+		s.mu.Unlock()
+		// Broadcasters have their own lock; closing them never waits on a
+		// session's mu, so shutdown cannot wedge behind a correction.
+		for _, e := range entries {
+			e.events.Close()
+		}
+	})
+}
 
 // EnablePprof mounts net/http/pprof's handlers under /debug/pprof/ on the
 // next Handler call, so search hot spots can be profiled in situ. Off by
@@ -202,6 +231,9 @@ func (s *Server) Handler() *http.ServeMux {
 	mux.HandleFunc("POST /api/correct", s.withRecover(s.gated(s.handleCorrect)))
 	mux.HandleFunc("POST /api/session", s.withRecover(s.handleNewSession))
 	mux.HandleFunc("POST /api/dictate", s.withRecover(s.gated(s.handleDictate)))
+	mux.HandleFunc("POST /api/stream/dictate", s.withRecover(s.gated(s.handleStreamDictate)))
+	mux.HandleFunc("POST /api/stream/finalize", s.withRecover(s.gated(s.handleStreamFinalize)))
+	mux.HandleFunc("GET /api/stream/events", s.withRecover(s.handleStreamEvents))
 	mux.HandleFunc("POST /api/edit", s.withRecover(s.handleEdit))
 	mux.HandleFunc("POST /api/execute", s.withRecover(s.handleExecute))
 	mux.HandleFunc("GET /api/schema", s.withRecover(s.handleSchema))
@@ -253,19 +285,26 @@ func (s *Server) evictIdleSessions(now time.Time) int {
 		return 0
 	}
 	cutoff := now.Add(-s.sessionTTL).UnixNano()
-	n := 0
+	var evicted []*sessionEntry
 	s.mu.Lock()
 	for id, e := range s.sessions {
 		if e.lastUsed.Load() < cutoff {
 			delete(s.sessions, id)
-			n++
+			evicted = append(evicted, e)
 		}
 	}
 	s.mu.Unlock()
-	if n > 0 {
-		s.reg.Add("sessions_evicted", int64(n))
+	// Close the evicted sessions' broadcasters outside both locks: each
+	// broadcaster has its own mutex, so SSE subscribers end promptly even if
+	// the session's own lock is held by an in-flight correction.
+	for _, e := range evicted {
+		e.events.Close()
 	}
-	return n
+	if n := len(evicted); n > 0 {
+		s.reg.Add("sessions_evicted", int64(n))
+		return n
+	}
+	return 0
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -347,14 +386,25 @@ func (s *Server) handleCorrect(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleNewSession(w http.ResponseWriter, r *http.Request) {
-	entry := &sessionEntry{sess: session.New(s.engine)}
-	entry.touch()
+	writeJSON(w, http.StatusOK, map[string]string{"id": s.newSession()})
+}
+
+// newSession creates a session entry — display session, event broadcaster,
+// streaming config — and registers it under a fresh id. The entry is fully
+// wired before it becomes visible in the map, so concurrent requests never
+// see a session without its broadcaster.
+func (s *Server) newSession() string {
 	s.mu.Lock()
 	s.nextID++
 	id := "s" + strconv.Itoa(s.nextID)
+	s.mu.Unlock()
+	entry := &sessionEntry{sess: session.New(s.engine), events: stream.NewBroadcaster()}
+	entry.sess.SetStreamConfig(stream.Config{Events: entry.events, Session: id})
+	entry.touch()
+	s.mu.Lock()
 	s.sessions[id] = entry
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]string{"id": id})
+	return id
 }
 
 // session looks up a session entry, refreshing its idle timestamp.
@@ -551,6 +601,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"indexed":  s.engine.Catalog().Indexed(),
 			"counters": snap.CountersWithPrefix("literal."),
 		},
+		// The stream block groups the clause-streaming counters: fragments
+		// corrected, dictations finalized/closed, events dropped on slow SSE
+		// subscribers, and feed connections.
+		"stream": snap.CountersWithPrefix("stream."),
 		// The resilience block groups the overload/failure story: per-level
 		// degradation counts, recovered panics, shed requests, evicted
 		// sessions, and whether fault injection is rehearsing failures.

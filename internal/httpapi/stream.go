@@ -1,0 +1,190 @@
+package httpapi
+
+// stream.go exposes the clause-streaming dictation pipeline over HTTP:
+//
+//	POST /api/stream/dictate  — correct one more fragment (auto-creates a
+//	                            session when id is empty); admission-gated
+//	                            and deadline-bounded like the other
+//	                            correction endpoints.
+//	POST /api/stream/finalize — close the dictation with a full-fidelity
+//	                            re-pass; 409 when there is nothing to close.
+//	GET  /api/stream/events   — Server-Sent Events feed of per-fragment
+//	                            snapshots. Deliberately NOT admission-gated:
+//	                            subscribers are cheap long-lived readers,
+//	                            and shedding them under load would kill the
+//	                            display updates exactly when degraded
+//	                            responses make them most useful.
+//
+// Every session owns one event broadcaster, created with the session so the
+// TTL sweeper and Server.Close can terminate its subscribers without
+// touching the session lock (an in-flight correction must never wedge
+// eviction or shutdown).
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"speakql/internal/core"
+	"speakql/internal/stream"
+)
+
+type streamDictateReq struct {
+	ID       string `json:"id"`
+	Fragment string `json:"fragment"`
+}
+
+type streamFinalizeReq struct {
+	ID string `json:"id"`
+}
+
+// streamConflict reports whether err is a dictation-lifecycle rejection,
+// answered with 409 Conflict rather than 500.
+func streamConflict(err error) bool {
+	return errors.Is(err, stream.ErrFinalized) || errors.Is(err, stream.ErrClosed)
+}
+
+// streamState shapes one fragment correction for the JSON response.
+func streamState(id string, out core.FragmentOutput, deadlineHit bool) map[string]any {
+	best := out.Best()
+	return map[string]any{
+		"id":                id,
+		"seq":               out.Seq,
+		"transcript":        out.RawTranscript,
+		"sql":               best.SQL,
+		"tokens":            best.Tokens,
+		"pending":           out.Pending,
+		"stable_prefix_len": out.StablePrefixLen,
+		"degradation":       out.Degradation,
+		"deadline_hit":      deadlineHit,
+	}
+}
+
+func (s *Server) handleStreamDictate(w http.ResponseWriter, r *http.Request) {
+	span := s.reg.StartSpan("http.stream_dictate")
+	defer span.End()
+	var req streamDictateReq
+	if err := decode(w, r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.ID == "" {
+		req.ID = s.newSession()
+	}
+	entry, ok := s.session(req.ID)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown session %q", req.ID))
+		return
+	}
+	ctx := r.Context()
+	// Scope the session lock so a panicking correction releases it on the
+	// way to the recovery middleware (see handleDictate).
+	out, err := func() (core.FragmentOutput, error) {
+		entry.mu.Lock()
+		defer entry.mu.Unlock()
+		return entry.sess.StreamFragment(ctx, req.Fragment)
+	}()
+	switch {
+	case streamConflict(err):
+		writeErr(w, http.StatusConflict, err)
+		return
+	case err != nil:
+		writeJSON(w, http.StatusInternalServerError, map[string]any{
+			"error":       err.Error(),
+			"degradation": core.DegradationShed,
+		})
+		return
+	case out.Err != nil:
+		writeJSON(w, http.StatusInternalServerError, map[string]any{
+			"error":       out.Err.Error(),
+			"degradation": out.Degradation,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, streamState(req.ID, out, ctx.Err() != nil))
+}
+
+func (s *Server) handleStreamFinalize(w http.ResponseWriter, r *http.Request) {
+	span := s.reg.StartSpan("http.stream_finalize")
+	defer span.End()
+	var req streamFinalizeReq
+	if err := decode(w, r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	entry, ok := s.session(req.ID)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown session %q", req.ID))
+		return
+	}
+	ctx := r.Context()
+	out, err := func() (core.FragmentOutput, error) {
+		entry.mu.Lock()
+		defer entry.mu.Unlock()
+		return entry.sess.FinalizeStream(ctx)
+	}()
+	switch {
+	case streamConflict(err):
+		writeErr(w, http.StatusConflict, err)
+		return
+	case err != nil:
+		writeJSON(w, http.StatusInternalServerError, map[string]any{
+			"error":       err.Error(),
+			"degradation": core.DegradationShed,
+		})
+		return
+	case out.Err != nil:
+		writeJSON(w, http.StatusInternalServerError, map[string]any{
+			"error":       out.Err.Error(),
+			"degradation": out.Degradation,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, streamState(req.ID, out, ctx.Err() != nil))
+}
+
+// handleStreamEvents serves the SSE feed for one session's dictations. The
+// handler holds no locks while blocked: it waits only on the subscriber
+// channel (closed by eviction, Server.Close, or broadcaster teardown) and
+// the client's context, so a slow or gone client can never wedge a session.
+func (s *Server) handleStreamEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("session")
+	entry, ok := s.session(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown session %q", id))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, errors.New("streaming unsupported by connection"))
+		return
+	}
+	sub := entry.events.Subscribe()
+	defer sub.Cancel()
+	s.reg.Add("stream.sse_connections", 1)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, ": connected\n\n")
+	flusher.Flush()
+	for {
+		select {
+		case ev, open := <-sub.Events():
+			if !open {
+				// Broadcaster closed: session evicted or server shutting
+				// down. End the feed cleanly.
+				return
+			}
+			payload, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "data: %s\n\n", payload)
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -56,6 +56,14 @@ func Determine(transOut, bestStruct []string, cat *Catalog, k int) []Binding {
 // backend); the engine degrades a failed fill to a structure-only response
 // rather than dropping the request.
 func DetermineErr(transOut, bestStruct []string, cat *Catalog, k int) ([]Binding, error) {
+	return DetermineMemoErr(transOut, bestStruct, cat, k, nil)
+}
+
+// DetermineMemoErr is DetermineErr with a per-session VoteMemo: voting work
+// for windows already scored in an earlier fragment of the same dictation is
+// replayed from the memo instead of recomputed. memo may be nil (no
+// memoization); results are bit-identical either way.
+func DetermineMemoErr(transOut, bestStruct []string, cat *Catalog, k int, memo *VoteMemo) ([]Binding, error) {
 	if err := faultinject.Fire(faultinject.StageLiteral); err != nil {
 		return nil, err
 	}
@@ -90,13 +98,13 @@ func DetermineErr(transOut, bestStruct []string, cat *Catalog, k int) ([]Binding
 		var consumedTo int
 		switch category {
 		case grammar.CatValue:
-			b.TopK, consumedTo = determineValue(window, begin, cat, lastAttr, k)
+			b.TopK, consumedTo = determineValue(window, begin, cat, lastAttr, k, memo)
 		case grammar.CatLimit:
 			b.TopK, consumedTo = determineNumber(window, begin)
 		case grammar.CatTable:
-			b.TopK, consumedTo = vote(window, begin, &cat.tables, k, cat.noIndex)
+			b.TopK, consumedTo = voteMemo(window, begin, &cat.tables, k, cat.noIndex, memo)
 		default:
-			b.TopK, consumedTo = vote(window, begin, &cat.attrs, k, cat.noIndex)
+			b.TopK, consumedTo = voteMemo(window, begin, &cat.attrs, k, cat.noIndex, memo)
 			lastAttr = b.Best()
 		}
 		if len(b.TopK) == 0 {
@@ -353,7 +361,7 @@ func voteNaive(window []string, base int, entries []entry, k int) ([]string, int
 // everything else goes to string voting — against the bound attribute's own
 // column domain when the catalog carries one (column-aware extension), else
 // the global value set.
-func determineValue(window []string, base int, cat *Catalog, lastAttr string, k int) ([]string, int) {
+func determineValue(window []string, base int, cat *Catalog, lastAttr string, k int, memo *VoteMemo) ([]string, int) {
 	if len(window) == 0 {
 		return nil, base
 	}
@@ -377,7 +385,7 @@ func determineValue(window []string, base int, cat *Catalog, lastAttr string, k 
 	if tops, end := determineNumber(window, base); len(tops) > 0 {
 		return tops, end
 	}
-	return vote(window, base, values, k, cat.noIndex)
+	return voteMemo(window, base, values, k, cat.noIndex, memo)
 }
 
 // determineNumber recognizes a numeric value at the head of the window,

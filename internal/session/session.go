@@ -13,6 +13,7 @@ import (
 
 	"speakql/internal/core"
 	"speakql/internal/sqltoken"
+	"speakql/internal/stream"
 )
 
 // EventKind labels one logged interaction.
@@ -34,9 +35,11 @@ type Event struct {
 
 // Session is one interactive query-composition session.
 type Session struct {
-	engine *core.Engine
-	tokens []string
-	events []Event
+	engine    *core.Engine
+	tokens    []string
+	events    []Event
+	dict      *stream.Dictation // open clause-streaming dictation, if any
+	streamCfg stream.Config
 }
 
 // New starts an empty session over the given engine.
@@ -66,7 +69,8 @@ func (s *Session) Touches() int {
 func (s *Session) Dictations() int {
 	n := 0
 	for _, e := range s.events {
-		if e.Kind == EventDictateFull || e.Kind == EventDictateClause {
+		if e.Kind == EventDictateFull || e.Kind == EventDictateClause ||
+			e.Kind == EventDictateFragment {
 			n++
 		}
 	}

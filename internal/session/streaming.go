@@ -1,0 +1,70 @@
+package session
+
+// streaming.go wires the clause-streaming dictation pipeline
+// (internal/stream) into the interactive session: each streamed fragment is
+// one record-button press that grows the display in place, and the effort
+// log counts it exactly like the other dictation modes. The HTTP layer maps
+// POST /api/stream/dictate and /api/stream/finalize onto these methods.
+
+import (
+	"context"
+
+	"speakql/internal/core"
+	"speakql/internal/stream"
+)
+
+// EventDictateFragment logs one streamed clause fragment (the incremental
+// record button of the clause-streaming mode).
+const EventDictateFragment EventKind = "dictate-fragment"
+
+// SetStreamConfig configures the session's streaming dictations (fragment
+// budget, event broadcaster, session label). It applies to the next
+// dictation started — call it before the first StreamFragment, or after a
+// FinalizeStream/CloseStream boundary.
+func (s *Session) SetStreamConfig(cfg stream.Config) { s.streamCfg = cfg }
+
+// Stream returns the session's active dictation, or nil when none is open.
+func (s *Session) Stream() *stream.Dictation { return s.dict }
+
+// StreamFragment feeds one dictated fragment into the session's streaming
+// dictation, starting a new dictation if none is open (or the previous one
+// finished). The display follows the best candidate of the accumulated
+// correction; the attempt is logged at the record-button cost either way.
+func (s *Session) StreamFragment(ctx context.Context, fragment string) (core.FragmentOutput, error) {
+	d := s.dict
+	if d == nil || d.State() == stream.StateFinalized || d.State() == stream.StateClosed {
+		d = stream.NewDictation(s.engine, s.streamCfg)
+		s.dict = d
+	}
+	s.events = append(s.events, Event{Kind: EventDictateFragment, Detail: fragment, Touches: CostRecordButton})
+	out, err := d.Dictate(ctx, fragment)
+	if err != nil {
+		return out, err
+	}
+	s.tokens = out.Best().Tokens
+	return out, nil
+}
+
+// FinalizeStream closes the open dictation with a full-fidelity re-pass and
+// leaves its output in the display. Finalizing is free — the stream simply
+// ends — and fails with stream.ErrFinalized / stream.ErrClosed when there is
+// nothing to finalize.
+func (s *Session) FinalizeStream(ctx context.Context) (core.FragmentOutput, error) {
+	if s.dict == nil {
+		return core.FragmentOutput{}, stream.ErrFinalized
+	}
+	out, err := s.dict.Finalize(ctx)
+	if err != nil {
+		return out, err
+	}
+	s.tokens = out.Best().Tokens
+	return out, nil
+}
+
+// CloseStream tears down the open dictation, if any (session eviction; the
+// client going away). Idempotent.
+func (s *Session) CloseStream() {
+	if s.dict != nil {
+		s.dict.Close()
+	}
+}

@@ -1,0 +1,274 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"speakql/internal/core"
+	"speakql/internal/faultinject"
+	"speakql/internal/grammar"
+	"speakql/internal/literal"
+)
+
+var (
+	testEngine     *core.Engine
+	testEngineOnce sync.Once
+)
+
+func engine(t testing.TB) *core.Engine {
+	t.Helper()
+	testEngineOnce.Do(func() {
+		cat := literal.NewCatalog(
+			[]string{"Employees", "Salaries", "Titles"},
+			[]string{"FirstName", "LastName", "Salary", "Gender"},
+			[]string{"John", "Jon", "Engineer", "M", "F"},
+		)
+		e, err := core.NewEngine(core.Config{Grammar: grammar.TestScale(), Catalog: cat})
+		if err != nil {
+			t.Fatal(err)
+		}
+		testEngine = e
+	})
+	return testEngine
+}
+
+func TestStateMachine(t *testing.T) {
+	ctx := context.Background()
+	d := NewDictation(engine(t), Config{})
+	if d.State() != StateIdle {
+		t.Fatalf("new dictation state = %q", d.State())
+	}
+	if _, err := d.Dictate(ctx, "select sales from employers"); err != nil {
+		t.Fatal(err)
+	}
+	if d.State() != StateStreaming {
+		t.Fatalf("state after dictate = %q", d.State())
+	}
+	fin, err := d.Finalize(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.State() != StateFinalized {
+		t.Fatalf("state after finalize = %q", d.State())
+	}
+	if fin.Best().SQL == "" {
+		t.Error("finalized dictation has no SQL")
+	}
+	if _, err := d.Dictate(ctx, "wear name equals Jon"); !errors.Is(err, ErrFinalized) {
+		t.Errorf("dictate after finalize: err = %v, want ErrFinalized", err)
+	}
+	if _, err := d.Finalize(ctx); !errors.Is(err, ErrFinalized) {
+		t.Errorf("double finalize: err = %v, want ErrFinalized", err)
+	}
+	d.Close()
+	d.Close() // idempotent
+	if d.State() != StateClosed {
+		t.Fatalf("state after close = %q", d.State())
+	}
+	if _, err := d.Dictate(ctx, "x"); !errors.Is(err, ErrClosed) {
+		t.Errorf("dictate after close: err = %v, want ErrClosed", err)
+	}
+	if _, err := d.Finalize(ctx); !errors.Is(err, ErrClosed) {
+		t.Errorf("finalize after close: err = %v, want ErrClosed", err)
+	}
+	// The last snapshot outlives the dictation.
+	if d.Snapshot().Best().SQL != fin.Best().SQL {
+		t.Error("snapshot lost after close")
+	}
+}
+
+// TestDictationMatchesOneShot: the stream layer adds state handling, not
+// semantics — its final output must match the engine's one-shot path.
+func TestDictationMatchesOneShot(t *testing.T) {
+	e := engine(t)
+	ctx := context.Background()
+	frags := []string{"select sales from employers", "wear name equals Jon"}
+	d := NewDictation(e, Config{})
+	for _, f := range frags {
+		if _, err := d.Dictate(ctx, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fin, err := d.Finalize(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := e.Correct(strings.Join(frags, " "))
+	if fin.Best().SQL != want.Best().SQL {
+		t.Fatalf("stream SQL %q, one-shot %q", fin.Best().SQL, want.Best().SQL)
+	}
+	if d.Transcript() != strings.Join(frags, " ") {
+		t.Errorf("transcript = %q", d.Transcript())
+	}
+}
+
+func TestDictationPublishesEvents(t *testing.T) {
+	b := NewBroadcaster()
+	defer b.Close()
+	sub := b.Subscribe()
+	d := NewDictation(engine(t), Config{Events: b, Session: "s1"})
+	ctx := context.Background()
+	if _, err := d.Dictate(ctx, "select sales from employers"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Dictate(ctx, "wear name equals Jon"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Finalize(ctx); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	wantKinds := []string{"fragment", "fragment", "finalized", "closed"}
+	for i, want := range wantKinds {
+		select {
+		case ev := <-sub.Events():
+			if ev.Kind != want {
+				t.Fatalf("event %d kind = %q, want %q", i, ev.Kind, want)
+			}
+			if ev.Session != "s1" {
+				t.Fatalf("event %d session = %q", i, ev.Session)
+			}
+			if want == "fragment" && ev.Seq != i+1 {
+				t.Errorf("fragment event seq = %d, want %d", ev.Seq, i+1)
+			}
+			if want == "finalized" && ev.SQL == "" {
+				t.Error("finalized event carries no SQL")
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("no event %d (%s)", i, want)
+		}
+	}
+}
+
+func TestDictationFragmentBudget(t *testing.T) {
+	// An already-expired parent deadline can only tighten the per-fragment
+	// budget; the dictation must still answer (degraded), not hang.
+	d := NewDictation(engine(t), Config{FragmentBudget: time.Nanosecond})
+	out, err := d.Dictate(context.Background(), "select sales from employers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Degraded() {
+		t.Skip("fragment finished inside a nanosecond budget") // wildly unlikely
+	}
+}
+
+func TestDictationInjectedError(t *testing.T) {
+	inj, err := faultinject.Parse("seed=3;stream:error")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Set(inj)
+	defer faultinject.Set(nil)
+	d := NewDictation(engine(t), Config{})
+	_, derr := d.Dictate(context.Background(), "select sales from employers")
+	var ierr *faultinject.InjectedError
+	if !errors.As(derr, &ierr) || ierr.Stage != faultinject.StageStream {
+		t.Fatalf("dictate under stream:error returned %v", derr)
+	}
+	if d.State() != StateIdle {
+		t.Errorf("rejected fragment moved state to %q", d.State())
+	}
+}
+
+func TestBroadcasterDropsWhenFull(t *testing.T) {
+	b := NewBroadcaster()
+	defer b.Close()
+	sub := b.Subscribe()
+	for i := 0; i < subscriberBuffer+10; i++ {
+		b.Publish(Event{Kind: "fragment", Seq: i})
+	}
+	sub.Cancel()
+	n := 0
+	for range sub.Events() {
+		n++
+	}
+	if n != subscriberBuffer {
+		t.Fatalf("received %d events, want the buffer's %d (rest dropped)", n, subscriberBuffer)
+	}
+}
+
+func TestBroadcasterCloseAndCancel(t *testing.T) {
+	b := NewBroadcaster()
+	s1, s2 := b.Subscribe(), b.Subscribe()
+	if b.Subscribers() != 2 {
+		t.Fatalf("subscribers = %d", b.Subscribers())
+	}
+	s1.Cancel()
+	s1.Cancel() // idempotent
+	if _, ok := <-s1.Events(); ok {
+		t.Error("cancelled subscriber channel still open")
+	}
+	b.Close()
+	b.Close() // idempotent
+	if _, ok := <-s2.Events(); ok {
+		t.Error("subscriber channel open after broadcaster close")
+	}
+	b.Publish(Event{Kind: "fragment"}) // no-op, must not panic
+	s3 := b.Subscribe()
+	if _, ok := <-s3.Events(); ok {
+		t.Error("subscribe after close returned an open channel")
+	}
+	s3.Cancel() // safe on an already-closed subscription
+}
+
+// TestBroadcasterConcurrency races publishers, subscribers, cancels, and a
+// close; run under -race this is the fan-out's safety net.
+func TestBroadcasterConcurrency(t *testing.T) {
+	b := NewBroadcaster()
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				b.Publish(Event{Kind: "fragment", Seq: i})
+			}
+		}()
+	}
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sub := b.Subscribe()
+			for i := 0; i < 50; i++ {
+				select {
+				case <-sub.Events():
+				case <-time.After(10 * time.Millisecond):
+				}
+			}
+			sub.Cancel()
+		}()
+	}
+	wg.Wait()
+	b.Close()
+}
+
+// TestCloseNeverBlocks: Close must return even while a correction holds the
+// dictation mutex — the TTL sweeper depends on it.
+func TestCloseNeverBlocks(t *testing.T) {
+	d := NewDictation(engine(t), Config{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			d.Dictate(context.Background(), "select first name from employees")
+		}
+	}()
+	done := make(chan struct{})
+	go func() {
+		d.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close blocked behind in-flight corrections")
+	}
+	wg.Wait()
+}

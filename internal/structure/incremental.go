@@ -1,0 +1,102 @@
+package structure
+
+// Incremental (clause-streaming) structure determination: the dictated
+// transcript grows a fragment at a time, and each re-determination reuses
+// the previous one's trie-search work through a trieindex.PrefixSearcher
+// instead of starting over. Preprocessing (spoken-form substitution, nested
+// splitting, masking) is recomputed over the full accumulated transcript on
+// every fragment — those passes are linear and, crucially, not always
+// append-only: a spoken form can merge tokens across the fragment boundary
+// ("less" + "than" → "<") and a newly detected nested SELECT rewrites the
+// outer query. When the new masked query is not a pure extension of the
+// previous one, the searcher resets and rebuilds (counted in
+// structure.stream_resets); otherwise only the masked suffix is searched
+// incrementally.
+
+import (
+	"context"
+	"strings"
+
+	"speakql/internal/faultinject"
+	"speakql/internal/obs"
+	"speakql/internal/sqltoken"
+	"speakql/internal/trieindex"
+)
+
+// Incremental determines structures for a transcript dictated fragment by
+// fragment. Results at every step are bit-identical to DetermineTopK on the
+// same accumulated transcript (TestIncrementalMatchesOneShot). Not safe for
+// concurrent use; the Component it came from is shared as usual.
+type Incremental struct {
+	c      *Component
+	k      int
+	ps     *trieindex.PrefixSearcher
+	raw    strings.Builder // accumulated raw transcript
+	masked []string        // previous fragment's masked outer query
+}
+
+// NewIncremental creates a fragment-driven determiner returning the k best
+// structures per fragment (k < 1 is clamped to 1).
+func (c *Component) NewIncremental(k int) *Incremental {
+	if k < 1 {
+		k = 1
+	}
+	return &Incremental{c: c, k: k, ps: c.ix.NewPrefixSearcher(k, c.opts)}
+}
+
+// Transcript returns the raw transcript accumulated so far.
+func (inc *Incremental) Transcript() string { return inc.raw.String() }
+
+// AppendFragment appends one dictated fragment to the transcript and
+// re-determines the structures for the whole accumulated transcript,
+// reusing the previous fragments' search work. The error channel carries
+// only the stage's fault-injection hook, as in DetermineTopKErr.
+func (inc *Incremental) AppendFragment(ctx context.Context, fragment string) ([]Result, error) {
+	if f := strings.TrimSpace(fragment); f != "" {
+		if inc.raw.Len() > 0 {
+			inc.raw.WriteByte(' ')
+		}
+		inc.raw.WriteString(f)
+	}
+	return inc.Redetermine(ctx)
+}
+
+// Redetermine re-runs determination over the accumulated transcript without
+// appending anything — used by finalize to retry a fragment that a deadline
+// degraded, at full fidelity.
+func (inc *Incremental) Redetermine(ctx context.Context) ([]Result, error) {
+	span := obs.StartSpan("structure.determine_incremental")
+	defer span.End()
+	if err := faultinject.Fire(faultinject.StageStructure); err != nil {
+		obs.Add("structure.injected_errors", 1)
+		return nil, err
+	}
+	toks := sqltoken.SubstituteSpokenForms(sqltoken.TokenizeTranscript(inc.raw.String()))
+	outer, inner := splitNested(toks)
+	masked := sqltoken.MaskGeneric(outer)
+	if suffix, ok := maskedSuffix(masked, inc.masked); ok {
+		inc.ps.Extend(suffix)
+	} else {
+		obs.Add("structure.stream_resets", 1)
+		inc.ps.Reset()
+		inc.ps.Extend(masked)
+	}
+	inc.masked = append(inc.masked[:0], masked...)
+	cands, stats := inc.ps.SearchContext(ctx)
+	recordSearchStats(stats)
+	innerStruct := inc.c.searchInner(ctx, inner)
+	return assembleResults(toks, cands, stats, innerStruct), nil
+}
+
+// maskedSuffix reports whether cur extends prev, and if so the new suffix.
+func maskedSuffix(cur, prev []string) ([]string, bool) {
+	if len(cur) < len(prev) {
+		return nil, false
+	}
+	for i, t := range prev {
+		if cur[i] != t {
+			return nil, false
+		}
+	}
+	return cur[len(prev):], true
+}

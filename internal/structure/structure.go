@@ -137,15 +137,30 @@ func (c *Component) DetermineTopKErr(ctx context.Context, transcript string, k i
 	masked := sqltoken.MaskGeneric(outer)
 	cands, stats := c.searchTopK(ctx, masked, k)
 	recordSearchStats(stats)
-	results := make([]Result, 0, len(cands))
-	var innerStruct []string
-	if inner != nil {
-		innerCands, innerStats := c.searchTopK(ctx, sqltoken.MaskGeneric(inner), 1)
-		recordSearchStats(innerStats)
-		if len(innerCands) > 0 {
-			innerStruct = innerCands[0].Tokens
-		}
+	innerStruct := c.searchInner(ctx, inner)
+	return assembleResults(toks, cands, stats, innerStruct), nil
+}
+
+// searchInner determines the structure of a split-off nested query (nil when
+// the transcript has none); the inner search always takes the cached
+// non-incremental path.
+func (c *Component) searchInner(ctx context.Context, inner []string) []string {
+	if inner == nil {
+		return nil
 	}
+	innerCands, innerStats := c.searchTopK(ctx, sqltoken.MaskGeneric(inner), 1)
+	recordSearchStats(innerStats)
+	if len(innerCands) == 0 {
+		return nil
+	}
+	return innerCands[0].Tokens
+}
+
+// assembleResults splices the nested structure (when present) into each
+// outer candidate and numbers the placeholders — the shared tail of the
+// one-shot and incremental determination paths.
+func assembleResults(toks []string, cands []trieindex.Result, stats trieindex.Stats, innerStruct []string) []Result {
+	results := make([]Result, 0, len(cands))
 	for _, cand := range cands {
 		st := cand.Tokens
 		if innerStruct != nil {
@@ -158,7 +173,7 @@ func (c *Component) DetermineTopKErr(ctx context.Context, transcript string, k i
 			Stats:      stats,
 		})
 	}
-	return results, nil
+	return results
 }
 
 // searchTopK runs the trie search through the memo cache, when one is

@@ -58,12 +58,21 @@ func (b *sharedBound) relax(d float64) {
 // ctx is checked before each partition claim; cancellation returns the best
 // results found so far after all workers drain (no goroutine outlives the
 // call).
-func (ix *Index) searchParallel(ctx context.Context, q []tokenID, qw []float64, k int, opts Options, order []int) ([]Result, Stats) {
+//
+// seed pre-tightens the shared bound before any worker starts (math.Inf(1)
+// means unseeded). Any sound upper bound on the global k-th-best distance is
+// admissible: the bound mechanism already prunes with <= against exactly such
+// bounds, so seeding changes which subtrees are explored but never which
+// results come back.
+func (ix *Index) searchParallel(ctx context.Context, q []tokenID, qw []float64, k int, opts Options, order []int, seed float64) ([]Result, Stats) {
 	workers := opts.Workers
 	if workers > len(order) {
 		workers = len(order)
 	}
 	shared := newSharedBound()
+	if !math.IsInf(seed, 1) {
+		shared.relax(seed)
+	}
 	searchers := make([]*searcher, workers)
 	stats := make([]Stats, workers)
 	var cursor atomic.Int64

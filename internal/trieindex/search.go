@@ -70,9 +70,35 @@ func (ix *Index) SearchTopKContext(ctx context.Context, maskOut []string, k int,
 		return nil, st
 	}
 	s := ix.getSearcher(maskOut, k, opts, &st)
-	if opts.INV {
+	return ix.runSearcher(ctx, s, math.Inf(1))
+}
+
+// searchTopKSeeded is SearchTopKContext over an already-interned query, with
+// the pruning bound pre-seeded to seed (+Inf means unseeded). The resumable
+// prefix search (resume.go) uses it: seeding with any upper bound on the
+// global k-th-best distance prunes more aggressively while provably keeping
+// the results bit-identical — see PrefixSearcher for the argument. The query
+// slices are borrowed, not owned; the caller must keep them alive for the
+// duration of the call.
+func (ix *Index) searchTopKSeeded(ctx context.Context, q []tokenID, qw []float64, k int, opts Options, seed float64) ([]Result, Stats) {
+	var st Stats
+	if k <= 0 || ix.total == 0 || ctx.Err() != nil {
+		return nil, st
+	}
+	s := ix.newPooledSearcher(k, opts, &st)
+	s.adoptQuery(q, qw)
+	return ix.runSearcher(ctx, s, seed)
+}
+
+// runSearcher drives a prepared searcher through the INV fast path and the
+// bidirectional partition sweep (serial or parallel), recycles it, and
+// returns results plus stats. bound pre-seeds the shared best-distance bound
+// used for pruning; math.Inf(1) reproduces the unseeded search exactly.
+func (ix *Index) runSearcher(ctx context.Context, s *searcher, bound float64) ([]Result, Stats) {
+	if s.opts.INV {
 		if s.searchINV() {
-			st.UsedINV = true
+			s.st.UsedINV = true
+			st := *s.st
 			out := s.results()
 			ix.putSearcher(s)
 			return out, st
@@ -82,10 +108,18 @@ func (ix *Index) SearchTopKContext(ctx context.Context, maskOut []string, k int,
 	// Trying the closest lengths first makes the BDB threshold tighten
 	// quickly — serially and in parallel alike.
 	order := s.partitionOrder(len(s.q))
-	if opts.Workers > 1 && len(order) > 1 {
-		out, pst := ix.searchParallel(ctx, s.q, s.qw, k, opts, order)
+	if s.opts.Workers > 1 && len(order) > 1 {
+		out, pst := ix.searchParallel(ctx, s.q, s.qw, s.k, s.opts, order, bound)
 		ix.putSearcher(s)
 		return out, pst
+	}
+	if !math.IsInf(bound, 1) {
+		// Serial searches normally run without a shared bound; a seeded one
+		// borrows the cross-partition mechanism (and its tie-preserving
+		// d <= bound prune) to carry the seed.
+		sb := newSharedBound()
+		sb.relax(bound)
+		s.shared = sb
 	}
 	for _, n := range order {
 		if ctx.Err() != nil {
@@ -93,6 +127,7 @@ func (ix *Index) SearchTopKContext(ctx context.Context, maskOut []string, k int,
 		}
 		s.searchLen(n)
 	}
+	st := *s.st
 	out := s.results()
 	ix.putSearcher(s)
 	return out, st

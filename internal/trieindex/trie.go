@@ -344,4 +344,3 @@ func countNodes(n *node) int {
 	}
 	return total
 }
-

@@ -86,13 +86,18 @@ func CatalogOf(db *sqlengine.Database) *Catalog {
 	return literal.NewCatalog(db.TableNames(), db.AttributeNames(), db.StringValues(0))
 }
 
-// Grammar scale presets (Section 3.2's structure generator). TestGrammar
-// builds in milliseconds (~12k structures); DefaultGrammar is the
-// experiment default (~0.45M); PaperGrammar approximates the paper's
-// corpus (~3.6M structures, ≤50 tokens).
-func TestGrammar() GrammarConfig    { return grammar.TestScale() }
+// TestGrammar is the smallest grammar scale preset (Section 3.2's
+// structure generator): ~12k structures, built in milliseconds — the right
+// choice for tests and examples.
+func TestGrammar() GrammarConfig { return grammar.TestScale() }
+
+// DefaultGrammar is the experiment-default grammar scale (~0.45M
+// structures).
 func DefaultGrammar() GrammarConfig { return grammar.DefaultScale() }
-func PaperGrammar() GrammarConfig   { return grammar.PaperScale() }
+
+// PaperGrammar approximates the paper's structure corpus (~3.6M
+// structures, ≤50 tokens).
+func PaperGrammar() GrammarConfig { return grammar.PaperScale() }
 
 // Tokenize splits a written SQL query into the token multiset the paper's
 // accuracy metrics are defined over.
