@@ -20,9 +20,12 @@
 // per-artifact wall-clock, and the cache hit rate — for the perf trajectory
 // (CI uploads it as an artifact). The suite includes vote_indexed_yelp /
 // vote_naive_yelp, literal determination over a Yelp-scale catalog on both
-// voting paths, and stream_fragment, one full clause-streaming dictation
+// voting paths; stream_fragment, one full clause-streaming dictation
 // (fragment session + three clauses + finalize) through the incremental
-// pipeline. -faults SPEC (or the SPEAKQL_FAULTS environment variable)
+// pipeline; and the tenant registry triple tenant_warm_hit /
+// tenant_cold_load / tenant_evict_reload, the resident-lookup, persist-file
+// reload, and full put+evict+reload cycle costs of the multi-tenant
+// catalog registry through a capacity-1 LRU. -faults SPEC (or the SPEAKQL_FAULTS environment variable)
 // arms the deterministic fault injectors of internal/faultinject, for
 // rehearsing degraded runs reproducibly — off by default at zero cost.
 // Artifact ids: table2, figure6, figure7 (incl. figure12),
@@ -45,6 +48,7 @@ import (
 	"speakql/internal/experiments"
 	"speakql/internal/faultinject"
 	"speakql/internal/literal"
+	"speakql/internal/registry"
 	"speakql/internal/trieindex"
 )
 
@@ -230,6 +234,87 @@ func microBench(env *experiments.Env, workers int) []microResult {
 	}
 	out = append(out, streamMicroBench(env))
 	out = append(out, voteMicroBench()...)
+	out = append(out, tenantMicroBench(env)...)
+	return out
+}
+
+// tenantMicroBench times the multi-tenant registry's three steady-state
+// paths against a capacity-1 LRU with two tenants, so every acquire of the
+// non-resident tenant is a disk round trip: tenant_warm_hit (resident
+// lookup, the per-request overhead every scoped correction pays),
+// tenant_cold_load (persist-file read + catalog index rebuild), and
+// tenant_evict_reload (a full churn cycle: write-through put of one tenant,
+// LRU eviction of the other, then its cold reload).
+func tenantMicroBench(env *experiments.Env) []microResult {
+	dir, err := os.MkdirTemp("", "speakql-bench-tenants-*")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tenant micro-bench: %v\n", err)
+		return nil
+	}
+	defer os.RemoveAll(dir)
+	reg, err := registry.New(registry.Config{
+		Shared: registry.Shared{
+			Structure:    env.Structure,
+			Cache:        env.Cache,
+			TopKLiterals: 5,
+		},
+		MaxLive: 1,
+		Dir:     dir,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tenant micro-bench: %v\n", err)
+		return nil
+	}
+	dbs := dataset.Schemas(2, 7)
+	ids := make([]string, len(dbs))
+	cats := make([]*literal.Catalog, len(dbs))
+	for i, db := range dbs {
+		ids[i] = db.Name
+		cats[i] = literal.NewCatalog(db.TableNames(), db.AttributeNames(), db.StringValues(0))
+		if _, err := reg.Put(ids[i], cats[i]); err != nil {
+			fmt.Fprintf(os.Stderr, "tenant micro-bench: put %s: %v\n", ids[i], err)
+			return nil
+		}
+	}
+	acquire := func(id string) bool {
+		if _, err := reg.Acquire(id); err != nil {
+			fmt.Fprintf(os.Stderr, "tenant micro-bench: acquire %s: %v\n", id, err)
+			return false
+		}
+		return true
+	}
+	var out []microResult
+	// After the puts only ids[1] is resident (capacity 1).
+	out = append(out, runMicro("tenant_warm_hit", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if !acquire(ids[1]) {
+				b.FailNow()
+			}
+		}
+	}))
+	out = append(out, runMicro("tenant_cold_load", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// Alternating through a capacity-1 LRU makes every acquire a
+			// cold load that also evicts the other tenant.
+			if !acquire(ids[i%2]) {
+				b.FailNow()
+			}
+		}
+	}))
+	out = append(out, runMicro("tenant_evict_reload", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := reg.Put(ids[0], cats[0]); err != nil {
+				fmt.Fprintf(os.Stderr, "tenant micro-bench: %v\n", err)
+				b.FailNow()
+			}
+			if !acquire(ids[1]) {
+				b.FailNow()
+			}
+		}
+	}))
 	return out
 }
 

@@ -8,6 +8,13 @@
 // Usage:
 //
 //	speakql-datagen [-db employees|yelp] [-n 500] [-seed 42] [-scale test|default|paper]
+//	speakql-datagen -schemas 8 [-n 500] [-seed 42] [-scale ...]
+//
+// With -schemas N the generator emits a deterministic multi-schema corpus
+// instead: N databases cycling the built-in shapes (dataset.Schemas), -n
+// queries generated against each, every line tagged with its schema's name
+// in the Schema field so a multi-tenant harness can route queries to
+// tenants.
 package main
 
 import (
@@ -25,6 +32,7 @@ func main() {
 	n := flag.Int("n", 500, "number of queries")
 	seed := flag.Int64("seed", 42, "generation seed")
 	scale := flag.String("scale", "default", "grammar scale bounding query shapes")
+	schemas := flag.Int("schemas", 0, "emit a multi-schema corpus over N generated databases (overrides -db)")
 	flag.Parse()
 
 	var db *sqlengine.Database
@@ -48,6 +56,20 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -scale %q\n", *scale)
 		os.Exit(2)
+	}
+
+	if *schemas > 0 {
+		for i, sdb := range dataset.Schemas(*schemas, *seed) {
+			qs := dataset.GenerateQueries(sdb, dataset.GenConfig{Grammar: gcfg, N: *n, Seed: *seed + int64(i)})
+			for j := range qs {
+				qs[j].Schema = sdb.Name
+			}
+			if err := dataset.WriteQueries(os.Stdout, qs); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		return
 	}
 
 	qs := dataset.GenerateQueries(db, dataset.GenConfig{Grammar: gcfg, N: *n, Seed: *seed})

@@ -12,11 +12,26 @@
 //	POST /api/execute         {"sql": "SELECT ..."}
 //	GET  /api/schema
 //	GET  /api/stats
+//	GET  /api/tenants                                           (list)
+//	PUT  /api/tenants/{id}    {"tables": [...], "attributes": [...], ...}
+//	GET  /api/tenants/{id}
+//	PATCH /api/tenants/{id}   {"add_values": [...], ...}        (incremental)
+//	DELETE /api/tenants/{id}
 //
 // Usage: speakql-server [-addr :8080] [-db employees|yelp]
 // [-scale test|default|paper] [-workers n] [-timeout 10s] [-cachesize 1024]
 // [-literal-index=true|false] [-max-inflight n] [-max-queue n]
 // [-session-ttl d] [-drain-timeout d] [-faults SPEC] [-pprof]
+// [-max-tenants n] [-tenant-dir DIR]
+//
+// Multi-tenancy: the structure index, its searcher pools, and the search
+// memo cache are schema-agnostic and shared by every tenant; only the
+// literal catalog is per-tenant. Register catalogs via PUT /api/tenants/{id}
+// and scope any correction endpoint with ?tenant=ID or the X-SpeakQL-Tenant
+// header (unscoped requests hit the pinned seed tenant "default", the -db
+// schema). -max-tenants bounds resident tenants with an LRU; evicted
+// catalogs persist under -tenant-dir and lazy-load on next use. Without
+// -tenant-dir nothing is ever evicted and tenants do not survive restarts.
 //
 // Clause streaming: /api/stream/dictate corrects one dictated fragment at a
 // time, reusing the previous fragments' search and voting work;
@@ -68,6 +83,7 @@ import (
 	"speakql/internal/faultinject"
 	"speakql/internal/grammar"
 	"speakql/internal/httpapi"
+	"speakql/internal/registry"
 	"speakql/internal/sqlengine"
 	"speakql/internal/structure"
 	"speakql/internal/trieindex"
@@ -97,6 +113,10 @@ func main() {
 	faults := flag.String("faults", "",
 		"deterministic fault-injection spec, e.g. 'seed=7;structure:latency=5ms@0.1,error@0.05' (empty disables; SPEAKQL_FAULTS is the env fallback)")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
+	maxTenants := flag.Int("max-tenants", 64,
+		"max tenant catalogs resident in memory at once; least-recently-used tenants beyond this are evicted to -tenant-dir (0 disables eviction)")
+	tenantDir := flag.String("tenant-dir", "",
+		"directory persisting tenant catalogs across restarts and evictions (empty keeps every registered tenant resident)")
 	flag.Parse()
 
 	spec := *faults
@@ -161,7 +181,26 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	// Multi-tenant registry: the engine's structure component and search
+	// cache are the shared, schema-agnostic half every tenant reuses; the
+	// demo database becomes the pinned seed tenant "default".
+	reg, err := registry.New(registry.Config{
+		Shared: registry.Shared{
+			Structure:           eng.StructureComponent(),
+			Cache:               eng.SearchCache(),
+			TopKLiterals:        5,
+			DisableLiteralIndex: !*literalIndex,
+		},
+		MaxLive: *maxTenants,
+		Dir:     *tenantDir,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	reg.SetSeed("default", eng, eng.Catalog())
+
 	srv := httpapi.New(eng, db)
+	srv.SetRegistry(reg)
 	srv.SetRequestTimeout(*timeout)
 	srv.SetAdmission(*maxInflight, *maxQueue)
 	srv.SetSessionTTL(*sessionTTL)
@@ -174,8 +213,8 @@ func main() {
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s (db=%s, search-workers=%d, request-timeout=%s, cachesize=%d, literal-index=%v, max-inflight=%d, max-queue=%d, session-ttl=%s)",
-			*addr, db.Name, *workers, *timeout, *cacheSize, *literalIndex, *maxInflight, *maxQueue, *sessionTTL)
+		log.Printf("listening on %s (db=%s, search-workers=%d, request-timeout=%s, cachesize=%d, literal-index=%v, max-inflight=%d, max-queue=%d, session-ttl=%s, max-tenants=%d, tenant-dir=%q)",
+			*addr, db.Name, *workers, *timeout, *cacheSize, *literalIndex, *maxInflight, *maxQueue, *sessionTTL, *maxTenants, *tenantDir)
 		errCh <- hs.ListenAndServe()
 	}()
 

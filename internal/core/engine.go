@@ -126,6 +126,16 @@ func (e *Engine) EnableSearchCache(size int) *SearchLRU {
 	return e.cache
 }
 
+// AdoptSearchCache records an existing shared cache as this engine's cache
+// without creating or reinstalling anything: the cache lives on the shared
+// structure component, which already consults it for every engine built
+// around that component. The tenant registry uses this so all per-tenant
+// engines report the one process-wide SearchLRU (the cache key is the
+// masked transcript plus k — schema-independent — so sharing across
+// tenants is sound). Contrast EnableSearchCache, which creates a NEW cache
+// and must not be called on engines sharing a component.
+func (e *Engine) AdoptSearchCache(c *SearchLRU) { e.cache = c }
+
 // SearchCache returns the engine's structure-search cache, nil when
 // caching is disabled.
 func (e *Engine) SearchCache() *SearchLRU { return e.cache }

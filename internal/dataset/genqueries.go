@@ -19,6 +19,11 @@ type SpokenQuery struct {
 	Tokens    []string
 	Structure []string // generic-masked ground truth structure
 	Spoken    []string
+	// Schema names the database the query was generated against; set by
+	// multi-schema corpora (speakql-datagen -schemas) so a multi-tenant
+	// harness can route each query to its tenant. Empty in single-schema
+	// corpora, keeping their files byte-identical to earlier releases.
+	Schema string `json:",omitempty"`
 }
 
 // GenConfig configures query generation (Section 6.1, steps 2–5).

@@ -1,0 +1,55 @@
+package dataset
+
+// multischema.go generates families of distinct database schemas for
+// multi-tenant experiments: N databases cycling over the three base shapes
+// (Employees, Yelp, Hospital) with per-index scale and seed variation, each
+// uniquely named, so a tenant-per-schema registry can be exercised with a
+// corpus whose queries carry their schema's name.
+
+import (
+	"fmt"
+
+	"speakql/internal/sqlengine"
+)
+
+// Schemas generates n deterministic databases for multi-tenant runs: index
+// i cycles over the Employees/Yelp/Hospital shapes with sizes and seeds
+// varied per index, and each database is renamed "<shape>_<i>" (zero
+// padded) so schema names double as tenant IDs. The same (n, seed) always
+// yields the same databases.
+func Schemas(n int, seed int64) []*sqlengine.Database {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]*sqlengine.Database, 0, n)
+	for i := 0; i < n; i++ {
+		// A large odd stride keeps per-index seeds distinct even when the
+		// caller's seeds are consecutive.
+		s := seed + int64(i)*1_000_003
+		var db *sqlengine.Database
+		switch i % 3 {
+		case 0:
+			db = NewEmployeesDB(EmployeesConfig{
+				Employees:   120 + 40*(i%5),
+				Departments: 4 + i%4,
+				Seed:        s,
+			})
+		case 1:
+			db = NewYelpDB(YelpConfig{
+				Businesses: 80 + 30*(i%5),
+				Users:      80 + 20*(i%4),
+				Reviews:    200 + 60*(i%5),
+				Seed:       s,
+			})
+		default:
+			db = NewHospitalDB(HospitalConfig{
+				Patients:   90 + 30*(i%5),
+				Admissions: 180 + 50*(i%4),
+				Seed:       s,
+			})
+		}
+		db.Name = fmt.Sprintf("%s_%03d", db.Name, i)
+		out = append(out, db)
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+
+	"speakql/internal/grammar"
+)
+
+func TestSchemasDeterministicAndDistinct(t *testing.T) {
+	a := Schemas(7, 11)
+	b := Schemas(7, 11)
+	if len(a) != 7 || len(b) != 7 {
+		t.Fatalf("lengths %d, %d, want 7", len(a), len(b))
+	}
+	names := map[string]bool{}
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			t.Fatalf("schema %d name differs across runs: %q vs %q", i, a[i].Name, b[i].Name)
+		}
+		if names[a[i].Name] {
+			t.Fatalf("duplicate schema name %q", a[i].Name)
+		}
+		names[a[i].Name] = true
+		if len(a[i].Tables()) == 0 {
+			t.Fatalf("schema %q has no tables", a[i].Name)
+		}
+	}
+	// Same (n, seed) must yield identical corpora end to end, not just names.
+	qa := GenerateQueries(a[3], GenConfig{Grammar: grammar.TestScale(), N: 20, Seed: 11})
+	qb := GenerateQueries(b[3], GenConfig{Grammar: grammar.TestScale(), N: 20, Seed: 11})
+	var bufA, bufB bytes.Buffer
+	if err := WriteQueries(&bufA, qa); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteQueries(&bufB, qb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Fatal("corpora for identical schemas differ")
+	}
+}
+
+func TestSchemasEdgeCases(t *testing.T) {
+	if got := Schemas(0, 1); got != nil {
+		t.Fatalf("Schemas(0) = %v, want nil", got)
+	}
+	if got := Schemas(-3, 1); got != nil {
+		t.Fatalf("Schemas(-3) = %v, want nil", got)
+	}
+	// Different seeds keep the same names (deterministic naming) but may
+	// differ in content; at minimum they must still be valid databases.
+	x := Schemas(3, 1)
+	y := Schemas(3, 999)
+	for i := range x {
+		if x[i].Name != y[i].Name {
+			t.Fatalf("naming depends on seed: %q vs %q", x[i].Name, y[i].Name)
+		}
+	}
+}
+
+func TestSchemaFieldRoundTrips(t *testing.T) {
+	dbs := Schemas(2, 5)
+	qs := GenerateQueries(dbs[1], GenConfig{Grammar: grammar.TestScale(), N: 5, Seed: 5})
+	for i := range qs {
+		qs[i].Schema = dbs[1].Name
+	}
+	var buf bytes.Buffer
+	if err := WriteQueries(&buf, qs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadQueries(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(qs) {
+		t.Fatalf("read %d queries, want %d", len(got), len(qs))
+	}
+	for i, q := range got {
+		if q.Schema != dbs[1].Name {
+			t.Fatalf("query %d schema %q, want %q", i, q.Schema, dbs[1].Name)
+		}
+	}
+	// Single-schema corpora must stay byte-identical to earlier releases:
+	// an unset Schema field is omitted from the JSON entirely.
+	plain := GenerateQueries(dbs[0], GenConfig{Grammar: grammar.TestScale(), N: 1, Seed: 5})
+	var pb bytes.Buffer
+	if err := WriteQueries(&pb, plain); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(pb.Bytes(), []byte(`"Schema"`)) {
+		t.Fatal("unset Schema field leaked into single-schema corpus JSON")
+	}
+}

@@ -20,7 +20,7 @@
 //
 //	spec    := clause (';' clause)*
 //	clause  := 'seed=' uint | stage ':' fault (',' fault)*
-//	stage   := 'structure' | 'literal' | 'cache' | 'stream'
+//	stage   := 'structure' | 'literal' | 'cache' | 'stream' | 'registry'
 //	fault   := kind ['=' value] ['@' probability]
 //	kind    := 'latency' | 'error' | 'panic'
 //	value   := Go duration, latency only (default 1ms)
@@ -55,10 +55,14 @@ const (
 	// fragment enters the correction pipeline — the hook the SSE chaos tests
 	// use to rehearse flaky clause streams.
 	StageStream = "stream"
+	// StageRegistry fires on the tenant registry's load and evict paths —
+	// the hook the tenant-churn chaos tests use to rehearse failed lazy
+	// loads and evict-time faults without a corrupt disk.
+	StageRegistry = "registry"
 )
 
 // stages is the closed set of valid hook points.
-var stages = []string{StageStructure, StageLiteral, StageCache, StageStream}
+var stages = []string{StageStructure, StageLiteral, StageCache, StageStream, StageRegistry}
 
 // InjectedError is the error value forced by an error fault. Callers that
 // need to distinguish rehearsed failures from organic ones can errors.As

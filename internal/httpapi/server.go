@@ -39,6 +39,7 @@ import (
 	"speakql/internal/core"
 	"speakql/internal/faultinject"
 	"speakql/internal/obs"
+	"speakql/internal/registry"
 	"speakql/internal/session"
 	"speakql/internal/sqlengine"
 	"speakql/internal/stream"
@@ -58,6 +59,11 @@ const maxBodyBytes = 1 << 20
 type sessionEntry struct {
 	mu   sync.Mutex
 	sess *session.Session
+	// tenant is the owning tenant's ID, fixed at session creation: evicting
+	// or deleting that tenant closes this session's event feed, and the
+	// session keeps correcting against the catalog it was created with (the
+	// tenant handed out at creation is immutable).
+	tenant string
 	// events fans the session's clause-streaming snapshots out to SSE
 	// subscribers. Created with the entry and owned by the Server (not the
 	// session) so eviction and shutdown can close it — ending every
@@ -82,6 +88,11 @@ type Server struct {
 	reg     *obs.Registry
 	pprof   bool
 	gate    *gate // nil = unbounded admission
+
+	// tenants is the multi-tenant schema registry; nil serves the single
+	// seed engine only (tenant headers naming anything else get 404).
+	tenants *registry.Registry
+	seedID  string // tenant ID requests resolve to when they name none
 
 	ready atomic.Bool // served by /readyz; starts true (engine is built)
 
@@ -159,6 +170,72 @@ func (s *Server) Close() {
 	})
 }
 
+// SetRegistry installs the multi-tenant schema registry: every endpoint
+// becomes tenant-scoped (X-SpeakQL-Tenant header or ?tenant= param,
+// defaulting to the registry's seed tenant), the tenant lifecycle routes
+// under /api/tenants go live, and evicting or deleting a tenant closes its
+// sessions' event feeds. Call before Handler.
+func (s *Server) SetRegistry(reg *registry.Registry) {
+	s.tenants = reg
+	s.seedID = reg.SeedID()
+	reg.SetEvictHook(s.closeTenantSessions)
+}
+
+// closeTenantSessions drops every session owned by a tenant and closes
+// their event broadcasters, ending their SSE feeds — an evicted tenant
+// must not keep feeding a display that can no longer dictate to it. The
+// broadcasters close outside s.mu (each has its own lock), so an in-flight
+// correction cannot wedge an eviction.
+func (s *Server) closeTenantSessions(tenant string) {
+	var closing []*sessionEntry
+	s.mu.Lock()
+	for id, e := range s.sessions {
+		if e.tenant == tenant {
+			delete(s.sessions, id)
+			closing = append(closing, e)
+		}
+	}
+	s.mu.Unlock()
+	for _, e := range closing {
+		e.events.Close()
+	}
+	if n := len(closing); n > 0 {
+		s.reg.Add("sessions_evicted", int64(n))
+	}
+}
+
+// tenantFor resolves the request's tenant: the ?tenant= query parameter
+// wins, then the X-SpeakQL-Tenant header, then the seed tenant. Without a
+// registry only the seed (or an empty/default name) resolves, preserving
+// the single-tenant behavior. Each resolution bumps the per-tenant request
+// counter (tenant.<id>.requests).
+func (s *Server) tenantFor(r *http.Request) (*registry.Tenant, error) {
+	id := r.URL.Query().Get("tenant")
+	if id == "" {
+		id = r.Header.Get("X-SpeakQL-Tenant")
+	}
+	if s.tenants == nil {
+		seed := s.seedID
+		if seed == "" {
+			seed = "default"
+		}
+		if id != "" && id != seed {
+			return nil, fmt.Errorf("%w: %q", registry.ErrUnknownTenant, id)
+		}
+		s.reg.Add("tenant."+seed+".requests", 1)
+		return &registry.Tenant{ID: seed, Engine: s.engine, Catalog: s.engine.Catalog()}, nil
+	}
+	if id == "" {
+		id = s.seedID
+	}
+	t, err := s.tenants.Acquire(id)
+	if err != nil {
+		return nil, err
+	}
+	s.reg.Add("tenant."+t.ID+".requests", 1)
+	return t, nil
+}
+
 // EnablePprof mounts net/http/pprof's handlers under /debug/pprof/ on the
 // next Handler call, so search hot spots can be profiled in situ. Off by
 // default: the profile endpoints expose internals and cost CPU, so they are
@@ -223,9 +300,10 @@ func (s *Server) gated(h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// Handler returns the API's http.Handler and starts the idle-session
+// Handler returns the API's handler — the routed endpoints wrapped in the
+// JSON not-found/method-not-allowed fallback — and starts the idle-session
 // sweeper when a TTL is configured.
-func (s *Server) Handler() *http.ServeMux {
+func (s *Server) Handler() http.Handler {
 	s.startSweeper()
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /api/correct", s.withRecover(s.gated(s.handleCorrect)))
@@ -239,6 +317,11 @@ func (s *Server) Handler() *http.ServeMux {
 	mux.HandleFunc("GET /api/schema", s.withRecover(s.handleSchema))
 	mux.HandleFunc("GET /api/keyboard", s.withRecover(s.handleKeyboard))
 	mux.HandleFunc("GET /api/stats", s.withRecover(s.handleStats))
+	mux.HandleFunc("GET /api/tenants", s.withRecover(s.handleTenantList))
+	mux.HandleFunc("PUT /api/tenants/{id}", s.withRecover(s.handleTenantPut))
+	mux.HandleFunc("GET /api/tenants/{id}", s.withRecover(s.handleTenantGet))
+	mux.HandleFunc("PATCH /api/tenants/{id}", s.withRecover(s.handleTenantPatch))
+	mux.HandleFunc("DELETE /api/tenants/{id}", s.withRecover(s.handleTenantDelete))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /{$}", s.handleIndex)
@@ -249,7 +332,57 @@ func (s *Server) Handler() *http.ServeMux {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	return mux
+	return jsonFallback(mux)
+}
+
+// fallbackMethods is the method set jsonFallback probes to distinguish "no
+// such route" from "route exists, wrong method".
+var fallbackMethods = []string{
+	http.MethodGet, http.MethodHead, http.MethodPost,
+	http.MethodPut, http.MethodPatch, http.MethodDelete,
+}
+
+// jsonFallback wraps a ServeMux so unmatched requests get the same JSON
+// error envelope every API error uses, instead of net/http's plain-text
+// bodies: 405 with an Allow header when the path exists under some other
+// method, 404 otherwise. API clients parse {"error": ...} uniformly; a
+// content-type flip on exactly the error paths is how JSON parsing blows
+// up in the display.
+func jsonFallback(mux *http.ServeMux) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, pattern := mux.Handler(r); pattern != "" {
+			mux.ServeHTTP(w, r)
+			return
+		}
+		// The mux matched nothing. Probe the other methods with shallow
+		// request copies: any hit means the path exists and this is a method
+		// mismatch (405 + Allow), no hit means the path is unknown (404).
+		var allowed []string
+		for _, m := range fallbackMethods {
+			if m == r.Method {
+				continue
+			}
+			probe := *r
+			probe.Method = m
+			if _, pattern := mux.Handler(&probe); pattern != "" {
+				if m == http.MethodHead && len(allowed) > 0 && allowed[len(allowed)-1] == http.MethodGet {
+					continue // GET patterns always match HEAD; don't double-list
+				}
+				allowed = append(allowed, m)
+			}
+		}
+		if len(allowed) > 0 {
+			w.Header().Set("Allow", strings.Join(allowed, ", "))
+			writeJSON(w, http.StatusMethodNotAllowed, map[string]string{
+				"error": fmt.Sprintf("method %s not allowed for %s (allowed: %s)",
+					r.Method, r.URL.Path, strings.Join(allowed, ", ")),
+			})
+			return
+		}
+		writeJSON(w, http.StatusNotFound, map[string]string{
+			"error": fmt.Sprintf("no such route %s", r.URL.Path),
+		})
+	})
 }
 
 // startSweeper launches the idle-session eviction loop once, at a quarter
@@ -362,8 +495,13 @@ func (s *Server) handleCorrect(w http.ResponseWriter, r *http.Request) {
 	if req.TopK < 1 {
 		req.TopK = 1
 	}
+	t, err := s.tenantFor(r)
+	if err != nil {
+		writeTenantErr(w, err)
+		return
+	}
 	ctx := r.Context()
-	out := s.engine.CorrectTopKContext(ctx, req.Transcript, req.TopK)
+	out := t.Engine.CorrectTopKContext(ctx, req.Transcript, req.TopK)
 	if out.Err != nil {
 		writeJSON(w, http.StatusInternalServerError, map[string]any{
 			"error":       out.Err.Error(),
@@ -386,19 +524,25 @@ func (s *Server) handleCorrect(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleNewSession(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"id": s.newSession()})
+	t, err := s.tenantFor(r)
+	if err != nil {
+		writeTenantErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"id": s.newSession(t), "tenant": t.ID})
 }
 
-// newSession creates a session entry — display session, event broadcaster,
-// streaming config — and registers it under a fresh id. The entry is fully
-// wired before it becomes visible in the map, so concurrent requests never
-// see a session without its broadcaster.
-func (s *Server) newSession() string {
+// newSession creates a session entry — display session (correcting against
+// the tenant's engine), event broadcaster, streaming config — and registers
+// it under a fresh id. The entry is fully wired before it becomes visible
+// in the map, so concurrent requests never see a session without its
+// broadcaster.
+func (s *Server) newSession(t *registry.Tenant) string {
 	s.mu.Lock()
 	s.nextID++
 	id := "s" + strconv.Itoa(s.nextID)
 	s.mu.Unlock()
-	entry := &sessionEntry{sess: session.New(s.engine), events: stream.NewBroadcaster()}
+	entry := &sessionEntry{sess: session.New(t.Engine), events: stream.NewBroadcaster(), tenant: t.ID}
 	entry.sess.SetStreamConfig(stream.Config{Events: entry.events, Session: id})
 	entry.touch()
 	s.mu.Lock()
@@ -407,13 +551,17 @@ func (s *Server) newSession() string {
 	return id
 }
 
-// session looks up a session entry, refreshing its idle timestamp.
+// session looks up a session entry, refreshing its idle timestamp and
+// bumping the owning tenant's request counter.
 func (s *Server) session(id string) (*sessionEntry, bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	entry, ok := s.sessions[id]
 	if ok {
 		entry.touch()
+	}
+	s.mu.Unlock()
+	if ok && entry.tenant != "" {
+		s.reg.Add("tenant."+entry.tenant+".requests", 1)
 	}
 	return entry, ok
 }
@@ -522,6 +670,18 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	t, err := s.tenantFor(r)
+	if err != nil {
+		writeTenantErr(w, err)
+		return
+	}
+	// Only the seed tenant has a demo database behind it; other tenants
+	// register schemas, not data.
+	if t.ID != s.seedID && !(s.seedID == "" && s.tenants == nil) {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("tenant %q has no executable database (execution is seed-tenant only)", t.ID))
+		return
+	}
 	res, err := sqlengine.Run(s.db, req.SQL)
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, err)
@@ -539,17 +699,33 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
-	tables := map[string][]string{}
-	for _, t := range s.db.Tables() {
-		var cols []string
-		for _, c := range t.Cols {
-			cols = append(cols, c.Name+" "+c.Type.String())
+	t, err := s.tenantFor(r)
+	if err != nil {
+		writeTenantErr(w, err)
+		return
+	}
+	// The seed tenant fronts the demo database and reports typed columns;
+	// registered tenants have only their catalog — table and attribute
+	// names — which is exactly what the SQL Keyboard needs.
+	if t.ID == s.seedID || s.tenants == nil {
+		tables := map[string][]string{}
+		for _, tb := range s.db.Tables() {
+			var cols []string
+			for _, c := range tb.Cols {
+				cols = append(cols, c.Name+" "+c.Type.String())
+			}
+			tables[tb.Name] = cols
 		}
-		tables[t.Name] = cols
+		writeJSON(w, http.StatusOK, map[string]any{
+			"database": s.db.Name,
+			"tables":   tables,
+		})
+		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"database": s.db.Name,
-		"tables":   tables,
+		"database":   t.ID,
+		"tables":     t.Catalog.Tables(),
+		"attributes": t.Catalog.Attributes(),
 	})
 }
 
@@ -618,6 +794,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.gate != nil {
 		resp["admission"] = s.gate.stats()
+	}
+	// The registry block groups multi-tenancy: residency against the LRU
+	// bound, lifecycle counters (cold loads, warm hits, evictions, dedup'd
+	// loads), and the per-tenant request labels.
+	if s.tenants != nil {
+		rs := s.tenants.Stats()
+		resp["registry"] = map[string]any{
+			"resident":   rs.Resident,
+			"capacity":   rs.Capacity,
+			"known":      rs.Known,
+			"loading":    rs.Loading,
+			"persistent": rs.Persistent,
+			"seed":       s.seedID,
+			"counters":   snap.CountersWithPrefix("registry."),
+			"tenants":    snap.CountersWithPrefix("tenant."),
+		}
 	}
 	if c := s.engine.SearchCache(); c != nil {
 		cs := c.Stats()

@@ -70,7 +70,12 @@ func (s *Server) handleStreamDictate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.ID == "" {
-		req.ID = s.newSession()
+		t, terr := s.tenantFor(r)
+		if terr != nil {
+			writeTenantErr(w, terr)
+			return
+		}
+		req.ID = s.newSession(t)
 	}
 	entry, ok := s.session(req.ID)
 	if !ok {

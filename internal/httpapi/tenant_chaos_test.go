@@ -1,0 +1,299 @@
+package httpapi
+
+// tenant_chaos_test.go is the multi-tenant churn chaos suite: many workers
+// interleaving tenant creates, corrections, streaming dictations, SSE
+// subscriptions, deletes, and forced evict/reload cycles against a small
+// LRU, with the registry fault stage injecting latency into loads. The
+// assertions are the tenancy resilience contract: live arenas stay bounded
+// by the LRU capacity throughout, evicting or deleting a tenant closes its
+// sessions' event feeds, no session wedges, every response is well-formed,
+// and the goroutine count returns to baseline when the churn ends.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"speakql/internal/faultinject"
+	"speakql/internal/registry"
+	"speakql/internal/stream"
+)
+
+const churnTenants = 50
+const churnMaxLive = 8
+
+// jsonBody encodes a request body for hand-built requests (the ones that
+// need tenant headers).
+func jsonBody(t *testing.T, v any) *bytes.Reader {
+	t.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(raw)
+}
+
+// churnTenantBody builds tenant i's registration payload: distinct tables
+// and values so cross-tenant leakage would be visible in corrections.
+func churnTenantBody(i int) map[string]any {
+	return map[string]any{
+		"tables":     []string{fmt.Sprintf("Orders%d", i), "Customers"},
+		"attributes": []string{"OrderTotal", "CustomerName"},
+		"values":     []string{fmt.Sprintf("Widget%d", i), "John", "Jon"},
+	}
+}
+
+func TestTenantChurn(t *testing.T) {
+	api := newAPIServer(t, 64)
+	eng := api.engine
+	reg, err := registry.New(registry.Config{
+		Shared: registry.Shared{
+			Structure:    eng.StructureComponent(),
+			Cache:        eng.SearchCache(),
+			TopKLiterals: 5,
+		},
+		MaxLive: churnMaxLive,
+		Dir:     t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.SetSeed("default", eng, eng.Catalog())
+	api.SetRegistry(reg)
+	api.SetSessionTTL(time.Hour) // sweeper on; tenant eviction is what closes feeds
+	ts := serve(t, api)
+
+	// Modest injected latency on the registry's load/evict paths widens the
+	// race windows the suite is hunting (load-vs-delete, evict-vs-correct).
+	inj, err := faultinject.Parse("registry:latency=1ms@0.5;seed=42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Set(inj)
+	defer faultinject.Set(nil)
+
+	baseline := runtime.NumGoroutine()
+
+	// Register all tenants up front (also churns the LRU: 50 puts through a
+	// capacity-8 registry evict 42 times before the workers even start).
+	client := ts.Client()
+	putTenant := func(i int) (int, map[string]any) {
+		return doJSON(t, http.MethodPut, fmt.Sprintf("%s/api/tenants/c%d", ts.URL, i), churnTenantBody(i))
+	}
+	for i := 0; i < churnTenants; i++ {
+		if code, out := putTenant(i); code != http.StatusOK {
+			t.Fatalf("PUT c%d = %d: %v", i, code, out)
+		}
+	}
+	if st := reg.Stats(); st.Resident > churnMaxLive {
+		t.Fatalf("resident %d exceeds LRU capacity %d after registration", st.Resident, churnMaxLive)
+	}
+
+	// SSE subscribers on a handful of tenant sessions; their feeds must end
+	// (not hang) when churn evicts or deletes their tenants.
+	sseCtx, sseCancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer sseCancel()
+	var sseWG sync.WaitGroup
+	var sseDone atomic.Int64
+	startSSE := func(sessionID string) {
+		sseWG.Add(1)
+		go func() {
+			defer sseWG.Done()
+			events := make(chan stream.Event, 32)
+			go func() {
+				for range events {
+				}
+			}()
+			_ = sseClient(sseCtx, t, ts.URL+"/api/stream/events?session="+sessionID, events)
+			close(events) // ends the drainer; sseClient has returned
+			sseDone.Add(1)
+		}()
+	}
+
+	var wg sync.WaitGroup
+	var badStatus atomic.Int64
+	const workers = 8
+	const opsPerWorker = 60
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for op := 0; op < opsPerWorker; op++ {
+				i := (w*opsPerWorker + op*13) % churnTenants
+				tid := fmt.Sprintf("c%d", i)
+				switch op % 6 {
+				case 0: // re-register (replaces catalog, churns LRU)
+					code, _ := putTenant(i)
+					if code != http.StatusOK {
+						badStatus.Add(1)
+					}
+				case 1, 2: // tenant-scoped correction (warm hit or cold load)
+					code, out := post(t, ts.URL+"/api/correct?tenant="+tid, map[string]any{
+						"transcript": fmt.Sprintf("select order total from orders%d where customer name equals jon", i),
+					})
+					// 200 (served) and 404 (a racing delete won) are both
+					// legitimate under churn; anything else is a bug.
+					if code != http.StatusOK && code != http.StatusNotFound {
+						badStatus.Add(1)
+						t.Errorf("correct %s = %d: %v", tid, code, out)
+					}
+				case 3: // streaming dictation with an in-flight SSE subscriber
+					req, err := http.NewRequest(http.MethodPost, ts.URL+"/api/stream/dictate",
+						jsonBody(t, map[string]any{"fragment": "select customer name from customers"}))
+					if err != nil {
+						t.Error(err)
+						continue
+					}
+					req.Header.Set("X-SpeakQL-Tenant", tid)
+					resp, err := client.Do(req)
+					if err != nil {
+						t.Error(err)
+						continue
+					}
+					var out map[string]any
+					_ = json.NewDecoder(resp.Body).Decode(&out)
+					resp.Body.Close()
+					if resp.StatusCode == http.StatusOK {
+						if sid, _ := out["id"].(string); sid != "" && op%12 == 3 {
+							startSSE(sid)
+						}
+					} else if resp.StatusCode != http.StatusNotFound {
+						badStatus.Add(1)
+						t.Errorf("stream dictate %s = %d: %v", tid, resp.StatusCode, out)
+					}
+				case 4: // describe (forces a load when evicted)
+					code, _ := doJSON(t, http.MethodGet, ts.URL+"/api/tenants/"+tid, nil)
+					if code != http.StatusOK && code != http.StatusNotFound {
+						badStatus.Add(1)
+					}
+				case 5: // delete every so often, then re-create next round
+					if op%18 == 5 {
+						code, _ := doJSON(t, http.MethodDelete, ts.URL+"/api/tenants/"+tid, nil)
+						if code != http.StatusOK && code != http.StatusNotFound {
+							badStatus.Add(1)
+						}
+					}
+				}
+				if st := reg.Stats(); st.Resident > churnMaxLive {
+					t.Errorf("resident %d exceeds LRU capacity %d mid-churn", st.Resident, churnMaxLive)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := badStatus.Load(); n > 0 {
+		t.Fatalf("%d requests returned unexpected statuses", n)
+	}
+	if st := reg.Stats(); st.Resident > churnMaxLive {
+		t.Fatalf("resident %d exceeds LRU capacity %d after churn", st.Resident, churnMaxLive)
+	}
+	// The seed tenant must have survived the churn untouched.
+	if code, _ := post(t, ts.URL+"/api/correct", map[string]any{
+		"transcript": "select salary from employees"}); code != http.StatusOK {
+		t.Fatalf("seed tenant broken after churn: %d", code)
+	}
+
+	// Delete every tenant: all remaining tenant sessions' feeds must close,
+	// so every SSE client ends without waiting for its generous context.
+	for i := 0; i < churnTenants; i++ {
+		code, _ := doJSON(t, http.MethodDelete, fmt.Sprintf("%s/api/tenants/c%d", ts.URL, i), nil)
+		if code != http.StatusOK && code != http.StatusNotFound {
+			t.Fatalf("final DELETE c%d = %d", i, code)
+		}
+	}
+	sseWG.Wait()
+	sseCancel()
+	if sseCtx.Err() == context.DeadlineExceeded {
+		t.Fatal("SSE feeds outlived their tenants (subscribers ended only by timeout)")
+	}
+
+	// Everything the churn spawned must wind down to baseline once the
+	// clients' idle keep-alive connections are released.
+	http.DefaultClient.CloseIdleConnections()
+	client.CloseIdleConnections()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: baseline %d, now %d", baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// TestTenantEvictionClosesFeed pins the targeted contract under no churn:
+// when the LRU evicts a tenant, that tenant's sessions' SSE feeds end.
+func TestTenantEvictionClosesFeed(t *testing.T) {
+	api := newAPIServer(t, 0)
+	eng := api.engine
+	reg, err := registry.New(registry.Config{
+		Shared:  registry.Shared{Structure: eng.StructureComponent(), TopKLiterals: 5},
+		MaxLive: 1,
+		Dir:     t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.SetSeed("default", eng, eng.Catalog())
+	api.SetRegistry(reg)
+	ts := serve(t, api)
+
+	if code, out := doJSON(t, http.MethodPut, ts.URL+"/api/tenants/watched", churnTenantBody(0)); code != http.StatusOK {
+		t.Fatalf("PUT = %d: %v", code, out)
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/api/session", jsonBody(t, map[string]any{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-SpeakQL-Tenant", "watched")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	sid := out["id"].(string)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	events := make(chan stream.Event, 8)
+	done := make(chan error, 1)
+	go func() { done <- sseClient(ctx, t, ts.URL+"/api/stream/events?session="+sid, events) }()
+	go func() {
+		for range events {
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+
+	// A second tenant through the size-1 LRU evicts "watched".
+	if code, _ := doJSON(t, http.MethodPut, ts.URL+"/api/tenants/usurper", churnTenantBody(1)); code != http.StatusOK {
+		t.Fatal("PUT usurper failed")
+	}
+	select {
+	case err := <-done:
+		close(events) // ends the drainer; sseClient has returned
+		if err != nil {
+			t.Fatalf("SSE client: %v", err)
+		}
+	case <-ctx.Done():
+		t.Fatal("SSE feed survived its tenant's eviction")
+	}
+	// The session itself is gone too: later requests see 404.
+	code, _ := post(t, ts.URL+"/api/dictate", map[string]any{"id": sid, "transcript": "x"})
+	if code != http.StatusNotFound {
+		t.Fatalf("dictate on evicted tenant's session = %d, want 404", code)
+	}
+}

@@ -98,7 +98,15 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 // keyword list plus the catalog's table and attribute names. Values are
 // typed with autocomplete and so are not listed.
 func (s *Server) handleKeyboard(w http.ResponseWriter, r *http.Request) {
-	cat := s.engine.Catalog()
+	t, err := s.tenantFor(r)
+	if err != nil {
+		writeTenantErr(w, err)
+		return
+	}
+	cat := t.Catalog
+	if cat == nil {
+		cat = t.Engine.Catalog()
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"keywords":   keyboardKeywords,
 		"tables":     cat.Tables(),

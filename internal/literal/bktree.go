@@ -27,45 +27,60 @@ type bkNode struct {
 	// nor any child subtree can hold a nearest code.
 }
 
-// buildBK indexes the groups' codes. groups must be sorted (buildSet sorts
-// by code), which fixes the insertion order and hence the tree shape —
-// searches are deterministic regardless. Node 0 is the root.
+// buildBK indexes the groups' codes by inserting them in group order, which
+// fixes the tree shape — searches are deterministic regardless of shape.
+// buildSet sorts groups by code; incrementally-updated sets may carry a
+// sorted prefix plus appended new codes (see update.go), which is equally
+// valid. Node 0 is the root.
 func buildBK(groups []phoneGroup) []bkNode {
 	if len(groups) == 0 {
 		return nil
 	}
-	nodes := make([]bkNode, 1, len(groups))
-	nodes[0] = bkNode{group: 0, firstChild: -1, nextSibling: -1}
-	for gi := 1; gi < len(groups); gi++ {
-		code := groups[gi].code
-		cur := int32(0)
-		for {
-			d := int32(metrics.CharEditDistance(code, groups[nodes[cur].group].code))
-			// Codes are distinct, so d ≥ 1 and the new node never collides
-			// with its parent.
-			next := int32(-1)
-			for ci := nodes[cur].firstChild; ci != -1; ci = nodes[ci].nextSibling {
-				if nodes[ci].edge == d {
-					next = ci
-					break
-				}
-			}
-			if next == -1 {
-				nodes = append(nodes, bkNode{
-					group:       int32(gi),
-					firstChild:  -1,
-					nextSibling: nodes[cur].firstChild,
-					edge:        d,
-				})
-				ni := int32(len(nodes) - 1)
-				nodes[cur].firstChild = ni
-				if d > nodes[cur].maxChild {
-					nodes[cur].maxChild = d
-				}
-				break
-			}
-			cur = next
-		}
+	nodes := make([]bkNode, 0, len(groups))
+	for gi := range groups {
+		nodes = bkInsert(nodes, groups, int32(gi))
 	}
 	return nodes
+}
+
+// bkInsert hangs group gi's code off the tree: descend from the root, at
+// each node following the child whose edge equals the code's distance to the
+// node, until no such child exists, and append the new node there. Growing
+// an existing tree this way is exactly how buildBK built it in the first
+// place, so the incremental catalog update (update.go) can copy a set's
+// nodes and insert only the genuinely new codes — provided the indices of
+// the groups already in the tree have not moved.
+func bkInsert(nodes []bkNode, groups []phoneGroup, gi int32) []bkNode {
+	if len(nodes) == 0 {
+		return append(nodes, bkNode{group: gi, firstChild: -1, nextSibling: -1})
+	}
+	code := groups[gi].code
+	cur := int32(0)
+	for {
+		d := int32(metrics.CharEditDistance(code, groups[nodes[cur].group].code))
+		// Codes are distinct, so d ≥ 1 and the new node never collides
+		// with its parent.
+		next := int32(-1)
+		for ci := nodes[cur].firstChild; ci != -1; ci = nodes[ci].nextSibling {
+			if nodes[ci].edge == d {
+				next = ci
+				break
+			}
+		}
+		if next == -1 {
+			nodes = append(nodes, bkNode{
+				group:       gi,
+				firstChild:  -1,
+				nextSibling: nodes[cur].firstChild,
+				edge:        d,
+			})
+			ni := int32(len(nodes) - 1)
+			nodes[cur].firstChild = ni
+			if d > nodes[cur].maxChild {
+				nodes[cur].maxChild = d
+			}
+			return nodes
+		}
+		cur = next
+	}
 }

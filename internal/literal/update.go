@@ -1,0 +1,281 @@
+package literal
+
+// update.go implements incremental catalog updates for the multi-tenant
+// registry: a tenant's schema drifts (a table added, a column's domain
+// extended) and the registry re-indexes only what changed instead of
+// rebuilding the whole catalog. The unit of reuse is the Metaphone group —
+// retained entries keep their cached Lower/Phonetic encodings, and a
+// category set whose distinct-code population only grew keeps its BK-tree
+// nodes verbatim, with just the new codes inserted.
+//
+// ApplyDelta is copy-on-write: it returns a NEW catalog sharing every
+// untouched category set (and the BK-tree arenas of touched sets when
+// possible) with the receiver, which therefore stays valid for concurrent
+// readers — exactly the frozen-arena discipline the registry's eviction
+// protocol depends on (an in-flight correction holding the old catalog is
+// never invalidated by an update).
+
+import (
+	"sort"
+	"strings"
+
+	"speakql/internal/phonetic"
+)
+
+// CatalogDelta describes one incremental catalog update. Adds and removes
+// are by exact name (the same identity NewCatalog deduplicates on);
+// removing an absent name or re-adding a present one is a no-op. Column
+// maps are keyed by attribute name, case-insensitive like WithColumnValues.
+type CatalogDelta struct {
+	AddTables     []string `json:"add_tables,omitempty"`
+	RemoveTables  []string `json:"remove_tables,omitempty"`
+	AddAttributes []string `json:"add_attributes,omitempty"`
+	RemoveAttrs   []string `json:"remove_attributes,omitempty"`
+	AddValues     []string `json:"add_values,omitempty"`
+	RemoveValues  []string `json:"remove_values,omitempty"`
+
+	AddColumnValues    map[string][]string `json:"add_column_values,omitempty"`
+	RemoveColumnValues map[string][]string `json:"remove_column_values,omitempty"`
+}
+
+// Empty reports whether the delta changes nothing.
+func (d CatalogDelta) Empty() bool {
+	return len(d.AddTables) == 0 && len(d.RemoveTables) == 0 &&
+		len(d.AddAttributes) == 0 && len(d.RemoveAttrs) == 0 &&
+		len(d.AddValues) == 0 && len(d.RemoveValues) == 0 &&
+		len(d.AddColumnValues) == 0 && len(d.RemoveColumnValues) == 0
+}
+
+// UpdateStats reports how much work ApplyDelta actually did — the registry
+// surfaces it so operators can verify updates stay incremental.
+type UpdateStats struct {
+	// Added and Removed count entries that entered or left the catalog.
+	Added   int `json:"added"`
+	Removed int `json:"removed"`
+	// Encoded counts Metaphone encodings computed — added entries only;
+	// retained entries reuse their cached encodings.
+	Encoded int `json:"encoded"`
+	// GroupsTouched and GroupsReused count phonetic groups whose membership
+	// changed vs groups carried over untouched.
+	GroupsTouched int `json:"groups_touched"`
+	GroupsReused  int `json:"groups_reused"`
+	// BKReused counts category sets whose BK-tree was shared verbatim (no
+	// new distinct codes); BKInserted counts new codes inserted into copied
+	// trees; BKRebuilt counts sets that lost a code and needed a full
+	// rebuild.
+	BKReused   int `json:"bk_reused"`
+	BKInserted int `json:"bk_inserted"`
+	BKRebuilt  int `json:"bk_rebuilt"`
+}
+
+// ApplyDelta applies d and returns a new catalog; the receiver is not
+// modified and stays valid. Untouched category sets are shared between old
+// and new catalog. Rankings produced by the result are bit-identical to a
+// full NewCatalog rebuild over the same final name lists (voting depends
+// only on the entry population, not on group order or BK-tree shape).
+func (c *Catalog) ApplyDelta(d CatalogDelta) (*Catalog, UpdateStats) {
+	out := &Catalog{
+		tables:  c.tables,
+		attrs:   c.attrs,
+		values:  c.values,
+		byAttr:  c.byAttr,
+		noIndex: c.noIndex,
+	}
+	var st UpdateStats
+	if len(d.AddTables)+len(d.RemoveTables) > 0 {
+		out.tables = applySetDelta(&c.tables, d.AddTables, d.RemoveTables, &st)
+	}
+	if len(d.AddAttributes)+len(d.RemoveAttrs) > 0 {
+		out.attrs = applySetDelta(&c.attrs, d.AddAttributes, d.RemoveAttrs, &st)
+	}
+	if len(d.AddValues)+len(d.RemoveValues) > 0 {
+		out.values = applySetDelta(&c.values, d.AddValues, d.RemoveValues, &st)
+	}
+	if len(d.AddColumnValues)+len(d.RemoveColumnValues) > 0 {
+		out.byAttr = applyColumnDeltas(c.byAttr, d, &st)
+	}
+	return out, st
+}
+
+// applyColumnDeltas rebuilds only the touched columns' sets, sharing the
+// rest; the map itself is copied (the old catalog keeps its own view).
+func applyColumnDeltas(old map[string]*catSet, d CatalogDelta, st *UpdateStats) map[string]*catSet {
+	out := make(map[string]*catSet, len(old)+len(d.AddColumnValues))
+	for k, v := range old {
+		out[k] = v
+	}
+	touched := make(map[string]bool, len(d.AddColumnValues)+len(d.RemoveColumnValues))
+	for attr := range d.AddColumnValues {
+		touched[strings.ToLower(attr)] = true
+	}
+	for attr := range d.RemoveColumnValues {
+		touched[strings.ToLower(attr)] = true
+	}
+	for key := range touched {
+		prev := out[key]
+		if prev == nil {
+			prev = &catSet{}
+		}
+		ns := applySetDelta(prev, columnNames(d.AddColumnValues, key),
+			columnNames(d.RemoveColumnValues, key), st)
+		if len(ns.entries) == 0 {
+			delete(out, key)
+			continue
+		}
+		out[key] = &ns
+	}
+	return out
+}
+
+// columnNames collects m's values for the (lowercased) attribute key —
+// delta maps are caller-supplied, so two differently-cased keys may name
+// the same column.
+func columnNames(m map[string][]string, key string) []string {
+	var out []string
+	for attr, vals := range m {
+		if strings.ToLower(attr) == key {
+			out = append(out, vals...)
+		}
+	}
+	return out
+}
+
+// applySetDelta produces the updated category set. Retained entries reuse
+// their cached encodings; only added names are Metaphone-encoded. The
+// group list keeps the old set's group order for surviving codes (so BK
+// node→group indices stay valid) and appends genuinely new codes sorted;
+// when no code disappears the old BK-tree is shared (nothing new) or
+// copied and grown (new codes only). A vanished code forces a full BK
+// rebuild: dropping a group would shift group indices, and keeping an
+// empty group is forbidden — an empty group winning a nearest-radius
+// search would contribute zero votes and diverge from the naive reference.
+func applySetDelta(old *catSet, add, remove []string, st *UpdateStats) catSet {
+	rm := make(map[string]bool, len(remove))
+	for _, n := range remove {
+		if n != "" {
+			rm[n] = true
+		}
+	}
+	have := make(map[string]bool, len(old.entries)+len(add))
+	removed := 0
+	for _, e := range old.entries {
+		if rm[e.Name] {
+			removed++
+			continue
+		}
+		have[e.Name] = true
+	}
+	added := make([]entry, 0, len(add))
+	for _, n := range add {
+		if n == "" || have[n] {
+			continue
+		}
+		have[n] = true
+		added = append(added, entry{
+			Name:     n,
+			Lower:    strings.ToLower(n),
+			Phonetic: phonetic.Encode(n),
+		})
+		st.Encoded++
+	}
+	sort.Slice(added, func(i, j int) bool { return added[i].Name < added[j].Name })
+	st.Added += len(added)
+	st.Removed += removed
+
+	// Which codes changed membership (for the stats only — correctness does
+	// not depend on this bookkeeping).
+	dirtyCode := make(map[string]bool, removed+len(added))
+	for _, e := range old.entries {
+		if rm[e.Name] {
+			dirtyCode[e.Phonetic] = true
+		}
+	}
+	for _, e := range added {
+		dirtyCode[e.Phonetic] = true
+	}
+
+	// Sorted merge of retained + added entries: both inputs are in Name
+	// order, so the result is too, with no re-sort and no re-encoding.
+	entries := make([]entry, 0, len(old.entries)-removed+len(added))
+	i, j := 0, 0
+	for i < len(old.entries) || j < len(added) {
+		switch {
+		case i < len(old.entries) && rm[old.entries[i].Name]:
+			i++
+		case j == len(added) || (i < len(old.entries) && old.entries[i].Name < added[j].Name):
+			entries = append(entries, old.entries[i])
+			i++
+		default:
+			entries = append(entries, added[j])
+			j++
+		}
+	}
+
+	set := catSet{entries: entries, byLower: make(map[string]int32, len(entries))}
+	byCode := make(map[string][]int32, len(old.groups)+len(added))
+	for idx, e := range entries {
+		if _, ok := set.byLower[e.Lower]; !ok {
+			set.byLower[e.Lower] = int32(idx)
+		}
+		byCode[e.Phonetic] = append(byCode[e.Phonetic], int32(idx))
+		if len(e.Phonetic) > set.maxCode {
+			set.maxCode = len(e.Phonetic)
+		}
+	}
+
+	// Group order: surviving codes keep their old positions, new codes are
+	// appended sorted. Search never requires globally-sorted groups — only
+	// buildSet's initial construction sorts, for a canonical shape.
+	groups := make([]phoneGroup, 0, len(byCode))
+	members := make([]int32, 0, len(entries))
+	codeGone := false
+	for _, g := range old.groups {
+		ms, ok := byCode[g.code]
+		if !ok {
+			codeGone = true
+			continue
+		}
+		delete(byCode, g.code)
+		groups = append(groups, phoneGroup{code: g.code, first: int32(len(members)), num: int32(len(ms))})
+		members = append(members, ms...)
+		if dirtyCode[g.code] {
+			st.GroupsTouched++
+		} else {
+			st.GroupsReused++
+		}
+	}
+	newCodes := make([]string, 0, len(byCode))
+	for code := range byCode {
+		newCodes = append(newCodes, code)
+	}
+	sort.Strings(newCodes)
+	for _, code := range newCodes {
+		ms := byCode[code]
+		groups = append(groups, phoneGroup{code: code, first: int32(len(members)), num: int32(len(ms))})
+		members = append(members, ms...)
+		st.GroupsTouched++
+	}
+	set.groups, set.members = groups, members
+
+	switch {
+	case len(groups) == 0:
+		set.bk = nil
+	case codeGone:
+		set.bk = buildBK(groups)
+		st.BKRebuilt++
+	case len(newCodes) == 0:
+		// Same distinct codes, same order: the old tree's node→group indices
+		// are still exact, and BK-trees are immutable once built — share it.
+		set.bk = old.bk
+		st.BKReused++
+	default:
+		bk := make([]bkNode, len(old.bk), len(old.bk)+len(newCodes))
+		copy(bk, old.bk)
+		for gi := len(groups) - len(newCodes); gi < len(groups); gi++ {
+			bk = bkInsert(bk, groups, int32(gi))
+		}
+		set.bk = bk
+		st.BKInserted += len(newCodes)
+	}
+	return set
+}

@@ -1,0 +1,292 @@
+package literal
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomNames draws n names from a small alphabet-ish pool so deltas
+// collide with existing entries, share phonetic codes, and empty groups
+// would be created if the implementation allowed them.
+func randomNames(rng *rand.Rand, n int) []string {
+	pool := []string{
+		"John", "Jon", "Joan", "Jane", "Smith", "Smyth", "Schmidt",
+		"Salary", "Celery", "City", "Sity", "Phoenix", "Fenix", "fenix",
+		"Employees", "Employers", "Department", "d001", "d002", "Review",
+		"Stars", "Star", "Gender", "Genre", "Title", "Total",
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, pool[rng.Intn(len(pool))])
+	}
+	return out
+}
+
+// finalNames computes the name list a delta leaves behind, mirroring
+// ApplyDelta's exact-name add/remove semantics.
+func finalNames(base, add, remove []string) []string {
+	rm := map[string]bool{}
+	for _, n := range remove {
+		rm[n] = true
+	}
+	seen := map[string]bool{}
+	var out []string
+	for _, n := range base {
+		if n == "" || rm[n] || seen[n] {
+			continue
+		}
+		seen[n] = true
+		out = append(out, n)
+	}
+	// Removes apply to the existing catalog, adds after — so a name in both
+	// lists ends up present, matching ApplyDelta.
+	for _, n := range add {
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		out = append(out, n)
+	}
+	return out
+}
+
+// requireSetInvariants checks the structural invariants voting depends on.
+func requireSetInvariants(t *testing.T, set *catSet) {
+	t.Helper()
+	for i := 1; i < len(set.entries); i++ {
+		if set.entries[i-1].Name >= set.entries[i].Name {
+			t.Fatalf("entries not strictly sorted at %d: %q >= %q",
+				i, set.entries[i-1].Name, set.entries[i].Name)
+		}
+	}
+	if len(set.members) != len(set.entries) {
+		t.Fatalf("members arena has %d slots for %d entries", len(set.members), len(set.entries))
+	}
+	seen := make([]bool, len(set.entries))
+	codes := map[string]bool{}
+	total := int32(0)
+	for _, g := range set.groups {
+		if g.num == 0 {
+			t.Fatalf("empty group %q", g.code)
+		}
+		if codes[g.code] {
+			t.Fatalf("duplicate group code %q", g.code)
+		}
+		codes[g.code] = true
+		if g.first != total {
+			t.Fatalf("group %q first %d, want %d", g.code, g.first, total)
+		}
+		total += g.num
+		for _, m := range set.members[g.first : g.first+g.num] {
+			if seen[m] {
+				t.Fatalf("entry %d in two groups", m)
+			}
+			seen[m] = true
+			if set.entries[m].Phonetic != g.code {
+				t.Fatalf("entry %q in group %q but encodes to %q",
+					set.entries[m].Name, g.code, set.entries[m].Phonetic)
+			}
+		}
+	}
+	if int(total) != len(set.entries) {
+		t.Fatalf("groups cover %d of %d entries", total, len(set.entries))
+	}
+	if len(set.groups) > 0 && len(set.bk) != len(set.groups) {
+		t.Fatalf("bk has %d nodes for %d groups", len(set.bk), len(set.groups))
+	}
+}
+
+// sameRankings asserts indexed voting over two sets returns identical
+// top-k lists for a spread of windows — the differential acceptance check:
+// rankings depend only on the entry population, so an incrementally
+// updated set must match a from-scratch rebuild exactly.
+func sameRankings(t *testing.T, got, want *catSet, rng *rand.Rand) {
+	t.Helper()
+	windows := [][]string{
+		{"jon"}, {"smith"}, {"celery"}, {"fee", "nix"}, {"d", "zero", "zero", "two"},
+		{"employ", "ease"}, {"star"}, {"gen", "der"}, {"total"}, {"sit", "tee"},
+		randomNames(rng, 3), randomNames(rng, 2),
+	}
+	for _, w := range windows {
+		for _, k := range []int{1, 3, 5} {
+			gotTop, gotPos := vote(w, 0, got, k, false)
+			wantTop, wantPos := vote(w, 0, want, k, false)
+			if !reflect.DeepEqual(gotTop, wantTop) || gotPos != wantPos {
+				t.Fatalf("window %v k=%d: incremental %v@%d, rebuild %v@%d",
+					w, k, gotTop, gotPos, wantTop, wantPos)
+			}
+			naiveTop, naivePos := vote(w, 0, got, k, true)
+			if !reflect.DeepEqual(gotTop, naiveTop) || gotPos != naivePos {
+				t.Fatalf("window %v k=%d: indexed %v@%d, naive %v@%d",
+					w, k, gotTop, gotPos, naiveTop, naivePos)
+			}
+		}
+	}
+}
+
+// TestApplyDeltaMatchesRebuild drives random base catalogs through random
+// deltas and pins the incremental result against a full rebuild: identical
+// entry populations, intact invariants, and bit-identical vote rankings.
+func TestApplyDeltaMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 40; round++ {
+		base := randomNames(rng, rng.Intn(12))
+		add := randomNames(rng, rng.Intn(6))
+		remove := randomNames(rng, rng.Intn(6))
+		cat := NewCatalog(nil, nil, base)
+		updated, _ := cat.ApplyDelta(CatalogDelta{AddValues: add, RemoveValues: remove})
+		rebuilt := NewCatalog(nil, nil, finalNames(base, add, remove))
+
+		gotNames := updated.Values()
+		wantNames := rebuilt.Values()
+		if len(gotNames) != len(wantNames) || !reflect.DeepEqual(gotNames, wantNames) {
+			t.Fatalf("round %d: entries %v, want %v (base=%v add=%v remove=%v)",
+				round, gotNames, wantNames, base, add, remove)
+		}
+		requireSetInvariants(t, &updated.values)
+		sameRankings(t, &updated.values, &rebuilt.values, rng)
+	}
+}
+
+// TestApplyDeltaIsCopyOnWrite pins that the old catalog is untouched and
+// that untouched category sets are shared, not copied.
+func TestApplyDeltaIsCopyOnWrite(t *testing.T) {
+	cat := NewCatalog([]string{"Employees"}, []string{"Salary"}, []string{"John", "Jon"})
+	before := cat.Values()
+	updated, st := cat.ApplyDelta(CatalogDelta{AddValues: []string{"Joan"}, RemoveValues: []string{"Jon"}})
+	if !reflect.DeepEqual(cat.Values(), before) {
+		t.Fatalf("receiver mutated: %v -> %v", before, cat.Values())
+	}
+	if want := []string{"Joan", "John"}; !reflect.DeepEqual(updated.Values(), want) {
+		t.Fatalf("updated values %v, want %v", updated.Values(), want)
+	}
+	if st.Added != 1 || st.Removed != 1 || st.Encoded != 1 {
+		t.Fatalf("stats %+v, want 1 added / 1 removed / 1 encoded", st)
+	}
+	// Untouched sets are shared with the receiver (same backing arrays).
+	if len(updated.tables.entries) > 0 && &updated.tables.entries[0] != &cat.tables.entries[0] {
+		t.Fatalf("untouched tables set was copied")
+	}
+	if len(updated.attrs.entries) > 0 && &updated.attrs.entries[0] != &cat.attrs.entries[0] {
+		t.Fatalf("untouched attrs set was copied")
+	}
+}
+
+// TestApplyDeltaBKReuse pins the three BK-tree regimes: membership-only
+// change shares the tree, growth copies and inserts, shrinkage rebuilds.
+func TestApplyDeltaBKReuse(t *testing.T) {
+	// John and Jon share one Metaphone code; adding Jon touches only that
+	// group's membership, so the distinct-code set (and the tree) is
+	// unchanged.
+	cat := NewCatalog(nil, nil, []string{"John", "Smith"})
+	grown, st := cat.ApplyDelta(CatalogDelta{AddValues: []string{"Jon"}})
+	if st.BKReused != 1 || st.BKInserted != 0 || st.BKRebuilt != 0 {
+		t.Fatalf("same-codes delta: stats %+v, want bk_reused=1", st)
+	}
+	if &grown.values.bk[0] != &cat.values.bk[0] {
+		t.Fatalf("same-codes delta: tree not shared")
+	}
+	if st.Encoded != 1 {
+		t.Fatalf("same-codes delta: encoded %d names, want 1", st.Encoded)
+	}
+
+	// Phoenix brings a brand-new code: the tree is copied and grown.
+	bigger, st := grown.ApplyDelta(CatalogDelta{AddValues: []string{"Phoenix"}})
+	if st.BKInserted != 1 || st.BKRebuilt != 0 {
+		t.Fatalf("new-code delta: stats %+v, want bk_inserted=1", st)
+	}
+	if len(bigger.values.bk) != len(grown.values.bk)+1 {
+		t.Fatalf("new-code delta: %d nodes, want %d", len(bigger.values.bk), len(grown.values.bk)+1)
+	}
+	requireSetInvariants(t, &bigger.values)
+
+	// Removing the last member of a code shrinks the distinct-code set:
+	// full rebuild (an empty group must never survive).
+	smaller, st := bigger.ApplyDelta(CatalogDelta{RemoveValues: []string{"Smith"}})
+	if st.BKRebuilt != 1 {
+		t.Fatalf("code-loss delta: stats %+v, want bk_rebuilt=1", st)
+	}
+	requireSetInvariants(t, &smaller.values)
+	rng := rand.New(rand.NewSource(3))
+	sameRankings(t, &smaller.values, &NewCatalog(nil, nil, []string{"John", "Jon", "Phoenix"}).values, rng)
+}
+
+// TestApplyDeltaColumns covers the per-column domains: touched columns are
+// rebuilt, untouched ones shared, emptied ones dropped.
+func TestApplyDeltaColumns(t *testing.T) {
+	cat := NewCatalog(nil, []string{"City", "Gender"}, []string{"Phoenix", "M"}).
+		WithColumnValues(map[string][]string{
+			"City":   {"Phoenix", "Tempe"},
+			"Gender": {"M", "F"},
+		})
+	up, _ := cat.ApplyDelta(CatalogDelta{
+		AddColumnValues:    map[string][]string{"city": {"Mesa"}},
+		RemoveColumnValues: map[string][]string{"Gender": {"M", "F"}},
+	})
+	city, ok := up.columnValues("CITY")
+	if !ok {
+		t.Fatalf("city column lost")
+	}
+	if got := names(city.entries); !reflect.DeepEqual(got, []string{"Mesa", "Phoenix", "Tempe"}) {
+		t.Fatalf("city domain %v", got)
+	}
+	requireSetInvariants(t, city)
+	if _, ok := up.columnValues("gender"); ok {
+		t.Fatalf("emptied gender column should be dropped")
+	}
+	if got, _ := cat.columnValues("gender"); got == nil {
+		t.Fatalf("receiver's gender column mutated")
+	}
+	// A delta for a column the catalog never had creates it.
+	fresh, _ := up.ApplyDelta(CatalogDelta{AddColumnValues: map[string][]string{"Stars": {"4", "5"}}})
+	if _, ok := fresh.columnValues("stars"); !ok {
+		t.Fatalf("new column not created")
+	}
+}
+
+// TestApplyDeltaEmpty pins the no-op path.
+func TestApplyDeltaEmpty(t *testing.T) {
+	cat := NewCatalog([]string{"T"}, nil, nil)
+	var d CatalogDelta
+	if !d.Empty() {
+		t.Fatalf("zero delta not Empty")
+	}
+	up, st := cat.ApplyDelta(d)
+	if st != (UpdateStats{}) {
+		t.Fatalf("no-op delta did work: %+v", st)
+	}
+	if !reflect.DeepEqual(up.Tables(), cat.Tables()) {
+		t.Fatalf("no-op delta changed tables")
+	}
+}
+
+// BenchmarkApplyDeltaIncremental vs BenchmarkRebuildFull documents the
+// point of the incremental path at a realistic catalog size.
+func BenchmarkApplyDeltaIncremental(b *testing.B) {
+	base := make([]string, 0, 5000)
+	for i := 0; i < 5000; i++ {
+		base = append(base, fmt.Sprintf("value%04d", i))
+	}
+	cat := NewCatalog(nil, nil, base)
+	delta := CatalogDelta{AddValues: []string{"Phoenix", "Tempe", "Mesa"}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cat.ApplyDelta(delta)
+	}
+}
+
+func BenchmarkRebuildFull(b *testing.B) {
+	base := make([]string, 0, 5003)
+	for i := 0; i < 5000; i++ {
+		base = append(base, fmt.Sprintf("value%04d", i))
+	}
+	base = append(base, "Phoenix", "Tempe", "Mesa")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewCatalog(nil, nil, base)
+	}
+}

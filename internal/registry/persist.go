@@ -1,0 +1,138 @@
+package registry
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"speakql/internal/literal"
+)
+
+// Tenant file format ("SPQLTN", version 2 — the version is shared with the
+// embedded catalog blob's persist-v2 encoding):
+//
+//	magic "SPQLTN" | version byte | id length uvarint | id bytes | catalog blob
+//
+// The embedded ID lets a load cross-check that a file really belongs to
+// the tenant it is named for (a mis-renamed or copied file fails loudly
+// instead of serving another tenant's schema). Only the catalog persists;
+// the engine, sessions, and streams are rebuilt or recreated on demand —
+// they are exactly the state the LRU is licensed to throw away.
+
+const (
+	tenantMagic   = "SPQLTN"
+	tenantVersion = 2
+	tenantExt     = ".tenant"
+	maxTenantID   = 64
+)
+
+// ErrBadTenantID wraps every ValidateID failure, so callers can map the
+// whole class (HTTP 400) without matching messages.
+var ErrBadTenantID = errors.New("registry: bad tenant id")
+
+// ValidateID accepts 1–64 chars of [a-zA-Z0-9_-]; the ID doubles as a file
+// name, so path separators and dots are rejected outright.
+func ValidateID(id string) error {
+	if len(id) == 0 || len(id) > maxTenantID {
+		return fmt.Errorf("%w: must be 1-%d characters", ErrBadTenantID, maxTenantID)
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '-' {
+			continue
+		}
+		return fmt.Errorf("%w: %q may only contain [a-zA-Z0-9_-]", ErrBadTenantID, id)
+	}
+	return nil
+}
+
+// writeTenantFile serializes one tenant (header + catalog blob).
+func writeTenantFile(w io.Writer, id string, cat *literal.Catalog) error {
+	if _, err := w.Write([]byte(tenantMagic)); err != nil {
+		return err
+	}
+	if _, err := w.Write([]byte{tenantVersion, byte(len(id))}); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, id); err != nil {
+		return err
+	}
+	return literal.WriteCatalog(w, cat)
+}
+
+// readTenantFile parses a tenant file, returning the embedded ID and
+// catalog. Hostile inputs error (the catalog blob is hardened by
+// literal.ReadCatalog).
+func readTenantFile(r io.Reader) (string, *literal.Catalog, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(tenantMagic)+2)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return "", nil, fmt.Errorf("tenant header: %w", err)
+	}
+	if string(head[:len(tenantMagic)]) != tenantMagic {
+		return "", nil, fmt.Errorf("bad tenant magic %q", head[:len(tenantMagic)])
+	}
+	if head[len(tenantMagic)] != tenantVersion {
+		return "", nil, fmt.Errorf("unsupported tenant file version %d", head[len(tenantMagic)])
+	}
+	n := int(head[len(tenantMagic)+1])
+	if n == 0 || n > maxTenantID {
+		return "", nil, fmt.Errorf("tenant id length %d out of range", n)
+	}
+	idb := make([]byte, n)
+	if _, err := io.ReadFull(br, idb); err != nil {
+		return "", nil, fmt.Errorf("tenant id: %w", err)
+	}
+	id := string(idb)
+	if err := ValidateID(id); err != nil {
+		return "", nil, err
+	}
+	cat, err := literal.ReadCatalog(br)
+	if err != nil {
+		return "", nil, err
+	}
+	return id, cat, nil
+}
+
+// persist writes the tenant's catalog to disk atomically (temp file +
+// rename), so readers never observe a torn file and a crash mid-write
+// leaves the previous version intact. No-op without a tenant dir.
+func (r *Registry) persist(t *Tenant) error {
+	if r.dir == "" {
+		return nil
+	}
+	f, err := os.CreateTemp(r.dir, "."+t.ID+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("registry: persist %q: %w", t.ID, err)
+	}
+	tmp := f.Name()
+	bw := bufio.NewWriter(f)
+	if err := writeTenantFile(bw, t.ID, t.Catalog); err == nil {
+		err = bw.Flush()
+	} else {
+		bw.Flush()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, r.path(t.ID))
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("registry: persist %q: %w", t.ID, err)
+	}
+	return nil
+}
+
+// removeStaleTemps clears temp files left by a crash mid-persist; New runs
+// it before scanning the tenant dir.
+func removeStaleTemps(dir string) {
+	matches, _ := filepath.Glob(filepath.Join(dir, ".*.tmp-*"))
+	for _, m := range matches {
+		os.Remove(m)
+	}
+}

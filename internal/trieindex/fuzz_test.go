@@ -1,0 +1,135 @@
+package trieindex
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+// smallIndexBytes serializes a tiny index in both persist formats for seeds
+// and mutation bases.
+func smallIndexBytes(t testing.TB) (v2, v1 []byte) {
+	t.Helper()
+	ix := NewIndex(8, false)
+	ix.Insert(strings.Fields("SELECT x FROM x"))
+	ix.Insert(strings.Fields("SELECT x FROM x WHERE x = x"))
+	ix.Insert(strings.Fields("SELECT MAX ( x ) FROM x"))
+	var b2, b1 bytes.Buffer
+	if err := ix.Save(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.saveV1(&b1); err != nil {
+		t.Fatal(err)
+	}
+	return b2.Bytes(), b1.Bytes()
+}
+
+// uv renders a uvarint (hand-building hostile headers).
+func uv(v uint64) []byte {
+	var buf [binary.MaxVarintLen64]byte
+	return buf[:binary.PutUvarint(buf[:], v)]
+}
+
+// TestReadIndexRejectsHostileInput hand-crafts the header lies a forged or
+// corrupted index file can tell: counts that would size multi-gigabyte
+// allocations from a few bytes of input, structure lengths past the trie
+// table, token ids past the dictionary, child ranges that do not tile the
+// arena. Every one must error after bounded work — never panic, never
+// allocate in proportion to the lie.
+func TestReadIndexRejectsHostileInput(t *testing.T) {
+	v2, v1 := smallIndexBytes(t)
+
+	head := func(parts ...[]byte) []byte {
+		out := []byte(persistMagic)
+		for _, p := range parts {
+			out = append(out, p...)
+		}
+		return out
+	}
+	// A minimal valid prefix: v2, maxLen 8, dict ["a"], total 1, 1 trie.
+	dictA := append(uv(1), append(uv(1), 'a')...)
+
+	cases := map[string][]byte{
+		"empty":       {},
+		"magic only":  []byte(persistMagic),
+		"bad version": head(uv(99)),
+		// maxLen 2^40: would size the trie table without this byte costing
+		// anything near that.
+		"huge maxLen": head(uv(2), uv(1<<40)),
+		"zero maxLen": head(uv(2), uv(0)),
+		// 2^40 dictionary entries with no strings behind them.
+		"huge dict": head(uv(2), uv(8), uv(1<<40)),
+		// More tokens than tokenID can number (silent uint16 wrap).
+		"dict wraps tokenID": head(uv(2), uv(8), uv(1<<17)),
+		// Arena claiming 2^30 nodes backed by nothing.
+		"huge arena": head(uv(2), uv(8), dictA, uv(1), uv(1), uv(3), uv(1), uv(1<<30)),
+		// Structure count exceeding the node count.
+		"count > nodes": head(uv(2), uv(8), dictA, uv(1), uv(1), uv(3), uv(9), uv(2)),
+		// Child count larger than the arena (would wrap int32 if unchecked).
+		"child count wraps": head(uv(2), uv(8), dictA, uv(1), uv(1), uv(3), uv(1), uv(2), uv(1<<33)),
+		// Trie length outside [1, maxLen].
+		"trie length range": head(uv(2), uv(8), dictA, uv(1), uv(1), uv(99), uv(1), uv(2)),
+		// Token id past the dictionary.
+		"token id range": head(uv(2), uv(8), dictA, uv(1), uv(1), uv(2),
+			uv(1), uv(2), uv(1), uv(0), uv(7)),
+		// v1 structure longer than maxLen: would index past the trie table
+		// on Insert if unchecked.
+		"v1 structure too long": head(uv(1), uv(4), dictA, uv(1), uv(9)),
+		"v1 zero-length":        head(uv(1), uv(4), dictA, uv(1), uv(0)),
+	}
+	for i := 1; i < len(v2); i += 11 {
+		cases["v2 truncated@"+string(rune('a'+i%26))] = v2[:i]
+	}
+	for i := 1; i < len(v1); i += 11 {
+		cases["v1 truncated@"+string(rune('a'+i%26))] = v1[:i]
+	}
+	for name, data := range cases {
+		for _, keepINV := range []bool{false, true} {
+			if _, err := ReadIndex(bytes.NewReader(data), keepINV); err == nil {
+				t.Errorf("%s (keepINV=%v): hostile input accepted", name, keepINV)
+			}
+		}
+	}
+}
+
+// FuzzReadIndex asserts ReadIndex never panics and never over-allocates on
+// arbitrary input, for both format versions and both keepINV settings, and
+// that anything accepted is a frozen index whose arenas tile correctly
+// (re-saving it must succeed and round-trip).
+func FuzzReadIndex(f *testing.F) {
+	v2, v1 := smallIndexBytes(f)
+	f.Add(v2)
+	f.Add(v1)
+	f.Add([]byte(persistMagic))
+	f.Add(v2[:len(v2)/2])
+	f.Add(v1[:len(v1)/2])
+	// A couple of single-byte mutants to seed the header paths.
+	for _, i := range []int{7, 9, len(v2) - 1} {
+		m := append([]byte(nil), v2...)
+		m[i] ^= 0xff
+		f.Add(m)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, keepINV := range []bool{false, true} {
+			ix, err := ReadIndex(bytes.NewReader(data), keepINV)
+			if err != nil {
+				continue
+			}
+			if !ix.Frozen() {
+				t.Fatal("accepted index not frozen")
+			}
+			var buf bytes.Buffer
+			if err := ix.Save(&buf); err != nil {
+				t.Fatalf("accepted index cannot re-save: %v", err)
+			}
+			back, err := ReadIndex(bytes.NewReader(buf.Bytes()), keepINV)
+			if err != nil {
+				t.Fatalf("re-saved index rejected: %v", err)
+			}
+			if back.Total() != ix.Total() {
+				t.Fatalf("re-save changed totals: %d vs %d", back.Total(), ix.Total())
+			}
+		}
+	})
+}

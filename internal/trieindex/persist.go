@@ -23,6 +23,16 @@ const (
 	persistMagic     = "SPQLIX"
 	persistVersionV1 = 1
 	persistVersion   = 2
+
+	// Hostile-input ceilings. A persisted header is untrusted until proven
+	// otherwise: every count is bounded before it sizes an allocation, and
+	// variable-length sections are read with append-grow slices so memory
+	// consumed tracks bytes actually present in the input, not bytes a
+	// forged header promises.
+	maxPersistLen    = 1 << 16 // longest structure any sane corpus holds
+	maxPersistTokens = 1 << 16 // tokenID is uint16; more would wrap intern
+	maxPersistNodes  = 1 << 28 // per-trie arena nodes (int32 offsets)
+	persistPrealloc  = 1 << 12 // cap on header-trusting preallocation
 )
 
 // Save serializes the index in the arena format, freezing it first if
@@ -135,15 +145,25 @@ func ReadIndex(r io.Reader, keepINV bool) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	if maxLen == 0 || maxLen > maxPersistLen {
+		return nil, fmt.Errorf("trieindex: max length %d out of range", maxLen)
+	}
 	nTokens, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, err
 	}
-	dict := make([]string, nTokens)
-	for i := range dict {
-		if dict[i], err = readString(br); err != nil {
+	if nTokens > maxPersistTokens {
+		return nil, fmt.Errorf("trieindex: token dictionary size %d out of range", nTokens)
+	}
+	// Append-grow: each dictionary entry costs at least one input byte (its
+	// length varint), so growth is paid for by bytes actually read.
+	dict := make([]string, 0, min(nTokens, persistPrealloc))
+	for i := uint64(0); i < nTokens; i++ {
+		s, err := readString(br)
+		if err != nil {
 			return nil, err
 		}
+		dict = append(dict, s)
 	}
 	total, err := binary.ReadUvarint(br)
 	if err != nil {
@@ -213,23 +233,29 @@ func readArena(br *bufio.Reader, ix *Index, nTokens uint64) error {
 	if err != nil {
 		return err
 	}
-	if n == 0 || n > 1<<31 {
+	if n == 0 || n > maxPersistNodes {
 		return fmt.Errorf("node count %d out of range", n)
 	}
-	ft := &flatTrie{
-		tok:   make([]tokenID, n),
-		leaf:  make([]bool, n),
-		first: make([]int32, n),
-		num:   make([]int32, n),
+	if count > n {
+		return fmt.Errorf("structure count %d exceeds %d nodes", count, n)
 	}
+	// Read the child counts with append-grow slices before sizing anything
+	// else by n: each count costs at least one input byte, so a header lying
+	// about n cannot make us allocate more than the input's own size until
+	// the input has actually delivered n varints.
+	num := make([]int32, 0, min(n, persistPrealloc))
+	first := make([]int32, 0, min(n, persistPrealloc))
 	next := int32(1)
 	for i := uint64(0); i < n; i++ {
 		c, err := binary.ReadUvarint(br)
 		if err != nil {
 			return err
 		}
-		ft.first[i] = next
-		ft.num[i] = int32(c)
+		if c > n {
+			return fmt.Errorf("child count %d exceeds %d nodes", c, n)
+		}
+		first = append(first, next)
+		num = append(num, int32(c))
 		next += int32(c)
 		if next < 0 || uint64(next) > n {
 			return fmt.Errorf("child ranges overflow arena (%d > %d)", next, n)
@@ -237,6 +263,12 @@ func readArena(br *bufio.Reader, ix *Index, nTokens uint64) error {
 	}
 	if uint64(next) != n {
 		return fmt.Errorf("child ranges cover %d of %d nodes", next, n)
+	}
+	ft := &flatTrie{
+		tok:   make([]tokenID, n),
+		leaf:  make([]bool, n),
+		first: first,
+		num:   num,
 	}
 	for i := uint64(1); i < n; i++ {
 		id, err := binary.ReadUvarint(br)
@@ -274,6 +306,9 @@ func readStructuresV1(br *bufio.Reader, ix *Index, dict []string, total uint64) 
 		n, err := binary.ReadUvarint(br)
 		if err != nil {
 			return fmt.Errorf("trieindex: structure %d: %w", s, err)
+		}
+		if n == 0 || n > uint64(ix.maxLen) {
+			return fmt.Errorf("trieindex: structure %d length %d out of range", s, n)
 		}
 		toks = toks[:0]
 		for i := uint64(0); i < n; i++ {
