@@ -20,7 +20,12 @@
 // per-artifact wall-clock, and the cache hit rate — for the perf trajectory
 // (CI uploads it as an artifact). The suite includes vote_indexed_yelp /
 // vote_naive_yelp, literal determination over a Yelp-scale catalog on both
-// voting paths; stream_fragment, one full clause-streaming dictation
+// voting paths; myers_vs_banded / banded_reference, the bounded character
+// edit-distance kernels (bit-parallel Myers vs the frozen banded-DP
+// reference) over a fixed operand corpus; alternatives_batch /
+// alternatives_sequential, n-best correction through one batched
+// CorrectAlternatives call vs the n independent Correct calls it replaces;
+// stream_fragment, one full clause-streaming dictation
 // (fragment session + three clauses + finalize) through the incremental
 // pipeline; and the tenant registry triple tenant_warm_hit /
 // tenant_cold_load / tenant_evict_reload, the resident-lookup, persist-file
@@ -48,6 +53,7 @@ import (
 	"speakql/internal/experiments"
 	"speakql/internal/faultinject"
 	"speakql/internal/literal"
+	"speakql/internal/metrics"
 	"speakql/internal/registry"
 	"speakql/internal/trieindex"
 )
@@ -233,8 +239,84 @@ func microBench(env *experiments.Env, workers int) []microResult {
 		}))
 	}
 	out = append(out, streamMicroBench(env))
+	out = append(out, alternativesMicroBench(env)...)
 	out = append(out, voteMicroBench()...)
+	out = append(out, myersMicroBench()...)
 	out = append(out, tenantMicroBench(env)...)
+	return out
+}
+
+// alternativesMicroBench times n-best correction over an ASR-shaped
+// alternatives list — near-duplicate hypotheses with a verbatim repeat —
+// on both pipelines: alternatives_batch, one CorrectAlternatives call
+// (deduped transcripts, one shared batch search, pooled finish workers),
+// against alternatives_sequential, the n independent Correct calls it
+// replaces. Outputs are position-identical between the two; the pair
+// carries the batch path's amortization in the perf-trajectory artifact.
+func alternativesMicroBench(env *experiments.Env) []microResult {
+	nbest := []string{
+		"select first name from employees where salary greater than 50000",
+		"select first named from employee where celery greater than 50000",
+		"select first name from employees where salary greater than 50000", // verbatim duplicate
+		"select birth date from employees where gender equals M",
+		"select first name from employees where salary greater than 50000", // and again
+		"select count of everything from titles",
+	}
+	var out []microResult
+	out = append(out, runMicro("alternatives_batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			env.Engine.CorrectAlternatives(nbest)
+		}
+	}))
+	out = append(out, runMicro("alternatives_sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, tr := range nbest {
+				env.Engine.Correct(tr)
+			}
+		}
+	}))
+	return out
+}
+
+// myersMicroBench times the bounded character edit-distance kernels over a
+// fixed corpus of catalog-shaped operand pairs (phonetic codes and literal
+// values, all ≤64 bytes) at the bound the vote kernel typically carries:
+// myers_vs_banded is the bit-parallel Myers kernel on the hot path,
+// banded_reference the frozen banded-DP reference it replaced. Both compute
+// identical distances; the pair carries the kernel swap's speedup.
+func myersMicroBench() []microResult {
+	pairs := [][2]string{
+		{"BSNS", "BSNSS"},
+		{"KTRN", "K0RN"},
+		{"EMPLYS", "EMPLY"},
+		{"FRST NM", "FRSTNM"},
+		{"fenix", "phoenix"},
+		{"celery", "salary"},
+		{"pizza hut", "pisa hut"},
+		{"department number", "departmint numbre"},
+		{"greater than or equal", "grater then or eekwal"},
+		{"abcdefghijklmnopqrstuvwxyz0123456789", "abcdefghijklmnopqrstuvwxyz_0123456789"},
+	}
+	const bound = 4
+	var out []microResult
+	out = append(out, runMicro("myers_vs_banded", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, p := range pairs {
+				metrics.MyersDistanceBounded(p[0], p[1], bound)
+			}
+		}
+	}))
+	out = append(out, runMicro("banded_reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, p := range pairs {
+				metrics.BandedDistanceBounded(p[0], p[1], bound)
+			}
+		}
+	}))
 	return out
 }
 

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"speakql/internal/faultinject"
+	"speakql/internal/trieindex"
+)
+
+// nBestAlternatives is an ASR-shaped n-best list: near-duplicate
+// hypotheses with one repeated verbatim, plus an outlier.
+var nBestAlternatives = []string{
+	"select sales from employers wear name equals Jon",
+	"select salary from employees where name equals John",
+	"select sales from employers wear name equals Jon", // verbatim duplicate
+	"select first name from employees",
+	"select sales from employers wear name equals Jon", // and again
+	"select count of everything from titles",
+}
+
+// checkAlternativesMatchSequential compares one batched run against the
+// strictly sequential pipeline, position by position: same candidate SQL,
+// structures, bindings count, and degradation level.
+func checkAlternativesMatchSequential(t *testing.T, e *Engine, alts []string) {
+	t.Helper()
+	ctx := context.Background()
+	want := make([]Output, len(alts))
+	for i, tr := range alts {
+		want[i] = e.CorrectContext(ctx, tr)
+	}
+	got := e.CorrectAlternativesContext(ctx, alts)
+	if len(got) != len(want) {
+		t.Fatalf("%d outputs for %d alternatives", len(got), len(alts))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if (w.Err == nil) != (g.Err == nil) {
+			t.Fatalf("alt %d: err %v vs sequential %v", i, g.Err, w.Err)
+		}
+		if g.Degradation != w.Degradation {
+			t.Fatalf("alt %d: degradation %q vs sequential %q", i, g.Degradation, w.Degradation)
+		}
+		if len(g.Candidates) != len(w.Candidates) {
+			t.Fatalf("alt %d: %d candidates vs sequential %d", i, len(g.Candidates), len(w.Candidates))
+		}
+		for c := range w.Candidates {
+			if g.Candidates[c].SQL != w.Candidates[c].SQL ||
+				strings.Join(g.Candidates[c].Structure, " ") != strings.Join(w.Candidates[c].Structure, " ") ||
+				len(g.Candidates[c].Bindings) != len(w.Candidates[c].Bindings) {
+				t.Fatalf("alt %d candidate %d: %q vs sequential %q",
+					i, c, g.Candidates[c].SQL, w.Candidates[c].SQL)
+			}
+		}
+	}
+}
+
+// TestCorrectAlternativesBatchMatchesSequential is the end-to-end batch
+// differential test: the batched n-best pipeline (deduped transcripts,
+// shared batch search, pooled literal workers) must return per-position
+// outputs identical to independent Correct calls — on the serial-search
+// engine and on one with parallel search workers underneath.
+func TestCorrectAlternativesBatchMatchesSequential(t *testing.T) {
+	checkAlternativesMatchSequential(t, engine(t), nBestAlternatives)
+
+	cfg := testEngineConfig()
+	cfg.Search = trieindex.Options{Workers: 4}
+	par, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAlternativesMatchSequential(t, par, nBestAlternatives)
+}
+
+// TestCorrectAlternativesSharesDuplicates checks the dedup contract:
+// positions holding the same transcript get the shared Output — the same
+// candidate slice, not a recomputed copy.
+func TestCorrectAlternativesSharesDuplicates(t *testing.T) {
+	e := engine(t)
+	got := e.CorrectAlternatives(nBestAlternatives)
+	if len(got[0].Candidates) == 0 {
+		t.Fatal("no candidates for the first hypothesis")
+	}
+	for _, dup := range []int{2, 4} {
+		if &got[dup].Candidates[0] != &got[0].Candidates[0] {
+			t.Fatalf("duplicate position %d did not share position 0's candidates", dup)
+		}
+	}
+}
+
+// TestCorrectAlternativesUnderFaults runs the batch differential under
+// deterministic always-on faults, one stage at a time. Probability-1 specs
+// make the outcome independent of call ordering, which the batch reorders
+// relative to the sequential loop (all structure hooks fire before any
+// literal hook).
+func TestCorrectAlternativesUnderFaults(t *testing.T) {
+	for _, spec := range []string{"structure:error@1", "literal:error@1"} {
+		inj, err := faultinject.Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		faultinject.Set(inj)
+		checkAlternativesMatchSequential(t, engine(t), nBestAlternatives)
+		faultinject.Set(nil)
+	}
+}

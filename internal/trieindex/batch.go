@@ -1,0 +1,120 @@
+// Batched n-best search (DESIGN.md §12). ASR n-best lists are near-
+// duplicates of one another, so correcting them as independent searches
+// repeats almost all the work. SearchBatch exploits the two redundancies:
+// alternatives whose masked transcripts are identical share one memoized
+// result, and distinct alternatives seed each other's pruning bound through
+// the triangle inequality — a good bound found for alternative 1 prunes
+// alternative 3 before its search begins, the batch analogue of the
+// cross-partition shared bound inside one search.
+
+package trieindex
+
+import (
+	"context"
+	"math"
+	"strings"
+
+	"speakql/internal/metrics"
+)
+
+// batchSeedSlack pads a triangle-inequality seed against floating-point
+// non-associativity: the search kernel and WeightedTokenEditDistance sum the
+// same 1.0/1.1/1.2 weights in different orders, which can differ by a few
+// ULPs. A slightly looser bound only prunes less — never incorrectly — so
+// the pad preserves exactness.
+const batchSeedSlack = 1e-9
+
+// SearchBatch runs SearchTopKContext for every query of one n-best list on
+// the index's shared searcher pool, returning per-query results and stats in
+// input order. Results are bit-identical to len(queries) independent
+// SearchTopKContext calls (TestSearchBatchMatchesSequential) but cheaper:
+//
+//   - Queries with identical token sequences are searched once; every
+//     duplicate position returns the same shared slices.
+//   - In the exact modes (no DAP, no INV) each search is seeded with the
+//     tightest bound the triangle inequality yields from already-completed
+//     alternatives: the true k-th best for query j is at most
+//     b_i + D(q_i, q_j) for any completed i whose k-th-best distance is b_i,
+//     because every structure within b_i of q_i is within b_i + D(q_i, q_j)
+//     of q_j. Seeding the pruning bound with any upper bound on the k-th
+//     best keeps results exact and tie-breaks intact (see PrefixSearcher's
+//     argument for the d <= bound prune); under the approximate DAP/INV
+//     modes seeding is skipped, exactly like PrefixSearcher.
+//
+// Cancellation follows SearchTopKContext: queries searched after ctx
+// expires return nil, and a partially-searched query returns its best so
+// far. Bounds from cancelled searches are never used as seeds.
+func (ix *Index) SearchBatch(ctx context.Context, queries [][]string, k int, opts Options) ([][]Result, []Stats) {
+	outs := make([][]Result, len(queries))
+	stats := make([]Stats, len(queries))
+	if len(queries) == 0 {
+		return outs, stats
+	}
+
+	// Memoize by masked transcript: share holds each query's slot in the
+	// unique-query tables.
+	uniq := make([]int, 0, len(queries))
+	share := make([]int, len(queries))
+	keys := make(map[string]int, len(queries))
+	var kb strings.Builder
+	for qi, q := range queries {
+		kb.Reset()
+		for _, t := range q {
+			kb.WriteString(t)
+			kb.WriteByte('\n')
+		}
+		if ui, ok := keys[kb.String()]; ok {
+			share[qi] = ui
+			continue
+		}
+		keys[kb.String()] = len(uniq)
+		share[qi] = len(uniq)
+		uniq = append(uniq, qi)
+	}
+
+	exact := !opts.DAP && !opts.INV
+	// A completed search's worst kept distance bounds the global k-th best
+	// only when the heap was actually full (min(k, total) results).
+	want := k
+	if ix.total < want {
+		want = ix.total
+	}
+	type seedSource struct {
+		qi    int
+		bound float64
+	}
+	sources := make([]seedSource, 0, len(uniq))
+	uniqRes := make([][]Result, len(uniq))
+	uniqSt := make([]Stats, len(uniq))
+	for ui, qi := range uniq {
+		seed := math.Inf(1)
+		if exact {
+			for _, src := range sources {
+				var dij float64
+				if opts.UniformWeights {
+					dij = float64(metrics.TokenEditDistance(queries[src.qi], queries[qi]))
+				} else {
+					dij = metrics.WeightedTokenEditDistance(queries[src.qi], queries[qi])
+				}
+				if b := src.bound + dij + batchSeedSlack; b < seed {
+					seed = b
+				}
+			}
+		}
+		if k <= 0 || ix.total == 0 || ctx.Err() != nil {
+			continue // match SearchTopKContext: nil results, zero stats
+		}
+		s := ix.getSearcher(queries[qi], k, opts, &uniqSt[ui])
+		rs, st := ix.runSearcher(ctx, s, seed)
+		uniqRes[ui], uniqSt[ui] = rs, st
+		if exact && ctx.Err() == nil && len(rs) >= want && len(rs) > 0 {
+			sources = append(sources, seedSource{qi: qi, bound: rs[len(rs)-1].Distance})
+		}
+	}
+
+	for qi := range queries {
+		outs[qi] = uniqRes[share[qi]]
+		stats[qi] = uniqSt[share[qi]]
+	}
+	return outs, stats
+}

@@ -1,0 +1,108 @@
+package trieindex
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"speakql/internal/grammar"
+)
+
+// batchQueries builds an n-best-like batch: random masked queries with
+// verbatim duplicates injected at scattered positions, the shape ASR n-best
+// lists take in practice.
+func batchQueries(ix *Index, n int, seed int64) [][]string {
+	qs := maskedQueries(ix, n, seed)
+	for i := 2; i < len(qs); i += 3 {
+		qs[i] = qs[i-2] // duplicate an earlier hypothesis verbatim
+	}
+	return qs
+}
+
+// TestSearchBatchMatchesSequential is the batched-search differential test:
+// for every option variant — exact serial, parallel workers, BDB off,
+// uniform weights, and the approximate DAP/INV modes — SearchBatch must
+// return exactly what n independent SearchTopK calls return, per position:
+// same structures, same distances, same order. This pins both the
+// triangle-inequality seeding (it may prune harder, never differently) and
+// the duplicate memoization.
+func TestSearchBatchMatchesSequential(t *testing.T) {
+	exact := buildIndex(t, grammar.TestScale(), false)
+	withINV := buildIndex(t, grammar.TestScale(), true)
+	cases := []struct {
+		name string
+		ix   *Index
+		opts Options
+	}{
+		{"exact", exact, Options{}},
+		{"workers4", exact, Options{Workers: 4}},
+		{"nobdb", exact, Options{DisableBDB: true}},
+		{"uniform", exact, Options{UniformWeights: true}},
+		{"dap", exact, Options{DAP: true}},
+		{"inv", withINV, Options{INV: true}},
+	}
+	for _, tc := range cases {
+		queries := batchQueries(tc.ix, 24, 13)
+		for _, k := range []int{1, 3, 10} {
+			outs, stats := tc.ix.SearchBatch(context.Background(), queries, k, tc.opts)
+			if len(outs) != len(queries) || len(stats) != len(queries) {
+				t.Fatalf("%s k=%d: got %d results / %d stats for %d queries",
+					tc.name, k, len(outs), len(stats), len(queries))
+			}
+			for qi, q := range queries {
+				want, _ := tc.ix.SearchTopK(q, k, tc.opts)
+				got := outs[qi]
+				if len(got) != len(want) {
+					t.Fatalf("%s k=%d q#%d %v: batch %d results, sequential %d",
+						tc.name, k, qi, q, len(got), len(want))
+				}
+				for i := range want {
+					if got[i].Distance != want[i].Distance ||
+						strings.Join(got[i].Tokens, " ") != strings.Join(want[i].Tokens, " ") {
+						t.Fatalf("%s k=%d q#%d %v: result %d differs:\n batch      %v (%v)\n sequential %v (%v)",
+							tc.name, k, qi, q, i,
+							got[i].Tokens, got[i].Distance,
+							want[i].Tokens, want[i].Distance)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSearchBatchSharesDuplicates checks the memoization contract:
+// positions holding identical queries return the very same result slice,
+// not merely equal copies.
+func TestSearchBatchSharesDuplicates(t *testing.T) {
+	ix := buildIndex(t, grammar.TestScale(), false)
+	q := strings.Fields("SELECT x FROM x WHERE x = x")
+	queries := [][]string{q, strings.Fields("SELECT x FROM x"), q, q}
+	outs, _ := ix.SearchBatch(context.Background(), queries, 3, Options{})
+	if len(outs[0]) == 0 {
+		t.Fatal("no results for an exact structure")
+	}
+	for _, dup := range []int{2, 3} {
+		if &outs[dup][0] != &outs[0][0] {
+			t.Fatalf("duplicate position %d did not share position 0's result slice", dup)
+		}
+	}
+}
+
+// TestSearchBatchEdgeCases covers the empty batch and pre-cancelled
+// context, which must mirror SearchTopKContext's contract (nil results).
+func TestSearchBatchEdgeCases(t *testing.T) {
+	ix := buildIndex(t, grammar.TestScale(), false)
+	outs, stats := ix.SearchBatch(context.Background(), nil, 3, Options{})
+	if len(outs) != 0 || len(stats) != 0 {
+		t.Fatalf("empty batch returned %d/%d", len(outs), len(stats))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	queries := batchQueries(ix, 6, 5)
+	outs, _ = ix.SearchBatch(ctx, queries, 3, Options{})
+	for qi, rs := range outs {
+		if rs != nil {
+			t.Fatalf("cancelled batch returned results at position %d", qi)
+		}
+	}
+}

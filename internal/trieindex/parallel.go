@@ -7,6 +7,7 @@ package trieindex
 import (
 	"context"
 	"math"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -85,14 +86,18 @@ func (ix *Index) searchParallel(ctx context.Context, q []tokenID, qw []float64, 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
-				i := int(cursor.Add(1)) - 1
-				if i >= len(order) || ctx.Err() != nil {
-					return
+			// The pprof label attributes every worker sample to the search
+			// stage, so mixed-stage profiles split cleanly per kernel.
+			pprof.Do(ctx, pprof.Labels("speakql.stage", "structure_search_worker"), func(ctx context.Context) {
+				for {
+					i := int(cursor.Add(1)) - 1
+					if i >= len(order) || ctx.Err() != nil {
+						return
+					}
+					s.rank = int32(i)
+					s.searchLen(order[i])
 				}
-				s.rank = int32(i)
-				s.searchLen(order[i])
-			}
+			})
 		}()
 	}
 	wg.Wait()
