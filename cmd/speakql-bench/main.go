@@ -43,6 +43,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"strings"
@@ -52,6 +54,7 @@ import (
 	"speakql/internal/dataset"
 	"speakql/internal/experiments"
 	"speakql/internal/faultinject"
+	"speakql/internal/httpapi"
 	"speakql/internal/literal"
 	"speakql/internal/metrics"
 	"speakql/internal/registry"
@@ -243,7 +246,32 @@ func microBench(env *experiments.Env, workers int) []microResult {
 	out = append(out, voteMicroBench()...)
 	out = append(out, myersMicroBench()...)
 	out = append(out, tenantMicroBench(env)...)
+	out = append(out, correctAllocsMicroBench(env))
 	return out
+}
+
+// correctAllocsMicroBench drives the full /api/correct serving path —
+// routing, admission-free decode, correction, pooled encode, response write
+// — in-process through the HTTP handler, so the correct_allocs_per_req key
+// tracks the hot path's steady-state allocation budget release over release
+// (the pooled encoder holds the response side near zero).
+func correctAllocsMicroBench(env *experiments.Env) microResult {
+	api := httpapi.New(env.Engine, env.EmpDB)
+	defer api.Close()
+	h := api.Handler()
+	body := `{"transcript":"select salary from employees where gender equals M","topk":3}`
+	return runMicro("correct_allocs_per_req", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			req := httptest.NewRequest(http.MethodPost, "/api/correct", strings.NewReader(body))
+			req.Header.Set("Content-Type", "application/json")
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				b.Fatalf("correct_allocs_per_req: status %d: %s", w.Code, w.Body.String())
+			}
+		}
+	})
 }
 
 // alternativesMicroBench times n-best correction over an ASR-shaped

@@ -22,7 +22,17 @@
 // [-scale test|default|paper] [-workers n] [-timeout 10s] [-cachesize 1024]
 // [-literal-index=true|false] [-max-inflight n] [-max-queue n]
 // [-session-ttl d] [-drain-timeout d] [-faults SPEC] [-pprof]
-// [-max-tenants n] [-tenant-dir DIR]
+// [-max-tenants n] [-tenant-dir DIR] [-memo-size n] [-gomemlimit SIZE]
+//
+// -memo-size bounds the server-level correction memo: an LRU of fully
+// rendered /api/correct responses keyed by (tenant, transcript, topk), with
+// concurrent identical requests collapsed onto one computation
+// (singleflight). Hits are byte-identical to the miss that populated them;
+// faulted, degraded, and session-stateful requests bypass it entirely, and a
+// tenant's entries are invalidated when its catalog changes (0 disables).
+// -gomemlimit SIZE (e.g. 512MiB, 4GiB) sets the runtime's soft heap limit
+// via runtime/debug.SetMemoryLimit, so sustained overload shows up as GC
+// backpressure in the /api/stats runtime block instead of an OOM kill.
 //
 // Multi-tenancy: the structure index, its searcher pools, and the search
 // memo cache are schema-agnostic and shared by every tenant; only the
@@ -74,6 +84,9 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/debug"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -117,7 +130,21 @@ func main() {
 		"max tenant catalogs resident in memory at once; least-recently-used tenants beyond this are evicted to -tenant-dir (0 disables eviction)")
 	tenantDir := flag.String("tenant-dir", "",
 		"directory persisting tenant catalogs across restarts and evictions (empty keeps every registered tenant resident)")
+	memoSize := flag.Int("memo-size", 4096,
+		"server-level correction memo entries: fully rendered /api/correct responses keyed by (tenant, transcript, topk), with singleflight collapse of concurrent identical requests (0 disables)")
+	memLimit := flag.String("gomemlimit", "",
+		"soft Go heap limit with optional size suffix, e.g. 512MiB or 4GiB — sets runtime/debug.SetMemoryLimit so steady overload degrades GC pacing instead of OOMing (empty leaves the runtime default / GOMEMLIMIT env)")
 	flag.Parse()
+
+	if *memLimit != "" {
+		n, err := parseByteSize(*memLimit)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -gomemlimit: %v\n", err)
+			os.Exit(2)
+		}
+		debug.SetMemoryLimit(n)
+		log.Printf("memory limit set to %s (%d bytes)", *memLimit, n)
+	}
 
 	spec := *faults
 	if spec == "" {
@@ -204,6 +231,7 @@ func main() {
 	srv.SetRequestTimeout(*timeout)
 	srv.SetAdmission(*maxInflight, *maxQueue)
 	srv.SetSessionTTL(*sessionTTL)
+	srv.SetCorrectionMemo(*memoSize)
 	defer srv.Close()
 	if *pprofFlag {
 		srv.EnablePprof()
@@ -242,6 +270,33 @@ func main() {
 		}
 	}
 	log.Printf("server stopped")
+}
+
+// parseByteSize parses a byte count with an optional binary (KiB, MiB, GiB,
+// TiB) or decimal (KB, MB, GB, TB) suffix; a bare number is bytes.
+func parseByteSize(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	suffixes := []struct {
+		suffix string
+		mult   int64
+	}{
+		{"TiB", 1 << 40}, {"GiB", 1 << 30}, {"MiB", 1 << 20}, {"KiB", 1 << 10},
+		{"TB", 1e12}, {"GB", 1e9}, {"MB", 1e6}, {"KB", 1e3}, {"B", 1},
+	}
+	mult := int64(1)
+	num := s
+	for _, c := range suffixes {
+		if strings.HasSuffix(s, c.suffix) {
+			mult = c.mult
+			num = strings.TrimSpace(strings.TrimSuffix(s, c.suffix))
+			break
+		}
+	}
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("%q is not a positive byte size (try 512MiB)", s)
+	}
+	return int64(v * float64(mult)), nil
 }
 
 // loadOrBuildIndex reads a persisted structure index, or builds it from the

@@ -109,6 +109,23 @@ func (g *gate) Release() {
 	g.mu.Unlock()
 }
 
+// retryAfterHint estimates, in whole seconds, how long a shed client should
+// back off: one second base plus one for each full round of waiters already
+// queued per permit, capped so a deep queue never tells clients to vanish
+// for minutes. Deterministic in the gate's state (TestRetryAfterHint).
+func (g *gate) retryAfterHint() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	secs := 1 + g.waiters.Len()/g.maxInflight
+	if secs > maxRetryAfterSecs {
+		secs = maxRetryAfterSecs
+	}
+	return secs
+}
+
+// maxRetryAfterSecs caps the Retry-After hint.
+const maxRetryAfterSecs = 30
+
 // gateStats is a point-in-time view for /api/stats.
 type gateStats struct {
 	MaxInflight int `json:"max_inflight"`

@@ -143,6 +143,88 @@ func TestGatePermitNotLeakedOnRace(t *testing.T) {
 	}
 }
 
+// TestRetryAfterHint pins the back-off formula: one second base plus one
+// second per full round of queued waiters per permit, capped.
+func TestRetryAfterHint(t *testing.T) {
+	g := newGate(2, 64)
+	if got := g.retryAfterHint(); got != 1 {
+		t.Errorf("idle gate hint = %d, want 1", got)
+	}
+	// Saturate both permits, then queue waiters in controlled counts.
+	for i := 0; i < 2; i++ {
+		if err := g.Acquire(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	queue := func(n int) {
+		for i := 0; i < n; i++ {
+			go g.Acquire(ctx) //nolint:errcheck // waiters exist only to deepen the queue
+		}
+	}
+	queue(1)
+	waitForQueued(t, g, 1)
+	if got := g.retryAfterHint(); got != 1 {
+		t.Errorf("1 waiter / 2 permits: hint = %d, want 1", got)
+	}
+	queue(3)
+	waitForQueued(t, g, 4)
+	if got := g.retryAfterHint(); got != 3 {
+		t.Errorf("4 waiters / 2 permits: hint = %d, want 3", got)
+	}
+	queue(60)
+	waitForQueued(t, g, 64)
+	if got := g.retryAfterHint(); got != maxRetryAfterSecs {
+		t.Errorf("64 waiters / 2 permits: hint = %d, want cap %d", got, maxRetryAfterSecs)
+	}
+	cancel() // drain the waiters
+}
+
+// TestShedResponseRetryAfterHeader pins the HTTP surface: a shed request
+// carries a Retry-After header whose value grows with queue depth.
+func TestShedResponseRetryAfterHeader(t *testing.T) {
+	api := newAPIServer(t, 0)
+	api.SetAdmission(1, 2)
+	ts := serve(t, api)
+
+	// Occupy the lone permit directly so requests below queue or shed.
+	if err := api.gate.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	released := false
+	defer func() {
+		if !released {
+			api.gate.Release()
+		}
+	}()
+
+	// Fill the queue with two real requests.
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			postNoFail(ts.URL+"/api/correct", map[string]any{"transcript": "select salary from employees"}) //nolint:errcheck
+		}()
+	}
+	waitForQueued(t, api.gate, 2)
+
+	// Queue full: the next request sheds with Retry-After = 1 + 2/1 = 3.
+	resp := postRaw(t, ts.URL+"/api/correct", `{"transcript":"x"}`)
+	resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Fatalf("saturated server returned %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "3" {
+		t.Errorf("Retry-After = %q, want \"3\" (1 base + 2 queued / 1 permit)", got)
+	}
+
+	api.gate.Release() // lets the queued requests drain
+	released = true
+	wg.Wait()
+}
+
 func waitForQueued(t *testing.T, g *gate, n int) {
 	t.Helper()
 	deadline := time.Now().Add(2 * time.Second)

@@ -1,0 +1,113 @@
+package httpapi
+
+// encode_test.go pins the pooled /api/correct encode path: byte-identical
+// output to the map-based encoding it replaced, and a hard allocation
+// ceiling in steady state.
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"speakql/internal/core"
+)
+
+// testCorrectOutput runs one real correction against the package test
+// engine so the encode tests exercise a representative Output.
+func testCorrectOutput(t *testing.T) core.Output {
+	t.Helper()
+	srv(t) // builds testEng
+	out := testEng.CorrectTopK("select salary from employees where gender equals M", 3)
+	if out.Err != nil || len(out.Candidates) == 0 {
+		t.Fatalf("correction failed: %+v", out)
+	}
+	return out
+}
+
+// The struct-based encoder must produce exactly the bytes the former
+// map[string]any encoding produced (encoding/json sorts map keys; the wire
+// struct declares fields in that order).
+func TestCorrectEncodeByteIdentical(t *testing.T) {
+	out := testCorrectOutput(t)
+
+	var cands []candidateJSON
+	for _, c := range out.Candidates {
+		cands = append(cands, candidateJSON{SQL: c.SQL, Structure: c.Structure, Distance: c.StructureDistance})
+	}
+	var legacy bytes.Buffer
+	if err := json.NewEncoder(&legacy).Encode(map[string]any{
+		"transcript":   out.Transcript,
+		"candidates":   cands,
+		"structure_ms": out.StructureLatency.Milliseconds(),
+		"literal_ms":   out.LiteralLatency.Milliseconds(),
+		"deadline_hit": false,
+		"degradation":  out.Degradation,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	e := getEncoder()
+	defer e.release()
+	if err := e.encodeCorrect(&out, false); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(legacy.Bytes(), e.buf.Bytes()) {
+		t.Errorf("pooled encoding diverged from the legacy map encoding:\nlegacy: %s\npooled: %s",
+			legacy.Bytes(), e.buf.Bytes())
+	}
+
+	// The no-candidates shape must also match ("candidates":null).
+	empty := core.Output{Transcript: out.Transcript, Degradation: core.DegradationShed}
+	legacy.Reset()
+	if err := json.NewEncoder(&legacy).Encode(map[string]any{
+		"transcript":   empty.Transcript,
+		"candidates":   []candidateJSON(nil),
+		"structure_ms": int64(0),
+		"literal_ms":   int64(0),
+		"deadline_hit": true,
+		"degradation":  empty.Degradation,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e2 := getEncoder()
+	defer e2.release()
+	if err := e2.encodeCorrect(&empty, true); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(legacy.Bytes(), e2.buf.Bytes()) {
+		t.Errorf("empty-candidates encoding diverged:\nlegacy: %s\npooled: %s", legacy.Bytes(), e2.buf.Bytes())
+	}
+}
+
+// correctEncodeAllocCeiling is the pinned steady-state allocation budget for
+// encoding one /api/correct response through the pool. The measured value is
+// 0 after warmup (buffer, encoder, and candidate slice all reused); the
+// ceiling leaves a little slack for runtime-internal noise, and any real
+// regression — a fresh encoder, a map, a per-request slice — costs multiples
+// of this.
+const correctEncodeAllocCeiling = 3
+
+func TestCorrectEncodeAllocCeiling(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation inflates allocation counts; the ceiling is pinned in non-race runs")
+	}
+	out := testCorrectOutput(t)
+	// Warm the pool and the encoder's reflection caches.
+	for i := 0; i < 8; i++ {
+		e := getEncoder()
+		if err := e.encodeCorrect(&out, false); err != nil {
+			t.Fatal(err)
+		}
+		e.release()
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		e := getEncoder()
+		if err := e.encodeCorrect(&out, false); err != nil {
+			t.Fatal(err)
+		}
+		e.release()
+	})
+	if allocs > correctEncodeAllocCeiling {
+		t.Errorf("correct encode path allocates %.1f/op, ceiling is %d", allocs, correctEncodeAllocCeiling)
+	}
+}

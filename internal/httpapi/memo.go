@@ -1,0 +1,205 @@
+package httpapi
+
+// memo.go is the server-level correction memo: a bounded LRU of fully
+// rendered /api/correct response bodies keyed by (tenant, transcript, topk),
+// sitting in front of the engine. Interactive traffic repeats transcripts
+// heavily — the same dictation retried, the same demo query from thousands
+// of displays — and the engine's own SearchLRU only memoizes the structure
+// stage; the memo short-circuits the entire pipeline plus encoding, serving
+// a hit as one LRU probe and one socket write.
+//
+// Concurrent identical requests collapse through a singleflight layer: the
+// first request (the leader) computes and caches; followers block on the
+// leader's completion and write the leader's exact bytes, so a follower's
+// response is bit-identical to the leader's (TestMemoSingleflight). A
+// follower whose own deadline expires while waiting, or whose leader
+// finished without a cacheable result, falls through and computes
+// independently.
+//
+// What is never cached or served from cache:
+//   - anything while fault injection is armed (faultinject.Enabled()):
+//     chaos rehearsals must exercise the real pipeline, and an injected
+//     error must never be replayed to healthy traffic;
+//   - failed corrections (Output.Err != nil) and degraded responses
+//     (Degradation != full, or a deadline hit): they depend on transient
+//     load, not on the request;
+//   - session-stateful endpoints (/api/dictate, /api/stream/*): their
+//     responses depend on session history, not just the transcript — they
+//     never consult the memo.
+//
+// Counters: server.memo_hit / server.memo_miss / server.memo_inflight_join
+// / server.memo_evictions; /api/stats serves them in the "memo" block.
+
+import (
+	"container/list"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// correctionMemo is the bounded LRU plus the singleflight table. Safe for
+// concurrent use; the lock is held only for map/list surgery, never across
+// a correction.
+type correctionMemo struct {
+	mu       sync.Mutex
+	max      int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	inflight map[string]*memoCall
+
+	evictions int64 // guarded by mu; mirrored to obs by the caller
+}
+
+// memoEntry is one cached body.
+type memoEntry struct {
+	key  string
+	body []byte
+}
+
+// memoCall is one in-flight leader computation. done closes when the leader
+// finishes; ok reports whether body carries a cacheable (and therefore
+// shareable) response. stale (guarded by the memo's mu) is set when the
+// tenant's catalog changed mid-flight: the result may still be shared with
+// the followers that joined before the change, but must not enter the LRU.
+type memoCall struct {
+	done  chan struct{}
+	body  []byte
+	ok    bool
+	stale bool
+}
+
+// newCorrectionMemo returns a memo bounded to max cached bodies (min 1).
+func newCorrectionMemo(max int) *correctionMemo {
+	if max < 1 {
+		max = 1
+	}
+	return &correctionMemo{
+		max:      max,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element, max),
+		inflight: make(map[string]*memoCall),
+	}
+}
+
+// memoKey builds the cache key. The three components are joined with NUL —
+// transcripts are dictated text and never contain it — so distinct triples
+// never collide.
+func memoKey(tenant, transcript string, topk int) string {
+	return tenant + "\x00" + transcript + "\x00" + strconv.Itoa(topk)
+}
+
+// lookup returns the cached body for key, refreshing its recency. The
+// returned slice is shared and must not be mutated.
+func (m *correctionMemo) lookup(key string) ([]byte, bool) {
+	m.mu.Lock()
+	el, ok := m.items[key]
+	if !ok {
+		m.mu.Unlock()
+		return nil, false
+	}
+	m.ll.MoveToFront(el)
+	body := el.Value.(*memoEntry).body
+	m.mu.Unlock()
+	return body, true
+}
+
+// begin joins or starts the singleflight for key: the first caller becomes
+// the leader (leader=true) and must call finish exactly once; later callers
+// get the leader's call to wait on.
+func (m *correctionMemo) begin(key string) (call *memoCall, leader bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c, ok := m.inflight[key]; ok {
+		return c, false
+	}
+	c := &memoCall{done: make(chan struct{})}
+	m.inflight[key] = c
+	return c, true
+}
+
+// finish completes a leader's singleflight: publishes the body to waiting
+// followers, caches it when cacheable, and wakes everyone. body must be an
+// immutable snapshot (the caller copies out of its pooled buffer). Returns
+// how many entries were evicted (0 or 1) so the caller can count them.
+func (m *correctionMemo) finish(key string, call *memoCall, body []byte, cacheable bool) int {
+	evicted := 0
+	m.mu.Lock()
+	// An invalidation may have replaced this flight with a fresh one; only
+	// remove our own registration.
+	if c, ok := m.inflight[key]; ok && c == call {
+		delete(m.inflight, key)
+	}
+	if call.stale {
+		cacheable = false
+	}
+	call.body, call.ok = body, cacheable
+	if cacheable {
+		if el, ok := m.items[key]; ok {
+			m.ll.MoveToFront(el)
+			el.Value.(*memoEntry).body = body
+		} else {
+			m.items[key] = m.ll.PushFront(&memoEntry{key: key, body: body})
+			if m.ll.Len() > m.max {
+				back := m.ll.Back()
+				m.ll.Remove(back)
+				delete(m.items, back.Value.(*memoEntry).key)
+				m.evictions++
+				evicted = 1
+			}
+		}
+	}
+	m.mu.Unlock()
+	close(call.done)
+	return evicted
+}
+
+// invalidateTenant drops every cached body keyed under tenant, returning how
+// many were removed. Called when a tenant's catalog is replaced, patched, or
+// deleted: a correction rendered against the old catalog must never be
+// served once the schema has changed. In-flight leaders that started before
+// the swap are marked stale and deregistered: they still publish their body
+// to the followers already waiting on them (those requests were concurrent
+// with the schema change), but the body never enters the LRU, and requests
+// arriving after the swap start a fresh leader against the new catalog.
+func (m *correctionMemo) invalidateTenant(tenant string) int {
+	prefix := tenant + "\x00"
+	removed := 0
+	m.mu.Lock()
+	for el := m.ll.Front(); el != nil; {
+		next := el.Next()
+		if e := el.Value.(*memoEntry); strings.HasPrefix(e.key, prefix) {
+			m.ll.Remove(el)
+			delete(m.items, e.key)
+			removed++
+		}
+		el = next
+	}
+	for k, c := range m.inflight {
+		if strings.HasPrefix(k, prefix) {
+			c.stale = true
+			delete(m.inflight, k)
+		}
+	}
+	m.mu.Unlock()
+	return removed
+}
+
+// memoStats is the /api/stats "memo" block's structural half (the hit/miss
+// counters live in the obs registry).
+type memoStats struct {
+	Entries   int   `json:"entries"`
+	Capacity  int   `json:"capacity"`
+	Inflight  int   `json:"inflight"`
+	Evictions int64 `json:"evictions"`
+}
+
+func (m *correctionMemo) stats() memoStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return memoStats{
+		Entries:   m.ll.Len(),
+		Capacity:  m.max,
+		Inflight:  len(m.inflight),
+		Evictions: m.evictions,
+	}
+}

@@ -1,0 +1,225 @@
+package httpapi
+
+// memo_chaos_test.go re-runs the chaos and tenant-churn patterns against a
+// memo-enabled server. The contract under test: the memo is completely
+// transparent — while fault injection is armed it is bypassed in both
+// directions (so the chaos reconciliation invariants hold unchanged and its
+// counters stay frozen), session-stateful endpoints never consult it, and a
+// tenant catalog change invalidates that tenant's cached corrections so
+// churn never serves a correction rendered against a dead schema.
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"speakql/internal/faultinject"
+	"speakql/internal/registry"
+)
+
+// Mixed chaos traffic with the memo enabled: every invariant of the
+// memo-less chaos suite must survive, and the memo must sit frozen (no
+// lookups served, nothing cached) for as long as the injector is armed.
+func TestChaosMixedTrafficWithMemo(t *testing.T) {
+	api := newAPIServer(t, 64)
+	api.SetAdmission(4, 32)
+	api.SetRequestTimeout(10 * time.Second)
+	api.SetCorrectionMemo(64)
+	ts := serve(t, api)
+
+	_, out := post(t, ts.URL+"/api/session", map[string]any{})
+	sid := out["id"].(string)
+
+	// Pre-chaos: populate one memo entry so the armed phase can prove cached
+	// bodies are not served while faults fly.
+	warm := `{"transcript":"select salary from employees where gender equals M","topk":2}`
+	code, healthyBody := postBytes(t, ts.URL+"/api/correct", warm)
+	if code != http.StatusOK {
+		t.Fatalf("warmup: %d", code)
+	}
+	if st := api.memo.stats(); st.Entries != 1 {
+		t.Fatalf("warmup not cached: %+v", st)
+	}
+
+	inj, err := faultinject.Parse("seed=99;structure:error@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Set(inj)
+	defer faultinject.Set(nil)
+	before := api.reg.Snapshot().Counters
+
+	// Every armed request — including the exact transcript sitting in the
+	// memo — must reach the failing pipeline and 500.
+	const workers = 6
+	const reqsPerWorker = 10
+	var wg sync.WaitGroup
+	var bad atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rep := 0; rep < reqsPerWorker; rep++ {
+				if rep%2 == 0 {
+					code, body, err := postNoFail(ts.URL+"/api/correct",
+						map[string]any{"transcript": "select salary from employees where gender equals M", "topk": 2})
+					if err != nil || code != http.StatusInternalServerError {
+						t.Errorf("armed correct = %d (%v, err %v), want 500", code, body, err)
+						bad.Add(1)
+					}
+				} else {
+					// Dictations are session-stateful and never consult the
+					// memo regardless of injection; they 500 here too.
+					code, _, err := postNoFail(ts.URL+"/api/dictate",
+						map[string]any{"id": sid, "transcript": "select first name from employees"})
+					if err != nil || code != http.StatusInternalServerError {
+						bad.Add(1)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if bad.Load() > 0 {
+		t.Fatalf("%d armed requests escaped the injector", bad.Load())
+	}
+
+	after := api.reg.Snapshot().Counters
+	for _, k := range []string{"server.memo_hit", "server.memo_miss", "server.memo_inflight_join"} {
+		if d := after[k] - before[k]; d != 0 {
+			t.Errorf("%s moved by %d during the armed phase — memo not bypassed", k, d)
+		}
+	}
+	if st := api.memo.stats(); st.Entries != 1 || st.Inflight != 0 {
+		t.Errorf("armed phase altered the memo: %+v", st)
+	}
+
+	// Disarm: the pre-chaos entry serves again, byte-identical, and the
+	// session is unwedged.
+	faultinject.Set(nil)
+	code, body := postBytes(t, ts.URL+"/api/correct", warm)
+	if code != http.StatusOK || !bytes.Equal(body, healthyBody) {
+		t.Errorf("post-chaos hit: %d, byte-identical=%v", code, bytes.Equal(body, healthyBody))
+	}
+	if code, _, err := postNoFail(ts.URL+"/api/dictate",
+		map[string]any{"id": sid, "transcript": "select first name from employees"}); err != nil || code != http.StatusOK {
+		t.Errorf("session wedged after chaos: %d %v", code, err)
+	}
+}
+
+// Tenant churn with the memo enabled: re-registering a tenant with a fresh
+// catalog invalidates its cached corrections, so concurrent PUT/correct
+// cycles never serve a correction naming a table the tenant no longer has.
+func TestTenantChurnWithMemo(t *testing.T) {
+	api := newAPIServer(t, 64)
+	eng := api.engine
+	reg, err := registry.New(registry.Config{
+		Shared: registry.Shared{
+			Structure:    eng.StructureComponent(),
+			Cache:        eng.SearchCache(),
+			TopKLiterals: 5,
+		},
+		MaxLive: 4,
+		Dir:     t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.SetSeed("default", eng, eng.Catalog())
+	api.SetRegistry(reg)
+	api.SetCorrectionMemo(64)
+	ts := serve(t, api)
+
+	// gen flips the catalog between two schemas; the correction for the
+	// fixed transcript must always name the *current* generation's table.
+	putGen := func(tid string, gen int) {
+		code, out := doJSON(t, http.MethodPut, ts.URL+"/api/tenants/"+tid, map[string]any{
+			"tables":     []string{fmt.Sprintf("LedgerGen%d", gen)},
+			"attributes": []string{"EntryTotal"},
+			"values":     []string{"Widget"},
+		})
+		if code != http.StatusOK {
+			t.Errorf("PUT %s gen%d = %d: %v", tid, gen, code, out)
+		}
+	}
+	correct := func(tid string) (int, map[string]any) {
+		return post(t, ts.URL+"/api/correct?tenant="+tid, map[string]any{
+			"transcript": "select entry total from ledger gen",
+		})
+	}
+
+	const tenants = 3
+	for i := 0; i < tenants; i++ {
+		putGen(fmt.Sprintf("m%d", i), 0)
+	}
+
+	// Serial generation check first: cached gen-0 body must die with gen 0.
+	putGen("m0", 0)
+	if code, out := correct("m0"); code != http.StatusOK {
+		t.Fatalf("gen0 correct: %d %v", code, out)
+	}
+	putGen("m0", 1)
+	code, out := correct("m0")
+	if code != http.StatusOK {
+		t.Fatalf("gen1 correct: %d %v", code, out)
+	}
+	sql := out["candidates"].([]any)[0].(map[string]any)["sql"].(string)
+	if !strings.Contains(sql, "LedgerGen1") {
+		t.Fatalf("correction after catalog swap still names the old schema: %q", sql)
+	}
+
+	// Concurrent churn: workers interleave swaps and corrections. Any 200
+	// must name one of the two live generations (never a foreign tenant's
+	// table); 404s from racing deletes are legitimate.
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for op := 0; op < 30; op++ {
+				tid := fmt.Sprintf("m%d", (w+op)%tenants)
+				switch op % 3 {
+				case 0:
+					putGen(tid, op%2)
+				default:
+					code, out, err := postNoFail(ts.URL+"/api/correct?tenant="+tid,
+						map[string]any{"transcript": "select entry total from ledger gen"})
+					if err != nil {
+						t.Errorf("correct %s: %v", tid, err)
+						continue
+					}
+					if code != http.StatusOK && code != http.StatusNotFound {
+						t.Errorf("correct %s = %d: %v", tid, code, out)
+						continue
+					}
+					if code != http.StatusOK {
+						continue
+					}
+					cands, _ := out["candidates"].([]any)
+					if len(cands) == 0 {
+						continue
+					}
+					sql, _ := cands[0].(map[string]any)["sql"].(string)
+					if !strings.Contains(sql, "LedgerGen0") && !strings.Contains(sql, "LedgerGen1") {
+						t.Errorf("correction for %s names no live generation: %q", tid, sql)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if snap := api.reg.Snapshot().Counters; snap["server.memo_invalidated"] == 0 {
+		t.Error("churn never invalidated a memo entry — invalidation hook not firing")
+	}
+	// The seed tenant's cache is untouched by other tenants' invalidations.
+	if code, _ := post(t, ts.URL+"/api/correct", map[string]any{
+		"transcript": "select salary from employees"}); code != http.StatusOK {
+		t.Fatalf("seed tenant broken after memo churn: %d", code)
+	}
+}

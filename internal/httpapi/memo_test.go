@@ -1,0 +1,266 @@
+package httpapi
+
+// memo_test.go pins the correction memo's contract: hits byte-equal to
+// misses, singleflight followers byte-equal to their leader, nothing cached
+// or served while fault injection is armed, nothing cached for degraded or
+// failed corrections, and tenant-scoped keys that never bleed across
+// tenants.
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"speakql/internal/faultinject"
+)
+
+// memoServer builds a server with the correction memo enabled.
+func memoServer(t *testing.T, size int) (*Server, string) {
+	t.Helper()
+	api := newAPIServer(t, 0)
+	api.SetCorrectionMemo(size)
+	ts := serve(t, api)
+	return api, ts.URL
+}
+
+// postBytes posts JSON and returns status plus the raw body bytes.
+func postBytes(t *testing.T, url, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, raw
+}
+
+const memoReq = `{"transcript":"select salary from employees where gender equals M","topk":2}`
+
+func TestMemoHitByteIdenticalToMiss(t *testing.T) {
+	api, base := memoServer(t, 16)
+
+	code1, body1 := postBytes(t, base+"/api/correct", memoReq)
+	code2, body2 := postBytes(t, base+"/api/correct", memoReq)
+	if code1 != http.StatusOK || code2 != http.StatusOK {
+		t.Fatalf("statuses %d, %d", code1, code2)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatalf("memo hit not byte-identical to miss:\nmiss: %s\nhit:  %s", body1, body2)
+	}
+	st := api.memo.stats()
+	if st.Entries != 1 {
+		t.Errorf("memo entries = %d, want 1", st.Entries)
+	}
+
+	// Distinct topk is a distinct key: must not serve the topk=2 body.
+	code3, body3 := postBytes(t, base+"/api/correct",
+		`{"transcript":"select salary from employees where gender equals M","topk":1}`)
+	if code3 != http.StatusOK {
+		t.Fatalf("topk=1 status %d", code3)
+	}
+	if bytes.Equal(body3, body1) {
+		t.Error("topk=1 served the topk=2 cached body")
+	}
+	if st := api.memo.stats(); st.Entries != 2 {
+		t.Errorf("memo entries = %d, want 2 after distinct topk", st.Entries)
+	}
+}
+
+// Concurrent identical requests: every response is 200 with the exact same
+// bytes, and every request is accounted as a hit, a miss, or an in-flight
+// join — the singleflight loser's body is the winner's, bit-identical.
+func TestMemoSingleflightConcurrent(t *testing.T) {
+	api, base := memoServer(t, 16)
+	before := api.reg.Snapshot().Counters
+
+	const n = 24
+	bodies := make([][]byte, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			code, body := 0, []byte(nil)
+			resp, err := http.Post(base+"/api/correct", "application/json", strings.NewReader(memoReq))
+			if err == nil {
+				code = resp.StatusCode
+				body, _ = io.ReadAll(resp.Body)
+				resp.Body.Close()
+			}
+			if code == http.StatusOK {
+				bodies[i] = body
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	var ref []byte
+	for i, b := range bodies {
+		if b == nil {
+			t.Fatalf("request %d failed", i)
+		}
+		if ref == nil {
+			ref = b
+		} else if !bytes.Equal(ref, b) {
+			t.Fatalf("request %d returned different bytes than request 0", i)
+		}
+	}
+	after := api.reg.Snapshot().Counters
+	delta := func(k string) int64 { return after[k] - before[k] }
+	total := delta("server.memo_hit") + delta("server.memo_miss") + delta("server.memo_inflight_join")
+	if total != n {
+		t.Errorf("hit+miss+join = %d, want %d (hit=%d miss=%d join=%d)", total, n,
+			delta("server.memo_hit"), delta("server.memo_miss"), delta("server.memo_inflight_join"))
+	}
+	if st := api.memo.stats(); st.Entries != 1 || st.Inflight != 0 {
+		t.Errorf("memo stats after burst: %+v, want 1 entry, 0 inflight", st)
+	}
+}
+
+// While fault injection is armed the memo is bypassed in both directions:
+// injected failures are never cached, and previously cached bodies are never
+// served (a rehearsal must hit the real pipeline).
+func TestMemoBypassedUnderFaultInjection(t *testing.T) {
+	api, base := memoServer(t, 16)
+
+	// Arm: every structure determination fails.
+	inj, err := faultinject.Parse("seed=5;structure:error@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Set(inj)
+	defer faultinject.Set(nil)
+
+	code, _ := postBytes(t, base+"/api/correct", memoReq)
+	if code != http.StatusInternalServerError {
+		t.Fatalf("injected error returned %d, want 500", code)
+	}
+	if st := api.memo.stats(); st.Entries != 0 {
+		t.Fatalf("injected engine error was cached (%d entries)", st.Entries)
+	}
+
+	// Disarm, populate the cache, re-arm: the cached body must NOT mask the
+	// injected failure.
+	faultinject.Set(nil)
+	code, healthy := postBytes(t, base+"/api/correct", memoReq)
+	if code != http.StatusOK {
+		t.Fatalf("healthy request returned %d", code)
+	}
+	if st := api.memo.stats(); st.Entries != 1 {
+		t.Fatalf("healthy response not cached")
+	}
+	faultinject.Set(inj)
+	code, body := postBytes(t, base+"/api/correct", memoReq)
+	if code != http.StatusInternalServerError {
+		t.Fatalf("armed request served %d (body %s) — memo not bypassed", code, body)
+	}
+	if bytes.Equal(body, healthy) {
+		t.Fatal("armed request served the cached healthy body")
+	}
+}
+
+// Degraded responses (here: deadline already expired) are never cached.
+func TestMemoSkipsDegraded(t *testing.T) {
+	api := newAPIServer(t, 0)
+	api.SetCorrectionMemo(16)
+	api.SetRequestTimeout(time.Nanosecond)
+	ts := serve(t, api)
+
+	code, _ := postBytes(t, ts.URL+"/api/correct", memoReq)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if st := api.memo.stats(); st.Entries != 0 {
+		t.Errorf("degraded response was cached (%d entries)", st.Entries)
+	}
+}
+
+// Tenant scoping: the same transcript under two tenants caches under two
+// keys and returns tenant-specific corrections.
+func TestMemoTenantScoping(t *testing.T) {
+	ts, api, _ := tenantServer(t, 4)
+	api.SetCorrectionMemo(16)
+
+	code, _ := doJSON(t, http.MethodPut, ts.URL+"/api/tenants/acme", map[string]any{
+		"tables":     []string{"Projects"},
+		"attributes": []string{"ProjectName"},
+		"values":     []string{"Apollo"},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("tenant put: %d", code)
+	}
+
+	req := `{"transcript":"select project name from projects","topk":1}`
+	_, seedBody := postBytes(t, ts.URL+"/api/correct", req)
+	_, acmeBody := postBytes(t, ts.URL+"/api/correct?tenant=acme", req)
+	if bytes.Equal(seedBody, acmeBody) {
+		t.Fatal("seed and acme tenants returned identical corrections for a schema-specific query")
+	}
+	// Repeat both: each must hit its own entry, byte-identically.
+	_, seed2 := postBytes(t, ts.URL+"/api/correct", req)
+	_, acme2 := postBytes(t, ts.URL+"/api/correct?tenant=acme", req)
+	if !bytes.Equal(seedBody, seed2) || !bytes.Equal(acmeBody, acme2) {
+		t.Fatal("per-tenant memo hits not byte-identical to their misses")
+	}
+	if st := api.memo.stats(); st.Entries != 2 {
+		t.Errorf("memo entries = %d, want 2 (one per tenant)", st.Entries)
+	}
+}
+
+// The memo unit itself: a leader publishes to followers even when the
+// result is uncacheable, and the LRU bound evicts.
+func TestMemoUnitSingleflightAndEviction(t *testing.T) {
+	m := newCorrectionMemo(2)
+
+	call, leader := m.begin("k")
+	if !leader {
+		t.Fatal("first begin must lead")
+	}
+	call2, leader2 := m.begin("k")
+	if leader2 || call2 != call {
+		t.Fatal("second begin must join the first")
+	}
+	done := make(chan []byte)
+	go func() {
+		<-call2.done
+		if !call2.ok {
+			done <- nil
+			return
+		}
+		done <- call2.body
+	}()
+	body := []byte("result")
+	m.finish("k", call, body, true)
+	if got := <-done; !bytes.Equal(got, body) {
+		t.Fatalf("follower saw %q, want %q", got, body)
+	}
+	if b, ok := m.lookup("k"); !ok || !bytes.Equal(b, body) {
+		t.Fatal("finished cacheable result not in LRU")
+	}
+
+	// Uncacheable finish wakes followers with ok=false and caches nothing.
+	call3, _ := m.begin("fail")
+	m.finish("fail", call3, nil, false)
+	if _, ok := m.lookup("fail"); ok {
+		t.Fatal("uncacheable result was cached")
+	}
+
+	// Capacity 2: a third insert evicts the least recently used.
+	c, _ := m.begin("k2")
+	m.finish("k2", c, []byte("2"), true)
+	c, _ = m.begin("k3")
+	if ev := m.finish("k3", c, []byte("3"), true); ev != 1 {
+		t.Fatalf("eviction count = %d, want 1", ev)
+	}
+	if _, ok := m.lookup("k"); ok {
+		t.Fatal("LRU entry survived past capacity")
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package httpapi
+
+// raceEnabled reports whether this test binary was built with -race, whose
+// instrumentation inflates allocation counts past any pinned ceiling.
+const raceEnabled = true

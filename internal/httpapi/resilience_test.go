@@ -177,9 +177,7 @@ func TestSessionSweeperRuns(t *testing.T) {
 	post(t, ts.URL+"/api/session", map[string]any{})
 	deadline := time.Now().Add(3 * time.Second)
 	for {
-		api.mu.Lock()
-		n := len(api.sessions)
-		api.mu.Unlock()
+		n := api.sessions.len()
 		if n == 0 {
 			return
 		}

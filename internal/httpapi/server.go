@@ -101,9 +101,14 @@ type Server struct {
 	stopOnce    sync.Once
 	stop        chan struct{}
 
-	mu       sync.Mutex // guards sessions and nextID only — never held across corrections
-	sessions map[string]*sessionEntry
-	nextID   int
+	// sessions is the sharded session registry (shards.go): lookups and the
+	// TTL sweeper take one shard lock at a time, so unrelated sessions never
+	// contend on registration, lookup, or eviction.
+	sessions *sessionMap
+	nextID   atomic.Int64
+
+	// memo is the server-level correction memo (memo.go); nil = disabled.
+	memo *correctionMemo
 }
 
 // New creates a Server over the given engine and database, reporting stats
@@ -117,7 +122,7 @@ func New(engine *core.Engine, db *sqlengine.Database) *Server {
 		timeout:  DefaultRequestTimeout,
 		reg:      obs.Default(),
 		stop:     make(chan struct{}),
-		sessions: map[string]*sessionEntry{},
+		sessions: newSessionMap(),
 	}
 	s.ready.Store(true)
 	return s
@@ -150,21 +155,28 @@ func (s *Server) SetSessionTTL(ttl time.Duration) { s.sessionTTL = ttl }
 // the start of graceful shutdown so load balancers drain it.
 func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
 
+// SetCorrectionMemo enables the server-level correction memo: up to size
+// fully rendered /api/correct responses cached by (tenant, transcript,
+// topk), with singleflight collapse of concurrent identical requests (see
+// memo.go for what is never cached). size <= 0 disables the memo. Call
+// before Handler.
+func (s *Server) SetCorrectionMemo(size int) {
+	if size <= 0 {
+		s.memo = nil
+		return
+	}
+	s.memo = newCorrectionMemo(size)
+}
+
 // Close stops the background session sweeper and closes every session's
 // event broadcaster, terminating all SSE feeds (idempotent). The HTTP
 // handler itself holds no other background state.
 func (s *Server) Close() {
 	s.stopOnce.Do(func() {
 		close(s.stop)
-		s.mu.Lock()
-		entries := make([]*sessionEntry, 0, len(s.sessions))
-		for _, e := range s.sessions {
-			entries = append(entries, e)
-		}
-		s.mu.Unlock()
 		// Broadcasters have their own lock; closing them never waits on a
 		// session's mu, so shutdown cannot wedge behind a correction.
-		for _, e := range entries {
+		for _, e := range s.sessions.all() {
 			e.events.Close()
 		}
 	})
@@ -187,15 +199,9 @@ func (s *Server) SetRegistry(reg *registry.Registry) {
 // broadcasters close outside s.mu (each has its own lock), so an in-flight
 // correction cannot wedge an eviction.
 func (s *Server) closeTenantSessions(tenant string) {
-	var closing []*sessionEntry
-	s.mu.Lock()
-	for id, e := range s.sessions {
-		if e.tenant == tenant {
-			delete(s.sessions, id)
-			closing = append(closing, e)
-		}
-	}
-	s.mu.Unlock()
+	closing := s.sessions.removeIf(func(_ string, e *sessionEntry) bool {
+		return e.tenant == tenant
+	})
 	for _, e := range closing {
 		e.events.Close()
 	}
@@ -287,7 +293,7 @@ func (s *Server) gated(h http.HandlerFunc) http.HandlerFunc {
 		if s.gate != nil {
 			if err := s.gate.Acquire(ctx); err != nil {
 				s.reg.Add("admission.shed", 1)
-				w.Header().Set("Retry-After", "1")
+				w.Header().Set("Retry-After", strconv.Itoa(s.gate.retryAfterHint()))
 				writeJSON(w, http.StatusServiceUnavailable, map[string]any{
 					"error":       err.Error(),
 					"degradation": core.DegradationShed,
@@ -412,22 +418,19 @@ func (s *Server) startSweeper() {
 }
 
 // evictIdleSessions removes sessions idle past the TTL and returns how
-// many were evicted (counter sessions_evicted).
+// many were evicted (counter sessions_evicted). The walk is shard-at-a-time
+// (sessionMap.removeIf): collecting candidates on one shard holds only that
+// shard's lock, so eviction never delays lookups — or dictations — on any
+// other shard (TestEvictionShardIsolation).
 func (s *Server) evictIdleSessions(now time.Time) int {
 	if s.sessionTTL <= 0 {
 		return 0
 	}
 	cutoff := now.Add(-s.sessionTTL).UnixNano()
-	var evicted []*sessionEntry
-	s.mu.Lock()
-	for id, e := range s.sessions {
-		if e.lastUsed.Load() < cutoff {
-			delete(s.sessions, id)
-			evicted = append(evicted, e)
-		}
-	}
-	s.mu.Unlock()
-	// Close the evicted sessions' broadcasters outside both locks: each
+	evicted := s.sessions.removeIf(func(_ string, e *sessionEntry) bool {
+		return e.lastUsed.Load() < cutoff
+	})
+	// Close the evicted sessions' broadcasters outside all locks: each
 	// broadcaster has its own mutex, so SSE subscribers end promptly even if
 	// the session's own lock is held by an in-flight correction.
 	for _, e := range evicted {
@@ -440,10 +443,19 @@ func (s *Server) evictIdleSessions(now time.Time) int {
 	return 0
 }
 
+// writeJSON renders v through a pooled buffer+encoder and sends it in one
+// Write (see encode.go) — the encoding itself is identical to the former
+// per-call json.NewEncoder(w).Encode(v), including the trailing newline.
 func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
+	e := getEncoder()
+	if err := e.enc.Encode(v); err != nil {
+		e.release()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		return
+	}
+	writeBody(w, code, e.buf.Bytes())
+	e.release()
 }
 
 func writeErr(w http.ResponseWriter, code int, err error) {
@@ -501,6 +513,53 @@ func (s *Server) handleCorrect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ctx := r.Context()
+
+	// Correction memo: serve repeated stateless corrections without touching
+	// the engine, collapsing concurrent identical requests onto one leader.
+	// Bypassed entirely while fault injection is armed — rehearsals must hit
+	// the real pipeline, and injected failures must never be replayed.
+	var (
+		key    string
+		leader *memoCall
+	)
+	if s.memo != nil && !faultinject.Enabled() {
+		key = memoKey(t.ID, req.Transcript, req.TopK)
+		if body, ok := s.memo.lookup(key); ok {
+			s.reg.Add("server.memo_hit", 1)
+			writeBody(w, http.StatusOK, body)
+			return
+		}
+		call, isLeader := s.memo.begin(key)
+		if isLeader {
+			leader = call
+		} else {
+			select {
+			case <-call.done:
+				if call.ok {
+					s.reg.Add("server.memo_inflight_join", 1)
+					writeBody(w, http.StatusOK, call.body)
+					return
+				}
+				// The leader finished without a shareable result (failed or
+				// degraded): compute independently.
+			case <-ctx.Done():
+				// Our own deadline is up; don't keep waiting on the leader —
+				// run the pipeline, which will degrade or shed on its own.
+			}
+		}
+		s.reg.Add("server.memo_miss", 1)
+	}
+	// A leader must always finish its singleflight — including on the error
+	// and panic paths — or followers would block until their deadlines.
+	cached := false
+	var cachedBody []byte
+	if leader != nil {
+		defer func() {
+			ev := s.memo.finish(key, leader, cachedBody, cached)
+			s.reg.Add("server.memo_evictions", int64(ev))
+		}()
+	}
+
 	out := t.Engine.CorrectTopKContext(ctx, req.Transcript, req.TopK)
 	if out.Err != nil {
 		writeJSON(w, http.StatusInternalServerError, map[string]any{
@@ -509,18 +568,21 @@ func (s *Server) handleCorrect(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	var cands []candidateJSON
-	for _, c := range out.Candidates {
-		cands = append(cands, candidateJSON{SQL: c.SQL, Structure: c.Structure, Distance: c.StructureDistance})
+	deadlineHit := ctx.Err() != nil
+	e := getEncoder()
+	if err := e.encodeCorrect(&out, deadlineHit); err != nil {
+		e.release()
+		writeErr(w, http.StatusInternalServerError, err)
+		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"transcript":   out.Transcript,
-		"candidates":   cands,
-		"structure_ms": out.StructureLatency.Milliseconds(),
-		"literal_ms":   out.LiteralLatency.Milliseconds(),
-		"deadline_hit": ctx.Err() != nil,
-		"degradation":  out.Degradation,
-	})
+	// Only full-fidelity, deadline-clean responses are cacheable: degraded
+	// output depends on transient load, not on the transcript.
+	if leader != nil && !deadlineHit && out.Degradation == core.DegradationFull {
+		cachedBody = append([]byte(nil), e.buf.Bytes()...)
+		cached = true
+	}
+	writeBody(w, http.StatusOK, e.buf.Bytes())
+	e.release()
 }
 
 func (s *Server) handleNewSession(w http.ResponseWriter, r *http.Request) {
@@ -538,30 +600,23 @@ func (s *Server) handleNewSession(w http.ResponseWriter, r *http.Request) {
 // in the map, so concurrent requests never see a session without its
 // broadcaster.
 func (s *Server) newSession(t *registry.Tenant) string {
-	s.mu.Lock()
-	s.nextID++
-	id := "s" + strconv.Itoa(s.nextID)
-	s.mu.Unlock()
+	id := "s" + strconv.FormatInt(s.nextID.Add(1), 10)
 	entry := &sessionEntry{sess: session.New(t.Engine), events: stream.NewBroadcaster(), tenant: t.ID}
 	entry.sess.SetStreamConfig(stream.Config{Events: entry.events, Session: id})
 	entry.touch()
-	s.mu.Lock()
-	s.sessions[id] = entry
-	s.mu.Unlock()
+	s.sessions.put(id, entry)
 	return id
 }
 
 // session looks up a session entry, refreshing its idle timestamp and
 // bumping the owning tenant's request counter.
 func (s *Server) session(id string) (*sessionEntry, bool) {
-	s.mu.Lock()
-	entry, ok := s.sessions[id]
+	entry, ok := s.sessions.get(id)
 	if ok {
 		entry.touch()
-	}
-	s.mu.Unlock()
-	if ok && entry.tenant != "" {
-		s.reg.Add("tenant."+entry.tenant+".requests", 1)
+		if entry.tenant != "" {
+			s.reg.Add("tenant."+entry.tenant+".requests", 1)
+		}
 	}
 	return entry, ok
 }
@@ -763,13 +818,40 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"mean_ns":  int64(st.Mean()),
 		}
 	}
-	s.mu.Lock()
-	nsessions := len(s.sessions)
-	s.mu.Unlock()
+	// The latency block serves each endpoint class's bucketed distribution
+	// (HDR-style log-linear histograms fed by the http.* spans): the tail the
+	// serving tier is tuned against, not just the mean.
+	latency := map[string]any{}
+	for name, st := range snap.Stages {
+		cls, ok := strings.CutPrefix(name, "http.")
+		if !ok {
+			continue
+		}
+		latency[cls] = map[string]any{
+			"count":  st.Count,
+			"p50_ms": float64(st.P50) / 1e6,
+			"p90_ms": float64(st.P90) / 1e6,
+			"p99_ms": float64(st.P99) / 1e6,
+			"max_ms": float64(st.Max) / 1e6,
+		}
+	}
+	rt := obs.ReadRuntime()
 	resp := map[string]any{
 		"stages":   stages,
 		"counters": snap.Counters,
-		"sessions": nsessions,
+		"sessions": s.sessions.len(),
+		"latency":  latency,
+		// The runtime block reads the Go runtime's own health signals via
+		// runtime/metrics: heap residency, GC pause tail, goroutine count.
+		"runtime": map[string]any{
+			"heap_inuse_bytes": rt.HeapInuseBytes,
+			"heap_free_bytes":  rt.HeapFreeBytes,
+			"goroutines":       rt.Goroutines,
+			"gc_cycles":        rt.GCCycles,
+			"gc_pause_p50_ms":  float64(rt.GCPauseP50) / 1e6,
+			"gc_pause_p99_ms":  float64(rt.GCPauseP99) / 1e6,
+			"gc_pause_max_ms":  float64(rt.GCPauseMax) / 1e6,
+		},
 		// The literal block groups the voting counters (vote calls, BK nodes
 		// visited, catalog entries the index skipped) with whether the
 		// phonetic index is active at all.
@@ -794,6 +876,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.gate != nil {
 		resp["admission"] = s.gate.stats()
+	}
+	// The memo block pairs the correction memo's structural state with its
+	// hit/miss/join counters.
+	if s.memo != nil {
+		resp["memo"] = map[string]any{
+			"lru":      s.memo.stats(),
+			"counters": snap.CountersWithPrefix("server.memo_"),
+		}
 	}
 	// The registry block groups multi-tenancy: residency against the LRU
 	// bound, lifecycle counters (cold loads, warm hits, evictions, dedup'd

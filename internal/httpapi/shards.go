@@ -1,0 +1,120 @@
+package httpapi
+
+// shards.go is the sharded session registry. The original Server kept every
+// session in one map behind one mutex, so a burst of unrelated dictations —
+// and the TTL sweeper's full-map scan — all serialized on a single lock.
+// Here the map is split into sessionShardCount independent shards keyed by
+// FNV-1a of the session id: a lookup takes exactly one shard lock, the
+// sweeper collects eviction candidates shard by shard, and work on shard A
+// (eviction, a stalled scan, a slow registration) never delays a session
+// lookup on shard B (TestShardIndependence pins this).
+//
+// Shard locks are held only for map operations — never across a correction
+// (the per-session sessionEntry.mu still serializes same-session requests)
+// and never while closing an event broadcaster.
+
+import (
+	"sync"
+)
+
+// sessionShardCount is the number of independent session-map shards. Power
+// of two so the hash folds with a mask; 32 comfortably exceeds the core
+// counts this serves on while costing ~1.5KB of empty maps.
+const sessionShardCount = 32
+
+// sessionShard is one lock + map pair.
+type sessionShard struct {
+	mu sync.Mutex
+	m  map[string]*sessionEntry
+}
+
+// sessionMap is the sharded registry of live sessions.
+type sessionMap struct {
+	shards [sessionShardCount]sessionShard
+}
+
+func newSessionMap() *sessionMap {
+	sm := &sessionMap{}
+	for i := range sm.shards {
+		sm.shards[i].m = make(map[string]*sessionEntry)
+	}
+	return sm
+}
+
+// shardIndex maps a session id to its shard (FNV-1a, masked).
+func shardIndex(id string) int {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	return int(h & (sessionShardCount - 1))
+}
+
+func (sm *sessionMap) shardFor(id string) *sessionShard {
+	return &sm.shards[shardIndex(id)]
+}
+
+// get returns the entry for id, if present.
+func (sm *sessionMap) get(id string) (*sessionEntry, bool) {
+	sh := sm.shardFor(id)
+	sh.mu.Lock()
+	e, ok := sh.m[id]
+	sh.mu.Unlock()
+	return e, ok
+}
+
+// put registers a fully-wired entry under id.
+func (sm *sessionMap) put(id string, e *sessionEntry) {
+	sh := sm.shardFor(id)
+	sh.mu.Lock()
+	sh.m[id] = e
+	sh.mu.Unlock()
+}
+
+// len counts live sessions across all shards (approximate under concurrent
+// mutation, exact when quiescent).
+func (sm *sessionMap) len() int {
+	n := 0
+	for i := range sm.shards {
+		sh := &sm.shards[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// all snapshots every live entry (shutdown: close all broadcasters).
+func (sm *sessionMap) all() []*sessionEntry {
+	var out []*sessionEntry
+	for i := range sm.shards {
+		sh := &sm.shards[i]
+		sh.mu.Lock()
+		for _, e := range sh.m {
+			out = append(out, e)
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// removeIf walks the shards one at a time, removing entries for which keep
+// returns false and returning them. Each shard's lock is held only for its
+// own scan, so a long walk of shard A never blocks lookups on shard B —
+// the property the TTL sweeper and tenant eviction rely on.
+func (sm *sessionMap) removeIf(remove func(id string, e *sessionEntry) bool) []*sessionEntry {
+	var removed []*sessionEntry
+	for i := range sm.shards {
+		sh := &sm.shards[i]
+		sh.mu.Lock()
+		for id, e := range sh.m {
+			if remove(id, e) {
+				delete(sh.m, id)
+				removed = append(removed, e)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return removed
+}

@@ -1,0 +1,134 @@
+package httpapi
+
+// shards_test.go pins the sharded session registry's isolation contract:
+// work on one shard — a stalled scan, an eviction pass, a blocking
+// correction — never delays lookups or dictations on any other shard, and
+// the TTL sweeper's candidate collection holds only one shard lock at a
+// time.
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// twoSessionsDifferentShards creates HTTP sessions until two land on
+// different shards, returning their ids. With 32 shards and FNV-spread ids
+// this takes a handful of sessions at most.
+func twoSessionsDifferentShards(t *testing.T, base string) (string, string) {
+	t.Helper()
+	var first string
+	for i := 0; i < 200; i++ {
+		_, out := post(t, base+"/api/session", map[string]any{})
+		id := out["id"].(string)
+		if first == "" {
+			first = id
+			continue
+		}
+		if shardIndex(id) != shardIndex(first) {
+			return first, id
+		}
+	}
+	t.Fatal("could not find two sessions on different shards (hash degenerate?)")
+	return "", ""
+}
+
+// A held shard lock on session A's shard (a stalled eviction scan, in the
+// old design the global map lock) must not delay a dictation on session B's
+// shard.
+func TestShardIndependence(t *testing.T) {
+	api := newAPIServer(t, 0)
+	ts := serve(t, api)
+	idA, idB := twoSessionsDifferentShards(t, ts.URL)
+
+	const hold = 600 * time.Millisecond
+	shA := api.sessions.shardFor(idA)
+	shA.mu.Lock()
+	release := make(chan struct{})
+	go func() {
+		defer shA.mu.Unlock()
+		select {
+		case <-release:
+		case <-time.After(hold):
+		}
+	}()
+
+	start := time.Now()
+	code, out := post(t, ts.URL+"/api/dictate", map[string]any{
+		"id": idB, "transcript": "select salary from employees",
+	})
+	elapsed := time.Since(start)
+	close(release)
+	if code != http.StatusOK {
+		t.Fatalf("dictate on shard-B session: %d %v", code, out)
+	}
+	if elapsed >= hold/2 {
+		t.Errorf("dictation on shard B took %v while shard A was held — shards are not independent", elapsed)
+	}
+}
+
+// The sweeper must evict idle sessions promptly even while a blocking
+// correction is in flight on another session: candidate collection takes
+// shard locks only (one at a time), and broadcaster closes happen outside
+// every lock — never behind a session's correction lock.
+func TestEvictionShardIsolation(t *testing.T) {
+	api := newAPIServer(t, 0)
+	ts := serve(t, api) // TTL set after Handler(), so no background sweeper races the manual evict below
+	api.SetSessionTTL(10 * time.Millisecond)
+	idA, idB := twoSessionsDifferentShards(t, ts.URL)
+
+	// Simulate a blocking correction in flight on session A: dictations hold
+	// the session's own lock for their whole correction, so hold it here.
+	entryA, ok := api.sessions.get(idA)
+	if !ok {
+		t.Fatal("session A vanished")
+	}
+	entryA.mu.Lock()
+	defer entryA.mu.Unlock()
+
+	// Let both sessions go idle past the TTL, then evict with the correction
+	// still blocked. The sweep must return promptly and still evict B.
+	time.Sleep(20 * time.Millisecond)
+	start := time.Now()
+	n := api.evictIdleSessions(time.Now())
+	elapsed := time.Since(start)
+	if elapsed > 100*time.Millisecond {
+		t.Errorf("eviction took %v behind a blocked correction — it must never wait on a session lock", elapsed)
+	}
+	if n < 2 {
+		t.Errorf("evicted %d sessions, want both idle sessions gone", n)
+	}
+	if _, ok := api.sessions.get(idB); ok {
+		t.Error("session B still registered after eviction")
+	}
+}
+
+// Sharding must not change observable session semantics: ids stay unique
+// and dense, lookups route to the right entry, and the map length tallies
+// across shards.
+func TestShardedSessionMapBasics(t *testing.T) {
+	sm := newSessionMap()
+	ids := []string{"s1", "s2", "s3", "s99", "stream-7", "x"}
+	for _, id := range ids {
+		sm.put(id, &sessionEntry{tenant: id})
+	}
+	if sm.len() != len(ids) {
+		t.Fatalf("len = %d, want %d", sm.len(), len(ids))
+	}
+	for _, id := range ids {
+		e, ok := sm.get(id)
+		if !ok || e.tenant != id {
+			t.Fatalf("get(%q) = %v, %v", id, e, ok)
+		}
+	}
+	if _, ok := sm.get("nope"); ok {
+		t.Fatal("phantom session")
+	}
+	removed := sm.removeIf(func(id string, _ *sessionEntry) bool { return id[0] == 's' })
+	if len(removed) != 5 || sm.len() != 1 {
+		t.Fatalf("removeIf removed %d, left %d", len(removed), sm.len())
+	}
+	if len(sm.all()) != 1 {
+		t.Fatalf("all() = %d entries", len(sm.all()))
+	}
+}

@@ -76,7 +76,19 @@ func (s *Server) handleTenantPut(w http.ResponseWriter, r *http.Request) {
 		writeTenantErr(w, err)
 		return
 	}
+	s.invalidateMemo(id)
 	writeJSON(w, http.StatusOK, tenantSummary(t, true))
+}
+
+// invalidateMemo drops the correction memo's entries for a tenant whose
+// catalog just changed, counting the drops (server.memo_invalidated).
+func (s *Server) invalidateMemo(tenant string) {
+	if s.memo == nil {
+		return
+	}
+	if n := s.memo.invalidateTenant(tenant); n > 0 {
+		s.reg.Add("server.memo_invalidated", int64(n))
+	}
 }
 
 func (s *Server) handleTenantGet(w http.ResponseWriter, r *http.Request) {
@@ -112,6 +124,7 @@ func (s *Server) handleTenantPatch(w http.ResponseWriter, r *http.Request) {
 		writeTenantErr(w, err)
 		return
 	}
+	s.invalidateMemo(id)
 	resp := tenantSummary(t, true)
 	resp["update"] = stats
 	writeJSON(w, http.StatusOK, resp)
@@ -126,6 +139,7 @@ func (s *Server) handleTenantDelete(w http.ResponseWriter, r *http.Request) {
 		writeTenantErr(w, err)
 		return
 	}
+	s.invalidateMemo(id)
 	writeJSON(w, http.StatusOK, map[string]any{"deleted": id})
 }
 

@@ -1,0 +1,351 @@
+package loadgen
+
+// run.go executes a Plan against a live server. Two pacing modes:
+//
+//   - open loop (TargetRPS > 0): ops are released on a fixed schedule —
+//     op i at start + i/TargetRPS — regardless of how fast responses come
+//     back, the arrival process a public service actually faces. A worker
+//     pool bounded by Concurrency absorbs the releases; if the server falls
+//     behind, releases queue and the achieved RPS in the report drops below
+//     target, which is itself the signal that saturation was reached.
+//   - closed loop (TargetRPS == 0): Concurrency workers issue the next op
+//     the moment the previous response lands — the classic
+//     maximum-throughput probe.
+//
+// Every response is classified: expected status → ok, 503 → shed (the
+// admission gate working as designed), anything else → error. Latency is
+// recorded per class in obs.Histogram — the same bucketing the server's own
+// /api/stats latency block uses.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"speakql/internal/obs"
+)
+
+// Config parameterizes one run.
+type Config struct {
+	BaseURL     string        // server root, e.g. http://localhost:8080
+	Seed        int64         // plan seed
+	Mix         Mix           // class weights (nil → DefaultMix)
+	Duration    time.Duration // how long to drive load
+	TargetRPS   float64       // open-loop arrival rate; 0 → closed loop
+	Concurrency int           // worker pool size (min 1)
+	PlanSize    int           // ops in the generated plan (0 → derived)
+	Timeout     time.Duration // per-request client timeout (0 → 30s)
+}
+
+// classTally accumulates one class's outcomes during the run.
+type classTally struct {
+	hist   obs.Histogram
+	sent   atomic.Int64
+	ok     atomic.Int64
+	shed   atomic.Int64
+	errors atomic.Int64
+}
+
+// Runner drives one load-generation run.
+type Runner struct {
+	cfg    Config
+	plan   *Plan
+	client *http.Client
+
+	sessions []string // dictate session ids, index-aligned with Op.Session
+	streams  []string // streaming session ids, index-aligned with Op.Stream
+
+	tallies   map[Class]*classTally
+	firstErrs chan string
+}
+
+// NewRunner builds the plan and the HTTP client. No traffic is sent until
+// Run.
+func NewRunner(cfg Config) (*Runner, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("loadgen: BaseURL required")
+	}
+	cfg.BaseURL = strings.TrimRight(cfg.BaseURL, "/")
+	if cfg.Concurrency < 1 {
+		cfg.Concurrency = 1
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 10 * time.Second
+	}
+	size := cfg.PlanSize
+	if size == 0 {
+		// Big enough that a full run rarely wraps, bounded so plan
+		// generation stays instant.
+		size = 4096
+		if cfg.TargetRPS > 0 {
+			if est := int(cfg.TargetRPS*cfg.Duration.Seconds()) + 1; est > size {
+				size = est
+			}
+		}
+		if size > 1<<20 {
+			size = 1 << 20
+		}
+	}
+	plan, err := NewPlan(cfg.Seed, cfg.Mix, size)
+	if err != nil {
+		return nil, err
+	}
+	tallies := make(map[Class]*classTally, len(classes))
+	for _, c := range classes {
+		tallies[c] = &classTally{}
+	}
+	return &Runner{
+		cfg:  cfg,
+		plan: plan,
+		client: &http.Client{
+			Timeout: cfg.Timeout,
+			Transport: &http.Transport{
+				MaxIdleConns:        cfg.Concurrency * 2,
+				MaxIdleConnsPerHost: cfg.Concurrency * 2,
+			},
+		},
+		tallies:   tallies,
+		firstErrs: make(chan string, 8),
+	}, nil
+}
+
+// Plan exposes the generated workload (tests assert on it; the report
+// embeds its checksum).
+func (r *Runner) Plan() *Plan { return r.plan }
+
+// setup creates the session pools and registers the tenants the plan's ops
+// index into. Setup traffic is not measured.
+func (r *Runner) setup(ctx context.Context) error {
+	counts := r.plan.ClassCounts()
+	if counts[ClassDictate] > 0 {
+		for i := 0; i < r.plan.Sessions; i++ {
+			id, err := r.newSession(ctx, "/api/session", "{}", "id")
+			if err != nil {
+				return fmt.Errorf("loadgen setup: session %d: %w", i, err)
+			}
+			r.sessions = append(r.sessions, id)
+		}
+	}
+	if counts[ClassStream] > 0 {
+		for i := 0; i < r.plan.Streams; i++ {
+			// An empty id auto-creates a streaming session on first fragment.
+			body := fmt.Sprintf(`{"fragment":%q}`, fragments[i%len(fragments)])
+			id, err := r.newSession(ctx, "/api/stream/dictate", body, "id")
+			if err != nil {
+				return fmt.Errorf("loadgen setup: stream session %d: %w", i, err)
+			}
+			r.streams = append(r.streams, id)
+		}
+	}
+	if counts[ClassTenant] > 0 {
+		for i := 0; i < r.plan.Tenants; i++ {
+			if err := r.registerTenant(ctx, i); err != nil {
+				return fmt.Errorf("loadgen setup: tenant %d: %w", i, err)
+			}
+		}
+	}
+	return nil
+}
+
+// newSession posts body to path and extracts the string field named key.
+func (r *Runner) newSession(ctx context.Context, path, body, key string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.cfg.BaseURL+path, strings.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("%s: status %d (%v)", path, resp.StatusCode, out)
+	}
+	id, _ := out[key].(string)
+	if id == "" {
+		return "", fmt.Errorf("%s: no %q in response %v", path, key, out)
+	}
+	return id, nil
+}
+
+// registerTenant PUTs tenant i's schema — the one TenantTranscript(i)
+// dictates against.
+func (r *Runner) registerTenant(ctx context.Context, i int) error {
+	payload := map[string]any{
+		"tables":     []string{fmt.Sprintf("Shipments%d", i), "Ports"},
+		"attributes": []string{"CargoTotal", "PortName"},
+		"values":     []string{"Rotterdam", "Singapore", "Oakland"},
+	}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut,
+		fmt.Sprintf("%s/api/tenants/lt%d", r.cfg.BaseURL, i), bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("PUT tenant lt%d: status %d", i, resp.StatusCode)
+	}
+	return nil
+}
+
+// body renders op's request body. Fault ops carry their raw (malformed)
+// body verbatim.
+func (r *Runner) body(op *Op) (path, payload string) {
+	switch op.Class {
+	case ClassCorrect, ClassNBest:
+		return "/api/correct", fmt.Sprintf(`{"transcript":%q,"topk":%d}`, op.Transcript, op.TopK)
+	case ClassDictate:
+		return "/api/dictate", fmt.Sprintf(`{"id":%q,"transcript":%q}`, r.sessions[op.Session], op.Transcript)
+	case ClassStream:
+		return "/api/stream/dictate", fmt.Sprintf(`{"id":%q,"fragment":%q}`, r.streams[op.Stream], op.Transcript)
+	case ClassTenant:
+		return fmt.Sprintf("/api/correct?tenant=lt%d", op.Tenant),
+			fmt.Sprintf(`{"transcript":%q,"topk":%d}`, op.Transcript, op.TopK)
+	default: // ClassFault
+		return "/api/correct", op.Transcript
+	}
+}
+
+// execute sends one op, classifies the outcome, and records latency. The
+// histogram records every completed request — shed responses included (the
+// time to be told "go away" is part of what a shedding server's clients
+// experience); transport errors record nothing (there is no response to
+// time).
+func (r *Runner) execute(ctx context.Context, op *Op) {
+	tally := r.tallies[op.Class]
+	path, payload := r.body(op)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.cfg.BaseURL+path, strings.NewReader(payload))
+	if err != nil {
+		tally.errors.Add(1)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	tally.sent.Add(1)
+	t0 := time.Now()
+	resp, err := r.client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			// The run's clock expired mid-request: not a server failure.
+			tally.sent.Add(-1)
+			return
+		}
+		tally.errors.Add(1)
+		r.noteErr(fmt.Sprintf("%s %s: %v", op.Class, path, err))
+		return
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	tally.hist.Observe(time.Since(t0))
+	want := http.StatusOK
+	if op.Class == ClassFault {
+		want = http.StatusBadRequest
+	}
+	switch {
+	case resp.StatusCode == want:
+		tally.ok.Add(1)
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		tally.shed.Add(1)
+	default:
+		tally.errors.Add(1)
+		r.noteErr(fmt.Sprintf("%s %s: status %d", op.Class, path, resp.StatusCode))
+	}
+}
+
+// noteErr keeps the first few error descriptions for the report.
+func (r *Runner) noteErr(s string) {
+	select {
+	case r.firstErrs <- s:
+	default:
+	}
+}
+
+// Run performs setup, drives the load for cfg.Duration, and returns the
+// report. ctx cancellation stops the run early (the report covers what ran).
+func (r *Runner) Run(ctx context.Context) (*Report, error) {
+	setupCtx, cancel := context.WithTimeout(ctx, 60*time.Second)
+	err := r.setup(setupCtx)
+	cancel()
+	if err != nil {
+		return nil, err
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, r.cfg.Duration)
+	defer cancel()
+	start := time.Now()
+	var next atomic.Int64 // shared plan cursor
+
+	var wg sync.WaitGroup
+	if r.cfg.TargetRPS > 0 {
+		// Open loop: a dispatcher releases op indices on the arrival
+		// schedule; workers drain the release channel.
+		releases := make(chan int, r.cfg.Concurrency)
+		for w := 0; w < r.cfg.Concurrency; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range releases {
+					r.execute(runCtx, &r.plan.Ops[i%len(r.plan.Ops)])
+				}
+			}()
+		}
+		interval := time.Duration(float64(time.Second) / r.cfg.TargetRPS)
+	dispatch:
+		for i := 0; ; i++ {
+			due := start.Add(time.Duration(i) * interval)
+			if d := time.Until(due); d > 0 {
+				select {
+				case <-runCtx.Done():
+					break dispatch
+				case <-time.After(d):
+				}
+			}
+			select {
+			case releases <- i:
+			case <-runCtx.Done():
+				break dispatch
+			}
+		}
+		close(releases)
+	} else {
+		// Closed loop: each worker issues the next op as soon as the
+		// previous one completes.
+		for w := 0; w < r.cfg.Concurrency; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for runCtx.Err() == nil {
+					i := int(next.Add(1) - 1)
+					r.execute(runCtx, &r.plan.Ops[i%len(r.plan.Ops)])
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	return r.report(elapsed), nil
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Bucket mapping must be monotone and self-consistent: every value lands in
+// a bucket whose range contains it.
+func TestHistogramBucketRoundTrip(t *testing.T) {
+	vals := []int64{0, 1, 15, 16, 17, 31, 32, 1000, 999999, 1 << 20, 1<<40 + 12345, 1<<62 + 7}
+	for _, v := range vals {
+		idx := bucketIndex(v)
+		if idx < 0 || idx >= histBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, idx)
+		}
+		if up := bucketUpper(idx); v > up {
+			t.Errorf("value %d above its bucket upper bound %d (idx %d)", v, up, idx)
+		}
+		if idx > 0 {
+			if prevUp := bucketUpper(idx - 1); v <= prevUp {
+				t.Errorf("value %d not above previous bucket's upper bound %d (idx %d)", v, prevUp, idx)
+			}
+		}
+	}
+	// Monotone across a sweep.
+	last := -1
+	for v := int64(0); v < 1<<16; v += 13 {
+		idx := bucketIndex(v)
+		if idx < last {
+			t.Fatalf("bucketIndex not monotone at %d: %d < %d", v, idx, last)
+		}
+		last = idx
+	}
+}
+
+// Quantiles of a known distribution come back within one sub-bucket of the
+// exact answer (the histogram's documented error bound).
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var h Histogram
+	n := 20000
+	vals := make([]int64, n)
+	for i := range vals {
+		// Log-uniform over ~1µs..100ms, the serving tier's real range.
+		v := int64(1000 * (1 + rng.Float64()*100000))
+		vals[i] = v
+		h.Observe(time.Duration(v))
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		exact := vals[int(q*float64(n))-1]
+		got := int64(h.Quantile(q))
+		if got < exact {
+			t.Errorf("q=%v: reported %d below exact %d (quantiles must be conservative)", q, got, exact)
+		}
+		// One sub-bucket of slack: <= exact * (1 + 2/16) generously.
+		if float64(got) > float64(exact)*1.15 {
+			t.Errorf("q=%v: reported %d overshoots exact %d by more than a sub-bucket", q, got, exact)
+		}
+	}
+	if h.Count() != int64(n) {
+		t.Errorf("Count = %d, want %d", h.Count(), n)
+	}
+	if h.Max() != time.Duration(vals[n-1]) {
+		t.Errorf("Max = %v, want %v", h.Max(), time.Duration(vals[n-1]))
+	}
+}
+
+func TestHistogramEmptyAndClamp(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.99) != 0 || h.Max() != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram must read as all zeros")
+	}
+	h.Observe(-5 * time.Second) // clamps to 0
+	if h.Count() != 1 || h.Quantile(1) != 0 {
+		t.Errorf("negative observation should clamp to zero: count=%d q1=%v", h.Count(), h.Quantile(1))
+	}
+}
+
+// Concurrent observers never lose counts (the histogram is all atomics).
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("lost observations: %d != %d", h.Count(), workers*per)
+	}
+	s := h.Summary()
+	if s.P50 > s.P90 || s.P90 > s.P99 || s.P99 > s.Max {
+		t.Fatalf("quantiles not ordered: %+v", s)
+	}
+}
+
+// Span recording feeds the per-stage histogram: the snapshot's quantiles are
+// ordered and bounded by the max.
+func TestSnapshotQuantiles(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < 100; i++ {
+		sp := r.StartSpan("q.stage")
+		time.Sleep(50 * time.Microsecond)
+		sp.End()
+	}
+	st := r.Snapshot().Stages["q.stage"]
+	if st.Count != 100 {
+		t.Fatalf("count = %d", st.Count)
+	}
+	if st.P50 <= 0 || st.P50 > st.P90 || st.P90 > st.P99 || st.P99 > st.Max {
+		t.Errorf("snapshot quantiles malformed: %+v", st)
+	}
+}
+
+func TestReadRuntime(t *testing.T) {
+	rs := ReadRuntime()
+	if rs.Goroutines == 0 {
+		t.Error("Goroutines = 0; the test itself is one")
+	}
+	if rs.HeapInuseBytes == 0 {
+		t.Error("HeapInuseBytes = 0")
+	}
+	if rs.GCPauseP50 > rs.GCPauseP99 || rs.GCPauseP99 > rs.GCPauseMax {
+		t.Errorf("GC pause quantiles not ordered: %+v", rs)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i&0xfffff) * time.Nanosecond)
+	}
+}

@@ -25,16 +25,20 @@ type Sink interface {
 }
 
 // stageAgg accumulates one stage's spans. All fields are atomics: spans
-// from concurrent requests land here without locking.
+// from concurrent requests land here without locking. Alongside the
+// count/total/max aggregates every span lands in a log-linear histogram, so
+// snapshots can answer tail-latency questions (p50/p90/p99) per stage.
 type stageAgg struct {
 	count atomic.Int64
 	nanos atomic.Int64
 	max   atomic.Int64
+	hist  Histogram
 }
 
 func (a *stageAgg) record(d time.Duration) {
 	a.count.Add(1)
 	a.nanos.Add(int64(d))
+	a.hist.Observe(d)
 	for {
 		cur := a.max.Load()
 		if int64(d) <= cur || a.max.CompareAndSwap(cur, int64(d)) {
@@ -121,11 +125,15 @@ func (r *Registry) Add(name string, delta int64) {
 }
 
 // StageStats is one stage's aggregate: how many spans completed, their
-// cumulative latency, and the worst single span.
+// cumulative latency, the worst single span, and the bucketed latency
+// quantiles (conservative to one histogram sub-bucket, see Histogram).
 type StageStats struct {
 	Count int64
 	Total time.Duration
 	Max   time.Duration
+	P50   time.Duration
+	P90   time.Duration
+	P99   time.Duration
 }
 
 // Mean returns the average span latency (0 when no spans recorded).
@@ -152,6 +160,9 @@ func (r *Registry) Snapshot() Snapshot {
 			Count: a.count.Load(),
 			Total: time.Duration(a.nanos.Load()),
 			Max:   time.Duration(a.max.Load()),
+			P50:   a.hist.Quantile(0.50),
+			P90:   a.hist.Quantile(0.90),
+			P99:   a.hist.Quantile(0.99),
 		}
 		return true
 	})

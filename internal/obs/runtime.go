@@ -1,0 +1,125 @@
+package obs
+
+// runtime.go surfaces the Go runtime's own health signals — heap residency,
+// GC pause distribution, goroutine count — through the same observability
+// layer the pipeline stages use, so GET /api/stats can serve one "runtime"
+// block next to the latency histograms. Everything is read through
+// runtime/metrics (no stop-the-world ReadMemStats on the serving path).
+
+import (
+	"runtime/metrics"
+	"time"
+)
+
+// Names of the runtime/metrics samples ReadRuntime takes. Kept as a fixed
+// set so the sample slice is built once per call with no discovery pass.
+const (
+	metricHeapObjects = "/memory/classes/heap/objects:bytes"
+	metricHeapFree    = "/memory/classes/heap/free:bytes"
+	metricGoroutines  = "/sched/goroutines:goroutines"
+	metricGCCycles    = "/gc/cycles/total:gc-cycles"
+	metricGCPauses    = "/sched/pauses/total/gc:seconds"
+)
+
+// RuntimeStats is a point-in-time view of the Go runtime: how much heap the
+// process actually holds, how hard the collector is pausing it, and how many
+// goroutines are live. GCPauseP50/P99/Max summarize the runtime's own
+// cumulative pause histogram (since process start).
+type RuntimeStats struct {
+	HeapInuseBytes uint64
+	HeapFreeBytes  uint64
+	Goroutines     uint64
+	GCCycles       uint64
+	GCPauseP50     time.Duration
+	GCPauseP99     time.Duration
+	GCPauseMax     time.Duration
+}
+
+// ReadRuntime samples the runtime/metrics set backing the /api/stats
+// "runtime" block. Unsupported metrics (an older runtime) read as zero
+// rather than failing the stats endpoint.
+func ReadRuntime() RuntimeStats {
+	samples := []metrics.Sample{
+		{Name: metricHeapObjects},
+		{Name: metricHeapFree},
+		{Name: metricGoroutines},
+		{Name: metricGCCycles},
+		{Name: metricGCPauses},
+	}
+	metrics.Read(samples)
+	var rs RuntimeStats
+	for _, s := range samples {
+		switch s.Name {
+		case metricHeapObjects:
+			rs.HeapInuseBytes = sampleUint64(s)
+		case metricHeapFree:
+			rs.HeapFreeBytes = sampleUint64(s)
+		case metricGoroutines:
+			rs.Goroutines = sampleUint64(s)
+		case metricGCCycles:
+			rs.GCCycles = sampleUint64(s)
+		case metricGCPauses:
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				h := s.Value.Float64Histogram()
+				rs.GCPauseP50 = float64HistQuantile(h, 0.50)
+				rs.GCPauseP99 = float64HistQuantile(h, 0.99)
+				rs.GCPauseMax = float64HistMax(h)
+			}
+		}
+	}
+	return rs
+}
+
+func sampleUint64(s metrics.Sample) uint64 {
+	if s.Value.Kind() == metrics.KindUint64 {
+		return s.Value.Uint64()
+	}
+	return 0
+}
+
+// float64HistQuantile walks a runtime/metrics histogram (bucket boundaries
+// in seconds) and returns the q-th quantile as a duration, reporting each
+// bucket by its upper boundary — conservative, matching Histogram.Quantile.
+func float64HistQuantile(h *metrics.Float64Histogram, q float64) time.Duration {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range h.Counts {
+		seen += c
+		if seen >= rank {
+			// Buckets has len(Counts)+1 boundaries; bucket i spans
+			// [Buckets[i], Buckets[i+1]). The last boundary can be +Inf —
+			// fall back to the bucket's lower bound there.
+			up := h.Buckets[i+1]
+			if up > 1e9 { // +Inf (or absurd): report the lower bound
+				up = h.Buckets[i]
+			}
+			return time.Duration(up * float64(time.Second))
+		}
+	}
+	return 0
+}
+
+// float64HistMax returns the upper boundary of the highest non-empty bucket.
+func float64HistMax(h *metrics.Float64Histogram) time.Duration {
+	for i := len(h.Counts) - 1; i >= 0; i-- {
+		if h.Counts[i] == 0 {
+			continue
+		}
+		up := h.Buckets[i+1]
+		if up > 1e9 {
+			up = h.Buckets[i]
+		}
+		return time.Duration(up * float64(time.Second))
+	}
+	return 0
+}
