@@ -1,0 +1,155 @@
+// Command speakql-router fronts a fleet of speakql-server replicas with
+// consistent-hash session affinity, health-driven membership, and bounded
+// retries (the proxy itself lives in internal/router).
+//
+// Usage:
+//
+//	speakql-router -addr :8000 \
+//	  -replicas r1=http://127.0.0.1:8081,r2=http://127.0.0.1:8082,r3=http://127.0.0.1:8083 \
+//	  [-hash-replicas 64] [-eject-after 3] [-retry-budget 2] \
+//	  [-health-interval 1s] [-timeout 15s] [-faults SPEC]
+//
+// -replicas names the fleet as comma-separated name=url pairs. Names are
+// ring identities: keep them stable across replica restarts so a restarted
+// replica takes back exactly the sessions it owned. -hash-replicas sets the
+// virtual nodes per replica on the ring (more = smoother key spread,
+// larger ring). -eject-after is the consecutive failed /readyz probes that
+// eject a replica (the same threshold trips the per-replica circuit
+// breaker); -health-interval is the base probe cadence, backed off
+// exponentially with jitter while a replica stays down. -retry-budget
+// bounds additional forward attempts per request; 503s from replica
+// admission gates are always terminal (never retried), and non-idempotent
+// requests retry only when the failed attempt provably never reached a
+// replica. -timeout bounds each forwarded attempt (SSE feeds excepted).
+// -faults (or SPEAKQL_FAULTS) arms deterministic fault injection; the
+// router consults the "network" stage once per forwarded attempt.
+//
+// The router serves its own GET /healthz, GET /readyz (ready while at
+// least one replica is routable), and GET /api/stats (the "router" block:
+// membership, ring state, router.* counters, per-replica latency, and the
+// fleet-wide latency histogram merged across replicas). Everything else
+// proxies to the fleet; session-stateful responses restored on a new
+// replica after a failover carry "resumed": true, and sessions whose state
+// died with a replica answer 404 with "code": "stream.lost".
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"speakql/internal/faultinject"
+	"speakql/internal/router"
+)
+
+func main() {
+	addr := flag.String("addr", ":8000", "listen address")
+	replicas := flag.String("replicas", "",
+		"comma-separated name=url replica list, e.g. r1=http://127.0.0.1:8081,r2=http://127.0.0.1:8082")
+	hashReplicas := flag.Int("hash-replicas", router.DefaultHashReplicas,
+		"virtual nodes per replica on the consistent-hash ring")
+	ejectAfter := flag.Int("eject-after", 3,
+		"consecutive failed health probes before a replica is ejected from the ring")
+	retryBudget := flag.Int("retry-budget", 2,
+		"max additional forward attempts per request beyond the first (503 sheds are never retried)")
+	healthInterval := flag.Duration("health-interval", time.Second,
+		"base /readyz poll cadence per replica (backs off exponentially while a replica is down)")
+	timeout := flag.Duration("timeout", 15*time.Second,
+		"per-attempt forward timeout (SSE event feeds are unbounded)")
+	faults := flag.String("faults", "",
+		"deterministic fault-injection spec; the router fires the 'network' stage per forwarded attempt (empty disables; SPEAKQL_FAULTS is the env fallback)")
+	flag.Parse()
+
+	spec := *faults
+	if spec == "" {
+		spec = os.Getenv("SPEAKQL_FAULTS")
+	}
+	if spec != "" {
+		inj, err := faultinject.Parse(spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -faults spec: %v\n", err)
+			os.Exit(2)
+		}
+		faultinject.Set(inj)
+		log.Printf("fault injection active: %s", inj)
+	}
+
+	fleet, err := parseReplicas(*replicas)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bad -replicas: %v\n", err)
+		os.Exit(2)
+	}
+	rt, err := router.New(router.Config{
+		Replicas:       fleet,
+		HashReplicas:   *hashReplicas,
+		EjectAfter:     *ejectAfter,
+		RetryBudget:    *retryBudget,
+		HealthInterval: *healthInterval,
+		Timeout:        *timeout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt.Start()
+	defer rt.Close()
+
+	hs := &http.Server{Addr: *addr, Handler: rt.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		names := make([]string, 0, len(fleet))
+		for _, r := range fleet {
+			names = append(names, r.Name)
+		}
+		log.Printf("router listening on %s (replicas=%s, hash-replicas=%d, eject-after=%d, retry-budget=%d, health-interval=%s, timeout=%s)",
+			*addr, strings.Join(names, ","), *hashReplicas, *ejectAfter, *retryBudget, *healthInterval, *timeout)
+		errCh <- hs.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("shutdown signal received; draining…")
+	drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(drainCtx); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			_ = hs.Close()
+		} else {
+			log.Printf("shutdown: %v", err)
+		}
+	}
+	log.Printf("router stopped")
+}
+
+// parseReplicas parses the -replicas flag's name=url list.
+func parseReplicas(s string) ([]router.Replica, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, errors.New("at least one name=url replica is required")
+	}
+	var out []router.Replica
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, u, ok := strings.Cut(part, "=")
+		if !ok || name == "" || u == "" {
+			return nil, fmt.Errorf("%q is not name=url", part)
+		}
+		out = append(out, router.Replica{Name: strings.TrimSpace(name), URL: strings.TrimSpace(u)})
+	}
+	return out, nil
+}

@@ -23,6 +23,15 @@
 // [-literal-index=true|false] [-max-inflight n] [-max-queue n]
 // [-session-ttl d] [-drain-timeout d] [-faults SPEC] [-pprof]
 // [-max-tenants n] [-tenant-dir DIR] [-memo-size n] [-gomemlimit SIZE]
+// [-node ID] [-session-store DIR]
+//
+// Multi-replica serving: -node names this replica (session ids become
+// "<node>-s<N>" so replicas behind cmd/speakql-router never mint colliding
+// ids) and -session-store points every replica at one shared snapshot
+// directory. With both set, sessions checkpoint after each mutating request
+// and restore on whichever replica the router's hash ring sends them to
+// next — which is how a mid-stream dictation survives its replica dying.
+// See cmd/speakql-router and DESIGN.md §14.
 //
 // -memo-size bounds the server-level correction memo: an LRU of fully
 // rendered /api/correct responses keyed by (tenant, transcript, topk), with
@@ -97,6 +106,7 @@ import (
 	"speakql/internal/grammar"
 	"speakql/internal/httpapi"
 	"speakql/internal/registry"
+	"speakql/internal/session"
 	"speakql/internal/sqlengine"
 	"speakql/internal/structure"
 	"speakql/internal/trieindex"
@@ -134,6 +144,10 @@ func main() {
 		"server-level correction memo entries: fully rendered /api/correct responses keyed by (tenant, transcript, topk), with singleflight collapse of concurrent identical requests (0 disables)")
 	memLimit := flag.String("gomemlimit", "",
 		"soft Go heap limit with optional size suffix, e.g. 512MiB or 4GiB — sets runtime/debug.SetMemoryLimit so steady overload degrades GC pacing instead of OOMing (empty leaves the runtime default / GOMEMLIMIT env)")
+	nodeID := flag.String("node", "",
+		"replica node id: namespaces session ids so replicas behind speakql-router never collide (empty runs single-node)")
+	sessionStore := flag.String("session-store", "",
+		"directory for session snapshots shared by every replica (e.g. an NFS mount); enables checkpoint/restore handoff so a session survives its replica dying (empty disables)")
 	flag.Parse()
 
 	if *memLimit != "" {
@@ -228,6 +242,17 @@ func main() {
 
 	srv := httpapi.New(eng, db)
 	srv.SetRegistry(reg)
+	if *nodeID != "" {
+		srv.SetNodeID(*nodeID)
+	}
+	if *sessionStore != "" {
+		st, serr := session.NewDirStore(*sessionStore)
+		if serr != nil {
+			log.Fatalf("bad -session-store: %v", serr)
+		}
+		srv.SetSessionStore(st)
+		log.Printf("session handoff enabled: snapshots in %s (node %q)", *sessionStore, *nodeID)
+	}
 	srv.SetRequestTimeout(*timeout)
 	srv.SetAdmission(*maxInflight, *maxQueue)
 	srv.SetSessionTTL(*sessionTTL)

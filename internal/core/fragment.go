@@ -85,6 +85,37 @@ func (fs *FragmentSession) CorrectFragment(ctx context.Context, fragment string)
 	return fs.wrap(fs.e.finishPipeline(ctx, t0, structs, serr, fs.memo))
 }
 
+// RestoreFragments rehydrates an empty session from a snapshot's recorded
+// fragment sequence: every fragment is appended, then the accumulated
+// transcript is corrected once. Because incremental determination is pinned
+// bit-identical to one-shot determination of the accumulated transcript
+// (TestCorrectFragmentMatchesOneShot), the restored session's candidates,
+// bindings, and searcher state match what len(fragments) sequential
+// CorrectFragment calls would have produced — which is what lets a replica
+// resume another replica's dictation mid-stream. Calling it on a session
+// that has already seen fragments corrupts the sequence numbering; restore
+// only ever targets a fresh NewFragmentSession.
+func (fs *FragmentSession) RestoreFragments(ctx context.Context, fragments []string) FragmentOutput {
+	span := obs.StartSpan("core.restore_fragments")
+	defer span.End()
+	fs.AppendRawFragments(fragments)
+	t0 := time.Now()
+	structs, serr := fs.inc.Redetermine(ctx)
+	return fs.wrap(fs.e.finishPipeline(ctx, t0, structs, serr, fs.memo))
+}
+
+// AppendRawFragments records fragments without correcting anything — the
+// cheap half of RestoreFragments, used when rehydrating a finalized
+// dictation whose definitive output already shipped (no further correction
+// will ever run, but Transcript and Fragments must still read back).
+func (fs *FragmentSession) AppendRawFragments(fragments []string) {
+	for _, f := range fragments {
+		fs.fragments = append(fs.fragments, f)
+		fs.inc.AppendRaw(f)
+	}
+	fs.seq = len(fs.fragments)
+}
+
 // Finalize re-corrects the accumulated transcript without appending
 // anything. Use it to close a dictation: a fragment the deadline degraded
 // mid-stream is retried here at full fidelity, and — absent new faults or an

@@ -20,7 +20,7 @@
 //
 //	spec    := clause (';' clause)*
 //	clause  := 'seed=' uint | stage ':' fault (',' fault)*
-//	stage   := 'structure' | 'literal' | 'cache' | 'stream' | 'registry'
+//	stage   := 'structure' | 'literal' | 'cache' | 'stream' | 'registry' | 'network'
 //	fault   := kind ['=' value] ['@' probability]
 //	kind    := 'latency' | 'error' | 'panic'
 //	value   := Go duration, latency only (default 1ms)
@@ -59,10 +59,15 @@ const (
 	// the hook the tenant-churn chaos tests use to rehearse failed lazy
 	// loads and evict-time faults without a corrupt disk.
 	StageRegistry = "registry"
+	// StageNetwork fires in the router once per proxied attempt, before the
+	// request leaves for a replica — the hook the multi-replica chaos tests
+	// use to rehearse flaky router↔replica links (an injected error is
+	// treated as a transport failure and enters the retry path).
+	StageNetwork = "network"
 )
 
 // stages is the closed set of valid hook points.
-var stages = []string{StageStructure, StageLiteral, StageCache, StageStream, StageRegistry}
+var stages = []string{StageStructure, StageLiteral, StageCache, StageStream, StageRegistry, StageNetwork}
 
 // InjectedError is the error value forced by an error fault. Callers that
 // need to distinguish rehearsed failures from organic ones can errors.As

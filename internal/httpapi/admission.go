@@ -13,6 +13,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 )
 
 // Shed reasons returned by gate.Acquire. Both map to 503; they are
@@ -31,9 +32,18 @@ var (
 // maxQueue entries, or is shed. Waiting is deadline-aware: a queued
 // request whose context expires leaves the queue and is shed rather than
 // occupying a slot it can no longer use.
+//
+// inflight and queued are atomics, written only under mu but read lock-free
+// by the observation paths — stats() and retryAfterHint() — so the stats
+// endpoint and the Retry-After header never contend with (or tear a read
+// against) the admission hot path. Before this they were plain ints; the
+// stats snapshot read them under mu, but the shed path's hint computation
+// made every 503 serialize behind admissions, and any future lock-free
+// reader would have raced (TestGateStatsRace pins the atomic contract).
 type gate struct {
 	mu          sync.Mutex
-	inflight    int
+	inflight    atomic.Int64
+	queued      atomic.Int64
 	maxInflight int
 	maxQueue    int
 	waiters     list.List // of chan struct{}; front is next in line
@@ -62,8 +72,8 @@ func (g *gate) Acquire(ctx context.Context) error {
 		return errQueueExpired
 	}
 	g.mu.Lock()
-	if g.inflight < g.maxInflight {
-		g.inflight++
+	if int(g.inflight.Load()) < g.maxInflight {
+		g.inflight.Add(1)
 		g.mu.Unlock()
 		return nil
 	}
@@ -73,6 +83,7 @@ func (g *gate) Acquire(ctx context.Context) error {
 	}
 	ch := make(chan struct{})
 	el := g.waiters.PushBack(ch)
+	g.queued.Store(int64(g.waiters.Len()))
 	g.mu.Unlock()
 	select {
 	case <-ch:
@@ -89,6 +100,7 @@ func (g *gate) Acquire(ctx context.Context) error {
 			g.Release()
 		default:
 			g.waiters.Remove(el)
+			g.queued.Store(int64(g.waiters.Len()))
 			g.mu.Unlock()
 		}
 		return errQueueExpired
@@ -101,11 +113,12 @@ func (g *gate) Release() {
 	g.mu.Lock()
 	if el := g.waiters.Front(); el != nil {
 		g.waiters.Remove(el)
+		g.queued.Store(int64(g.waiters.Len()))
 		close(el.Value.(chan struct{}))
 		g.mu.Unlock()
 		return
 	}
-	g.inflight--
+	g.inflight.Add(-1)
 	g.mu.Unlock()
 }
 
@@ -113,10 +126,10 @@ func (g *gate) Release() {
 // back off: one second base plus one for each full round of waiters already
 // queued per permit, capped so a deep queue never tells clients to vanish
 // for minutes. Deterministic in the gate's state (TestRetryAfterHint).
+// Lock-free: the shed path must never serialize 503s behind the admissions
+// it is shedding for.
 func (g *gate) retryAfterHint() int {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	secs := 1 + g.waiters.Len()/g.maxInflight
+	secs := 1 + int(g.queued.Load())/g.maxInflight
 	if secs > maxRetryAfterSecs {
 		secs = maxRetryAfterSecs
 	}
@@ -134,13 +147,13 @@ type gateStats struct {
 	Queued      int `json:"queued"`
 }
 
+// stats reads the gate lock-free: both gauges are atomics, so the stats
+// endpoint observes a saturated gate without joining its queue convoy.
 func (g *gate) stats() gateStats {
-	g.mu.Lock()
-	defer g.mu.Unlock()
 	return gateStats{
 		MaxInflight: g.maxInflight,
 		MaxQueue:    g.maxQueue,
-		Inflight:    g.inflight,
-		Queued:      g.waiters.Len(),
+		Inflight:    int(g.inflight.Load()),
+		Queued:      int(g.queued.Load()),
 	}
 }

@@ -2,7 +2,9 @@ package httpapi
 
 import (
 	"context"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -233,5 +235,96 @@ func waitForQueued(t *testing.T, g *gate, n int) {
 			t.Fatalf("queue never reached %d (at %d)", n, g.stats().Queued)
 		}
 		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestGateStatsRace is the regression test for the stats path's atomic
+// contract: stats() and retryAfterHint() read the gate's gauges lock-free
+// while workers churn Acquire/Release and the server flips its readiness
+// (draining) bit. Before inflight/queued became atomics this was a data
+// race on the in-flight counter and a convoy on the gate mutex; run with
+// -race. The readers also assert the gauges stay inside their invariant
+// bounds, so a torn or negative read fails even without the race detector.
+func TestGateStatsRace(t *testing.T) {
+	const (
+		maxInflight = 4
+		maxQueue    = 8
+		workers     = 8
+		iters       = 300
+	)
+	g := newGate(maxInflight, maxQueue)
+	var ready atomic.Bool // stands in for Server.ready: same flip pattern
+	ready.Store(true)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Admission churn: each worker acquires (possibly queueing), holds
+	// briefly, releases.
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+				if err := g.Acquire(ctx); err == nil {
+					runtime.Gosched()
+					g.Release()
+				}
+				cancel()
+			}
+		}()
+	}
+	// Lock-free observers: the stats endpoint and the shed path's hint.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := g.stats()
+				if st.Inflight < 0 || st.Inflight > maxInflight {
+					t.Errorf("inflight gauge out of bounds: %+v", st)
+					return
+				}
+				if st.Queued < 0 || st.Queued > maxQueue {
+					t.Errorf("queued gauge out of bounds: %+v", st)
+					return
+				}
+				if hint := g.retryAfterHint(); hint < 1 || hint > maxRetryAfterSecs {
+					t.Errorf("retryAfterHint out of bounds: %d", hint)
+					return
+				}
+				_ = ready.Load() // the draining read in the stats block
+			}
+		}()
+	}
+	// Readiness flipper: shutdown draining toggles concurrently with stats.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				ready.Store(!ready.Load())
+				runtime.Gosched()
+			}
+		}
+	}()
+	// Let the observers overlap the churn, then stop them and drain.
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	<-done
+	if st := g.stats(); st.Inflight != 0 || st.Queued != 0 {
+		t.Fatalf("gauges did not settle to zero: %+v", st)
 	}
 }

@@ -1,0 +1,187 @@
+package httpapi
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"speakql/internal/session"
+)
+
+// replica builds one store-connected Server over the shared test engine.
+func replica(t *testing.T, node string, st session.Store) (*Server, *httptest.Server) {
+	t.Helper()
+	srv(t) // initialize testEng/testDB
+	s := New(testEng, testDB)
+	s.SetNodeID(node)
+	s.SetSessionStore(st)
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { hs.Close(); s.Close() })
+	return s, hs
+}
+
+// A session dictated on replica A must continue on replica B from its last
+// checkpoint: same display, resumed marker set, fragment numbering intact,
+// and the finalized SQL identical to a session that never moved.
+func TestSessionHandoffBetweenReplicas(t *testing.T) {
+	st := session.NewMemStore()
+	_, a := replica(t, "ra", st)
+	_, b := replica(t, "rb", st)
+
+	// Control: the full dictation on one replica.
+	code, ctl := post(t, a.URL+"/api/stream/dictate", map[string]any{"fragment": "select salary from employees"})
+	if code != http.StatusOK {
+		t.Fatalf("control dictate: %d %v", code, ctl)
+	}
+	ctlID := ctl["id"].(string)
+	post(t, a.URL+"/api/stream/dictate", map[string]any{"id": ctlID, "fragment": "where gender equals M"})
+	post(t, a.URL+"/api/stream/dictate", map[string]any{"id": ctlID, "fragment": "and salary greater than 50000"})
+	_, ctlFin := post(t, a.URL+"/api/stream/finalize", map[string]any{"id": ctlID})
+
+	// Handoff: two fragments on A, then the tail and finalize on B.
+	code, out := post(t, a.URL+"/api/stream/dictate", map[string]any{"fragment": "select salary from employees"})
+	if code != http.StatusOK {
+		t.Fatalf("dictate: %d %v", code, out)
+	}
+	id := out["id"].(string)
+	post(t, a.URL+"/api/stream/dictate", map[string]any{"id": id, "fragment": "where gender equals M"})
+
+	code, moved := post(t, b.URL+"/api/stream/dictate", map[string]any{"id": id, "fragment": "and salary greater than 50000"})
+	if code != http.StatusOK {
+		t.Fatalf("dictate on new replica: %d %v", code, moved)
+	}
+	if moved["resumed"] != true {
+		t.Fatalf("handoff response lacks resumed marker: %v", moved)
+	}
+	if seq := moved["seq"].(float64); seq != 3 {
+		t.Fatalf("fragment numbering broke across handoff: seq = %v", seq)
+	}
+	code, fin := post(t, b.URL+"/api/stream/finalize", map[string]any{"id": id})
+	if code != http.StatusOK {
+		t.Fatalf("finalize on new replica: %d %v", code, fin)
+	}
+	if fin["sql"] != ctlFin["sql"] {
+		t.Fatalf("handoff diverged from uninterrupted control:\n%v\n%v", fin["sql"], ctlFin["sql"])
+	}
+}
+
+// The Resume-Ns header rides only on responses that actually restored.
+func TestResumeHeaderOnHandoffOnly(t *testing.T) {
+	st := session.NewMemStore()
+	_, a := replica(t, "ha", st)
+	_, b := replica(t, "hb", st)
+	_, out := post(t, a.URL+"/api/stream/dictate", map[string]any{"fragment": "select salary from employees"})
+	id := out["id"].(string)
+
+	resp, err := http.Post(b.URL+"/api/stream/dictate", "application/json",
+		jsonBody(t, map[string]any{"id": id, "fragment": "where gender equals M"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get(resumeHeader) == "" {
+		t.Fatal("restored response missing resume header")
+	}
+	resp, err = http.Post(b.URL+"/api/stream/dictate", "application/json",
+		jsonBody(t, map[string]any{"id": id, "fragment": "and salary greater than 50000"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get(resumeHeader) != "" {
+		t.Fatal("already-local session set the resume header")
+	}
+}
+
+// A replica that does not checkpoint leaves nothing to restore: the session
+// is typed lost on the next replica, not silently recreated.
+func TestSessionLostIsTyped(t *testing.T) {
+	st := session.NewMemStore()
+	sa, a := replica(t, "la", st)
+	sa.SetCheckpointing(false)
+	_, b := replica(t, "lb", st)
+	_, out := post(t, a.URL+"/api/stream/dictate", map[string]any{"fragment": "select salary from employees"})
+	id := out["id"].(string)
+	code, lost := post(t, b.URL+"/api/stream/dictate", map[string]any{"id": id, "fragment": "where gender equals M"})
+	if code != http.StatusNotFound {
+		t.Fatalf("lost session answered %d: %v", code, lost)
+	}
+	if lost["code"] != "stream.lost" {
+		t.Fatalf("lost session not typed: %v", lost)
+	}
+}
+
+// Satellite (c), sequential half: once the TTL sweeper evicts a session, the
+// snapshot dies fleet-wide — a later handoff must get the typed 404, not a
+// resurrected session.
+func TestEvictionKillsSnapshotFleetWide(t *testing.T) {
+	st := session.NewMemStore()
+	sa, a := replica(t, "ea", st)
+	sa.SetSessionTTL(time.Hour)
+	_, b := replica(t, "eb", st)
+	_, out := post(t, a.URL+"/api/stream/dictate", map[string]any{"fragment": "select salary from employees"})
+	id := out["id"].(string)
+	if st.Len() == 0 {
+		t.Fatal("no checkpoint written")
+	}
+	if n := sa.evictIdleSessions(time.Now().Add(2 * time.Hour)); n != 1 {
+		t.Fatalf("evicted %d sessions, want 1", n)
+	}
+	if st.Len() != 0 {
+		t.Fatalf("eviction left %d snapshots behind", st.Len())
+	}
+	code, lost := post(t, b.URL+"/api/stream/dictate", map[string]any{"id": id, "fragment": "where gender equals M"})
+	if code != http.StatusNotFound || lost["code"] != "stream.lost" {
+		t.Fatalf("evicted session not typed lost: %d %v", code, lost)
+	}
+}
+
+// Satellite (c), racing half: TTL eviction on the owning replica racing a
+// handoff restore on another must resolve to exactly one of two clean
+// outcomes — a fully live resumed session (200 with complete state) or the
+// typed lost 404 — never a half-restored session or a malformed verdict.
+// Run with -race: the restore's register-then-recheck and the sweeper's
+// remove-then-delete overlap here on every iteration.
+func TestEvictionRacingHandoffNeverHalfRestores(t *testing.T) {
+	st := session.NewMemStore()
+	sa, a := replica(t, "ga", st)
+	sa.SetSessionTTL(time.Hour)
+	_, b := replica(t, "gb", st)
+	for i := 0; i < 30; i++ {
+		_, out := post(t, a.URL+"/api/stream/dictate", map[string]any{"fragment": "select salary from employees"})
+		id, okID := out["id"].(string)
+		if !okID {
+			t.Fatalf("iteration %d: malformed create: %v", i, out)
+		}
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sa.evictIdleSessions(time.Now().Add(2 * time.Hour))
+		}()
+		code, moved := post(t, b.URL+"/api/stream/dictate",
+			map[string]any{"id": id, "fragment": fmt.Sprintf("where salary greater than %d", 1000+i)})
+		wg.Wait()
+		switch code {
+		case http.StatusOK:
+			// Fully live: the complete stream state must be present.
+			if _, ok := moved["sql"].(string); !ok {
+				t.Fatalf("iteration %d: resumed session with partial state: %v", i, moved)
+			}
+			if seq, ok := moved["seq"].(float64); !ok || seq != 2 {
+				t.Fatalf("iteration %d: resumed session lost its fragments: %v", i, moved)
+			}
+		case http.StatusNotFound:
+			if moved["code"] != "stream.lost" {
+				t.Fatalf("iteration %d: lost verdict not typed: %v", i, moved)
+			}
+		default:
+			t.Fatalf("iteration %d: race produced %d: %v", i, code, moved)
+		}
+		// Clean up whichever replica holds the session.
+		sa.evictIdleSessions(time.Now().Add(2 * time.Hour))
+	}
+}

@@ -109,6 +109,16 @@ type Server struct {
 
 	// memo is the server-level correction memo (memo.go); nil = disabled.
 	memo *correctionMemo
+
+	// nodeID namespaces session ids per replica (handoff.go); "" keeps the
+	// single-process "s<N>" form.
+	nodeID string
+	// store is the fleet's session-snapshot store (handoff.go); nil disables
+	// checkpointing and restore.
+	store session.Store
+	// checkpoint gates snapshot writes (restore stays active regardless, so
+	// chaos tests can force the stream.lost path).
+	checkpoint bool
 }
 
 // New creates a Server over the given engine and database, reporting stats
@@ -199,11 +209,22 @@ func (s *Server) SetRegistry(reg *registry.Registry) {
 // broadcasters close outside s.mu (each has its own lock), so an in-flight
 // correction cannot wedge an eviction.
 func (s *Server) closeTenantSessions(tenant string) {
-	closing := s.sessions.removeIf(func(_ string, e *sessionEntry) bool {
-		return e.tenant == tenant
+	var closingIDs []string
+	closing := s.sessions.removeIf(func(id string, e *sessionEntry) bool {
+		if e.tenant == tenant {
+			closingIDs = append(closingIDs, id)
+			return true
+		}
+		return false
 	})
 	for _, e := range closing {
 		e.events.Close()
+	}
+	// An evicted tenant's sessions die fleet-wide with it.
+	if s.store != nil {
+		for _, id := range closingIDs {
+			_ = s.store.Delete(id)
+		}
 	}
 	if n := len(closing); n > 0 {
 		s.reg.Add("sessions_evicted", int64(n))
@@ -427,14 +448,28 @@ func (s *Server) evictIdleSessions(now time.Time) int {
 		return 0
 	}
 	cutoff := now.Add(-s.sessionTTL).UnixNano()
-	evicted := s.sessions.removeIf(func(_ string, e *sessionEntry) bool {
-		return e.lastUsed.Load() < cutoff
+	var evictedIDs []string
+	evicted := s.sessions.removeIf(func(id string, e *sessionEntry) bool {
+		if e.lastUsed.Load() < cutoff {
+			evictedIDs = append(evictedIDs, id)
+			return true
+		}
+		return false
 	})
 	// Close the evicted sessions' broadcasters outside all locks: each
 	// broadcaster has its own mutex, so SSE subscribers end promptly even if
 	// the session's own lock is held by an in-flight correction.
 	for _, e := range evicted {
 		e.events.Close()
+	}
+	// TTL eviction is fleet-wide death: delete the snapshots too, so no
+	// other replica restores a session this one declared idle. A restore
+	// racing this delete re-checks the store after registering (handoff.go)
+	// and unwinds if the delete won.
+	if s.store != nil {
+		for _, id := range evictedIDs {
+			_ = s.store.Delete(id)
+		}
 	}
 	if n := len(evicted); n > 0 {
 		s.reg.Add("sessions_evicted", int64(n))
@@ -601,9 +636,15 @@ func (s *Server) handleNewSession(w http.ResponseWriter, r *http.Request) {
 // broadcaster.
 func (s *Server) newSession(t *registry.Tenant) string {
 	id := "s" + strconv.FormatInt(s.nextID.Add(1), 10)
+	if s.nodeID != "" {
+		id = s.nodeID + "-" + id
+	}
 	entry := &sessionEntry{sess: session.New(t.Engine), events: stream.NewBroadcaster(), tenant: t.ID}
 	entry.sess.SetStreamConfig(stream.Config{Events: entry.events, Session: id})
 	entry.touch()
+	// Checkpoint the empty session before it becomes visible: a session
+	// created moments before its replica dies is still restorable elsewhere.
+	s.checkpointLocked(id, entry)
 	s.sessions.put(id, entry)
 	return id
 }
@@ -635,12 +676,12 @@ func (s *Server) handleDictate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	entry, ok := s.session(req.ID)
+	ctx := r.Context()
+	entry, resumedNs, ok := s.lookupSession(ctx, req.ID)
 	if !ok {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown session %q", req.ID))
+		s.writeSessionMiss(w, req.ID)
 		return
 	}
-	ctx := r.Context()
 	// The closure scopes the session lock so a panicking correction (fault
 	// injection, poisoned transcript) releases it on the way to the
 	// recovery middleware instead of wedging the session forever.
@@ -653,6 +694,7 @@ func (s *Server) handleDictate(w http.ResponseWriter, r *http.Request) {
 		} else {
 			out = entry.sess.DictateFullContext(ctx, req.Transcript)
 		}
+		s.checkpointLocked(req.ID, entry)
 		return out, sessionState(entry.sess)
 	}()
 	if out.Err != nil {
@@ -664,6 +706,7 @@ func (s *Server) handleDictate(w http.ResponseWriter, r *http.Request) {
 	}
 	resp["degradation"] = out.Degradation
 	resp["deadline_hit"] = ctx.Err() != nil
+	markResumed(w, resp, resumedNs)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -682,9 +725,9 @@ func (s *Server) handleEdit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	entry, ok := s.session(req.ID)
+	entry, resumedNs, ok := s.lookupSession(r.Context(), req.ID)
 	if !ok {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown session %q", req.ID))
+		s.writeSessionMiss(w, req.ID)
 		return
 	}
 	entry.mu.Lock()
@@ -700,7 +743,10 @@ func (s *Server) handleEdit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown op %q", req.Op))
 		return
 	}
-	writeJSON(w, http.StatusOK, sessionState(entry.sess))
+	s.checkpointLocked(req.ID, entry)
+	resp := sessionState(entry.sess)
+	markResumed(w, resp, resumedNs)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func sessionState(sess *session.Session) map[string]any {
@@ -872,10 +918,31 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"admission_shed":   snap.Counters["admission.shed"],
 			"sessions_evicted": snap.Counters["sessions_evicted"],
 			"faults_enabled":   faultinject.Enabled(),
+			// draining mirrors /readyz: an atomic load, so the stats path can
+			// never tear against a concurrent SetReady flip mid-shutdown.
+			"draining": !s.ready.Load(),
 		},
 	}
 	if s.gate != nil {
 		resp["admission"] = s.gate.stats()
+	}
+	// The handoff block groups the serving-tier session-mobility story:
+	// which replica this is, whether it checkpoints, how many snapshots the
+	// fleet store holds, and the checkpoint/restore/resume/lost counters.
+	if s.store != nil {
+		snapshots := -1
+		if ids, err := s.store.List(); err == nil {
+			snapshots = len(ids)
+		}
+		resp["handoff"] = map[string]any{
+			"node":          s.nodeID,
+			"checkpointing": s.checkpoint,
+			"snapshots":     snapshots,
+			"checkpoints":   snap.Counters["session.checkpoints"],
+			"restores":      snap.Counters["session.restores"],
+			"resumed":       snap.Counters["stream.resumed"],
+			"lost":          snap.Counters["stream.lost"],
+		}
 	}
 	// The memo block pairs the correction memo's structural state with its
 	// hit/miss/join counters.

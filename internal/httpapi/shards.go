@@ -118,3 +118,31 @@ func (sm *sessionMap) removeIf(remove func(id string, e *sessionEntry) bool) []*
 	}
 	return removed
 }
+
+// putIfAbsent registers e under id unless an entry already exists, returning
+// the entry that is actually registered and whether e won. Handoff restores
+// race through here: two requests restoring the same session concurrently
+// must converge on one live entry (the loser discards its restore).
+func (sm *sessionMap) putIfAbsent(id string, e *sessionEntry) (*sessionEntry, bool) {
+	sh := sm.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if cur, ok := sh.m[id]; ok {
+		return cur, false
+	}
+	sh.m[id] = e
+	return e, true
+}
+
+// removeExact removes id only while it still maps to e — the undo half of a
+// restore whose double-check found the snapshot deleted (TTL eviction won).
+// Pointer equality keeps the undo from tearing down a different entry that
+// replaced e in the meantime.
+func (sm *sessionMap) removeExact(id string, e *sessionEntry) {
+	sh := sm.shardFor(id)
+	sh.mu.Lock()
+	if sh.m[id] == e {
+		delete(sh.m, id)
+	}
+	sh.mu.Unlock()
+}

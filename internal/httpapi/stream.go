@@ -33,6 +33,14 @@ import (
 type streamDictateReq struct {
 	ID       string `json:"id"`
 	Fragment string `json:"fragment"`
+	// Seq, when positive, is the sequence number the client expects this
+	// fragment to receive — its idempotency key. If the session's dictation
+	// already reached Seq, the fragment was applied by an earlier attempt
+	// whose response was lost (a replica died mid-reply, a proxy gave up):
+	// the server acknowledges with the current display instead of applying
+	// the fragment twice. This is what makes client-side retries through the
+	// router exactly-once.
+	Seq int `json:"seq,omitempty"`
 }
 
 type streamFinalizeReq struct {
@@ -77,19 +85,57 @@ func (s *Server) handleStreamDictate(w http.ResponseWriter, r *http.Request) {
 		}
 		req.ID = s.newSession(t)
 	}
-	entry, ok := s.session(req.ID)
+	ctx := r.Context()
+	entry, resumedNs, ok := s.lookupSession(ctx, req.ID)
 	if !ok {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown session %q", req.ID))
+		s.writeSessionMiss(w, req.ID)
 		return
 	}
-	ctx := r.Context()
 	// Scope the session lock so a panicking correction releases it on the
 	// way to the recovery middleware (see handleDictate).
+	var duplicate map[string]any
 	out, err := func() (core.FragmentOutput, error) {
 		entry.mu.Lock()
 		defer entry.mu.Unlock()
-		return entry.sess.StreamFragment(ctx, req.Fragment)
+		if req.Seq > 0 {
+			cur := 0
+			if d := entry.sess.Stream(); d != nil {
+				_, _, cur = d.SnapshotState()
+			}
+			if req.Seq > cur+1 {
+				// The client has acknowledged fragments this copy never saw:
+				// the session advanced on another replica while this one held
+				// a stale entry (it owned the session before a ring remap).
+				// Resync from the fleet's snapshot before applying.
+				if ns := s.resyncLocked(ctx, req.ID, entry); ns > 0 {
+					resumedNs = ns
+				}
+				if d := entry.sess.Stream(); d != nil {
+					_, _, cur = d.SnapshotState()
+				}
+			}
+			if entry.sess.Stream() != nil && cur >= req.Seq {
+				// The fragment already landed via an attempt whose response
+				// was lost — acknowledge, don't re-apply.
+				s.reg.Add("stream.duplicate_acks", 1)
+				duplicate = map[string]any{
+					"id": req.ID, "seq": cur, "duplicate": true,
+					"sql": entry.sess.SQL(), "tokens": entry.sess.Tokens(),
+				}
+				return core.FragmentOutput{}, nil
+			}
+		}
+		out, err := entry.sess.StreamFragment(ctx, req.Fragment)
+		if err == nil {
+			s.checkpointLocked(req.ID, entry)
+		}
+		return out, err
 	}()
+	if duplicate != nil {
+		markResumed(w, duplicate, resumedNs)
+		writeJSON(w, http.StatusOK, duplicate)
+		return
+	}
 	switch {
 	case streamConflict(err):
 		writeErr(w, http.StatusConflict, err)
@@ -107,7 +153,9 @@ func (s *Server) handleStreamDictate(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	writeJSON(w, http.StatusOK, streamState(req.ID, out, ctx.Err() != nil))
+	resp := streamState(req.ID, out, ctx.Err() != nil)
+	markResumed(w, resp, resumedNs)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleStreamFinalize(w http.ResponseWriter, r *http.Request) {
@@ -118,16 +166,27 @@ func (s *Server) handleStreamFinalize(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	entry, ok := s.session(req.ID)
+	ctx := r.Context()
+	entry, resumedNs, ok := s.lookupSession(ctx, req.ID)
 	if !ok {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown session %q", req.ID))
+		s.writeSessionMiss(w, req.ID)
 		return
 	}
-	ctx := r.Context()
 	out, err := func() (core.FragmentOutput, error) {
 		entry.mu.Lock()
 		defer entry.mu.Unlock()
-		return entry.sess.FinalizeStream(ctx)
+		// Finalize carries no idempotency seq, so staleness can't be inferred
+		// from the request itself: validate against the store once (finalize
+		// is the per-session slow path already) so a stale copy can never
+		// finalize a shorter stream than the one the client dictated.
+		if ns := s.resyncLocked(ctx, req.ID, entry); ns > 0 {
+			resumedNs = ns
+		}
+		out, err := entry.sess.FinalizeStream(ctx)
+		if err == nil {
+			s.checkpointLocked(req.ID, entry)
+		}
+		return out, err
 	}()
 	switch {
 	case streamConflict(err):
@@ -146,7 +205,9 @@ func (s *Server) handleStreamFinalize(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	writeJSON(w, http.StatusOK, streamState(req.ID, out, ctx.Err() != nil))
+	resp := streamState(req.ID, out, ctx.Err() != nil)
+	markResumed(w, resp, resumedNs)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleStreamEvents serves the SSE feed for one session's dictations. The
@@ -155,9 +216,11 @@ func (s *Server) handleStreamFinalize(w http.ResponseWriter, r *http.Request) {
 // the client's context, so a slow or gone client can never wedge a session.
 func (s *Server) handleStreamEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.URL.Query().Get("session")
-	entry, ok := s.session(id)
+	// Subscribers restore too: after a failover the display reconnects its
+	// feed to whichever replica now owns the session.
+	entry, _, ok := s.lookupSession(r.Context(), id)
 	if !ok {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown session %q", id))
+		s.writeSessionMiss(w, id)
 		return
 	}
 	flusher, ok := w.(http.Flusher)

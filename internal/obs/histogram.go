@@ -133,6 +133,36 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return h.Max()
 }
 
+// Merge folds other's observations into h bucket by bucket. Because both
+// histograms share the same fixed bucketing, a merge is exact: h afterwards
+// holds precisely the counts a single histogram would hold had it observed
+// both streams, so fleet-wide quantiles computed after Merge carry the same
+// ≤6.25% per-value error bound as any single histogram
+// (TestHistogramMergeQuantileError). Safe under concurrent Observe on
+// either side — the result is some monotone-consistent interleaving —
+// though a point-in-time fleet view should merge quiescent snapshots.
+// The router uses this to aggregate its per-replica latency histograms into
+// the fleet-wide view its "router" stats block serves.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	for i := 0; i < histBuckets; i++ {
+		if c := other.counts[i].Load(); c != 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	h.count.Add(other.count.Load())
+	h.sum.Add(other.sum.Load())
+	v := other.max.Load()
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
 // QuantileSummary is the fixed quantile set /api/stats and the loadgen
 // report both serve.
 type QuantileSummary struct {

@@ -105,6 +105,66 @@ func TestHistogramConcurrent(t *testing.T) {
 	}
 }
 
+// Merge is exact with respect to the bucketing: folding N per-replica
+// histograms into one must produce bucket-for-bucket the histogram a single
+// observer of the union stream would hold, so the merged quantiles (the
+// router's fleet-wide view) keep the documented ≤6.25% per-value error
+// bound against the exact union quantiles.
+func TestHistogramMergeQuantileError(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const replicas = 3
+	parts := make([]*Histogram, replicas)
+	var union Histogram
+	var all []int64
+	for p := range parts {
+		parts[p] = &Histogram{}
+		// Each "replica" sees a different latency regime: fast, mid, tail-heavy.
+		base := int64(1000) << (4 * uint(p))
+		for i := 0; i < 5000; i++ {
+			v := base + int64(rng.Float64()*float64(base)*50)
+			parts[p].Observe(time.Duration(v))
+			union.Observe(time.Duration(v))
+			all = append(all, v)
+		}
+	}
+	var merged Histogram
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	// Bucket-exactness: merged == union on every aggregate the quantile walk
+	// reads.
+	if merged.Count() != union.Count() {
+		t.Fatalf("merged count %d != union count %d", merged.Count(), union.Count())
+	}
+	if merged.Max() != union.Max() {
+		t.Fatalf("merged max %v != union max %v", merged.Max(), union.Max())
+	}
+	if merged.Mean() != union.Mean() {
+		t.Fatalf("merged mean %v != union mean %v", merged.Mean(), union.Mean())
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if mq, uq := merged.Quantile(q), union.Quantile(q); mq != uq {
+			t.Errorf("q=%v: merged %v != union %v (merge must be bucket-exact)", q, mq, uq)
+		}
+		exact := all[int(q*float64(len(all)))-1]
+		got := int64(merged.Quantile(q))
+		if got < exact {
+			t.Errorf("q=%v: merged %d below exact %d (must stay conservative)", q, got, exact)
+		}
+		if float64(got) > float64(exact)*(1+1.0/16)+1 {
+			t.Errorf("q=%v: merged %d overshoots exact %d past the sub-bucket bound", q, got, exact)
+		}
+	}
+	// Merging nil and merging an empty histogram are no-ops.
+	before := merged.Count()
+	merged.Merge(nil)
+	merged.Merge(&Histogram{})
+	if merged.Count() != before {
+		t.Errorf("nil/empty merge changed count: %d -> %d", before, merged.Count())
+	}
+}
+
 // Span recording feeds the per-stage histogram: the snapshot's quantiles are
 // ordered and bounded by the max.
 func TestSnapshotQuantiles(t *testing.T) {

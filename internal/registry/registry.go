@@ -235,6 +235,13 @@ func (r *Registry) Put(id string, cat *literal.Catalog) (*Tenant, error) {
 // Concurrent acquires of a cold tenant share one load. The returned tenant
 // is immutable; callers may use it for the rest of the request even if it
 // is evicted or deleted meanwhile.
+//
+// With a shared Dir, an id this process has never seen is checked against
+// the directory before being rejected: Put persists a catalog before it
+// becomes visible, so a file on disk is a tenant some replica registered
+// after this one scanned the directory at startup. This is what makes a
+// fleet of replicas sharing one -tenant-dir agree on the tenant set without
+// any registration broadcast.
 func (r *Registry) Acquire(id string) (*Tenant, error) {
 	r.mu.Lock()
 	if r.seed != nil && id == r.seed.ID {
@@ -249,9 +256,17 @@ func (r *Registry) Acquire(id string) (*Tenant, error) {
 		obs.Add("registry.warm_hits", 1)
 		return t, nil
 	}
-	if !r.known[id] || r.dir == "" {
+	if r.dir == "" {
 		r.mu.Unlock()
 		return nil, fmt.Errorf("%w: %q", ErrUnknownTenant, id)
+	}
+	if !r.known[id] {
+		if ValidateID(id) != nil || !fileExists(r.path(id)) {
+			r.mu.Unlock()
+			return nil, fmt.Errorf("%w: %q", ErrUnknownTenant, id)
+		}
+		r.known[id] = true
+		obs.Add("registry.dir_discoveries", 1)
 	}
 	if lc, ok := r.loading[id]; ok {
 		r.mu.Unlock()
@@ -431,6 +446,12 @@ func (r *Registry) isSeed(id string) bool {
 
 func (r *Registry) path(id string) string {
 	return filepath.Join(r.dir, id+tenantExt)
+}
+
+// fileExists reports whether path names an existing regular file.
+func fileExists(path string) bool {
+	fi, err := os.Stat(path)
+	return err == nil && fi.Mode().IsRegular()
 }
 
 // Info describes one tenant for the listing API.

@@ -234,6 +234,40 @@ func TestRegistryReloadAcrossRestart(t *testing.T) {
 	}
 }
 
+// Two registries sharing one dir model replicas behind the router: a tenant
+// registered on one replica after the other started must still be
+// acquirable there — Put persists before visibility, and Acquire checks the
+// shared dir before rejecting an unknown id.
+func TestRegistrySharedDirDiscovery(t *testing.T) {
+	dir := t.TempDir()
+	mk := func() *Registry {
+		reg, err := New(Config{Shared: Shared{Structure: testComponent(t), TopKLiterals: 5}, MaxLive: 4, Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return reg
+	}
+	a, b := mk(), mk() // both scanned an empty dir
+	want := testCat(9)
+	if _, err := a.Put("late", want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Acquire("late")
+	if err != nil {
+		t.Fatalf("Acquire of a tenant registered on the other replica: %v", err)
+	}
+	if !reflect.DeepEqual(got.Catalog.Values(), want.Values()) {
+		t.Fatalf("discovered catalog values = %v", got.Catalog.Values())
+	}
+	// Ids that exist nowhere still miss, and invalid ids never hit the disk.
+	if _, err := b.Acquire("never-registered"); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("unknown id = %v", err)
+	}
+	if _, err := b.Acquire("../escape"); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("invalid id = %v", err)
+	}
+}
+
 func TestRegistrySingleflight(t *testing.T) {
 	reg := newTestRegistry(t, 4)
 	if _, err := reg.Put("hot", testCat(3)); err != nil {

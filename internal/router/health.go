@@ -1,0 +1,162 @@
+package router
+
+// health.go is the router's health-driven membership: one poll loop per
+// replica watches GET /readyz, ejects the replica from the hash ring after
+// enough consecutive failures, and re-admits it on the first success. Poll
+// cadence backs off exponentially (with deterministic jitter) while a
+// replica stays down, so a dead replica costs a few probes per backoff
+// period instead of a tight connect-refused loop. Independently of the
+// poller, the data path keeps a per-replica circuit breaker: a burst of
+// proxy failures opens the breaker immediately — routing around the replica
+// within one request, not one poll interval — and a cooldown later the next
+// request probes it half-open.
+
+import (
+	"context"
+	"net/http"
+	"net/url"
+	"sync/atomic"
+	"time"
+
+	"speakql/internal/obs"
+)
+
+// member is one replica as the router sees it: static identity plus the
+// health, breaker, and latency state the routing and stats paths read
+// lock-free.
+type member struct {
+	name string
+	base *url.URL
+
+	// healthy is the poll loop's verdict; only healthy members are on the
+	// ring. Flips rebuild the ring (router.rebuildRing).
+	healthy atomic.Bool
+	// consecFails counts consecutive failed health probes; ejection fires
+	// at the configured threshold.
+	consecFails atomic.Int64
+	ejections   atomic.Int64
+	readmits    atomic.Int64
+
+	// Circuit breaker over data-path forwards: brFails consecutive proxy
+	// failures open the breaker until brOpenUntil (unix nanos).
+	brFails     atomic.Int64
+	brOpenUntil atomic.Int64
+	brTrips     atomic.Int64
+
+	// requests/failures tally proxied attempts; lat buckets their latency
+	// (the stats handler Merges every member's into the fleet view).
+	requests atomic.Int64
+	failures atomic.Int64
+	lat      obs.Histogram
+}
+
+// available reports whether the data path may send this member a request:
+// on the ring (healthy) and breaker closed (or cooled down enough for a
+// half-open probe).
+func (m *member) available(now time.Time) bool {
+	return m.healthy.Load() && now.UnixNano() >= m.brOpenUntil.Load()
+}
+
+// noteSuccess closes the breaker after a successful forward.
+func (m *member) noteSuccess() {
+	m.brFails.Store(0)
+	m.brOpenUntil.Store(0)
+}
+
+// noteFailure records a failed forward, opening the breaker for cooldown
+// once threshold consecutive failures accumulate. Returns true when this
+// call tripped it.
+func (m *member) noteFailure(threshold int, cooldown time.Duration, now time.Time) bool {
+	m.failures.Add(1)
+	if m.brFails.Add(1) < int64(threshold) {
+		return false
+	}
+	// Half-open probes that fail land here again and re-arm the cooldown.
+	m.brOpenUntil.Store(now.Add(cooldown).UnixNano())
+	m.brFails.Store(0)
+	m.brTrips.Add(1)
+	return true
+}
+
+// healthLoop polls m's /readyz until the router stops. Interval doubles
+// (capped at 8× base) while the replica fails, with ±25% deterministic
+// jitter so a fleet of routers never phase-locks their probes.
+func (rt *Router) healthLoop(m *member) {
+	defer rt.wg.Done()
+	base := rt.cfg.HealthInterval
+	delay := base
+	var tick uint64
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-time.After(jittered(delay, m.name, tick)):
+		}
+		tick++
+		if rt.probe(m) {
+			m.consecFails.Store(0)
+			delay = base
+			if !m.healthy.Swap(true) {
+				m.readmits.Add(1)
+				rt.reg.Add("router.readmitted", 1)
+				rt.rebuildRing()
+			}
+			continue
+		}
+		fails := m.consecFails.Add(1)
+		if delay < 8*base {
+			delay *= 2
+		}
+		if fails >= int64(rt.cfg.EjectAfter) && m.healthy.Swap(false) {
+			m.ejections.Add(1)
+			rt.reg.Add("router.ejected", 1)
+			rt.rebuildRing()
+		}
+	}
+}
+
+// probe asks m for readiness: any 2xx within the probe timeout counts.
+// Draining replicas (503 from /readyz) fail the probe and drain off the
+// ring exactly like dead ones.
+func (rt *Router) probe(m *member) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.probeTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, m.base.JoinPath("/readyz").String(), nil)
+	if err != nil {
+		return false
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode >= 200 && resp.StatusCode < 300
+}
+
+// probeTimeout bounds one health probe: the poll interval, floored at one
+// second. The floor matters more than it looks: a replica saturated with
+// correction work can take tens of milliseconds to answer /readyz, and a
+// timeout derived only from a short poll interval reads that scheduling
+// delay as death — under load every replica "dies" at once, the ring
+// empties, and the router sheds traffic a mere slow probe caused. Probes
+// are sequential per loop, so a generous timeout just delays the next poll.
+func (rt *Router) probeTimeout() time.Duration {
+	if d := rt.cfg.HealthInterval; d > time.Second {
+		return d
+	}
+	return time.Second
+}
+
+// jittered spreads d by ±25% as a pure function of (member, tick) — the
+// same splitmix mixing the fault injector uses, so probe schedules are
+// reproducible in chaos replays.
+func jittered(d time.Duration, name string, tick uint64) time.Duration {
+	x := hashKey(name) ^ (tick * 0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	frac := float64(x>>11) / float64(1<<53) // [0, 1)
+	return d + time.Duration((frac-0.5)*0.5*float64(d))
+}

@@ -1,0 +1,135 @@
+package router
+
+// ring.go is the consistent-hash ring that pins session and tenant keys to
+// replicas. Each member contributes hashReplicas virtual nodes (its name
+// hashed with a per-vnode suffix); a key routes to the first vnode clockwise
+// from the key's own hash. The properties the serving tier leans on:
+//
+//   - Affinity: the same key maps to the same replica for as long as that
+//     replica is a member, so a session's requests keep hitting the replica
+//     whose memory already holds it (snapshot restore is the slow path, not
+//     the common path).
+//   - Minimal disruption: ejecting a member remaps only the keys that
+//     hashed to its vnodes — every other session stays pinned where it was,
+//     which is what keeps a single replica death from stampeding the whole
+//     fleet through snapshot restores.
+//   - Determinism: the ring is a pure function of (member names,
+//     hashReplicas). Every router instance with the same healthy member set
+//     routes identically, and chaos-test replays are reproducible.
+//
+// Rings are immutable: membership changes build a new ring and swap it in
+// atomically (router.go), so Lookup never takes a lock.
+
+import (
+	"sort"
+	"strconv"
+)
+
+// ringPoint is one virtual node: a position on the hash circle and the
+// member that owns it.
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// Ring is an immutable consistent-hash ring over a set of member names.
+type Ring struct {
+	points []ringPoint
+}
+
+// DefaultHashReplicas is the default virtual-node count per member: enough
+// that three replicas split the key space within a few percent of evenly,
+// while keeping ring builds trivially cheap.
+const DefaultHashReplicas = 64
+
+// NewRing builds a ring over members with hashReplicas virtual nodes each
+// (<= 0 uses DefaultHashReplicas). An empty member set yields a ring whose
+// Lookup always misses.
+func NewRing(members []string, hashReplicas int) *Ring {
+	if hashReplicas <= 0 {
+		hashReplicas = DefaultHashReplicas
+	}
+	r := &Ring{points: make([]ringPoint, 0, len(members)*hashReplicas)}
+	for _, m := range members {
+		for i := 0; i < hashReplicas; i++ {
+			r.points = append(r.points, ringPoint{hash: hashKey(m + "#" + strconv.Itoa(i)), member: m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Tie-break on member name so equal hashes cannot make the ring
+		// order depend on input order.
+		return r.points[i].member < r.points[j].member
+	})
+	return r
+}
+
+// Lookup returns the member owning key, or "" on an empty ring.
+func (r *Ring) Lookup(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the circle's first point owns the top arc
+	}
+	return r.points[i].member
+}
+
+// Sequence returns key's owner followed by the remaining members in the
+// order the ring would fail over to them (each subsequent distinct member
+// clockwise). Stateful retries walk this order so every router instance
+// agrees on who takes a dead replica's sessions.
+func (r *Ring) Sequence(key string) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := make(map[string]bool)
+	var seq []string
+	for n := 0; n < len(r.points); n++ {
+		p := r.points[(i+n)%len(r.points)]
+		if !seen[p.member] {
+			seen[p.member] = true
+			seq = append(seq, p.member)
+		}
+	}
+	return seq
+}
+
+// Members returns the distinct member names on the ring, sorted.
+func (r *Ring) Members() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, p := range r.points {
+		if !seen[p.member] {
+			seen[p.member] = true
+			out = append(out, p.member)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// hashKey is FNV-1a with a splitmix64 avalanche — cheap, allocation-free,
+// and stable across processes (the determinism Sequence and chaos replays
+// rely on). The finalizer matters: raw FNV clusters the sequential "#i"
+// vnode suffixes onto one arc of the circle, skewing member ownership
+// badly (TestRingBalance).
+func hashKey(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return h
+}

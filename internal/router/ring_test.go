@@ -1,0 +1,97 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The ring is a pure function of its inputs: two rings over the same
+// members route every key identically.
+func TestRingDeterministic(t *testing.T) {
+	members := []string{"r1", "r2", "r3"}
+	a := NewRing(members, 64)
+	b := NewRing([]string{"r3", "r1", "r2"}, 64) // input order must not matter
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("session/s%d", i)
+		if a.Lookup(key) != b.Lookup(key) {
+			t.Fatalf("key %q routes differently on identical rings: %s vs %s",
+				key, a.Lookup(key), b.Lookup(key))
+		}
+	}
+}
+
+// Removing one member remaps only the keys it owned; every other key stays
+// pinned — the property that keeps one replica death from stampeding every
+// session through a snapshot restore.
+func TestRingMinimalDisruption(t *testing.T) {
+	full := NewRing([]string{"r1", "r2", "r3"}, 64)
+	without2 := NewRing([]string{"r1", "r3"}, 64)
+	moved := 0
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("session/s%d", i)
+		before, after := full.Lookup(key), without2.Lookup(key)
+		if before == "r2" {
+			if after == "r2" {
+				t.Fatalf("key %q still routes to the removed member", key)
+			}
+			continue
+		}
+		if before != after {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys not owned by the removed member were remapped", moved)
+	}
+}
+
+// Virtual nodes spread the key space: no member of a three-replica ring
+// owns a wildly disproportionate share.
+func TestRingBalance(t *testing.T) {
+	r := NewRing([]string{"r1", "r2", "r3"}, 64)
+	counts := map[string]int{}
+	const n = 6000
+	for i := 0; i < n; i++ {
+		counts[r.Lookup(fmt.Sprintf("session/s%d", i))]++
+	}
+	for m, c := range counts {
+		frac := float64(c) / n
+		if frac < 0.15 || frac > 0.55 {
+			t.Fatalf("member %s owns %.1f%% of keys (counts: %v)", m, 100*frac, counts)
+		}
+	}
+}
+
+// Sequence starts at the owner and enumerates every member exactly once —
+// the failover order stateful retries walk.
+func TestRingSequence(t *testing.T) {
+	r := NewRing([]string{"r1", "r2", "r3"}, 64)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("session/s%d", i)
+		seq := r.Sequence(key)
+		if len(seq) != 3 {
+			t.Fatalf("Sequence(%q) = %v", key, seq)
+		}
+		if seq[0] != r.Lookup(key) {
+			t.Fatalf("Sequence(%q) starts at %s, owner is %s", key, seq[0], r.Lookup(key))
+		}
+		seen := map[string]bool{}
+		for _, m := range seq {
+			if seen[m] {
+				t.Fatalf("Sequence(%q) repeats %s: %v", key, m, seq)
+			}
+			seen[m] = true
+		}
+	}
+}
+
+// An empty ring misses cleanly.
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(nil, 64)
+	if got := r.Lookup("anything"); got != "" {
+		t.Fatalf("empty ring returned %q", got)
+	}
+	if seq := r.Sequence("anything"); seq != nil {
+		t.Fatalf("empty ring sequence = %v", seq)
+	}
+}

@@ -1,0 +1,556 @@
+// Package router is SpeakQL's serving-tier front door: a reverse proxy
+// that spreads the HTTP API across a fleet of speakql-server replicas with
+// consistent-hash session affinity, health-driven membership, and bounded
+// failure handling.
+//
+// Routing: requests carrying a session id (JSON "id" field or ?session=)
+// pin to the ring owner of that id, so a session's requests keep hitting
+// the replica whose memory holds it; requests carrying only a tenant pin to
+// the tenant's owner (warming that replica's caches); anything else —
+// notably the stateless /api/correct — spreads round-robin and may be
+// answered by any replica. When a replica dies, the health loops eject it,
+// the ring remaps only its keys, and the next request for an affected
+// session lands on the new owner, which restores it from the fleet's
+// snapshot store (internal/httpapi handoff) and answers with "resumed":
+// true — or the typed stream.lost verdict when no snapshot survives.
+//
+// Failure handling is deliberately conservative:
+//
+//   - 503 from a replica's admission gate is terminal: the fleet is
+//     shedding load, and a router that retried sheds elsewhere would
+//     amplify exactly the overload the gate exists to absorb.
+//   - Transport failures where the request provably never left (dial
+//     errors, breaker-open skips, injected network faults) retry on the
+//     next ring candidate for any method.
+//   - Once bytes may have reached a replica, only idempotent requests (GET,
+//     and the stateless /api/correct) retry; a dictate that died mid-flight
+//     surfaces as 502 and the client re-sends with its seq for the
+//     replica's duplicate detection.
+//   - Every request has a bounded retry budget (-retry-budget additional
+//     attempts); exhausting it answers 502 with "code":
+//     "router.unavailable".
+//
+// The router serves its own /healthz (liveness), /readyz (ready while at
+// least one replica is routable), and /api/stats ("router" block:
+// membership, ring, counters, per-replica and Merge-aggregated fleet
+// latency, /api/correct latency, and failover resume cost).
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"speakql/internal/faultinject"
+	"speakql/internal/obs"
+)
+
+// Replica names one backend: Name is its ring identity (stable across
+// restarts, so a restarted replica takes back its old keys), URL its base
+// address.
+type Replica struct {
+	Name string
+	URL  string
+}
+
+// Config configures a Router. Zero fields take the documented defaults.
+type Config struct {
+	// Replicas is the static fleet (health decides who is routable).
+	Replicas []Replica
+	// HashReplicas is the virtual-node count per replica on the ring
+	// (default DefaultHashReplicas).
+	HashReplicas int
+	// EjectAfter is how many consecutive health-probe failures eject a
+	// replica from the ring; the same threshold trips the data-path circuit
+	// breaker (default 3).
+	EjectAfter int
+	// RetryBudget is the max additional forward attempts per request beyond
+	// the first (default 2).
+	RetryBudget int
+	// HealthInterval is the base health-poll cadence (default 1s); probe
+	// timeouts and breaker cooldowns derive from it.
+	HealthInterval time.Duration
+	// Timeout bounds one forwarded attempt, SSE excepted (default 15s).
+	Timeout time.Duration
+	// Registry receives the router.* counters (default obs.Default()).
+	Registry *obs.Registry
+}
+
+// Router is the serving-tier proxy. Construct with New, Start the health
+// loops, mount Handler, Close on shutdown.
+type Router struct {
+	cfg     Config
+	reg     *obs.Registry
+	client  *http.Client
+	members []*member
+	byName  map[string]*member
+	ring    atomic.Pointer[Ring]
+	// fullRing spans every configured member regardless of health — the
+	// panic-routing fallback when the healthy ring is empty.
+	fullRing *Ring
+
+	rr       atomic.Int64 // round-robin cursor for key-less requests
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	correctLat obs.Histogram // /api/correct end-to-end through the router
+	resumeLat  obs.Histogram // session-restore cost reported by replicas
+}
+
+// New builds a Router over cfg's fleet. Every replica starts healthy (on
+// the ring); the health loops started by Start take it from there.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Replicas) == 0 {
+		return nil, errors.New("router: no replicas configured")
+	}
+	if cfg.HashReplicas <= 0 {
+		cfg.HashReplicas = DefaultHashReplicas
+	}
+	if cfg.EjectAfter <= 0 {
+		cfg.EjectAfter = 3
+	}
+	if cfg.RetryBudget < 0 {
+		cfg.RetryBudget = 0
+	} else if cfg.RetryBudget == 0 {
+		cfg.RetryBudget = 2
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = time.Second
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 15 * time.Second
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.Default()
+	}
+	rt := &Router{
+		cfg:    cfg,
+		reg:    cfg.Registry,
+		byName: make(map[string]*member, len(cfg.Replicas)),
+		stop:   make(chan struct{}),
+		client: &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 32}},
+	}
+	for _, r := range cfg.Replicas {
+		if r.Name == "" || r.URL == "" {
+			return nil, fmt.Errorf("router: replica needs name and url: %+v", r)
+		}
+		u, err := url.Parse(r.URL)
+		if err != nil {
+			return nil, fmt.Errorf("router: replica %s url: %w", r.Name, err)
+		}
+		if _, dup := rt.byName[r.Name]; dup {
+			return nil, fmt.Errorf("router: duplicate replica name %q", r.Name)
+		}
+		m := &member{name: r.Name, base: u}
+		m.healthy.Store(true)
+		rt.members = append(rt.members, m)
+		rt.byName[r.Name] = m
+	}
+	all := make([]string, 0, len(rt.members))
+	for _, m := range rt.members {
+		all = append(all, m.name)
+	}
+	rt.fullRing = NewRing(all, rt.cfg.HashReplicas)
+	rt.rebuildRing()
+	return rt, nil
+}
+
+// Start launches one health loop per replica. Idempotent-free: call once.
+func (rt *Router) Start() {
+	for _, m := range rt.members {
+		rt.wg.Add(1)
+		go rt.healthLoop(m)
+	}
+}
+
+// Close stops the health loops and waits for them (idempotent).
+func (rt *Router) Close() {
+	rt.stopOnce.Do(func() { close(rt.stop) })
+	rt.wg.Wait()
+}
+
+// rebuildRing recomputes the ring from the currently healthy members and
+// swaps it in atomically; Lookup never blocks on a membership change.
+func (rt *Router) rebuildRing() {
+	var healthy []string
+	for _, m := range rt.members {
+		if m.healthy.Load() {
+			healthy = append(healthy, m.name)
+		}
+	}
+	rt.ring.Store(NewRing(healthy, rt.cfg.HashReplicas))
+	rt.reg.Add("router.ring_rebuilds", 1)
+}
+
+// Handler returns the router's handler: its own health and stats endpoints
+// plus the proxy for everything else.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	mux.HandleFunc("GET /readyz", rt.handleReadyz)
+	mux.HandleFunc("GET /api/stats", rt.handleStats)
+	mux.HandleFunc("/", rt.proxy)
+	return mux
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz: the router is ready while at least one replica is routable.
+func (rt *Router) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	now := time.Now()
+	for _, m := range rt.members {
+		if m.available(now) {
+			writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+			return
+		}
+	}
+	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "no replica available"})
+}
+
+// maxPeekBytes bounds how much of a request body the router reads to find
+// its routing key — matches the replicas' own body bound.
+const maxPeekBytes = 1 << 20
+
+// routeKey extracts the request's affinity key. Session keys (JSON "id",
+// ?session=) win over tenant keys (?tenant=, X-SpeakQL-Tenant); "" means
+// key-less (round-robin). For bodied requests the body is consumed and
+// returned so attempts can replay it.
+func (rt *Router) routeKey(r *http.Request) (key string, body []byte, err error) {
+	if r.Body != nil && r.Body != http.NoBody {
+		body, err = io.ReadAll(io.LimitReader(r.Body, maxPeekBytes+1))
+		r.Body.Close()
+		if err != nil {
+			return "", nil, fmt.Errorf("reading request body: %w", err)
+		}
+		if len(body) > maxPeekBytes {
+			return "", nil, fmt.Errorf("request body exceeds %d bytes", maxPeekBytes)
+		}
+	}
+	if id := r.URL.Query().Get("session"); id != "" {
+		return "session/" + id, body, nil
+	}
+	if len(body) > 0 {
+		var peek struct {
+			ID string `json:"id"`
+		}
+		// Non-JSON or id-less bodies simply yield no session key.
+		if json.Unmarshal(body, &peek) == nil && peek.ID != "" {
+			return "session/" + peek.ID, body, nil
+		}
+	}
+	tenant := r.URL.Query().Get("tenant")
+	if tenant == "" {
+		tenant = r.Header.Get("X-SpeakQL-Tenant")
+	}
+	if tenant == "" {
+		// Tenant admin endpoints carry the id in the path, not the query:
+		// keying them identically to ?tenant= traffic colocates a tenant's
+		// registration with its corrections, so a PUT is immediately visible
+		// to the requests it was made for (other replicas discover it lazily
+		// through the shared -tenant-dir).
+		if rest, ok := strings.CutPrefix(r.URL.Path, "/api/tenants/"); ok && rest != "" && !strings.Contains(rest, "/") {
+			tenant = rest
+		}
+	}
+	if tenant != "" {
+		return "tenant/" + tenant, body, nil
+	}
+	return "", body, nil
+}
+
+// retryableStatus reports whether a response status may be retried for this
+// request. 503 is always terminal (the admission gate is shedding; retries
+// amplify overload). Other 5xx retry only when re-sending cannot double-
+// apply: GET and the stateless /api/correct.
+func retryableStatus(status int, r *http.Request) bool {
+	if status == http.StatusServiceUnavailable || status < 500 {
+		return false
+	}
+	return r.Method == http.MethodGet || r.URL.Path == "/api/correct"
+}
+
+// retryableTransportErr reports whether a transport failure may be retried.
+// Dial failures never sent a byte, so any method is safe; past that, the
+// request may have been applied and only idempotent requests retry.
+func retryableTransportErr(err error, r *http.Request) bool {
+	var opErr *net.OpError
+	if errors.As(err, &opErr) && opErr.Op == "dial" {
+		return true
+	}
+	var inj *faultinject.InjectedError
+	if errors.As(err, &inj) {
+		// Injected network faults model connection-refused: nothing sent.
+		return true
+	}
+	return r.Method == http.MethodGet || r.URL.Path == "/api/correct"
+}
+
+// proxy routes one request: pick the candidate sequence for its key, walk
+// it under the retry budget, stream back the first usable response.
+func (rt *Router) proxy(w http.ResponseWriter, r *http.Request) {
+	rt.reg.Add("router.requests", 1)
+	key, body, err := rt.routeKey(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	candidates := rt.candidates(key)
+	if len(candidates) == 0 {
+		rt.reg.Add("router.no_replica", 1)
+		writeJSON(w, http.StatusBadGateway, map[string]string{
+			"error": "no replica available", "code": "router.unavailable",
+		})
+		return
+	}
+	budget := 1 + rt.cfg.RetryBudget
+	attempts := 0
+	var lastErr error
+	now := time.Now()
+	for i := 0; i < len(candidates) && attempts < budget; i++ {
+		m := rt.byName[candidates[i]]
+		if !m.available(now) && attempts+1 < budget && i+1 < len(candidates) {
+			// Breaker open: spend one budget slot skipping to the next
+			// candidate rather than on a forward we expect to fail. The last
+			// candidate is tried regardless — a guess beats a guaranteed 502.
+			attempts++
+			rt.reg.Add("router.breaker_skips", 1)
+			continue
+		}
+		if attempts > 0 {
+			rt.reg.Add("router.retries", 1)
+		}
+		attempts++
+		done, ferr := rt.forward(w, r, m, body)
+		if done {
+			return
+		}
+		lastErr = ferr
+		if ferr != nil && !retryableTransportErr(ferr, r) {
+			break
+		}
+		now = time.Now()
+	}
+	rt.reg.Add("router.exhausted", 1)
+	msg := "no replica could serve the request"
+	if lastErr != nil {
+		msg = lastErr.Error()
+	}
+	writeJSON(w, http.StatusBadGateway, map[string]string{
+		"error": msg, "code": "router.unavailable",
+	})
+}
+
+// candidates returns the replicas to try, in order: the ring failover
+// sequence for keyed requests, round-robin over healthy members otherwise.
+// When every member has been ejected the router panic-routes over the full
+// static membership instead of refusing outright: a fleet that looks
+// entirely dead is far more often a health-check pathology (probe timeouts
+// under load, a partitioned prober) than three simultaneous crashes, and
+// forwarding a doomed request costs one connection attempt while refusing a
+// servable one costs a user-visible failure.
+func (rt *Router) candidates(key string) []string {
+	ring := rt.ring.Load()
+	if len(ring.Members()) == 0 {
+		ring = rt.fullRing
+		rt.reg.Add("router.panic_routes", 1)
+	}
+	if key != "" {
+		return ring.Sequence(key)
+	}
+	members := ring.Members()
+	if len(members) == 0 {
+		return nil
+	}
+	start := int(rt.rr.Add(1)-1) % len(members)
+	out := make([]string, 0, len(members))
+	for i := 0; i < len(members); i++ {
+		out = append(out, members[(start+i)%len(members)])
+	}
+	return out
+}
+
+// forward sends one attempt to m. done=true means a response was written
+// to w (success, terminal error, or non-retryable status); done=false with
+// err means the attempt failed retryably before a response committed.
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, m *member, body []byte) (done bool, err error) {
+	if ferr := faultinject.Fire(faultinject.StageNetwork); ferr != nil {
+		m.noteFailure(rt.cfg.EjectAfter, rt.breakerCooldown(), time.Now())
+		return false, ferr
+	}
+	sse := r.URL.Path == "/api/stream/events"
+	ctx := r.Context()
+	cancel := func() {}
+	if !sse {
+		// SSE feeds are long-lived by design; everything else is bounded.
+		ctx, cancel = contextWithTimeout(ctx, rt.cfg.Timeout)
+	}
+	defer cancel()
+
+	u := *m.base
+	u.Path = strings.TrimSuffix(u.Path, "/") + r.URL.Path
+	u.RawQuery = r.URL.RawQuery
+	var reqBody io.Reader
+	if body != nil {
+		reqBody = bytes.NewReader(body)
+	}
+	req, rerr := http.NewRequestWithContext(ctx, r.Method, u.String(), reqBody)
+	if rerr != nil {
+		return false, rerr
+	}
+	req.Header = r.Header.Clone()
+	req.Header.Set("X-Forwarded-For", r.RemoteAddr)
+
+	m.requests.Add(1)
+	t0 := time.Now()
+	resp, derr := rt.client.Do(req)
+	if derr != nil {
+		m.noteFailure(rt.cfg.EjectAfter, rt.breakerCooldown(), time.Now())
+		rt.reg.Add("router.transport_errors", 1)
+		return false, derr
+	}
+	defer resp.Body.Close()
+
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		// Terminal by design: pass the shed through, Retry-After and all.
+		m.noteSuccess() // the replica answered; it is alive, just saturated
+		rt.reg.Add("router.shed_passthrough", 1)
+		rt.copyResponse(w, resp, m, t0, r, false)
+		return true, nil
+	}
+	if retryableStatus(resp.StatusCode, r) {
+		m.noteFailure(rt.cfg.EjectAfter, rt.breakerCooldown(), time.Now())
+		rt.reg.Add("router.upstream_5xx", 1)
+		io.Copy(io.Discard, io.LimitReader(resp.Body, maxPeekBytes))
+		return false, fmt.Errorf("replica %s answered %d", m.name, resp.StatusCode)
+	}
+	m.noteSuccess()
+	rt.copyResponse(w, resp, m, t0, r, sse)
+	return true, nil
+}
+
+// copyResponse streams resp back to the client, recording latency and the
+// handoff signals (resume cost, lost verdicts) on the way.
+func (rt *Router) copyResponse(w http.ResponseWriter, resp *http.Response, m *member, t0 time.Time, r *http.Request, sse bool) {
+	if ns := resp.Header.Get("X-SpeakQL-Resume-Ns"); ns != "" {
+		if v, err := strconv.ParseInt(ns, 10, 64); err == nil && v > 0 {
+			rt.reg.Add("router.resumed", 1)
+			rt.resumeLat.Observe(time.Duration(v))
+		}
+	}
+	if resp.StatusCode == http.StatusNotFound && strings.HasPrefix(r.URL.Path, "/api/stream") {
+		// The typed stream.lost verdict rides a 404 on the stream paths.
+		rt.reg.Add("router.lost_verdicts", 1)
+	}
+	hdr := w.Header()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			hdr.Add(k, v)
+		}
+	}
+	hdr.Set("X-SpeakQL-Replica", m.name)
+	w.WriteHeader(resp.StatusCode)
+	if sse {
+		flushCopy(w, resp.Body)
+	} else {
+		io.Copy(w, resp.Body)
+	}
+	d := time.Since(t0)
+	m.lat.Observe(d)
+	if r.URL.Path == "/api/correct" {
+		rt.correctLat.Observe(d)
+	}
+}
+
+// flushCopy copies an event stream, flushing after every read so SSE frames
+// reach the client as the replica emits them.
+func flushCopy(w http.ResponseWriter, src io.Reader) {
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 4096)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// breakerCooldown is how long a tripped breaker stays open: long enough to
+// shield the data path between health polls, short enough that a recovered
+// replica is probed again promptly.
+func (rt *Router) breakerCooldown() time.Duration { return 2 * rt.cfg.HealthInterval }
+
+// handleStats serves the router's own stats: the "router" block with
+// membership, ring state, router.* counters, per-replica latency, and the
+// fleet-wide latency produced by Merging every replica's histogram.
+func (rt *Router) handleStats(w http.ResponseWriter, _ *http.Request) {
+	now := time.Now()
+	snap := rt.reg.Snapshot()
+	var fleet obs.Histogram
+	replicas := make([]map[string]any, 0, len(rt.members))
+	for _, m := range rt.members {
+		fleet.Merge(&m.lat)
+		replicas = append(replicas, map[string]any{
+			"name":          m.name,
+			"url":           m.base.String(),
+			"healthy":       m.healthy.Load(),
+			"available":     m.available(now),
+			"consec_fails":  m.consecFails.Load(),
+			"ejections":     m.ejections.Load(),
+			"readmits":      m.readmits.Load(),
+			"breaker_trips": m.brTrips.Load(),
+			"requests":      m.requests.Load(),
+			"failures":      m.failures.Load(),
+			"latency":       m.lat.Summary(),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"router": map[string]any{
+			"replicas":        replicas,
+			"ring":            rt.ring.Load().Members(),
+			"hash_replicas":   rt.cfg.HashReplicas,
+			"eject_after":     rt.cfg.EjectAfter,
+			"retry_budget":    rt.cfg.RetryBudget,
+			"counters":        snap.CountersWithPrefix("router."),
+			"fleet_latency":   fleet.Summary(),
+			"correct_latency": rt.correctLat.Summary(),
+			"failover_resume": rt.resumeLat.Summary(),
+		},
+	})
+}
+
+// contextWithTimeout is context.WithTimeout tolerating d <= 0 (no bound).
+func contextWithTimeout(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+// writeJSON mirrors the replicas' envelope: JSON body, status, newline.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,326 @@
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"speakql/internal/faultinject"
+)
+
+// fakeReplica is a minimal backend: answers every API path with its own
+// name, with switchable readiness and a forced-status mode.
+type fakeReplica struct {
+	name    string
+	ready   atomic.Bool
+	status  atomic.Int64 // forced status for API paths; 0 = 200
+	hits    atomic.Int64
+	srv     *httptest.Server
+	retryAt string // Retry-After value sent with forced 503s
+}
+
+func newFakeReplica(t *testing.T, name string) *fakeReplica {
+	t.Helper()
+	f := &fakeReplica{name: name, retryAt: "3"}
+	f.ready.Store(true)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if f.ready.Load() {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
+		f.hits.Add(1)
+		if st := int(f.status.Load()); st != 0 {
+			if st == http.StatusServiceUnavailable {
+				w.Header().Set("Retry-After", f.retryAt)
+			}
+			w.WriteHeader(st)
+			fmt.Fprintf(w, `{"error":"forced %d"}`, st)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"replica":%q}`, f.name)
+	})
+	f.srv = httptest.NewServer(mux)
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+func testRouter(t *testing.T, cfg Config, fakes ...*fakeReplica) (*Router, *httptest.Server) {
+	t.Helper()
+	for _, f := range fakes {
+		cfg.Replicas = append(cfg.Replicas, Replica{Name: f.name, URL: f.srv.URL})
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(rt.Handler())
+	t.Cleanup(func() { hs.Close(); rt.Close() })
+	return rt, hs
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func bodyReplica(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	name, _ := out["replica"].(string)
+	return name
+}
+
+// Requests with the same session key always land on the same replica.
+func TestRouterSessionAffinity(t *testing.T) {
+	f1, f2, f3 := newFakeReplica(t, "r1"), newFakeReplica(t, "r2"), newFakeReplica(t, "r3")
+	_, hs := testRouter(t, Config{HealthInterval: time.Hour}, f1, f2, f3)
+	first := bodyReplica(t, postJSON(t, hs.URL+"/api/stream/dictate", map[string]any{"id": "affine-1", "fragment": "x"}))
+	for i := 0; i < 10; i++ {
+		got := bodyReplica(t, postJSON(t, hs.URL+"/api/stream/dictate", map[string]any{"id": "affine-1", "fragment": "x"}))
+		if got != first {
+			t.Fatalf("session key moved: %s then %s", first, got)
+		}
+	}
+}
+
+// A dead replica's keys fail over along the ring sequence: the dial error
+// retries to the next candidate within the same request.
+func TestRouterFailoverOnDialError(t *testing.T) {
+	f1, f2, f3 := newFakeReplica(t, "r1"), newFakeReplica(t, "r2"), newFakeReplica(t, "r3")
+	_, hs := testRouter(t, Config{HealthInterval: time.Hour, RetryBudget: 2}, f1, f2, f3)
+	owner := bodyReplica(t, postJSON(t, hs.URL+"/api/stream/dictate", map[string]any{"id": "move-1", "fragment": "x"}))
+	for _, f := range []*fakeReplica{f1, f2, f3} {
+		if f.name == owner {
+			f.srv.Close() // SIGKILL-equivalent: connections refused from here on
+		}
+	}
+	resp := postJSON(t, hs.URL+"/api/stream/dictate", map[string]any{"id": "move-1", "fragment": "x"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("failover request answered %d", resp.StatusCode)
+	}
+	if got := bodyReplica(t, resp); got == owner || got == "" {
+		t.Fatalf("failover landed on %q (owner was %q)", got, owner)
+	}
+}
+
+// 503 from a replica's admission gate is terminal: exactly one attempt, and
+// the shed (with its Retry-After) passes through untouched.
+func TestRouterShedIsTerminal(t *testing.T) {
+	f1, f2 := newFakeReplica(t, "r1"), newFakeReplica(t, "r2")
+	f1.status.Store(http.StatusServiceUnavailable)
+	f2.status.Store(http.StatusServiceUnavailable)
+	_, hs := testRouter(t, Config{HealthInterval: time.Hour, RetryBudget: 3}, f1, f2)
+	resp := postJSON(t, hs.URL+"/api/stream/dictate", map[string]any{"id": "shed-1", "fragment": "x"})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("shed answered %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("Retry-After stripped from the shed passthrough")
+	}
+	if total := f1.hits.Load() + f2.hits.Load(); total != 1 {
+		t.Fatalf("shed request hit replicas %d times, want exactly 1 (503 must never retry)", total)
+	}
+}
+
+// Other 5xx retries only for idempotent requests: a GET walks the fleet, a
+// session-stateful POST surfaces the error after one attempt.
+func TestRouter5xxRetryOnlyIdempotent(t *testing.T) {
+	f1, f2 := newFakeReplica(t, "r1"), newFakeReplica(t, "r2")
+	f1.status.Store(http.StatusInternalServerError)
+	f2.status.Store(http.StatusInternalServerError)
+	_, hs := testRouter(t, Config{HealthInterval: time.Hour, RetryBudget: 3}, f1, f2)
+
+	resp := postJSON(t, hs.URL+"/api/stream/dictate", map[string]any{"id": "err-1", "fragment": "x"})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("non-idempotent 500 answered %d, want passthrough", resp.StatusCode)
+	}
+	if total := f1.hits.Load() + f2.hits.Load(); total != 1 {
+		t.Fatalf("non-idempotent request attempted %d times, want 1", total)
+	}
+
+	f1.hits.Store(0)
+	f2.hits.Store(0)
+	resp, err := http.Get(hs.URL + "/api/schema")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("idempotent all-5xx answered %d, want 502 after exhausting retries", resp.StatusCode)
+	}
+	if total := f1.hits.Load() + f2.hits.Load(); total != 2 {
+		t.Fatalf("idempotent request attempted %d times across 2 replicas, want 2", total)
+	}
+}
+
+// The health loop ejects a not-ready replica from the ring and re-admits it
+// when it recovers; keyless traffic never lands on an ejected member.
+func TestRouterHealthEjectionAndReadmission(t *testing.T) {
+	f1, f2 := newFakeReplica(t, "r1"), newFakeReplica(t, "r2")
+	rt, hs := testRouter(t, Config{HealthInterval: 20 * time.Millisecond, EjectAfter: 2}, f1, f2)
+	rt.Start()
+
+	f2.ready.Store(false)
+	waitFor(t, time.Second, func() bool {
+		members := rt.ring.Load().Members()
+		return len(members) == 1 && members[0] == "r1"
+	})
+	f2.hits.Store(0)
+	for i := 0; i < 8; i++ {
+		resp := postJSON(t, hs.URL+"/api/correct", map[string]any{"transcript": "x"})
+		resp.Body.Close()
+	}
+	if f2.hits.Load() != 0 {
+		t.Fatalf("ejected replica still served %d requests", f2.hits.Load())
+	}
+
+	f2.ready.Store(true)
+	waitFor(t, 2*time.Second, func() bool { return len(rt.ring.Load().Members()) == 2 })
+}
+
+// An injected network fault enters the retry path like a dial error; with
+// every attempt faulted, the request exhausts its budget into a typed 502.
+func TestRouterNetworkFaultInjection(t *testing.T) {
+	inj, err := faultinject.Parse("network:error@1;seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Set(inj)
+	defer faultinject.Set(nil)
+	f1, f2 := newFakeReplica(t, "r1"), newFakeReplica(t, "r2")
+	_, hs := testRouter(t, Config{HealthInterval: time.Hour, RetryBudget: 2}, f1, f2)
+	resp := postJSON(t, hs.URL+"/api/stream/dictate", map[string]any{"id": "f-1", "fragment": "x"})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("all-faulted request answered %d, want 502", resp.StatusCode)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out["code"] != "router.unavailable" {
+		t.Fatalf("exhaustion verdict not typed: %v", out)
+	}
+	if total := f1.hits.Load() + f2.hits.Load(); total != 0 {
+		t.Fatalf("faulted attempts reached replicas %d times", total)
+	}
+}
+
+// The router's stats block carries the fleet view: replicas, ring, and the
+// merged latency histogram.
+func TestRouterStatsBlock(t *testing.T) {
+	f1, f2 := newFakeReplica(t, "r1"), newFakeReplica(t, "r2")
+	_, hs := testRouter(t, Config{HealthInterval: time.Hour}, f1, f2)
+	for i := 0; i < 4; i++ {
+		resp := postJSON(t, hs.URL+"/api/correct", map[string]any{"transcript": "x"})
+		resp.Body.Close()
+	}
+	resp, err := http.Get(hs.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	block, ok := out["router"].(map[string]any)
+	if !ok {
+		t.Fatalf("no router block: %v", out)
+	}
+	for _, key := range []string{"replicas", "ring", "fleet_latency", "correct_latency", "failover_resume", "retry_budget"} {
+		if _, ok := block[key]; !ok {
+			t.Fatalf("router block missing %q: %v", key, block)
+		}
+	}
+	if reps := block["replicas"].([]any); len(reps) != 2 {
+		t.Fatalf("replicas = %v", reps)
+	}
+}
+
+// The router's own readiness tracks the fleet: no routable replica = 503.
+func TestRouterReadyz(t *testing.T) {
+	f1 := newFakeReplica(t, "r1")
+	rt, hs := testRouter(t, Config{HealthInterval: 20 * time.Millisecond, EjectAfter: 2}, f1)
+	rt.Start()
+	resp, err := http.Get(hs.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ready fleet answered %d", resp.StatusCode)
+	}
+	f1.ready.Store(false)
+	waitFor(t, time.Second, func() bool {
+		r, err := http.Get(hs.URL + "/readyz")
+		if err != nil {
+			return false
+		}
+		r.Body.Close()
+		return r.StatusCode == http.StatusServiceUnavailable
+	})
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// parseReplicas-style addresses must round-trip through the proxy path
+// building (subpathed replica URLs keep their prefix).
+func TestRouterSubpathedReplicaURL(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, "/base/") {
+			t.Errorf("prefix lost: %s", r.URL.Path)
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer backend.Close()
+	rt, err := New(Config{Replicas: []Replica{{Name: "r1", URL: backend.URL + "/base"}}, HealthInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	hs := httptest.NewServer(rt.Handler())
+	defer hs.Close()
+	resp, err := http.Get(hs.URL + "/api/schema")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("subpathed proxy answered %d", resp.StatusCode)
+	}
+}

@@ -26,11 +26,12 @@ const (
 	EventKeyboardTouch EventKind = "keyboard"
 )
 
-// Event is one logged interaction.
+// Event is one logged interaction. The JSON tags are the handoff codec's:
+// the effort log travels inside session snapshots (store.go).
 type Event struct {
-	Kind    EventKind
-	Detail  string
-	Touches int // touch/click cost of this event (0 for dictations)
+	Kind    EventKind `json:"kind"`
+	Detail  string    `json:"detail,omitempty"`
+	Touches int       `json:"touches,omitempty"` // touch/click cost of this event (0 for dictations)
 }
 
 // Session is one interactive query-composition session.

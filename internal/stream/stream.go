@@ -181,6 +181,77 @@ func (d *Dictation) Finalize(ctx context.Context) (core.FragmentOutput, error) {
 	return out, nil
 }
 
+// Fragments returns a copy of the raw fragments dictated so far — the
+// replayable half of a dictation snapshot.
+func (d *Dictation) Fragments() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]string(nil), d.fs.Fragments()...)
+}
+
+// SnapshotState captures the dictation's portable state in one consistent
+// read: lifecycle phase, the fragment sequence, and the sequence counter.
+// Together with the engine (shared, immutable) this is everything another
+// replica needs to resume the stream (see RestoreDictation).
+func (d *Dictation) SnapshotState() (phase State, fragments []string, seq int) {
+	if d.closed.Load() {
+		// Read fragments under the lock anyway; a closed dictation's state is
+		// frozen but still snapshot-consistent.
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		return StateClosed, append([]string(nil), d.fs.Fragments()...), d.last.Seq
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	frags := append([]string(nil), d.fs.Fragments()...)
+	switch {
+	case d.finalized:
+		return StateFinalized, frags, d.last.Seq
+	case d.started:
+		return StateStreaming, frags, d.last.Seq
+	default:
+		return StateIdle, frags, 0
+	}
+}
+
+// RestoreDictation rehydrates a dictation from a snapshot taken on another
+// replica: the fragments are replayed through a fresh engine fragment
+// session and — for a mid-stream snapshot — corrected once, which (by the
+// incremental ≡ one-shot bit-identity the fragment pipeline pins) leaves
+// exactly the state the original sequence of Dictate calls built. No events
+// are published during restore: the handed-off replica's subscribers start
+// from the next live fragment. A finalized snapshot restores with the
+// finalized flag set and no re-correction (its definitive output already
+// left with the snapshot's display tokens); a later Dictate/Finalize fails
+// with ErrFinalized exactly as it would have on the original replica.
+// The returned FragmentOutput is the zero value unless a mid-stream
+// correction ran; its Err reports a failed restore correction (injected
+// faults, expired ctx) — the dictation is still usable, and Finalize retries
+// at full fidelity.
+func RestoreDictation(ctx context.Context, e *core.Engine, cfg Config, phase State, fragments []string) (*Dictation, core.FragmentOutput) {
+	d := NewDictation(e, cfg)
+	var out core.FragmentOutput
+	switch phase {
+	case StateStreaming:
+		d.mu.Lock()
+		out = d.fs.RestoreFragments(ctx, fragments)
+		d.started = true
+		d.last = out
+		d.mu.Unlock()
+		obs.Add("stream.restored", 1)
+	case StateFinalized:
+		d.mu.Lock()
+		d.fs.AppendRawFragments(fragments)
+		d.started = len(fragments) > 0
+		d.finalized = true
+		d.mu.Unlock()
+		obs.Add("stream.restored", 1)
+	case StateClosed:
+		d.closed.Store(true)
+	}
+	return d, out
+}
+
 // Close marks the dictation dead. It is idempotent, publishes a terminal
 // "closed" event, and deliberately does not take the dictation mutex: a
 // sweeper evicting an idle session must never wait behind an in-flight

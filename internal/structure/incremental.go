@@ -52,13 +52,24 @@ func (inc *Incremental) Transcript() string { return inc.raw.String() }
 // reusing the previous fragments' search work. The error channel carries
 // only the stage's fault-injection hook, as in DetermineTopKErr.
 func (inc *Incremental) AppendFragment(ctx context.Context, fragment string) ([]Result, error) {
+	inc.AppendRaw(fragment)
+	return inc.Redetermine(ctx)
+}
+
+// AppendRaw appends one fragment to the accumulated transcript without
+// re-determining anything. It exists for snapshot restore (a replica
+// rehydrating a handed-off dictation replays every recorded fragment, then
+// runs one Redetermine): since incremental determination is bit-identical to
+// one-shot determination of the accumulated transcript, appending n
+// fragments and determining once yields exactly the state n AppendFragment
+// calls would have left.
+func (inc *Incremental) AppendRaw(fragment string) {
 	if f := strings.TrimSpace(fragment); f != "" {
 		if inc.raw.Len() > 0 {
 			inc.raw.WriteByte(' ')
 		}
 		inc.raw.WriteString(f)
 	}
-	return inc.Redetermine(ctx)
 }
 
 // Redetermine re-runs determination over the accumulated transcript without
