@@ -23,7 +23,19 @@
 // [-literal-index=true|false] [-max-inflight n] [-max-queue n]
 // [-session-ttl d] [-drain-timeout d] [-faults SPEC] [-pprof]
 // [-max-tenants n] [-tenant-dir DIR] [-memo-size n] [-gomemlimit SIZE]
-// [-node ID] [-session-store DIR]
+// [-node ID] [-session-store DIR] [-validate off|bind|execute]
+// [-validate-max-rows n] [-validate-timeout d]
+//
+// Execution-guided validation (-validate, DESIGN.md §15): after ranking,
+// each top-k candidate is dry-run — parsed, schema-bound, and (in execute
+// mode) executed against the demo database under a row/time budget
+// (-validate-max-rows, -validate-timeout) — and candidates that fail are
+// demoted below every passing one. Responses gain per-candidate "verdict"
+// and "demoted" fields plus a top-level "validation" field; with
+// -validate=off (the default) responses are byte-identical to servers
+// without the stage. Non-seed tenants have no rows, so execute mode
+// degrades to bind for them. Validation is shed first under deadline
+// pressure and whenever the request degrades below full fidelity.
 //
 // Multi-replica serving: -node names this replica (session ids become
 // "<node>-s<N>" so replicas behind cmd/speakql-router never mint colliding
@@ -148,7 +160,24 @@ func main() {
 		"replica node id: namespaces session ids so replicas behind speakql-router never collide (empty runs single-node)")
 	sessionStore := flag.String("session-store", "",
 		"directory for session snapshots shared by every replica (e.g. an NFS mount); enables checkpoint/restore handoff so a session survives its replica dying (empty disables)")
+	validate := flag.String("validate", "off",
+		"execution-guided validation stage: off (disabled), bind (parse + schema-bind each top-k candidate), or execute (bind plus a budget-bounded dry run against the demo database); failed candidates are demoted below every passing one — see DESIGN.md §15")
+	validateMaxRows := flag.Int64("validate-max-rows", core.DefaultValidateMaxRows,
+		"row budget per candidate dry run in -validate=execute mode (rows materialized across scans, joins, and subqueries)")
+	validateTimeout := flag.Duration("validate-timeout", core.DefaultValidateTimeout,
+		"wall-clock budget per candidate dry run in -validate=execute mode (requests with their own deadline use it instead)")
 	flag.Parse()
+
+	validateMode, okMode := core.ParseValidationMode(*validate)
+	if !okMode {
+		fmt.Fprintf(os.Stderr, "unknown -validate %q (want off, bind, or execute)\n", *validate)
+		os.Exit(2)
+	}
+	validateCfg := core.ValidationConfig{
+		Mode:    validateMode,
+		MaxRows: *validateMaxRows,
+		Timeout: *validateTimeout,
+	}
 
 	if *memLimit != "" {
 		n, err := parseByteSize(*memLimit)
@@ -222,6 +251,15 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	// Validation: the seed engine dry-runs against the real demo database
+	// (execute mode is meaningful there); tenant engines get bind-only
+	// schemas synthesized from their catalogs by the registry, which
+	// downgrades execute to bind for them.
+	if validateMode != core.ValidationOff {
+		eng.SetValidation(validateCfg, db)
+		log.Printf("validation stage active: mode=%s max-rows=%d timeout=%s",
+			validateMode, validateCfg.MaxRows, validateCfg.Timeout)
+	}
 	// Multi-tenant registry: the engine's structure component and search
 	// cache are the shared, schema-agnostic half every tenant reuses; the
 	// demo database becomes the pinned seed tenant "default".
@@ -231,6 +269,7 @@ func main() {
 			Cache:               eng.SearchCache(),
 			TopKLiterals:        5,
 			DisableLiteralIndex: !*literalIndex,
+			Validation:          validateCfg,
 		},
 		MaxLive: *maxTenants,
 		Dir:     *tenantDir,

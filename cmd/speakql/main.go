@@ -7,6 +7,12 @@
 // Usage:
 //
 //	speakql [-db employees|yelp] [-scale test|default|paper] [-exec] [-topk N]
+//	        [-validate off|bind|execute]
+//
+// -validate turns on the execution-guided validation stage (DESIGN.md §15):
+// each candidate is dry-run against the demo schema and its verdict ("ok",
+// "bind_error", "empty_result", …) is shown next to the SQL; candidates
+// that fail are demoted below every passing one.
 //
 // Example session:
 //
@@ -22,6 +28,7 @@ import (
 	"strings"
 
 	"speakql"
+	"speakql/internal/core"
 	"speakql/internal/dataset"
 	"speakql/internal/sqlengine"
 )
@@ -31,7 +38,15 @@ func main() {
 	scale := flag.String("scale", "test", "structure corpus scale: test, default, or paper")
 	execQ := flag.Bool("exec", false, "execute the corrected query against the demo database")
 	topk := flag.Int("topk", 1, "show the top-k correction candidates")
+	validate := flag.String("validate", "off",
+		"execution-guided validation: off, bind, or execute (shows a per-candidate verdict and demotes failed candidates)")
 	flag.Parse()
+
+	validateMode, okMode := core.ParseValidationMode(*validate)
+	if !okMode {
+		fmt.Fprintf(os.Stderr, "unknown -validate %q (want off, bind, or execute)\n", *validate)
+		os.Exit(2)
+	}
 
 	var db *sqlengine.Database
 	switch *dbFlag {
@@ -63,6 +78,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if validateMode != core.ValidationOff {
+		eng.SetValidation(core.ValidationConfig{Mode: validateMode}, db)
+		fmt.Fprintf(os.Stderr, "validation stage active (%s mode)\n", validateMode)
+	}
 	fmt.Fprintf(os.Stderr, "ready. schema %s: %s\n", db.Name,
 		strings.Join(db.TableNames(), ", "))
 	fmt.Fprintln(os.Stderr, `dictate a query ("select star from employees"), or "quit".`)
@@ -86,7 +105,15 @@ func main() {
 			if *topk > 1 {
 				label = fmt.Sprintf("SQL %2d>", i+1)
 			}
-			fmt.Printf("%s %s\n", label, c.SQL)
+			suffix := ""
+			if c.Verdict != "" {
+				suffix = fmt.Sprintf("   [%s", c.Verdict)
+				if c.Demoted {
+					suffix += ", demoted"
+				}
+				suffix += "]"
+			}
+			fmt.Printf("%s %s%s\n", label, c.SQL, suffix)
 		}
 		if *execQ && len(out.Candidates) > 0 {
 			res, err := sqlengine.Run(db, out.Candidates[0].SQL)

@@ -184,6 +184,10 @@ var documentedPackages = []string{
 	"internal/httpapi",
 	"internal/structure",
 	"internal/literal",
+	"internal/router",
+	"internal/loadgen",
+	"internal/registry",
+	"internal/sqlengine",
 }
 
 func TestExportedDocs(t *testing.T) {

@@ -17,6 +17,7 @@ import (
 	"speakql/internal/grammar"
 	"speakql/internal/literal"
 	"speakql/internal/obs"
+	"speakql/internal/sqlengine"
 	"speakql/internal/sqltoken"
 	"speakql/internal/structure"
 	"speakql/internal/trieindex"
@@ -64,6 +65,11 @@ type Engine struct {
 	kLiterals int
 	cache     *SearchLRU // nil when caching is disabled
 	litBudget float64    // soft-budget fraction; <= 0 disables the rung
+
+	// Validation stage (DESIGN.md §15), installed via SetValidation; a nil
+	// validateDB keeps the stage off regardless of mode.
+	validation ValidationConfig
+	validateDB *sqlengine.Database
 }
 
 // NewEngine builds the engine, generating the structure index for
@@ -163,6 +169,13 @@ type Candidate struct {
 	// StructureDistance is the weighted edit distance of the matched
 	// structure.
 	StructureDistance float64
+	// Verdict is the validation stage's classification of this candidate
+	// (sqlengine.Verdict values); empty when the candidate was never
+	// validated (validation off, shed, or degraded output).
+	Verdict string
+	// Demoted reports that validation moved this candidate down from its
+	// pre-validation rank (a better-verdict candidate overtook it).
+	Demoted bool
 }
 
 // Degradation levels of the graceful-degradation ladder, from intact to
@@ -199,6 +212,12 @@ type Output struct {
 	// DegradationFull, DegradationLiteralsTop1, DegradationStructureOnly,
 	// DegradationShed.
 	Degradation string
+	// Validation records what the validation stage did: "" when the stage
+	// is off, the mode that ran ("bind" / "execute"), or ValidationShed
+	// when a configured stage was sacrificed under ladder pressure.
+	Validation string
+	// ValidateLatency times the validation stage (zero unless it ran).
+	ValidateLatency time.Duration
 	// Err is non-nil when a pipeline stage failed outright (today only via
 	// fault injection); Candidates is empty and Degradation is shed.
 	Err error
@@ -311,6 +330,7 @@ func (e *Engine) finishPipeline(ctx context.Context, t0 time.Time, structs []str
 		})
 	}
 	out.LiteralLatency = time.Since(t1)
+	e.maybeValidate(ctx, t0, deadline, hasDeadline, &out, level)
 	return finish(out, level)
 }
 

@@ -1,0 +1,218 @@
+package core
+
+// validate.go is the execution-guided validation stage (DESIGN.md §15):
+// after structure and literal ranking, each candidate is dry-run against
+// the queried database — parse, bind, and optionally a bounded execute —
+// and candidates with provably worse verdicts are demoted below any that
+// run, preserving relative order inside each verdict class. The stage sits
+// at the very end of finishPipeline, after the §9 ladder has settled, and
+// is itself the ladder's cheapest sacrifice: any degradation, deadline
+// pressure, cancellation, or injected validate fault sheds validation and
+// serves the unvalidated ranking — validation can only ever reorder a
+// response, never fail one.
+
+import (
+	"context"
+	"sort"
+	"time"
+
+	"speakql/internal/faultinject"
+	"speakql/internal/obs"
+	"speakql/internal/sqlengine"
+)
+
+// ValidationMode selects how far the dry-run goes.
+type ValidationMode string
+
+// Validation modes: off (stage disabled, output bit-identical to an engine
+// without the stage), bind (parse + name binding only), execute (bind plus
+// a bounded execute that also demotes provably empty results).
+const (
+	ValidationOff     ValidationMode = "off"
+	ValidationBind    ValidationMode = "bind"
+	ValidationExecute ValidationMode = "execute"
+)
+
+// ParseValidationMode parses the -validate flag value.
+func ParseValidationMode(s string) (ValidationMode, bool) {
+	switch ValidationMode(s) {
+	case ValidationOff, ValidationBind, ValidationExecute:
+		return ValidationMode(s), true
+	case "":
+		return ValidationOff, true
+	default:
+		return ValidationOff, false
+	}
+}
+
+// Validation defaults.
+const (
+	// DefaultValidateMaxRows bounds each candidate's execute-mode dry-run
+	// to this many materialized rows.
+	DefaultValidateMaxRows = 100_000
+	// DefaultValidateTimeout bounds each candidate's execute-mode dry-run
+	// wall-clock when the request itself carries no deadline.
+	DefaultValidateTimeout = 50 * time.Millisecond
+	// DefaultValidateBudgetFraction is the shed threshold: when a
+	// deadline-carrying correction reaches the validation stage with less
+	// than this fraction of its deadline window remaining, validation is
+	// shed (§9: it is the first thing to go).
+	DefaultValidateBudgetFraction = 0.10
+)
+
+// ValidationConfig configures the engine's validation stage.
+type ValidationConfig struct {
+	// Mode is off, bind, or execute.
+	Mode ValidationMode
+	// MaxRows is the per-candidate row budget for execute mode
+	// (0 = DefaultValidateMaxRows).
+	MaxRows int64
+	// Timeout is the per-candidate wall-clock budget for execute mode when
+	// the request has no deadline (0 = DefaultValidateTimeout).
+	Timeout time.Duration
+	// BudgetFraction is the deadline fraction below which validation is
+	// shed (0 = DefaultValidateBudgetFraction; negative never sheds on the
+	// soft budget, only on hard expiry).
+	BudgetFraction float64
+}
+
+// SetValidation installs the validation stage on an engine: cfg selects
+// mode and budgets, db is the database candidates are dry-run against (the
+// real data for execute mode, or a rowless bind schema — see
+// sqlengine.NewSchemaDatabase — for catalog-only tenants). A nil db or
+// Mode == off disables the stage. Call before serving traffic; the engine
+// treats both values as immutable afterwards.
+func (e *Engine) SetValidation(cfg ValidationConfig, db *sqlengine.Database) {
+	if cfg.Mode == "" {
+		cfg.Mode = ValidationOff
+	}
+	if cfg.MaxRows == 0 {
+		cfg.MaxRows = DefaultValidateMaxRows
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = DefaultValidateTimeout
+	}
+	if cfg.BudgetFraction == 0 {
+		cfg.BudgetFraction = DefaultValidateBudgetFraction
+	}
+	e.validation = cfg
+	e.validateDB = db
+}
+
+// ValidationMode returns the engine's active validation mode — off when no
+// stage (or no database) is installed. The HTTP memo keys cached bodies on
+// this, so a body rendered under one mode is never served under another.
+func (e *Engine) ValidationMode() ValidationMode {
+	if e.validateDB == nil || e.validation.Mode == "" || e.validation.Mode == ValidationOff {
+		return ValidationOff
+	}
+	return e.validation.Mode
+}
+
+// maybeValidate runs the validation stage on a finished output, in place.
+// level is the ladder level the response is about to be served at; only
+// full-fidelity outputs are validated (a degraded output already broke its
+// budget, and structure-only candidates are unfillable skeletons that
+// would all parse_error — demoting among them is noise).
+func (e *Engine) maybeValidate(ctx context.Context, t0 time.Time, deadline time.Time, hasDeadline bool, out *Output, level string) {
+	if e.ValidationMode() == ValidationOff || len(out.Candidates) == 0 {
+		return
+	}
+	span := obs.StartSpan("core.validate")
+	defer span.End()
+	if level != DegradationFull || ctx.Err() != nil {
+		e.shedValidation(out, "degraded")
+		return
+	}
+	now := time.Now()
+	if hasDeadline {
+		total := deadline.Sub(t0)
+		frac := e.validation.BudgetFraction
+		if remaining := deadline.Sub(now); total > 0 && frac > 0 &&
+			remaining < time.Duration(float64(total)*frac) {
+			e.shedValidation(out, "deadline")
+			return
+		}
+	}
+	if err := faultinject.Fire(faultinject.StageValidate); err != nil {
+		obs.Add("validate.faults", 1)
+		e.shedValidation(out, "fault")
+		return
+	}
+
+	mode := e.ValidationMode()
+	execute := mode == ValidationExecute
+	for i := range out.Candidates {
+		var bud *sqlengine.RunBudget
+		if execute {
+			bud = &sqlengine.RunBudget{MaxRows: e.validation.MaxRows}
+			if hasDeadline {
+				bud.Deadline = deadline
+			} else {
+				bud.Deadline = now.Add(e.validation.Timeout)
+			}
+		}
+		v := sqlengine.DryRun(e.validateDB, out.Candidates[i].SQL, execute, bud)
+		out.Candidates[i].Verdict = string(v)
+		obs.Add("validate.verdict."+string(v), 1)
+	}
+	obs.Add("validate.checked", int64(len(out.Candidates)))
+	if demoted := rerankByVerdict(out.Candidates); demoted > 0 {
+		obs.Add("validate.demoted", int64(demoted))
+	}
+	out.Validation = string(mode)
+	out.ValidateLatency = time.Since(now)
+}
+
+// shedValidation records that validation was configured but skipped; the
+// candidates keep their unvalidated ranking and empty verdicts.
+func (e *Engine) shedValidation(out *Output, why string) {
+	obs.Add("validate.shed", 1)
+	obs.Add("validate.shed."+why, 1)
+	out.Validation = ValidationShed
+}
+
+// ValidationShed is the Output.Validation value reporting that validation
+// was configured but sacrificed for this response (§9 ladder pressure or
+// an injected validate fault).
+const ValidationShed = "shed"
+
+// rerankByVerdict stably sorts candidates by their verdict class — ok
+// first, unknowns next, provable failures last, original order preserved
+// within each class — and flags every candidate that lost ground as
+// Demoted. When all candidates share a class the order is bit-identical to
+// the input. Returns the number of demotions.
+func rerankByVerdict(cands []Candidate) int {
+	allEqual := true
+	for i := 1; i < len(cands); i++ {
+		if sqlengine.VerdictRank(sqlengine.Verdict(cands[i].Verdict)) !=
+			sqlengine.VerdictRank(sqlengine.Verdict(cands[0].Verdict)) {
+			allEqual = false
+			break
+		}
+	}
+	if allEqual {
+		return 0
+	}
+	type pos struct {
+		c   Candidate
+		idx int
+	}
+	ordered := make([]pos, len(cands))
+	for i, c := range cands {
+		ordered[i] = pos{c: c, idx: i}
+	}
+	sort.SliceStable(ordered, func(a, b int) bool {
+		return sqlengine.VerdictRank(sqlengine.Verdict(ordered[a].c.Verdict)) <
+			sqlengine.VerdictRank(sqlengine.Verdict(ordered[b].c.Verdict))
+	})
+	demoted := 0
+	for i := range ordered {
+		ordered[i].c.Demoted = i > ordered[i].idx
+		if ordered[i].c.Demoted {
+			demoted++
+		}
+		cands[i] = ordered[i].c
+	}
+	return demoted
+}

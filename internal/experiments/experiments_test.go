@@ -279,7 +279,7 @@ func TestTable5Shapes(t *testing.T) {
 }
 
 func TestAllAndByID(t *testing.T) {
-	if got := len(IDs()); got != 13 {
+	if got := len(IDs()); got != 14 {
 		t.Fatalf("IDs = %d", got)
 	}
 	for _, id := range IDs() {
@@ -310,5 +310,42 @@ func TestColumnAwareAblation(t *testing.T) {
 	}
 	if !strings.Contains(r.Render(), "column-aware") {
 		t.Error("render missing")
+	}
+}
+
+func TestValidationABShapes(t *testing.T) {
+	r := RunValidationAB(env(t))
+	if len(r.Rows) != 2 || r.Rows[0].Corpus != "Employees" || r.Rows[1].Corpus != "Yelp" {
+		t.Fatalf("rows = %+v", r.Rows)
+	}
+	lifted := false
+	for _, row := range r.Rows {
+		if row.N == 0 {
+			t.Fatalf("%s: empty corpus", row.Corpus)
+		}
+		if row.OffTop1 < 0 || row.OffTop1 > 1 || row.OnTop1 < 0 || row.OnTop1 > 1 {
+			t.Fatalf("%s: accuracy out of range: %+v", row.Corpus, row)
+		}
+		// Verdict re-ranking only reorders candidates within one correction,
+		// so it should not cost execution accuracy; a regression here means
+		// an ok candidate was demoted below a failing one.
+		if row.OnTop1 < row.OffTop1-1e-9 {
+			t.Errorf("%s: validation hurt top-1 exec accuracy: off %.3f on %.3f",
+				row.Corpus, row.OffTop1, row.OnTop1)
+		}
+		if row.OnTop1 > row.OffTop1+1e-9 {
+			lifted = true
+			if row.Changed == 0 {
+				t.Errorf("%s: accuracy lifted with no top-1 change", row.Corpus)
+			}
+		}
+	}
+	// The headline claim of the stage: at least one corpus gains top-1
+	// execution accuracy from demoting failed candidates (EXPERIMENTS.md).
+	if !lifted {
+		t.Error("no corpus showed a top-1 execution-accuracy lift")
+	}
+	if !strings.Contains(r.Render(), "Exec-acc") {
+		t.Error("render missing accuracy columns")
 	}
 }

@@ -16,6 +16,7 @@ func All(env *Env) []Result {
 		RunFigure18(env),
 		RunTable5(env),
 		RunColumnAware(env),
+		RunValidationAB(env),
 	}
 }
 
@@ -49,6 +50,8 @@ func ByID(env *Env, id string) (Result, bool) {
 		return RunTable5(env), true
 	case "ablation-columns":
 		return RunColumnAware(env), true
+	case "validation":
+		return RunValidationAB(env), true
 	}
 	return nil, false
 }
@@ -57,5 +60,5 @@ func ByID(env *Env, id string) (Result, bool) {
 func IDs() []string {
 	return []string{"table2", "figure6", "figure7", "figure8", "figure11",
 		"table4", "figure14", "figure15", "figure16", "figure17",
-		"figure18", "table5", "ablation-columns"}
+		"figure18", "table5", "ablation-columns", "validation"}
 }

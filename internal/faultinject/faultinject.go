@@ -20,7 +20,7 @@
 //
 //	spec    := clause (';' clause)*
 //	clause  := 'seed=' uint | stage ':' fault (',' fault)*
-//	stage   := 'structure' | 'literal' | 'cache' | 'stream' | 'registry' | 'network'
+//	stage   := 'structure' | 'literal' | 'validate' | 'cache' | 'stream' | 'registry' | 'network'
 //	fault   := kind ['=' value] ['@' probability]
 //	kind    := 'latency' | 'error' | 'panic'
 //	value   := Go duration, latency only (default 1ms)
@@ -64,10 +64,16 @@ const (
 	// use to rehearse flaky router↔replica links (an injected error is
 	// treated as a transport failure and enters the retry path).
 	StageNetwork = "network"
+	// StageValidate fires once per correction whose output is about to be
+	// execution-validated (DESIGN.md §15). An injected error sheds
+	// validation for that correction — the unvalidated ranking is served,
+	// never a failure — which is exactly the ladder behavior the chaos
+	// tests pin.
+	StageValidate = "validate"
 )
 
 // stages is the closed set of valid hook points.
-var stages = []string{StageStructure, StageLiteral, StageCache, StageStream, StageRegistry, StageNetwork}
+var stages = []string{StageStructure, StageLiteral, StageValidate, StageCache, StageStream, StageRegistry, StageNetwork}
 
 // InjectedError is the error value forced by an error fault. Callers that
 // need to distinguish rehearsed failures from organic ones can errors.As

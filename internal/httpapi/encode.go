@@ -39,6 +39,11 @@ type correctWire struct {
 	LiteralMS   int64           `json:"literal_ms"`
 	StructureMS int64           `json:"structure_ms"`
 	Transcript  []string        `json:"transcript"`
+	// Validation reports what the validation stage did ("bind", "execute",
+	// or "shed"); omitempty keeps -validate=off responses byte-identical
+	// to the pre-validation format. "validation" also sorts after
+	// "transcript", preserving the alphabetical field order.
+	Validation string `json:"validation,omitempty"`
 }
 
 // respEncoder is one pooled encoding scratch: a buffer, a json.Encoder bound
@@ -81,6 +86,7 @@ func (e *respEncoder) encodeCorrect(out *core.Output, deadlineHit bool) error {
 	for _, c := range out.Candidates {
 		e.cands = append(e.cands, candidateJSON{
 			SQL: c.SQL, Structure: c.Structure, Distance: c.StructureDistance,
+			Verdict: c.Verdict, Demoted: c.Demoted,
 		})
 	}
 	wire := correctWire{
@@ -89,6 +95,7 @@ func (e *respEncoder) encodeCorrect(out *core.Output, deadlineHit bool) error {
 		LiteralMS:   out.LiteralLatency.Milliseconds(),
 		StructureMS: out.StructureLatency.Milliseconds(),
 		Transcript:  out.Transcript,
+		Validation:  out.Validation,
 	}
 	// Preserve the map path's null-vs-[] distinction: no candidates encoded
 	// as "candidates":null.

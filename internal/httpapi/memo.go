@@ -81,11 +81,14 @@ func newCorrectionMemo(max int) *correctionMemo {
 	}
 }
 
-// memoKey builds the cache key. The three components are joined with NUL —
-// transcripts are dictated text and never contain it — so distinct triples
-// never collide.
-func memoKey(tenant, transcript string, topk int) string {
-	return tenant + "\x00" + transcript + "\x00" + strconv.Itoa(topk)
+// memoKey builds the cache key. The components are joined with NUL —
+// transcripts are dictated text and never contain it — so distinct tuples
+// never collide. validation is the engine's active validation mode: a body
+// rendered without verdicts must never be replayed to a validated tenant
+// (or vice versa), so the mode is part of the identity of the bytes
+// (TestMemoKeyedOnValidationMode).
+func memoKey(tenant, transcript string, topk int, validation string) string {
+	return tenant + "\x00" + transcript + "\x00" + strconv.Itoa(topk) + "\x00" + validation
 }
 
 // lookup returns the cached body for key, refreshing its recency. The

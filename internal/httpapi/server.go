@@ -529,6 +529,12 @@ type candidateJSON struct {
 	SQL       string   `json:"sql"`
 	Structure []string `json:"structure"`
 	Distance  float64  `json:"distance"`
+	// Verdict and Demoted surface the validation stage (DESIGN.md §15).
+	// Both carry omitempty so responses from a -validate=off server stay
+	// byte-identical to the pre-validation wire format
+	// (TestValidationOffWireUnchanged).
+	Verdict string `json:"verdict,omitempty"`
+	Demoted bool   `json:"demoted,omitempty"`
 }
 
 func (s *Server) handleCorrect(w http.ResponseWriter, r *http.Request) {
@@ -558,7 +564,7 @@ func (s *Server) handleCorrect(w http.ResponseWriter, r *http.Request) {
 		leader *memoCall
 	)
 	if s.memo != nil && !faultinject.Enabled() {
-		key = memoKey(t.ID, req.Transcript, req.TopK)
+		key = memoKey(t.ID, req.Transcript, req.TopK, string(t.Engine.ValidationMode()))
 		if body, ok := s.memo.lookup(key); ok {
 			s.reg.Add("server.memo_hit", 1)
 			writeBody(w, http.StatusOK, body)
@@ -942,6 +948,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"restores":      snap.Counters["session.restores"],
 			"resumed":       snap.Counters["stream.resumed"],
 			"lost":          snap.Counters["stream.lost"],
+		}
+	}
+	// The validate block reports the execution-guided validation stage
+	// (DESIGN.md §15): the active mode plus the validate.* counters —
+	// candidates checked, per-verdict tallies, demotions, sheds, faults.
+	if mode := s.engine.ValidationMode(); mode != core.ValidationOff {
+		resp["validate"] = map[string]any{
+			"mode":     string(mode),
+			"counters": snap.CountersWithPrefix("validate."),
 		}
 	}
 	// The memo block pairs the correction memo's structural state with its

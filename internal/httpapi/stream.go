@@ -53,10 +53,12 @@ func streamConflict(err error) bool {
 	return errors.Is(err, stream.ErrFinalized) || errors.Is(err, stream.ErrClosed)
 }
 
-// streamState shapes one fragment correction for the JSON response.
+// streamState shapes one fragment correction for the JSON response. The
+// validation keys appear only when the stage actually touched this
+// correction, so a -validate=off server's stream responses are unchanged.
 func streamState(id string, out core.FragmentOutput, deadlineHit bool) map[string]any {
 	best := out.Best()
-	return map[string]any{
+	resp := map[string]any{
 		"id":                id,
 		"seq":               out.Seq,
 		"transcript":        out.RawTranscript,
@@ -67,6 +69,14 @@ func streamState(id string, out core.FragmentOutput, deadlineHit bool) map[strin
 		"degradation":       out.Degradation,
 		"deadline_hit":      deadlineHit,
 	}
+	if out.Validation != "" {
+		resp["validation"] = out.Validation
+	}
+	if best.Verdict != "" {
+		resp["verdict"] = best.Verdict
+		resp["demoted"] = best.Demoted
+	}
+	return resp
 }
 
 func (s *Server) handleStreamDictate(w http.ResponseWriter, r *http.Request) {

@@ -249,7 +249,7 @@ func (p *Plan) ClassCounts() map[Class]int {
 	return m
 }
 
-// MixString renders a mix canonically (fixed class order) for logs.
+// String renders a mix canonically (fixed class order) for logs.
 func (m Mix) String() string {
 	var parts []string
 	for _, c := range classes {

@@ -35,6 +35,7 @@ import (
 	"speakql/internal/faultinject"
 	"speakql/internal/literal"
 	"speakql/internal/obs"
+	"speakql/internal/sqlengine"
 	"speakql/internal/structure"
 )
 
@@ -57,6 +58,18 @@ type Shared struct {
 	// DisableLiteralIndex serves every tenant catalog on the naive voting
 	// path (the -literal-index=false ablation toggle).
 	DisableLiteralIndex bool
+	// Validation configures the execution-guided validation stage for tenant
+	// engines (DESIGN.md §15). Non-seed tenants are registered as bare
+	// catalogs — table/attribute/value name lists with no rows — so their
+	// bind schema is synthesized with sqlengine.NewSchemaDatabase and
+	// ValidationExecute is downgraded to ValidationBind: executing against a
+	// rowless schema would verdict every candidate empty_result, which
+	// demotes correct SQL below nothing but ranks it below genuinely `ok`
+	// candidates that cannot exist — strictly worse than binding only. The
+	// seed tenant keeps whatever validation its engine was built with (the
+	// server wires it against the real database, where execute is
+	// meaningful).
+	Validation core.ValidationConfig
 }
 
 // Tenant is one resident tenant: an engine wired to the shared structure
@@ -202,6 +215,14 @@ func (r *Registry) buildTenant(id string, cat *literal.Catalog) *Tenant {
 	}
 	if r.shared.Cache != nil {
 		eng.AdoptSearchCache(r.shared.Cache)
+	}
+	if cfg := r.shared.Validation; cfg.Mode != "" && cfg.Mode != core.ValidationOff {
+		if cfg.Mode == core.ValidationExecute {
+			// Rowless schema DB: execute would verdict everything
+			// empty_result. Bind-level validation is the honest maximum.
+			cfg.Mode = core.ValidationBind
+		}
+		eng.SetValidation(cfg, sqlengine.NewSchemaDatabase(id, cat.Tables(), cat.Attributes()))
 	}
 	return &Tenant{ID: id, Engine: eng, Catalog: cat}
 }

@@ -578,3 +578,64 @@ func TestSingleTenantDifferential(t *testing.T) {
 	}
 	compare(t, "reloaded", reloaded.Engine)
 }
+
+func TestTenantValidationDowngradesExecuteToBind(t *testing.T) {
+	reg, err := New(Config{
+		Shared: Shared{
+			Structure:  testComponent(t),
+			Validation: core.ValidationConfig{Mode: core.ValidationExecute},
+		},
+		Dir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tenant, err := reg.Put("bindonly", testCat(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Non-seed tenants are bare catalogs: no rows to execute against, so
+	// execute-mode validation must degrade to bind-mode rather than verdict
+	// every candidate empty_result.
+	if mode := tenant.Engine.ValidationMode(); mode != core.ValidationBind {
+		t.Fatalf("tenant validation mode = %q, want bind", mode)
+	}
+	out := tenant.Engine.CorrectTopK("select first name from employees", 3)
+	if out.Err != nil {
+		t.Fatal(out.Err)
+	}
+	if out.Validation != string(core.ValidationBind) {
+		t.Fatalf("Output.Validation = %q, want bind (degradation %q)", out.Validation, out.Degradation)
+	}
+	for i, c := range out.Candidates {
+		if c.Verdict == "" {
+			t.Fatalf("candidate %d unverdicted: %+v", i, c)
+		}
+		if c.Verdict == "empty_result" {
+			t.Fatalf("bind-mode tenant produced an execution verdict: %+v", c)
+		}
+	}
+
+	// The downgrade survives the evict/reload round trip.
+	if _, err := reg.Put("other", testCat(1)); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := reg.Acquire("bindonly")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode := reloaded.Engine.ValidationMode(); mode != core.ValidationBind {
+		t.Fatalf("reloaded tenant validation mode = %q, want bind", mode)
+	}
+}
+
+func TestTenantValidationOffByDefault(t *testing.T) {
+	reg := newTestRegistry(t, 0)
+	tenant, err := reg.Put("plain", testCat(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode := tenant.Engine.ValidationMode(); mode != core.ValidationOff {
+		t.Fatalf("tenant validation mode = %q, want off", mode)
+	}
+}

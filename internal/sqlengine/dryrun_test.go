@@ -1,0 +1,153 @@
+package sqlengine
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDryRunVerdicts(t *testing.T) {
+	db := testDB()
+	cases := []struct {
+		sql     string
+		execute bool
+		want    Verdict
+	}{
+		{"SELECT FirstName FROM Employees", false, VerdictOK},
+		{"SELECT FirstName FROM Employees", true, VerdictOK},
+		{"SELECT FROM WHERE", false, VerdictParseError},
+		{"SELECT FirstName FROM Employers", false, VerdictBindError},
+		{"SELECT Salary FROM Employees", false, VerdictBindError},
+		{"SELECT FirstName FROM Employees WHERE Wage > 100", false, VerdictBindError},
+		{"SELECT FirstName FROM Employees WHERE Gender = 'X'", true, VerdictEmptyResult},
+		// Bind mode never executes: a provably empty query is still ok.
+		{"SELECT FirstName FROM Employees WHERE Gender = 'X'", false, VerdictOK},
+		// Aggregates over empty inputs still produce a row.
+		{"SELECT COUNT ( * ) FROM Employees WHERE Gender = 'X'", true, VerdictOK},
+		// Subquery operands bind against their own FROM list.
+		{"SELECT FirstName FROM Employees WHERE EmployeeNumber IN " +
+			"( SELECT EmployeeNumber FROM Salaries WHERE Salary > 70000 )", true, VerdictOK},
+		{"SELECT FirstName FROM Employees WHERE EmployeeNumber IN " +
+			"( SELECT EmployeeNumber FROM Wages )", false, VerdictBindError},
+	}
+	for _, c := range cases {
+		if got := DryRun(db, c.sql, c.execute, nil); got != c.want {
+			t.Errorf("DryRun(%q, execute=%v) = %s, want %s", c.sql, c.execute, got, c.want)
+		}
+	}
+}
+
+func TestDryRunBudgetExceededIsTyped(t *testing.T) {
+	db := testDB()
+	// Employees has 4 rows; a 2-row budget is exhausted on the base scan.
+	// The verdict must be the typed budget class, never empty_result.
+	bud := &RunBudget{MaxRows: 2}
+	if got := DryRun(db, "SELECT FirstName FROM Employees WHERE Gender = 'X'", true, bud); got != VerdictBudgetExceeded {
+		t.Fatalf("verdict = %s, want %s", got, VerdictBudgetExceeded)
+	}
+	_, err := ExecuteBudgeted(db, mustParse(t, "SELECT FirstName FROM Employees"), &RunBudget{MaxRows: 2})
+	if !IsBudgetExceeded(err) {
+		t.Fatalf("ExecuteBudgeted error = %v, want budget exceeded", err)
+	}
+}
+
+func TestBudgetChargesJoinWork(t *testing.T) {
+	db := testDB()
+	// Employees ⨯ Salaries via comma join resolves an equi-join: 4 base
+	// rows each side + 4 join outputs = 12 charged rows.
+	sql := "SELECT FirstName FROM Employees , Salaries WHERE Employees . EmployeeNumber = Salaries . EmployeeNumber"
+	if got := DryRun(db, sql, true, &RunBudget{MaxRows: 9}); got != VerdictBudgetExceeded {
+		t.Fatalf("tight join budget verdict = %s, want %s", got, VerdictBudgetExceeded)
+	}
+	if got := DryRun(db, sql, true, &RunBudget{MaxRows: 100}); got != VerdictOK {
+		t.Fatalf("ample join budget verdict = %s, want %s", got, VerdictOK)
+	}
+}
+
+func TestBudgetExhaustionDoesNotLeak(t *testing.T) {
+	db := testDB()
+	sql := "SELECT FirstName FROM Employees"
+	want := rowStrings(mustRun(t, db, sql))
+
+	// Exhaust budgets repeatedly; the database must keep answering the
+	// same query identically through plain Execute and fresh budgets —
+	// all exhaustion state lives in the RunBudget, none in db.
+	for i := 0; i < 10; i++ {
+		if got := DryRun(db, sql, true, &RunBudget{MaxRows: 1}); got != VerdictBudgetExceeded {
+			t.Fatalf("iteration %d: verdict = %s, want %s", i, got, VerdictBudgetExceeded)
+		}
+		if got := rowStrings(mustRun(t, db, sql)); len(got) != len(want) {
+			t.Fatalf("iteration %d: Execute after exhaustion returned %d rows, want %d",
+				i, len(got), len(want))
+		}
+		if got := DryRun(db, sql, true, &RunBudget{MaxRows: 1000}); got != VerdictOK {
+			t.Fatalf("iteration %d: fresh ample budget verdict = %s, want %s", i, got, VerdictOK)
+		}
+	}
+}
+
+func TestBudgetDeadline(t *testing.T) {
+	db := testDB()
+	// An already-expired deadline with enough rows to cross a time-check
+	// boundary must exceed; the same query with a generous deadline is ok.
+	big := db.CreateTable("Big", Column{"N", IntCol})
+	for i := 0; i < budgetTimeCheck+10; i++ {
+		if err := big.Insert(Int(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	expired := &RunBudget{Deadline: time.Now().Add(-time.Second)}
+	if got := DryRun(db, "SELECT N FROM Big", true, expired); got != VerdictBudgetExceeded {
+		t.Fatalf("expired deadline verdict = %s, want %s", got, VerdictBudgetExceeded)
+	}
+	ample := &RunBudget{Deadline: time.Now().Add(time.Minute)}
+	if got := DryRun(db, "SELECT N FROM Big", true, ample); got != VerdictOK {
+		t.Fatalf("ample deadline verdict = %s, want %s", got, VerdictOK)
+	}
+}
+
+func TestSchemaDatabaseBindsMembership(t *testing.T) {
+	db := NewSchemaDatabase("tenant", []string{"Business", "Review"}, []string{"Name", "Stars"})
+	cases := []struct {
+		sql  string
+		want Verdict
+	}{
+		{"SELECT Name FROM Business", VerdictOK},
+		{"SELECT Stars FROM Review WHERE Name = 'x'", VerdictOK},
+		{"SELECT Name FROM Salaries", VerdictBindError},
+		{"SELECT Wage FROM Business", VerdictBindError},
+	}
+	for _, c := range cases {
+		if got := DryRun(db, c.sql, false, nil); got != c.want {
+			t.Errorf("DryRun(%q) = %s, want %s", c.sql, got, c.want)
+		}
+	}
+	// Executing a rowless schema DB can only ever yield empty_result —
+	// which is exactly why callers drop catalog-only tenants to bind mode.
+	if got := DryRun(db, "SELECT Name FROM Business", true, nil); got != VerdictEmptyResult {
+		t.Fatalf("execute over schema-only DB = %s, want %s", got, VerdictEmptyResult)
+	}
+}
+
+func TestVerdictRankLattice(t *testing.T) {
+	order := []Verdict{VerdictOK, VerdictBudgetExceeded, VerdictEmptyResult, VerdictBindError, VerdictParseError}
+	for i := 1; i < len(order); i++ {
+		if VerdictRank(order[i-1]) > VerdictRank(order[i]) {
+			t.Fatalf("lattice order broken at %s > %s", order[i-1], order[i])
+		}
+	}
+	if VerdictRank("") != VerdictRank(VerdictBudgetExceeded) {
+		t.Fatal("unvalidated must rank with budget_exceeded (both unknown)")
+	}
+	if VerdictRank(VerdictOK) >= VerdictRank("") {
+		t.Fatal("ok must outrank unknown")
+	}
+}
+
+func mustParse(t *testing.T, sql string) *SelectStmt {
+	t.Helper()
+	stmt, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	return stmt
+}

@@ -21,14 +21,25 @@ const maxJoinRows = 2_000_000
 
 // Execute runs a parsed statement against the database.
 func Execute(db *Database, stmt *SelectStmt) (*Result, error) {
-	rel, err := buildFrom(db, stmt)
+	return ExecuteBudgeted(db, stmt, nil)
+}
+
+// ExecuteBudgeted runs a parsed statement under an optional work budget
+// (nil = unlimited, identical to Execute). The budget is charged for every
+// row materialized — base-table scans, join outputs, and subquery work all
+// draw from the same allowance — so a runaway candidate is cut off after a
+// bounded amount of work with ErrBudgetExceeded. All budget state lives in
+// bud itself; the Database is never mutated, so an exhausted run leaves no
+// trace in shared engine state.
+func ExecuteBudgeted(db *Database, stmt *SelectStmt, bud *RunBudget) (*Result, error) {
+	rel, err := buildFrom(db, stmt, bud)
 	if err != nil {
 		return nil, err
 	}
 	if stmt.Where != nil {
 		filtered := rel.rows[:0:0]
 		for _, row := range rel.rows {
-			ok, err := evalBool(db, rel, row, stmt.Where)
+			ok, err := evalBool(db, rel, row, stmt.Where, bud)
 			if err != nil {
 				return nil, err
 			}
@@ -96,23 +107,23 @@ func (r *relation) resolve(c ColRef) (int, error) {
 // buildFrom assembles the FROM relation: NATURAL JOIN chains hash-join on
 // shared column names; comma lists use extracted equi-join predicates where
 // possible and fall back to cross products.
-func buildFrom(db *Database, stmt *SelectStmt) (*relation, error) {
+func buildFrom(db *Database, stmt *SelectStmt, bud *RunBudget) (*relation, error) {
 	if len(stmt.From) == 0 {
 		return nil, fmt.Errorf("sqlengine: no tables")
 	}
-	base, err := tableRelation(db, stmt.From[0])
+	base, err := tableRelation(db, stmt.From[0], bud)
 	if err != nil {
 		return nil, err
 	}
 	for _, name := range stmt.From[1:] {
-		next, err := tableRelation(db, name)
+		next, err := tableRelation(db, name, bud)
 		if err != nil {
 			return nil, err
 		}
 		if stmt.NaturalJoin {
-			base, err = naturalJoin(base, next)
+			base, err = naturalJoin(base, next, bud)
 		} else {
-			base, err = equiOrCrossJoin(base, next, stmt.Where)
+			base, err = equiOrCrossJoin(base, next, stmt.Where, bud)
 		}
 		if err != nil {
 			return nil, err
@@ -121,10 +132,13 @@ func buildFrom(db *Database, stmt *SelectStmt) (*relation, error) {
 	return base, nil
 }
 
-func tableRelation(db *Database, name string) (*relation, error) {
+func tableRelation(db *Database, name string, bud *RunBudget) (*relation, error) {
 	t, ok := db.Table(name)
 	if !ok {
 		return nil, fmt.Errorf("sqlengine: unknown table %s", name)
+	}
+	if err := bud.charge(len(t.Rows)); err != nil {
+		return nil, err
 	}
 	rel := &relation{cols: make([]boundCol, len(t.Cols)), rows: t.Rows}
 	for i, c := range t.Cols {
@@ -135,7 +149,7 @@ func tableRelation(db *Database, name string) (*relation, error) {
 
 // naturalJoin hash-joins two relations on all shared column names,
 // projecting the shared columns once (left side), per SQL NATURAL JOIN.
-func naturalJoin(a, b *relation) (*relation, error) {
+func naturalJoin(a, b *relation, bud *RunBudget) (*relation, error) {
 	var aIdx, bIdx []int
 	for i, ac := range a.cols {
 		for j, bc := range b.cols {
@@ -146,7 +160,7 @@ func naturalJoin(a, b *relation) (*relation, error) {
 		}
 	}
 	if len(aIdx) == 0 {
-		return crossJoin(a, b)
+		return crossJoin(a, b, bud)
 	}
 	keep := make([]int, 0, len(b.cols))
 	shared := make(map[int]bool, len(bIdx))
@@ -169,6 +183,9 @@ func naturalJoin(a, b *relation) (*relation, error) {
 	}
 	for _, arow := range a.rows {
 		for _, brow := range index[joinKey(arow, aIdx)] {
+			if err := bud.charge(1); err != nil {
+				return nil, err
+			}
 			row := append(append([]Value{}, arow...), pick(brow, keep)...)
 			out.rows = append(out.rows, row)
 			if len(out.rows) > maxJoinRows {
@@ -181,7 +198,7 @@ func naturalJoin(a, b *relation) (*relation, error) {
 
 // equiOrCrossJoin joins a comma-listed table using any Table.Col = Table.Col
 // equality found in the WHERE tree, else a cross product.
-func equiOrCrossJoin(a, b *relation, where *BoolNode) (*relation, error) {
+func equiOrCrossJoin(a, b *relation, where *BoolNode, bud *RunBudget) (*relation, error) {
 	var aIdx, bIdx []int
 	collectEquiPairs(where, func(l, r ColRef) {
 		li, lerr := a.resolve(l)
@@ -199,7 +216,7 @@ func equiOrCrossJoin(a, b *relation, where *BoolNode) (*relation, error) {
 		}
 	})
 	if len(aIdx) == 0 {
-		return crossJoin(a, b)
+		return crossJoin(a, b, bud)
 	}
 	out := &relation{cols: append(append([]boundCol{}, a.cols...), b.cols...)}
 	index := make(map[string][][]Value)
@@ -208,6 +225,9 @@ func equiOrCrossJoin(a, b *relation, where *BoolNode) (*relation, error) {
 	}
 	for _, arow := range a.rows {
 		for _, brow := range index[joinKey(arow, aIdx)] {
+			if err := bud.charge(1); err != nil {
+				return nil, err
+			}
 			out.rows = append(out.rows, append(append([]Value{}, arow...), brow...))
 			if len(out.rows) > maxJoinRows {
 				return nil, fmt.Errorf("sqlengine: join result exceeds %d rows", maxJoinRows)
@@ -237,13 +257,16 @@ func collectEquiPairs(n *BoolNode, f func(l, r ColRef)) {
 	}
 }
 
-func crossJoin(a, b *relation) (*relation, error) {
+func crossJoin(a, b *relation, bud *RunBudget) (*relation, error) {
 	if len(a.rows)*len(b.rows) > maxJoinRows {
 		return nil, fmt.Errorf("sqlengine: cross product of %d×%d rows refused",
 			len(a.rows), len(b.rows))
 	}
 	out := &relation{cols: append(append([]boundCol{}, a.cols...), b.cols...)}
 	for _, ar := range a.rows {
+		if err := bud.charge(len(b.rows)); err != nil {
+			return nil, err
+		}
 		for _, br := range b.rows {
 			out.rows = append(out.rows, append(append([]Value{}, ar...), br...))
 		}
@@ -269,11 +292,11 @@ func pick(row []Value, idx []int) []Value {
 }
 
 // evalBool evaluates a WHERE tree on one row.
-func evalBool(db *Database, rel *relation, row []Value, n *BoolNode) (bool, error) {
+func evalBool(db *Database, rel *relation, row []Value, n *BoolNode, bud *RunBudget) (bool, error) {
 	if n.Pred != nil {
-		return evalPred(db, rel, row, n.Pred)
+		return evalPred(db, rel, row, n.Pred, bud)
 	}
-	l, err := evalBool(db, rel, row, n.Left)
+	l, err := evalBool(db, rel, row, n.Left, bud)
 	if err != nil {
 		return false, err
 	}
@@ -283,17 +306,17 @@ func evalBool(db *Database, rel *relation, row []Value, n *BoolNode) (bool, erro
 	if n.Op == "OR" && l {
 		return true, nil
 	}
-	return evalBool(db, rel, row, n.Right)
+	return evalBool(db, rel, row, n.Right, bud)
 }
 
-func evalPred(db *Database, rel *relation, row []Value, p *Predicate) (bool, error) {
+func evalPred(db *Database, rel *relation, row []Value, p *Predicate, bud *RunBudget) (bool, error) {
 	switch p.Kind {
 	case predCompare:
-		lv, err := operandValue(db, rel, row, p.Left)
+		lv, err := operandValue(db, rel, row, p.Left, bud)
 		if err != nil {
 			return false, err
 		}
-		rv, err := operandValue(db, rel, row, p.Right)
+		rv, err := operandValue(db, rel, row, p.Right, bud)
 		if err != nil {
 			return false, err
 		}
@@ -307,19 +330,19 @@ func evalPred(db *Database, rel *relation, row []Value, p *Predicate) (bool, err
 			return cmp > 0, nil
 		}
 	case predBetween:
-		lv, err := operandValue(db, rel, row, p.Left)
+		lv, err := operandValue(db, rel, row, p.Left, bud)
 		if err != nil {
 			return false, err
 		}
 		in := Compare(lv, p.Lo) >= 0 && Compare(lv, p.Hi) <= 0
 		return in != p.Not, nil
 	default: // predIn
-		lv, err := operandValue(db, rel, row, p.Left)
+		lv, err := operandValue(db, rel, row, p.Left, bud)
 		if err != nil {
 			return false, err
 		}
 		if p.Sub != nil {
-			sub, err := Execute(db, p.Sub)
+			sub, err := ExecuteBudgeted(db, p.Sub, bud)
 			if err != nil {
 				return false, err
 			}
@@ -339,7 +362,7 @@ func evalPred(db *Database, rel *relation, row []Value, p *Predicate) (bool, err
 	}
 }
 
-func operandValue(db *Database, rel *relation, row []Value, o Operand) (Value, error) {
+func operandValue(db *Database, rel *relation, row []Value, o Operand, bud *RunBudget) (Value, error) {
 	switch {
 	case o.Col != nil:
 		i, err := rel.resolve(*o.Col)
@@ -348,7 +371,7 @@ func operandValue(db *Database, rel *relation, row []Value, o Operand) (Value, e
 		}
 		return row[i], nil
 	case o.Sub != nil:
-		sub, err := Execute(db, o.Sub)
+		sub, err := ExecuteBudgeted(db, o.Sub, bud)
 		if err != nil {
 			return Null(), err
 		}
